@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate every table and figure of the paper.  Budgets are
+set so the full suite completes in minutes on a laptop; pass
+``--paper-budget`` to run the experiments at the full budgets recorded in
+EXPERIMENTS.md (tens of minutes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a regenerated table/figure to ``results/<name>.txt``.
+
+    pytest captures stdout by default, so the regeneration benchmarks also
+    write their formatted output to disk; EXPERIMENTS.md references these
+    files.
+    """
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    return _save
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-budget",
+        action="store_true",
+        default=False,
+        help="run experiments at full (paper-comparable) budgets",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_budget(request) -> bool:
+    return bool(request.config.getoption("--paper-budget"))

@@ -1,0 +1,198 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each test runs one ablation from :mod:`repro.experiments.ablations`, prints
+the sweep, and asserts the qualitative effect the design rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    run_backend_ablation,
+    run_beta_ablation,
+    run_bitexact_ablation,
+    run_dimension_scaling,
+    run_heuristic_ablation,
+    run_propagation_ablation,
+    run_rounding_ablation,
+)
+
+
+class TestBetaAblation:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_beta_ablation()
+        return run_beta_ablation(max_nodes=60, time_limit=4.0)
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nbeta ablation (confidence level of the overflow constraints)")
+        print("  rho    beta   cost    float-err  bitexact-err")
+        for p in result:
+            print(
+                f"  {p.rho:5.3f} {p.beta:6.3f} {p.cost:7.4f}  "
+                f"{100 * p.float_error:7.2f}%   {100 * p.bitexact_error:7.2f}%"
+            )
+
+    def test_looser_beta_lowers_cost(self, points):
+        # Smaller rho -> smaller beta -> larger feasible set -> cost can
+        # only improve (or tie).
+        by_rho = sorted(points, key=lambda p: p.rho)
+        assert by_rho[0].cost <= by_rho[-1].cost + 1e-9
+
+    def test_bitexact_error_stays_reasonable_at_high_rho(self, points):
+        # At rho 0.99+ the overflow constraints protect the wrap datapath:
+        # bit-exact error within a few points of the float error.
+        strict = [p for p in points if p.rho >= 0.99]
+        for p in strict:
+            assert p.bitexact_error <= p.float_error + 0.06
+
+
+class TestRoundingAblation:
+    def test_regenerate(self, benchmark):
+        points = benchmark(run_rounding_ablation)
+        print("\nweight-rounding-mode ablation (conventional LDA, 12 bits)")
+        for p in points:
+            print(f"  {p.mode:13s} : {100 * p.error:6.2f}%")
+        modes = {p.mode for p in points}
+        assert "nearest-away" in modes and "floor" in modes
+        for p in points:
+            assert 0.0 <= p.error <= 1.0
+
+
+class TestHeuristicAblation:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_heuristic_ablation()
+        return run_heuristic_ablation(max_nodes=40, time_limit=3.0)
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nheuristic on/off matrix (fixed node budget)")
+        print("  warm sweep polish |    cost   nodes  seconds")
+        for p in result:
+            print(
+                f"  {str(p.warm_start):5s} {str(p.scale_sweep):5s} "
+                f"{str(p.local_search):6s} | {p.cost:8.4f}  {p.nodes:5d}  {p.seconds:6.2f}"
+            )
+
+    def test_full_heuristics_best_or_tied(self, points):
+        full = next(
+            p for p in points if p.warm_start and p.scale_sweep and p.local_search
+        )
+        bare = next(
+            p
+            for p in points
+            if not p.warm_start and not p.scale_sweep and not p.local_search
+        )
+        assert full.cost <= bare.cost + 1e-9
+
+
+class TestBitexactAblation:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_bitexact_ablation()
+        return run_bitexact_ablation(
+            word_lengths=(4, 6), max_nodes=40, time_limit=4.0
+        )
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nfloat vs bit-exact deployment (LDA-FP)")
+        print("  WL |  float  |  wrap   | saturate")
+        for p in result:
+            print(
+                f"  {p.word_length:2d} | {100*p.float_error:6.2f}% |"
+                f" {100*p.wrap_error:6.2f}% | {100*p.saturate_error:6.2f}%"
+            )
+
+    def test_wrap_path_tracks_float_path(self, points):
+        """The Eq. 18/20 constraints exist to make the wrapping hardware
+        faithful: the bit-exact wrap error stays within a few points of the
+        float evaluation."""
+        for p in points:
+            assert abs(p.wrap_error - p.float_error) < 0.08
+
+    def test_saturate_no_better_needed(self, points):
+        # With the constraints active, saturation buys nothing substantial
+        # over wrapping (that is why the cheap wrap datapath suffices).
+        for p in points:
+            assert p.wrap_error <= p.saturate_error + 0.05
+
+
+class TestPropagationAblation:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_propagation_ablation()
+        return run_propagation_ablation(max_nodes=400, time_limit=10.0)
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nbound-propagation ablation (6-bit synthetic, gap 1e-6)")
+        for p in result:
+            print(
+                f"  propagation={str(p.bound_propagation):5s}: cost {p.cost:.6f} "
+                f"nodes {p.nodes:5d}  relaxations {p.relaxations:5d}  "
+                f"{p.seconds:6.2f}s  proven={p.proven}"
+            )
+
+    def test_same_optimum_both_ways(self, points):
+        costs = [p.cost for p in points]
+        assert max(costs) - min(costs) <= 1e-9
+
+    def test_propagation_does_not_hurt_nodes(self, points):
+        with_prop = next(p for p in points if p.bound_propagation)
+        without = next(p for p in points if not p.bound_propagation)
+        assert with_prop.nodes <= without.nodes * 1.1 + 5
+
+
+class TestDimensionScaling:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_dimension_scaling()
+        return run_dimension_scaling(
+            dimensions=(2, 3, 5, 8), max_nodes=60, time_limit=4.0
+        )
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nruntime vs feature count (noise-cancellation family, 5 bits)")
+        print("   M |   cost   |   lb     | nodes | seconds")
+        for p in result:
+            print(
+                f"  {p.num_features:2d} | {p.cost:8.4f} | {p.lower_bound:8.4f} |"
+                f" {p.nodes:5d} | {p.seconds:7.2f}"
+            )
+
+    def test_all_dimensions_solved(self, points):
+        for p in points:
+            assert np.isfinite(p.cost)
+            assert p.lower_bound <= p.cost + 1e-9
+
+
+class TestBackendAblation:
+    @pytest.fixture(scope="class")
+    def points(self, paper_budget):
+        if paper_budget:
+            return run_backend_ablation()
+        return run_backend_ablation(max_nodes=300, time_limit=10.0)
+
+    def test_regenerate(self, benchmark, points):
+        result = benchmark.pedantic(lambda: points, iterations=1, rounds=1)
+        print("\nnode-solver backend ablation (4-bit synthetic)")
+        for p in result:
+            print(
+                f"  {p.backend:8s}: cost {p.cost:.6f}  lb {p.lower_bound:.6f}  "
+                f"{p.seconds:6.2f}s  proven={p.proven}"
+            )
+
+    def test_backends_agree_on_optimum(self, points):
+        costs = [p.cost for p in points]
+        assert max(costs) - min(costs) <= 1e-6

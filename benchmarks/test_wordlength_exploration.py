@@ -1,0 +1,97 @@
+"""Benchmark: the word-length design-space exploration flow (extension).
+
+Not a paper table — this exercises the `repro.wordlength` companion flow a
+designer would run after adopting LDA-FP: range analysis fixes `K`,
+analytic precision curves bracket `F`, and the retrained sweep yields the
+(error, power) Pareto front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lda import fit_lda
+from repro.core.ldafp import LdaFpConfig
+from repro.core.pipeline import PipelineConfig
+from repro.data.scaling import FeatureScaler
+from repro.data.synthetic import make_synthetic_dataset
+from repro.stats.scatter import estimate_two_class_stats
+from repro.wordlength import (
+    minimum_wordlength,
+    pareto_front,
+    precision_sweep,
+    statistical_ranges,
+    wordlength_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def exploration(paper_budget):
+    train = make_synthetic_dataset(1500 if not paper_budget else 4000, seed=0)
+    test = make_synthetic_dataset(4000 if not paper_budget else 10_000, seed=1)
+    sweep = wordlength_sweep(
+        train,
+        test,
+        word_lengths=(4, 6, 8, 12, 16),
+        pipeline_config=PipelineConfig(
+            method="lda-fp",
+            ldafp=LdaFpConfig(
+                max_nodes=200 if not paper_budget else 20_000,
+                time_limit=6.0 if not paper_budget else 45.0,
+            ),
+        ),
+    )
+    scaler = FeatureScaler(limit=0.9)
+    train_s = train.map_features(scaler.fit(train.features).transform)
+    stats = estimate_two_class_stats(train_s.class_a, train_s.class_b)
+    model = fit_lda(train_s, shrinkage=0.0)
+    ranges = statistical_ranges(stats, model.weights, model.threshold, rho=0.9999)
+    precision = precision_sweep(
+        stats, model.weights, model.threshold, integer_bits=2, fraction_range=(4, 14)
+    )
+    return sweep, ranges, precision
+
+
+def test_regenerate_exploration(benchmark, exploration, save_result):
+    sweep, ranges, precision = benchmark.pedantic(
+        lambda: exploration, iterations=1, rounds=1
+    )
+    lines = ["word-length design-space exploration", "=" * 40]
+    lines.append(f"integer bits needed: {ranges.integer_bits_needed()}")
+    lines.append("  WL |  error  |  power")
+    for p in sweep:
+        lines.append(f"  {p.word_length:2d} | {100 * p.test_error:6.2f}% | {p.power:6.0f}")
+    front = pareto_front(sweep)
+    lines.append(f"pareto word lengths: {[p.word_length for p in front]}")
+    lines.append("   F | predicted error (analytic)")
+    for p in precision[::2]:
+        lines.append(f"  {p.fraction_bits:2d} | {100 * p.predicted_error:6.2f}%")
+    text = "\n".join(lines) + "\n"
+    save_result("wordlength_exploration", text)
+    print()
+    print(text)
+
+
+def test_ranges_fit_in_k2(exploration):
+    _, ranges, _ = exploration
+    bits = ranges.integer_bits_needed()
+    # The experiments' K=2 choice must cover every datapath node.
+    assert max(bits.values()) <= 2
+
+
+def test_pareto_front_nonempty_and_sorted(exploration):
+    sweep, _, _ = exploration
+    front = pareto_front(sweep)
+    assert front
+    powers = [p.power for p in front]
+    assert powers == sorted(powers)
+
+
+def test_minimum_wordlength_consistent_with_sweep(exploration):
+    sweep, _, _ = exploration
+    best = minimum_wordlength(sweep, target_error=0.45)
+    assert best is not None
+    assert best.word_length == min(
+        p.word_length for p in sweep if p.test_error <= 0.45
+    )

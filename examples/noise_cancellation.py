@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The noise-cancellation mechanism behind Figure 4, dissected.
+
+Sweeps word length on the paper's synthetic problem and prints the weight
+trajectories of both methods, showing precisely when conventional LDA's
+discriminative weight ``w1`` dies (rounds to zero) and how LDA-FP trades
+cancellation quality for a living signal path.  Then scales the problem up
+with the generalized noise-cancellation family to show the effect persists
+in higher dimension.
+
+Run:  python examples/noise_cancellation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LdaFpConfig, PipelineConfig, TrainingPipeline
+from repro.data import make_noise_cancellation_dataset, make_synthetic_dataset
+from repro.experiments.figure4 import Figure4Config, format_figure4, run_figure4
+
+
+def main() -> None:
+    print("Sweeping word length on the paper's 3-feature synthetic problem")
+    print("(this is Figure 4; takes a minute or two)\n")
+    points = run_figure4(
+        Figure4Config(
+            word_lengths=(4, 6, 8, 10, 12, 14, 16),
+            train_per_class=2000,
+            max_nodes=400,
+            time_limit=10.0,
+        )
+    )
+    print(format_figure4(points))
+
+    dead = [p.word_length for p in points if p.lda_weights[0] == 0.0]
+    print(f"conventional LDA's w1 is rounded to zero at word lengths {dead};")
+    print("LDA-FP keeps w1 nonzero everywhere — that is the entire story of")
+    print("why Table 1's LDA column sits at 50% until 12 bits.\n")
+
+    print("Generalized family: 1 signal + 5 noise features, 8-bit weights")
+    train = make_noise_cancellation_dataset(2000, num_noise_features=5, seed=0)
+    test = make_noise_cancellation_dataset(4000, num_noise_features=5, seed=1)
+    for method in ("lda", "lda-fp"):
+        pipe = TrainingPipeline(
+            PipelineConfig(
+                method=method,
+                lda_shrinkage=0.0,
+                ldafp=LdaFpConfig(max_nodes=60, time_limit=15),
+            )
+        )
+        result = pipe.run(train, test, 8)
+        print(f"  {method:7s}: error {100 * result.test_error:6.2f}%  "
+              f"weights {np.round(result.classifier.weights, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of "Training Fixed-Point Classifier for On-Chip
+Low-Power Implementation" (LDA-FP, DAC 2014).
+
+Quick start::
+
+    from repro import (QFormat, make_synthetic_dataset, TrainingPipeline,
+                       PipelineConfig)
+
+    train = make_synthetic_dataset(2000, seed=0)
+    test = make_synthetic_dataset(2000, seed=1)
+    result = TrainingPipeline(PipelineConfig(method="lda-fp")).run(
+        train, test, word_length=6)
+    print(result.test_error)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from ._version import __version__
+from .core import (
+    FixedPointLinearClassifier,
+    LdaFpConfig,
+    LdaFpProblem,
+    LdaFpReport,
+    LdaModel,
+    PipelineConfig,
+    PipelineResult,
+    TrainingPipeline,
+    fit_lda,
+    quantize_lda,
+    train_lda_fp,
+)
+from .data import (
+    BciConfig,
+    Dataset,
+    FeatureScaler,
+    make_bci_dataset,
+    make_bci_dataset_from_signals,
+    make_ecg_dataset,
+    make_gaussian_dataset,
+    make_noise_cancellation_dataset,
+    make_synthetic_dataset,
+)
+from .errors import ReproError
+from .fixedpoint import (
+    DatapathConfig,
+    FixedPointDatapath,
+    Fx,
+    OverflowMode,
+    QFormat,
+    RoundingMode,
+    quantize,
+)
+from .stats import StratifiedKFold, classification_error, confidence_beta
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "QFormat",
+    "RoundingMode",
+    "OverflowMode",
+    "Fx",
+    "quantize",
+    "DatapathConfig",
+    "FixedPointDatapath",
+    "Dataset",
+    "BciConfig",
+    "FeatureScaler",
+    "make_bci_dataset",
+    "make_bci_dataset_from_signals",
+    "make_ecg_dataset",
+    "make_gaussian_dataset",
+    "make_noise_cancellation_dataset",
+    "make_synthetic_dataset",
+    "FixedPointLinearClassifier",
+    "LdaModel",
+    "fit_lda",
+    "quantize_lda",
+    "LdaFpConfig",
+    "LdaFpProblem",
+    "LdaFpReport",
+    "train_lda_fp",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrainingPipeline",
+    "StratifiedKFold",
+    "classification_error",
+    "confidence_beta",
+]

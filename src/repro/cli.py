@@ -1,0 +1,207 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    python -m repro table1 --time-limit 30
+    python -m repro table2 --folds 5
+    python -m repro figure4
+    python -m repro figure2
+    python -m repro power
+    python -m repro report --word-length 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LDA-FP (DAC 2014) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="synthetic-data error/runtime sweep")
+    t1.add_argument("--time-limit", type=float, default=45.0)
+    t1.add_argument("--max-nodes", type=int, default=20_000)
+    t1.add_argument("--seed", type=int, default=0)
+    t1.add_argument("--word-lengths", type=int, nargs="+", default=None)
+    t1.add_argument("--export", metavar="PATH", help="also write rows to .csv/.json")
+
+    t2 = sub.add_parser("table2", help="BCI 5-fold-CV sweep (simulated ECoG)")
+    t2.add_argument("--time-limit", type=float, default=20.0)
+    t2.add_argument("--max-nodes", type=int, default=60)
+    t2.add_argument("--folds", type=int, default=5)
+    t2.add_argument("--seed", type=int, default=0)
+    t2.add_argument("--word-lengths", type=int, nargs="+", default=None)
+    t2.add_argument("--export", metavar="PATH", help="also write rows to .csv/.json")
+
+    f4 = sub.add_parser("figure4", help="weight trajectories vs word length")
+    f4.add_argument("--time-limit", type=float, default=30.0)
+    f4.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("figure2", help="boundary rounding-sensitivity study")
+
+    f1 = sub.add_parser("figure1", help="LDA projection-separation illustration")
+    f1.add_argument("--histograms", action="store_true")
+
+    power = sub.add_parser("power", help="recompute the 9x / 1.8x power claims")
+    power.add_argument("--time-limit", type=float, default=30.0)
+
+    report = sub.add_parser("report", help="train once and print the hardware report")
+    report.add_argument("--word-length", type=int, default=6)
+    report.add_argument("--time-limit", type=float, default=30.0)
+    report.add_argument("--verilog", action="store_true", help="also print Verilog")
+
+    ablations = sub.add_parser("ablations", help="run the design-choice ablations")
+    ablations.add_argument(
+        "--which",
+        choices=("beta", "rounding", "heuristics", "backend", "propagation", "scaling", "all"),
+        default="all",
+    )
+
+    return parser
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        from .experiments.table1 import Table1Config, format_table1, run_table1
+
+        config = Table1Config(
+            time_limit=args.time_limit, max_nodes=args.max_nodes, seed=args.seed
+        )
+        if args.word_lengths:
+            config = replace(config, word_lengths=tuple(args.word_lengths))
+        rows = run_table1(config)
+        print(format_table1(rows))
+        if args.export:
+            from .experiments.export import write_rows
+
+            write_rows(rows, args.export)
+            print(f"rows written to {args.export}")
+
+    elif args.command == "table2":
+        from .experiments.table2 import Table2Config, format_table2, run_table2
+
+        config = Table2Config(
+            time_limit=args.time_limit,
+            max_nodes=args.max_nodes,
+            folds=args.folds,
+            seed=args.seed,
+        )
+        if args.word_lengths:
+            config = replace(config, word_lengths=tuple(args.word_lengths))
+        rows = run_table2(config)
+        print(format_table2(rows))
+        if args.export:
+            from .experiments.export import write_rows
+
+            write_rows(rows, args.export)
+            print(f"rows written to {args.export}")
+
+    elif args.command == "figure4":
+        from .experiments.figure4 import Figure4Config, format_figure4, run_figure4
+
+        print(
+            format_figure4(
+                run_figure4(Figure4Config(time_limit=args.time_limit, seed=args.seed))
+            )
+        )
+
+    elif args.command == "figure2":
+        from .experiments.figure2 import format_figure2, run_figure2
+
+        print(format_figure2(run_figure2()))
+
+    elif args.command == "figure1":
+        from .experiments.figure1 import format_figure1, run_figure1
+
+        print(format_figure1(run_figure1(), histograms=args.histograms))
+
+    elif args.command == "power":
+        from .experiments.power_claims import derive_power_claim
+        from .experiments.table1 import Table1Config, run_table1
+
+        rows = run_table1(Table1Config(time_limit=args.time_limit))
+        # The paper's two targets: "above chance" and the Table-2 tie point.
+        for target in (0.45, max(min(r.ldafp_error for r in rows) * 1.05, 0.01)):
+            print(derive_power_claim(rows, target).describe())
+
+    elif args.command == "ablations":
+        from .experiments import ablations as ab
+
+        which = args.which
+        if which in ("beta", "all"):
+            print("beta ablation:")
+            for p in ab.run_beta_ablation(max_nodes=100, time_limit=6.0):
+                print(
+                    f"  rho={p.rho:5.3f} beta={p.beta:5.2f} cost={p.cost:7.4f} "
+                    f"float={100*p.float_error:6.2f}% bitexact={100*p.bitexact_error:6.2f}%"
+                )
+        if which in ("rounding", "all"):
+            print("rounding-mode ablation (LDA baseline, 12 bits):")
+            for p in ab.run_rounding_ablation():
+                print(f"  {p.mode:13s}: {100*p.error:6.2f}%")
+        if which in ("heuristics", "all"):
+            print("heuristic on/off matrix:")
+            for p in ab.run_heuristic_ablation(max_nodes=60, time_limit=4.0):
+                print(
+                    f"  warm={str(p.warm_start):5s} sweep={str(p.scale_sweep):5s} "
+                    f"polish={str(p.local_search):5s}: cost={p.cost:8.4f} "
+                    f"nodes={p.nodes:4d} {p.seconds:5.1f}s"
+                )
+        if which in ("backend", "all"):
+            print("backend ablation:")
+            for p in ab.run_backend_ablation(max_nodes=400, time_limit=15.0):
+                print(
+                    f"  {p.backend:8s}: cost={p.cost:.6f} lb={p.lower_bound:.6f} "
+                    f"{p.seconds:5.1f}s proven={p.proven}"
+                )
+        if which in ("propagation", "all"):
+            print("bound-propagation ablation:")
+            for p in ab.run_propagation_ablation(max_nodes=400, time_limit=10.0):
+                print(
+                    f"  propagation={str(p.bound_propagation):5s}: "
+                    f"cost={p.cost:.6f} nodes={p.nodes:4d} {p.seconds:5.1f}s"
+                )
+        if which in ("scaling", "all"):
+            print("dimension scaling:")
+            for p in ab.run_dimension_scaling(max_nodes=60, time_limit=4.0):
+                print(
+                    f"  M={p.num_features:2d}: cost={p.cost:8.4f} "
+                    f"nodes={p.nodes:4d} {p.seconds:6.2f}s"
+                )
+
+    elif args.command == "report":
+        from .core.ldafp import LdaFpConfig
+        from .core.pipeline import PipelineConfig, TrainingPipeline
+        from .data.synthetic import make_synthetic_dataset
+        from .hardware.report import build_report
+
+        train = make_synthetic_dataset(1500, seed=0)
+        test = make_synthetic_dataset(4000, seed=1)
+        pipeline = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp", ldafp=LdaFpConfig(time_limit=args.time_limit)
+            )
+        )
+        result = pipeline.run(train, test, args.word_length)
+        print(build_report(result.classifier, test_error=result.test_error).text)
+        if args.verilog:
+            from .hardware.verilog import generate_classifier_verilog
+
+            print(generate_classifier_verilog(result.classifier))
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Core contribution: conventional LDA, the LDA-FP program, and its solver."""
+
+from .classifier import FixedPointLinearClassifier
+from .lda import LdaModel, fit_lda, quantize_lda
+from .ldafp import LdaFpConfig, LdaFpNodeProblem, LdaFpReport, train_lda_fp
+from .localsearch import LocalSearchResult, coordinate_descent, scale_sweep_candidates
+from .multiclass import MulticlassFixedPointClassifier, train_one_vs_rest
+from .pipeline import PipelineConfig, PipelineResult, TrainingPipeline
+from .problem import LdaFpProblem, eta_inf, eta_sup
+from .selection import SelectionResult, select_rho, select_shrinkage
+from .serialize import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+
+__all__ = [
+    "FixedPointLinearClassifier",
+    "LdaModel",
+    "fit_lda",
+    "quantize_lda",
+    "LdaFpConfig",
+    "LdaFpNodeProblem",
+    "LdaFpReport",
+    "train_lda_fp",
+    "LocalSearchResult",
+    "coordinate_descent",
+    "scale_sweep_candidates",
+    "PipelineConfig",
+    "PipelineResult",
+    "TrainingPipeline",
+    "LdaFpProblem",
+    "eta_inf",
+    "eta_sup",
+    "MulticlassFixedPointClassifier",
+    "train_one_vs_rest",
+    "SelectionResult",
+    "select_rho",
+    "select_shrinkage",
+    "classifier_from_dict",
+    "classifier_to_dict",
+    "load_classifier",
+    "save_classifier",
+]

@@ -1,0 +1,510 @@
+"""LDA-FP training: Algorithm 1 (branch-and-bound) plus the heuristic layer.
+
+:class:`LdaFpNodeProblem` adapts an :class:`LdaFpProblem` to the generic
+:class:`~repro.optim.bnb.BranchAndBoundSolver`:
+
+- **relax** builds the Eq. 25 cone program with ``eta = sup t^2`` (Eq. 26)
+  and solves it with the barrier solver (SLSQP fallback).  The node's lower
+  bound is the relaxation optimum minus the solver's duality gap.  Cheap
+  interval arithmetic prunes nodes whose ``t`` interval cannot be realized
+  by any ``w`` in the box.
+- **candidates** implements the Eq. 27 upper-bound rule: round the
+  relaxation solution to the grid, plus the scale-sweep and (optionally)
+  coordinate-descent heuristics from :mod:`repro.core.localsearch`.
+- **branch** bisects the dimension with the largest width relative to its
+  root width, grid-aligned for ``w`` dimensions (Algorithm 1 step 4).
+- **terminal** boxes (small enough to enumerate) are resolved exactly.
+
+:func:`train_lda_fp` is the user-facing entry point: it wires the problem,
+warm-starts the incumbent from rounded conventional LDA (another of the
+paper's undisclosed-heuristics slots), runs the search, and returns a
+:class:`~repro.core.classifier.FixedPointLinearClassifier` plus a training
+report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InfeasibleProblemError, TrainingError
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.quantize import quantize
+from ..fixedpoint.rounding import RoundingMode
+from ..optim.barrier import BarrierSolver
+from ..optim.bnb import (
+    BranchAndBoundConfig,
+    BranchAndBoundResult,
+    BranchAndBoundSolver,
+    BranchAndBoundStats,
+    Candidate,
+    Relaxation,
+)
+from ..optim.boxes import Box
+from ..optim.slsqp_backend import solve_with_slsqp
+from ..data.dataset import Dataset
+from ..stats.scatter import estimate_two_class_stats
+from .classifier import FixedPointLinearClassifier
+from .lda import fit_lda, quantize_lda
+from .localsearch import coordinate_descent, scale_sweep_candidates
+from .problem import LdaFpProblem, eta_inf, eta_sup
+
+__all__ = ["LdaFpConfig", "LdaFpReport", "LdaFpNodeProblem", "train_lda_fp"]
+
+_FEAS_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class LdaFpConfig:
+    """Knobs of the LDA-FP trainer.
+
+    Attributes
+    ----------
+    rho:
+        Overflow confidence level (Eq. 16).
+    beta:
+        Explicit ``beta`` overriding ``rho``.
+    backend:
+        ``"slsqp"`` (scipy, fast — the default inside ``"auto"``),
+        ``"barrier"`` (from-scratch interior point with a duality-gap
+        certificate), or ``"auto"`` (SLSQP per node, barrier retry when
+        SLSQP fails to converge or reports infeasibility).  The ablation
+        bench compares the two backends node for node.
+    max_nodes, time_limit:
+        Branch-and-bound budgets.
+    local_search:
+        Run coordinate-descent polish on new incumbents.
+    local_search_radius:
+        Window (in quanta) of each coordinate-descent move.
+    scale_sweep:
+        Try grid roundings of the relaxation direction at many scales.
+    terminal_enumeration_cap:
+        A box is terminal when the product of per-dimension grid counts is
+        at most this (then it is enumerated exactly).
+    shrinkage:
+        Within/class covariance shrinkage applied to the statistics before
+        building the problem (BCI regime).
+    quantization_noise_floor:
+        Add the pseudo-quantization-noise variance ``LSB^2 / 12`` to every
+        covariance diagonal.  Without it, two features that quantize to
+        identical columns create a spurious zero-within-variance direction
+        whose Fisher cost is ~0 on the training set but which classifies at
+        chance on deployment (the projection is constantly zero).  The PQN
+        floor is the standard fixed-point-DSP noise model and is ablated in
+        ``benchmarks/test_ablations.py``.
+    warm_start:
+        Seed the incumbent with rounded conventional LDA.
+    """
+
+    rho: float = 0.99
+    beta: Optional[float] = None
+    backend: str = "auto"
+    max_nodes: int = 20_000
+    time_limit: Optional[float] = None
+    absolute_gap: float = 1e-9
+    relative_gap: float = 1e-4
+    local_search: bool = True
+    local_search_radius: int = 2
+    scale_sweep: bool = True
+    terminal_enumeration_cap: int = 256
+    shrinkage: float = 0.0
+    quantization_noise_floor: bool = True
+    bound_propagation: bool = True
+    search_strategy: str = "best-first"
+    warm_start: bool = True
+    rounding: RoundingMode = RoundingMode.NEAREST_AWAY
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("barrier", "slsqp", "auto"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+
+
+@dataclass
+class LdaFpReport:
+    """What happened during one LDA-FP training run."""
+
+    cost: float
+    lower_bound: float
+    proven_optimal: bool
+    nodes_expanded: int
+    nodes_pruned: int
+    nodes_infeasible: int
+    incumbent_updates: int
+    train_seconds: float
+    relaxations_solved: int
+    backend_fallbacks: int
+
+
+class LdaFpNodeProblem:
+    """Adapter exposing :class:`LdaFpProblem` to the generic B&B driver."""
+
+    def __init__(self, problem: LdaFpProblem, config: LdaFpConfig) -> None:
+        self.problem = problem
+        self.config = config
+        self.relaxations_solved = 0
+        self.backend_fallbacks = 0
+        self._root = problem.root_box()
+        self._root_widths = np.maximum(self._root.widths, 1e-300)
+        self._barrier = BarrierSolver(gap_tol=1e-10)
+        self._seen_candidates: "set[bytes]" = set()
+        self._hint: "np.ndarray | None" = None  # parent relaxation solution
+        self._best_cost = np.inf  # best candidate cost seen (gates polishing)
+        # Global continuous bound, deflated by a hair so floating-point error
+        # in the ill-conditioned SPD solve cannot make it invalid.
+        self._cost_star = problem.continuous_optimum() * (1.0 - 1e-7)
+
+    # ------------------------------------------------------------------ #
+    def initial_box(self) -> Box:
+        return self._root
+
+    # ------------------------------------------------------------------ #
+    def relax(self, box: Box) -> Relaxation:
+        m = self.problem.num_features
+        t_lo, t_hi = float(box.lo[m]), float(box.hi[m])
+        w_lo, w_hi = box.lo[:m].copy(), box.hi[:m].copy()
+        # Cheap interval pruning: the node's t interval must intersect the
+        # image of its w box under the linear map, and must allow t != 0.
+        image_lo, image_hi = self.problem.linear_image(w_lo, w_hi)
+        t_lo, t_hi = max(t_lo, image_lo), min(t_hi, image_hi)
+        if t_hi < t_lo:
+            return Relaxation(lower_bound=np.inf)
+        if self.config.bound_propagation:
+            tightened = self.problem.propagate_t_interval(w_lo, w_hi, t_lo, t_hi)
+            if tightened is None:
+                return Relaxation(lower_bound=np.inf)
+            w_lo, w_hi = tightened
+        eta = eta_sup(t_lo, t_hi)
+        if eta <= 0.0:
+            return Relaxation(lower_bound=np.inf)  # t pinned to 0: cost undefined
+        # Any w dimension with no grid point inside cannot hold a discrete
+        # solution (tightening or odd splits can produce this).
+        node_box = Box(
+            lo=np.concatenate([w_lo, [t_lo]]),
+            hi=np.concatenate([w_hi, [t_hi]]),
+            steps=box.steps,
+        )
+        for dim in range(m):
+            if node_box.grid_count(dim) == 0:
+                return Relaxation(lower_bound=np.inf)
+        # Analytic pre-bound: min w'S_W w given d'w = s is s^2 * cost_star,
+        # so the node cost is at least (inf s^2) * cost_star / (sup s^2).
+        # When this alone beats the incumbent, skip the cone solve entirely.
+        # Every discrete point anywhere costs at least the continuous
+        # optimum, so cost_star lifts all node bounds (including the
+        # otherwise-zero bound of origin-containing nodes).
+        analytic = max(
+            eta_inf(t_lo, t_hi) * self._cost_star / eta, self._cost_star
+        )
+        if analytic >= self._best_cost:
+            return Relaxation(lower_bound=analytic, solution=None)
+
+        program = self.problem.node_program(node_box, eta)
+        self.relaxations_solved += 1
+        backend = self.config.backend
+        if backend == "barrier":
+            return self._relax_barrier(program, analytic, allow_fallback=False)
+        # SLSQP primary path (fast); barrier verifies failures under "auto".
+        result = solve_with_slsqp(program, x0=self._hint)
+        if result.success and result.max_violation <= 1e-7:
+            # SLSQP gives no duality certificate; subtract a safety margin so
+            # the bound stays conservative.
+            slack = 1e-9 + 1e-6 * abs(result.objective)
+            return Relaxation(
+                lower_bound=max(result.objective - slack, analytic),
+                solution=result.x,
+            )
+        if backend == "slsqp":
+            if result.max_violation > 1e-6:
+                return Relaxation(lower_bound=np.inf)
+            slack = 1e-9 + 1e-5 * abs(result.objective)
+            return Relaxation(
+                lower_bound=max(result.objective - slack, analytic),
+                solution=result.x,
+            )
+        self.backend_fallbacks += 1
+        return self._relax_barrier(program, analytic, allow_fallback=True, slsqp_result=result)
+
+    def _relax_barrier(
+        self, program, analytic: float, allow_fallback: bool, slsqp_result=None
+    ) -> Relaxation:
+        try:
+            result = self._barrier.solve(program, x0=self._hint)
+            bound = result.objective - result.duality_gap - 1e-12
+            return Relaxation(lower_bound=max(bound, analytic), solution=result.x)
+        except InfeasibleProblemError:
+            if allow_fallback and slsqp_result is not None and slsqp_result.max_violation <= 1e-6:
+                # Barrier phase-I failed on a thin-but-nonempty set that
+                # SLSQP did reach: keep the conservative SLSQP bound.
+                slack = 1e-9 + 1e-5 * abs(slsqp_result.objective)
+                return Relaxation(
+                    lower_bound=max(slsqp_result.objective - slack, analytic),
+                    solution=slsqp_result.x,
+                )
+            return Relaxation(lower_bound=np.inf)
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, box: Box, relaxation: Relaxation) -> Iterable[Candidate]:
+        if relaxation.solution is None:
+            return []
+        base = np.asarray(relaxation.solution, dtype=np.float64)
+        trials: List[np.ndarray] = [np.asarray(quantize(base, self.problem.fmt))]
+        if self.config.scale_sweep:
+            trials.extend(scale_sweep_candidates(self.problem, base))
+        out: List[Candidate] = []
+        for trial in trials:
+            key = trial.tobytes()
+            if key in self._seen_candidates:
+                continue
+            self._seen_candidates.add(key)
+            if not np.any(trial):
+                continue
+            if self.problem.constraint_violation(trial) > _FEAS_TOL:
+                continue
+            cost = self.problem.cost(trial)
+            if not np.isfinite(cost):
+                continue
+            # Polishing every rounded point is wasteful: only points already
+            # competitive with the best incumbent are worth refining.
+            if self.config.local_search and cost <= 2.0 * self._best_cost:
+                polished = coordinate_descent(
+                    self.problem, trial, radius=self.config.local_search_radius
+                )
+                cost, trial = polished.cost, polished.weights
+            out.append(Candidate(x=trial, cost=cost))
+            self._best_cost = min(self._best_cost, cost)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def branch(self, box: Box, relaxation: Relaxation) -> Sequence[Box]:
+        # The driver relaxes the children immediately after this call, so the
+        # parent's relaxation solution is the natural warm start for them.
+        if relaxation.solution is not None:
+            self._hint = relaxation.solution
+        widths = box.widths / self._root_widths
+        m = self.problem.num_features
+        # Do not branch dimensions already at one grid step.
+        for dim in range(m):
+            if box.grid_count(dim) <= 1:
+                widths[dim] = -1.0
+        dim = int(np.argmax(widths))
+        if widths[dim] <= 0.0:
+            dim = m  # only t left to split
+        return list(box.split(dim))
+
+    # ------------------------------------------------------------------ #
+    def is_terminal(self, box: Box) -> bool:
+        m = self.problem.num_features
+        count = 1
+        for dim in range(m):
+            count *= max(1, box.grid_count(dim))
+            if count > self.config.terminal_enumeration_cap:
+                return False
+        return True
+
+    def resolve_terminal(self, box: Box) -> Iterable[Candidate]:
+        m = self.problem.num_features
+        grids = [box.grid_values(dim) for dim in range(m)]
+        out: List[Candidate] = []
+        # Cartesian product over the (small) terminal grid; the size cap is
+        # guaranteed by is_terminal.
+        for combo in itertools.product(*grids):
+            w = np.array(combo)
+            if not np.any(w):
+                continue
+            if self.problem.constraint_violation(w) > _FEAS_TOL:
+                continue
+            cost = self.problem.cost(w)
+            if np.isfinite(cost):
+                out.append(Candidate(x=w, cost=cost))
+        return out
+
+
+def _warm_start_candidate(
+    dataset: Dataset, problem: LdaFpProblem, config: LdaFpConfig
+) -> "Candidate | None":
+    """Rounded conventional LDA (several scales) as the initial incumbent.
+
+    The direction is computed from the problem's own (quantized, possibly
+    shrunk) statistics so the warm start targets the exact objective the
+    branch-and-bound will optimize.
+    """
+    from ..linalg.cholesky import solve_spd
+
+    try:
+        direction = solve_spd(
+            problem.stats.within_scatter, problem.stats.mean_difference, jitter=1e-10
+        )
+    except Exception:
+        try:
+            model = fit_lda(dataset, shrinkage=max(config.shrinkage, 1e-3))
+            direction = model.weights
+        except TrainingError:
+            return None
+    norm = float(np.linalg.norm(direction))
+    if norm == 0.0 or not np.isfinite(norm):
+        return None
+    direction = direction / norm
+    best: "Candidate | None" = None
+    for candidate in scale_sweep_candidates(problem, direction):
+        if problem.constraint_violation(candidate) > _FEAS_TOL:
+            continue
+        cost = problem.cost(candidate)
+        if np.isfinite(cost) and (best is None or cost < best.cost):
+            best = Candidate(x=candidate, cost=cost)
+    if best is not None and config.local_search:
+        polished = coordinate_descent(
+            problem, best.x, radius=config.local_search_radius
+        )
+        if polished.cost < best.cost:
+            best = Candidate(x=polished.weights, cost=polished.cost)
+    return best
+
+
+def _maximize_scale(problem: LdaFpProblem, weights: np.ndarray) -> np.ndarray:
+    """Double the weight vector while it stays representable and feasible.
+
+    The Eq. 21 cost is *exactly* invariant under ``w -> 2w`` (numerator and
+    denominator both scale by 4) and the ``QK.F`` grid is closed under
+    doubling within range, so this pass is free in cost terms — but it
+    maximizes the margin of every weight to the rounding grid, which is
+    what makes the trained boundary robust to perturbations (the Figure 2
+    property).  Doubling stops at the first range or overflow-constraint
+    violation.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    for _ in range(problem.fmt.word_length + 1):
+        doubled = 2.0 * w
+        if np.any(doubled < problem.value_lo) or np.any(doubled > problem.value_hi):
+            break
+        if problem.constraint_violation(doubled) > _FEAS_TOL:
+            break
+        w = doubled
+    return w
+
+
+def _adjust_stats(stats, fmt: QFormat, config: LdaFpConfig):
+    """Apply shrinkage and the PQN noise floor to the quantized-data stats."""
+    from ..linalg.shrinkage import shrink_covariance
+    from ..stats.scatter import ClassStats, TwoClassStats
+
+    cov_a = stats.class_a.covariance
+    cov_b = stats.class_b.covariance
+    if config.shrinkage > 0.0:
+        cov_a = shrink_covariance(cov_a, config.shrinkage).covariance
+        cov_b = shrink_covariance(cov_b, config.shrinkage).covariance
+    if config.quantization_noise_floor:
+        # Pseudo-quantization-noise model: rounding to a grid of step q adds
+        # (approximately) independent uniform noise of variance q^2 / 12.
+        pqn = (fmt.resolution**2 / 12.0) * np.eye(stats.num_features)
+        cov_a = cov_a + pqn
+        cov_b = cov_b + pqn
+    if cov_a is stats.class_a.covariance:
+        return stats
+    return TwoClassStats(
+        class_a=ClassStats(stats.class_a.mean, cov_a, stats.class_a.count),
+        class_b=ClassStats(stats.class_b.mean, cov_b, stats.class_b.count),
+        within_scatter=0.5 * (cov_a + cov_b),
+        mean_difference=stats.mean_difference,
+    )
+
+
+def train_lda_fp(
+    dataset: Dataset,
+    fmt: QFormat,
+    config: "LdaFpConfig | None" = None,
+) -> "tuple[FixedPointLinearClassifier, LdaFpReport]":
+    """Train an LDA-FP classifier (Algorithm 1 end to end).
+
+    Steps (paper Algorithm 1): quantize the training data to ``QK.F``,
+    estimate the class statistics, build the Eq. 21 program, run
+    branch-and-bound, and assemble the fixed-point classifier with the
+    threshold ``w' (mu_A + mu_B) / 2`` quantized to the same format.
+
+    Returns the classifier and a :class:`LdaFpReport`.  The report's
+    ``proven_optimal`` is True only when the search closed the gap within
+    its budgets.
+    """
+    config = config or LdaFpConfig()
+    start_time = time.perf_counter()
+
+    # Algorithm 1 step 1: round training data to QK.F.
+    quantized = dataset.map_features(
+        lambda x: np.asarray(quantize(x, fmt, rounding=config.rounding))
+    )
+    stats = estimate_two_class_stats(quantized.class_a, quantized.class_b)
+    stats = _adjust_stats(stats, fmt, config)
+
+    problem = LdaFpProblem(stats=stats, fmt=fmt, rho=config.rho, beta=config.beta)
+    node_problem = LdaFpNodeProblem(problem, config)
+    incumbent = _warm_start_candidate(quantized, problem, config) if config.warm_start else None
+    if incumbent is not None:
+        node_problem._best_cost = incumbent.cost
+
+    # Early exit on the global continuous bound (paper Table 1: at large
+    # word lengths the rounded conventional solution is already optimal and
+    # LDA-FP's runtime collapses to milliseconds): if the warm start meets
+    # the continuous Fisher optimum to within the gap tolerances, the search
+    # cannot improve it.
+    cost_star = node_problem._cost_star
+    if (
+        incumbent is not None
+        and incumbent.cost
+        <= cost_star * (1.0 + config.relative_gap) + config.absolute_gap
+    ):
+        result = BranchAndBoundResult(
+            x=incumbent.x,
+            cost=incumbent.cost,
+            lower_bound=cost_star,
+            proven_optimal=True,
+            stats=BranchAndBoundStats(),
+        )
+    else:
+        solver = BranchAndBoundSolver(
+            BranchAndBoundConfig(
+                max_nodes=config.max_nodes,
+                time_limit=config.time_limit,
+                absolute_gap=config.absolute_gap,
+                relative_gap=config.relative_gap,
+                strategy=config.search_strategy,
+            )
+        )
+        result = solver.solve(node_problem, initial_incumbent=incumbent)
+        if cost_star > result.lower_bound:
+            result = BranchAndBoundResult(
+                x=result.x,
+                cost=result.cost,
+                lower_bound=min(cost_star, result.cost),
+                proven_optimal=result.proven_optimal,
+                stats=result.stats,
+            )
+
+    weights = _maximize_scale(problem, np.asarray(quantize(result.x, fmt)))
+    threshold = float(weights @ stats.midpoint)
+    # Orient the comparator: Eq. 10 is invariant under w -> -w, so the
+    # solver may return the mirrored vector; class A must end up on the
+    # positive side of the boundary (Eq. 12).
+    polarity = 1 if float(stats.mean_difference @ weights) >= 0.0 else -1
+    classifier = FixedPointLinearClassifier(
+        weights=weights,
+        threshold=threshold,
+        fmt=fmt,
+        rounding=config.rounding,
+        polarity=polarity,
+    )
+    report = LdaFpReport(
+        cost=result.cost,
+        lower_bound=result.lower_bound,
+        proven_optimal=result.proven_optimal,
+        nodes_expanded=result.stats.nodes_expanded,
+        nodes_pruned=result.stats.nodes_pruned,
+        nodes_infeasible=result.stats.nodes_infeasible,
+        incumbent_updates=result.stats.incumbent_updates,
+        train_seconds=time.perf_counter() - start_time,
+        relaxations_solved=node_problem.relaxations_solved,
+        backend_fallbacks=node_problem.backend_fallbacks,
+    )
+    return classifier, report

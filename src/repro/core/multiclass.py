@@ -1,0 +1,125 @@
+"""One-vs-rest multiclass extension of the fixed-point classifier.
+
+The paper treats binary classification only; real BCI decoders often need
+more directions (left/right/up/down).  The standard reduction — one binary
+classifier per class, decided by the largest decision value — carries over
+to fixed point directly: each per-class classifier is trained with LDA-FP
+in the shared ``QK.F`` format, and the argmax comparison is exact integer
+comparison of the per-classifier projections.
+
+This is a library extension (clearly beyond the paper's evaluation); it
+reuses the binary trainer unchanged and is exercised by its own tests and
+example.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import DataError, TrainingError
+from ..fixedpoint.qformat import QFormat
+from ..data.dataset import Dataset
+from .classifier import FixedPointLinearClassifier
+from .ldafp import LdaFpConfig, LdaFpReport, train_lda_fp
+
+__all__ = ["MulticlassFixedPointClassifier", "train_one_vs_rest"]
+
+
+@dataclass(frozen=True)
+class MulticlassFixedPointClassifier:
+    """One binary fixed-point classifier per class, decided by argmax.
+
+    Attributes
+    ----------
+    classes:
+        The class labels, in the order of ``classifiers``.
+    classifiers:
+        One :class:`FixedPointLinearClassifier` per class (that class as
+        label-1 "A" against the rest).
+    """
+
+    classes: "tuple[int, ...]"
+    classifiers: "tuple[FixedPointLinearClassifier, ...]"
+
+    def __post_init__(self) -> None:
+        if len(self.classes) != len(self.classifiers):
+            raise TrainingError("classes and classifiers length mismatch")
+        if len(self.classes) < 2:
+            raise TrainingError("need at least 2 classes")
+
+    @property
+    def num_features(self) -> int:
+        return self.classifiers[0].num_features
+
+    def decision_matrix(self, features: np.ndarray) -> np.ndarray:
+        """``(N, C)`` matrix of polarity-corrected decision values."""
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        columns = [
+            clf.polarity * clf.decision_values(x) for clf in self.classifiers
+        ]
+        return np.column_stack(columns)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels (argmax of decision values)."""
+        scores = self.decision_matrix(features)
+        return np.asarray(self.classes)[np.argmax(scores, axis=1)]
+
+    def error_on(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = self.predict(features)
+        return float(np.mean(predictions != np.asarray(labels)))
+
+
+def train_one_vs_rest(
+    features: np.ndarray,
+    labels: np.ndarray,
+    fmt: QFormat,
+    config: "LdaFpConfig | None" = None,
+) -> "tuple[MulticlassFixedPointClassifier, Dict[int, LdaFpReport]]":
+    """Train one LDA-FP classifier per class against the rest.
+
+    Parameters
+    ----------
+    features:
+        ``(N, M)`` feature rows (already scaled to the format's range).
+    labels:
+        ``(N,)`` integer class labels (any values, >= 2 distinct).
+    fmt:
+        Shared ``QK.F`` format for every per-class classifier.
+    config:
+        LDA-FP configuration shared by all binary subproblems.
+
+    Returns
+    -------
+    (classifier, reports)
+        The multiclass classifier plus the per-class training reports.
+    """
+    x = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels)
+    if x.ndim != 2 or y.shape != (x.shape[0],):
+        raise DataError(
+            f"features {x.shape} and labels {y.shape} are inconsistent"
+        )
+    classes = tuple(int(c) for c in np.unique(y))
+    if len(classes) < 2:
+        raise DataError("need at least 2 classes")
+
+    config = config or LdaFpConfig()
+    classifiers: List[FixedPointLinearClassifier] = []
+    reports: Dict[int, LdaFpReport] = {}
+    for cls in classes:
+        binary = Dataset(
+            features=x, labels=(y == cls).astype(np.int64), name=f"ovr-{cls}"
+        )
+        classifier, report = train_lda_fp(binary, fmt, config)
+        classifiers.append(classifier)
+        reports[cls] = report
+    return (
+        MulticlassFixedPointClassifier(
+            classes=classes, classifiers=tuple(classifiers)
+        ),
+        reports,
+    )

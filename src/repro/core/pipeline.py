@@ -1,0 +1,138 @@
+"""End-to-end training/evaluation pipeline used by the experiments.
+
+One :class:`TrainingPipeline` run mirrors how the paper evaluates both
+algorithms at a given word length:
+
+1. pick the ``QK.F`` split for the requested word length,
+2. fit the feature scaler on training data and scale train + test
+   ("carefully scaled to avoid overflow", Section 3),
+3. quantize the scaled features to the grid,
+4. train either conventional LDA (fit in float, then round — Section 2) or
+   LDA-FP (Algorithm 1),
+5. report test error (float fast path by default, bit-exact on request)
+   and training time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..fixedpoint.qformat import QFormat
+from ..data.dataset import Dataset
+from ..data.scaling import FeatureScaler
+from .classifier import FixedPointLinearClassifier
+from .lda import fit_lda, quantize_lda
+from .ldafp import LdaFpConfig, LdaFpReport, train_lda_fp
+
+__all__ = ["PipelineConfig", "PipelineResult", "TrainingPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Static settings shared across word lengths.
+
+    Attributes
+    ----------
+    integer_bits:
+        ``K`` of the shared ``QK.F`` format (the paper quotes only total
+        word lengths; we fix ``K`` per experiment and document it).
+    scale_margin:
+        Features are scaled into ``margin * [-2^(K-1), 2^(K-1)]``.
+    method:
+        ``"lda"`` or ``"lda-fp"``.
+    lda_shrinkage:
+        Shrinkage used by the conventional-LDA fit.
+    lda_weight_scale:
+        ``"unit"`` (paper baseline) or ``"grid-max"`` (stronger baseline).
+    ldafp:
+        Full LDA-FP config (ignored for ``method="lda"``).
+    """
+
+    integer_bits: int = 2
+    scale_margin: float = 0.45
+    method: str = "lda-fp"
+    lda_shrinkage: float = 1e-6
+    lda_weight_scale: str = "unit"
+    ldafp: LdaFpConfig = field(default_factory=LdaFpConfig)
+
+    def __post_init__(self) -> None:
+        if self.method not in ("lda", "lda-fp"):
+            raise ValueError(f"unknown method {self.method!r}")
+        if not 0.0 < self.scale_margin <= 1.0:
+            raise ValueError(f"scale_margin must be in (0, 1], got {self.scale_margin}")
+
+
+@dataclass
+class PipelineResult:
+    """Everything one train+test run produced."""
+
+    classifier: FixedPointLinearClassifier
+    fmt: QFormat
+    test_error: float
+    train_seconds: float
+    method: str
+    ldafp_report: Optional[LdaFpReport] = None
+
+    @property
+    def word_length(self) -> int:
+        return self.fmt.word_length
+
+
+class TrainingPipeline:
+    """Train and evaluate one method at one word length."""
+
+    def __init__(self, config: "PipelineConfig | None" = None) -> None:
+        self.config = config or PipelineConfig()
+
+    def format_for(self, word_length: int) -> QFormat:
+        """The experiment's ``QK.F`` split for a total word length."""
+        k = self.config.integer_bits
+        if word_length <= k:
+            raise TrainingError(
+                f"word length {word_length} leaves no fractional bits below K={k}"
+            )
+        return QFormat(k, word_length - k)
+
+    def run(
+        self,
+        train: Dataset,
+        test: Dataset,
+        word_length: int,
+        bitexact_eval: bool = False,
+    ) -> PipelineResult:
+        """Scale, quantize, train, and score one configuration."""
+        config = self.config
+        fmt = self.format_for(word_length)
+
+        scaler = FeatureScaler(
+            limit=config.scale_margin * (2.0 ** (fmt.integer_bits - 1))
+        )
+        scaler.fit(train.features)
+        train_scaled = train.map_features(scaler.transform)
+        test_scaled = test.map_features(scaler.transform)
+
+        start = time.perf_counter()
+        ldafp_report: Optional[LdaFpReport] = None
+        if config.method == "lda":
+            model = fit_lda(train_scaled, shrinkage=config.lda_shrinkage)
+            classifier = quantize_lda(
+                model, fmt, weight_scale=config.lda_weight_scale
+            )
+        else:
+            classifier, ldafp_report = train_lda_fp(train_scaled, fmt, config.ldafp)
+        train_seconds = time.perf_counter() - start
+
+        test_error = classifier.error_on(test_scaled, bitexact=bitexact_eval)
+        return PipelineResult(
+            classifier=classifier,
+            fmt=fmt,
+            test_error=test_error,
+            train_seconds=train_seconds,
+            method=config.method,
+            ldafp_report=ldafp_report,
+        )

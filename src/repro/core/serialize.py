@@ -1,0 +1,101 @@
+"""Save/load trained classifiers as JSON deployment artifacts.
+
+A trained fixed-point classifier is a handful of integers — exactly the
+kind of artifact that gets checked into a hardware project's repository and
+diffed in code review.  The JSON schema stores **raw integer words**, not
+floats, so the artifact is bit-exact by construction and human-auditable:
+
+```json
+{
+  "schema": "repro.fixed-point-classifier.v1",
+  "format": {"integer_bits": 2, "fraction_bits": 4},
+  "weight_raws": [8, -4, 16],
+  "threshold_raw": 2,
+  "polarity": 1,
+  "rounding": "nearest-away"
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import DataError
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.rounding import RoundingMode
+from .classifier import FixedPointLinearClassifier
+
+__all__ = ["classifier_to_dict", "classifier_from_dict", "save_classifier", "load_classifier"]
+
+_SCHEMA = "repro.fixed-point-classifier.v1"
+
+
+def classifier_to_dict(classifier: FixedPointLinearClassifier) -> "Dict[str, Any]":
+    """Serializable dict with raw integer words (bit-exact)."""
+    fmt = classifier.fmt
+    return {
+        "schema": _SCHEMA,
+        "format": {
+            "integer_bits": fmt.integer_bits,
+            "fraction_bits": fmt.fraction_bits,
+        },
+        "weight_raws": [int(fmt.to_raw(w)) for w in classifier.weights],
+        "threshold_raw": int(fmt.to_raw(classifier.threshold)),
+        "polarity": int(classifier.polarity),
+        "rounding": classifier.rounding.value,
+    }
+
+
+def classifier_from_dict(payload: "Dict[str, Any]") -> FixedPointLinearClassifier:
+    """Rebuild a classifier from :func:`classifier_to_dict` output.
+
+    Raises :class:`~repro.errors.DataError` on schema mismatch or raw words
+    outside the declared format's range (a corrupted artifact must never
+    silently wrap).
+    """
+    if payload.get("schema") != _SCHEMA:
+        raise DataError(
+            f"unsupported schema {payload.get('schema')!r}; expected {_SCHEMA!r}"
+        )
+    try:
+        fmt = QFormat(
+            int(payload["format"]["integer_bits"]),
+            int(payload["format"]["fraction_bits"]),
+        )
+        weight_raws = [int(r) for r in payload["weight_raws"]]
+        threshold_raw = int(payload["threshold_raw"])
+        polarity = int(payload.get("polarity", 1))
+        rounding = RoundingMode(payload.get("rounding", "nearest-away"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed classifier payload: {exc}") from exc
+    for raw in weight_raws + [threshold_raw]:
+        if raw < fmt.min_raw or raw > fmt.max_raw:
+            raise DataError(
+                f"raw word {raw} outside the range of {fmt} "
+                f"[{fmt.min_raw}, {fmt.max_raw}]"
+            )
+    weights = np.array(weight_raws, dtype=np.float64) * fmt.resolution
+    return FixedPointLinearClassifier(
+        weights=weights,
+        threshold=float(threshold_raw) * fmt.resolution,
+        fmt=fmt,
+        rounding=rounding,
+        polarity=polarity,
+    )
+
+
+def save_classifier(classifier: FixedPointLinearClassifier, path: str) -> None:
+    """Write the JSON artifact to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(classifier_to_dict(classifier), handle, indent=2)
+        handle.write("\n")
+
+
+def load_classifier(path: str) -> FixedPointLinearClassifier:
+    """Read a JSON artifact written by :func:`save_classifier`."""
+    with open(path) as handle:
+        return classifier_from_dict(json.load(handle))

@@ -1,0 +1,37 @@
+"""Dataset substrate: containers, generators, and fixed-point scaling."""
+
+from .bci import BciConfig, make_bci_dataset, make_bci_dataset_from_signals
+from .dataset import LABEL_A, LABEL_B, Dataset
+from .ecg import EcgBeatConfig, extract_beat_features, make_ecg_dataset, synthesize_beat
+from .gaussian import (
+    GaussianClassModel,
+    TwoClassGaussianModel,
+    make_gaussian_dataset,
+)
+from .scaling import FeatureScaler, scale_dataset_pair
+from .synthetic import (
+    SYNTHETIC_NUM_FEATURES,
+    make_noise_cancellation_dataset,
+    make_synthetic_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "LABEL_A",
+    "LABEL_B",
+    "BciConfig",
+    "make_bci_dataset",
+    "make_bci_dataset_from_signals",
+    "EcgBeatConfig",
+    "extract_beat_features",
+    "make_ecg_dataset",
+    "synthesize_beat",
+    "GaussianClassModel",
+    "TwoClassGaussianModel",
+    "make_gaussian_dataset",
+    "FeatureScaler",
+    "scale_dataset_pair",
+    "SYNTHETIC_NUM_FEATURES",
+    "make_noise_cancellation_dataset",
+    "make_synthetic_dataset",
+]

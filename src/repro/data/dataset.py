@@ -1,0 +1,114 @@
+"""Two-class dataset container.
+
+Labels follow the paper's convention: class **A** is the positive side of
+the decision rule (Eq. 12, ``w'x - threshold >= 0``) and is encoded as
+label ``1``; class B is label ``0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["Dataset", "LABEL_A", "LABEL_B"]
+
+LABEL_A = 1
+LABEL_B = 0
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features + binary labels, with class-splitting helpers.
+
+    Attributes
+    ----------
+    features:
+        ``(N, M)`` float array.
+    labels:
+        ``(N,)`` int array of 0/1 (1 = class A).
+    name:
+        Human-readable tag used in reports.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.features, dtype=np.float64)
+        y = np.asarray(self.labels, dtype=np.int64)
+        if x.ndim != 2:
+            raise DataError(f"features must be 2-D (N, M), got shape {x.shape}")
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise DataError(
+                f"labels shape {y.shape} does not match {x.shape[0]} samples"
+            )
+        if not np.all(np.isfinite(x)):
+            raise DataError("features contain non-finite values")
+        extra = set(np.unique(y)) - {LABEL_A, LABEL_B}
+        if extra:
+            raise DataError(f"labels must be 0/1, found {sorted(extra)}")
+        object.__setattr__(self, "features", x)
+        object.__setattr__(self, "labels", y)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def class_a(self) -> np.ndarray:
+        """Rows belonging to class A (label 1)."""
+        return self.features[self.labels == LABEL_A]
+
+    @property
+    def class_b(self) -> np.ndarray:
+        """Rows belonging to class B (label 0)."""
+        return self.features[self.labels == LABEL_B]
+
+    def class_counts(self) -> "tuple[int, int]":
+        """``(N_A, N_B)``."""
+        return int(np.sum(self.labels == LABEL_A)), int(np.sum(self.labels == LABEL_B))
+
+    # ------------------------------------------------------------------ #
+    def subset(self, indices: np.ndarray, name: "str | None" = None) -> "Dataset":
+        """Row subset (used by the cross-validation loops)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            features=self.features[idx],
+            labels=self.labels[idx],
+            name=name or self.name,
+        )
+
+    def map_features(self, transform, name: "str | None" = None) -> "Dataset":
+        """Apply ``transform`` to the feature matrix (e.g. scaling, quantizing)."""
+        return Dataset(
+            features=np.asarray(transform(self.features), dtype=np.float64),
+            labels=self.labels.copy(),
+            name=name or self.name,
+        )
+
+    @classmethod
+    def from_class_arrays(
+        cls, samples_a: np.ndarray, samples_b: np.ndarray, name: str = "dataset"
+    ) -> "Dataset":
+        """Stack per-class sample arrays into one labeled dataset."""
+        a = np.asarray(samples_a, dtype=np.float64)
+        b = np.asarray(samples_b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+            raise DataError(
+                f"class arrays must be 2-D with equal feature counts, got "
+                f"{a.shape} and {b.shape}"
+            )
+        features = np.vstack([a, b])
+        labels = np.concatenate(
+            [np.full(a.shape[0], LABEL_A), np.full(b.shape[0], LABEL_B)]
+        )
+        return cls(features=features, labels=labels, name=name)

@@ -1,0 +1,103 @@
+"""Feature scaling into the fixed-point range (paper Section 3 preprocessing).
+
+"For the feature vector x, all features in x can be carefully scaled to
+avoid overflow" — before anything is quantized, features are mapped into a
+target interval inside the ``QK.F`` range.  The scaler is fit on training
+data only and then applied to test data (a fitted affine map per feature),
+mirroring how a front-end amplifier/ADC chain would be calibrated once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..fixedpoint.qformat import QFormat
+from .dataset import Dataset
+
+__all__ = ["FeatureScaler", "scale_dataset_pair"]
+
+
+@dataclass
+class FeatureScaler:
+    """Per-feature affine map ``x -> (x - offset) * gain`` into ``[-limit, limit]``.
+
+    Parameters
+    ----------
+    limit:
+        Half-width of the target interval.  For a format ``QK.F`` the
+        natural choice is slightly inside ``2**(K-1)`` so that quantized
+        features cannot saturate; :meth:`for_format` picks
+        ``limit = (2**(K-1)) * margin``.
+    center:
+        When True (default), features are centered at the midpoint of their
+        training range; otherwise only gain is applied.
+    """
+
+    limit: float = 1.0
+    center: bool = True
+
+    def __post_init__(self) -> None:
+        if self.limit <= 0:
+            raise ValueError(f"limit must be > 0, got {self.limit}")
+        self._offset: "np.ndarray | None" = None
+        self._gain: "np.ndarray | None" = None
+
+    @classmethod
+    def for_format(cls, fmt: QFormat, margin: float = 0.9, center: bool = True) -> "FeatureScaler":
+        """Scaler targeting ``margin`` of the format's positive range."""
+        if not 0.0 < margin <= 1.0:
+            raise ValueError(f"margin must be in (0, 1], got {margin}")
+        return cls(limit=float(2.0 ** (fmt.integer_bits - 1)) * margin, center=center)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        return self._gain is not None
+
+    def fit(self, features: np.ndarray) -> "FeatureScaler":
+        """Learn per-feature offset and gain from training rows."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] < 1:
+            raise DataError(f"features must be a non-empty (N, M) array, got {x.shape}")
+        col_min = x.min(axis=0)
+        col_max = x.max(axis=0)
+        if self.center:
+            offset = 0.5 * (col_min + col_max)
+        else:
+            offset = np.zeros(x.shape[1])
+        half_range = np.maximum(
+            np.maximum(np.abs(col_max - offset), np.abs(col_min - offset)), 1e-12
+        )
+        self._offset = offset
+        self._gain = self.limit / half_range
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted map.  Test rows may exceed ``[-limit, limit]`` slightly."""
+        if not self.is_fitted:
+            raise DataError("scaler is not fitted; call fit() first")
+        x = np.asarray(features, dtype=np.float64)
+        return (x - self._offset) * self._gain
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+def scale_dataset_pair(
+    train: Dataset, test: Dataset, fmt: QFormat, margin: float = 0.9
+) -> "tuple[Dataset, Dataset, FeatureScaler]":
+    """Fit a scaler on ``train`` and apply it to both datasets.
+
+    Returns the scaled datasets and the fitted scaler (needed to deploy the
+    same front-end scaling on-chip).
+    """
+    scaler = FeatureScaler.for_format(fmt, margin=margin)
+    scaler.fit(train.features)
+    return (
+        train.map_features(scaler.transform),
+        test.map_features(scaler.transform),
+        scaler,
+    )

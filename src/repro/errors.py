@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FixedPointError(ReproError):
+    """Base class for fixed-point arithmetic errors."""
+
+
+class QFormatError(FixedPointError):
+    """An invalid ``QK.F`` format specification (e.g. zero integer bits)."""
+
+
+class OverflowModeError(FixedPointError):
+    """A value fell outside the representable range under ``OverflowMode.RAISE``."""
+
+    def __init__(self, value: float, lo: float, hi: float) -> None:
+        self.value = value
+        self.lo = lo
+        self.hi = hi
+        super().__init__(
+            f"value {value!r} overflows fixed-point range [{lo!r}, {hi!r}]"
+        )
+
+
+class LinAlgError(ReproError):
+    """A numerical linear-algebra routine failed (singular matrix, non-PSD, ...)."""
+
+
+class OptimizationError(ReproError):
+    """An optimization routine failed to produce a usable answer."""
+
+
+class InfeasibleProblemError(OptimizationError):
+    """The constraint set of an optimization problem is (detected to be) empty."""
+
+
+class SolverBudgetExceeded(OptimizationError):
+    """A solver ran out of its node or time budget before reaching its target.
+
+    Solvers that can still return their incumbent do so instead of raising;
+    this error is reserved for the case where no feasible point was found at
+    all within the budget.
+    """
+
+
+class DataError(ReproError):
+    """A dataset is malformed (wrong shapes, missing classes, NaNs, ...)."""
+
+
+class TrainingError(ReproError):
+    """Classifier training failed in a way that yields no usable model."""

@@ -1,0 +1,41 @@
+"""Experiment harness: one module per paper table/figure plus ablations."""
+
+from .export import rows_to_csv, rows_to_json, write_rows
+from .figure1 import Figure1Config, ProjectionSummary, format_figure1, run_figure1
+from .figure2 import Figure2Config, SensitivityPoint, format_figure2, run_figure2
+from .figure4 import Figure4Config, WeightsPoint, format_figure4, run_figure4
+from .power_claims import PowerClaim, derive_power_claim, smallest_word_length
+from .runner import ComparisonRow, format_table
+from .table1 import PAPER_TABLE1, Table1Config, format_table1, run_table1
+from .table2 import PAPER_TABLE2, Table2Config, format_table2, run_table2
+
+__all__ = [
+    "ComparisonRow",
+    "format_table",
+    "rows_to_csv",
+    "rows_to_json",
+    "write_rows",
+    "PAPER_TABLE1",
+    "Table1Config",
+    "format_table1",
+    "run_table1",
+    "PAPER_TABLE2",
+    "Table2Config",
+    "format_table2",
+    "run_table2",
+    "Figure1Config",
+    "ProjectionSummary",
+    "format_figure1",
+    "run_figure1",
+    "Figure2Config",
+    "SensitivityPoint",
+    "format_figure2",
+    "run_figure2",
+    "Figure4Config",
+    "WeightsPoint",
+    "format_figure4",
+    "run_figure4",
+    "PowerClaim",
+    "derive_power_claim",
+    "smallest_word_length",
+]

@@ -1,0 +1,60 @@
+"""Export experiment rows to CSV / JSON for downstream plotting.
+
+The text tables are for humans; anyone regenerating the paper's figures in
+their own plotting stack wants machine-readable rows.  Plain-stdlib
+serialization (csv / json), schema documented by the header row.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from .runner import ComparisonRow
+
+__all__ = ["rows_to_csv", "rows_to_json", "write_rows"]
+
+_FIELDS = (
+    "word_length",
+    "lda_error",
+    "ldafp_error",
+    "ldafp_runtime",
+    "proven_optimal",
+    "paper_lda_error",
+    "paper_ldafp_error",
+    "paper_runtime",
+    "lda_interval",
+    "ldafp_interval",
+)
+
+
+def rows_to_csv(rows: Sequence[ComparisonRow]) -> str:
+    """Render rows as CSV text (header + one line per word length)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(_FIELDS)
+    for row in rows:
+        writer.writerow([getattr(row, field) for field in _FIELDS])
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[ComparisonRow]) -> str:
+    """Render rows as a JSON array of objects."""
+    payload = [
+        {field: getattr(row, field) for field in _FIELDS} for row in rows
+    ]
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def write_rows(rows: Sequence[ComparisonRow], path: str) -> None:
+    """Write rows to ``path``; format chosen by extension (.csv or .json)."""
+    if path.endswith(".csv"):
+        text = rows_to_csv(rows)
+    elif path.endswith(".json"):
+        text = rows_to_json(rows)
+    else:
+        raise ValueError(f"unsupported extension in {path!r} (use .csv or .json)")
+    with open(path, "w") as handle:
+        handle.write(text)

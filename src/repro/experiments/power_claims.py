@@ -1,0 +1,75 @@
+"""The paper's derived power claims (Sections 5.1-5.2 and the abstract).
+
+Two arithmetic claims ride on the measured tables:
+
+- Table 1: LDA needs 12 bits to beat chance, LDA-FP works at 4 — "3x word
+  length reduction, equivalent to 9x power reduction" under the quadratic
+  power model.
+- Table 2: matching LDA's 20.71% error needs 8 bits for LDA but only 6 for
+  LDA-FP — "power consumption can be reduced by 1.8x".
+
+This module recomputes both claims from any measured rows: find the
+smallest word length at which each method reaches a target error, then
+apply the quadratic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..hardware.power import paper_power_model
+from .runner import ComparisonRow
+
+__all__ = ["PowerClaim", "smallest_word_length", "derive_power_claim"]
+
+
+@dataclass(frozen=True)
+class PowerClaim:
+    """A derived word-length/power-reduction claim."""
+
+    target_error: float
+    lda_bits: Optional[int]
+    ldafp_bits: Optional[int]
+    power_reduction: Optional[float]
+
+    def describe(self) -> str:
+        if self.lda_bits is None or self.ldafp_bits is None:
+            return (
+                f"target error {100*self.target_error:.2f}%: not reached by "
+                f"{'LDA' if self.lda_bits is None else 'LDA-FP'} at any swept word length"
+            )
+        return (
+            f"target error {100*self.target_error:.2f}%: LDA needs {self.lda_bits} bits, "
+            f"LDA-FP needs {self.ldafp_bits} bits -> power reduction "
+            f"{self.power_reduction:.2f}x (quadratic model)"
+        )
+
+
+def smallest_word_length(
+    rows: Sequence[ComparisonRow], method: str, target_error: float
+) -> Optional[int]:
+    """Smallest swept word length whose error is at or below the target."""
+    best: Optional[int] = None
+    for row in rows:
+        error = row.lda_error if method == "lda" else row.ldafp_error
+        if error <= target_error and (best is None or row.word_length < best):
+            best = row.word_length
+    return best
+
+
+def derive_power_claim(
+    rows: Sequence[ComparisonRow], target_error: float
+) -> PowerClaim:
+    """Recompute the paper's power-reduction arithmetic from measured rows."""
+    lda_bits = smallest_word_length(rows, "lda", target_error)
+    ldafp_bits = smallest_word_length(rows, "lda-fp", target_error)
+    reduction = None
+    if lda_bits is not None and ldafp_bits is not None:
+        reduction = paper_power_model().reduction(lda_bits, ldafp_bits)
+    return PowerClaim(
+        target_error=target_error,
+        lda_bits=lda_bits,
+        ldafp_bits=ldafp_bits,
+        power_reduction=reduction,
+    )

@@ -1,0 +1,81 @@
+"""Shared experiment plumbing: row containers and table formatting.
+
+Every experiment module produces a list of row dataclasses and can render
+them in the same layout as the paper's tables, with the paper's published
+numbers alongside for eyeball comparison (absolute values are not expected
+to match — see EXPERIMENTS.md — but the shape should).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["ComparisonRow", "format_table"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One word-length row of a Table-1/2-style comparison.
+
+    Attributes
+    ----------
+    word_length:
+        Total bits ``K + F``.
+    lda_error:
+        Conventional-LDA classification error.
+    ldafp_error:
+        LDA-FP classification error.
+    ldafp_runtime:
+        LDA-FP training wall time in seconds.
+    proven_optimal:
+        Whether the branch-and-bound closed its gap (budget-limited runs
+        report False; the paper does not publish this column, we do).
+    paper_lda_error, paper_ldafp_error, paper_runtime:
+        The published values, when the paper reports this word length.
+    """
+
+    word_length: int
+    lda_error: float
+    ldafp_error: float
+    ldafp_runtime: float
+    proven_optimal: bool
+    paper_lda_error: Optional[float] = None
+    paper_ldafp_error: Optional[float] = None
+    paper_runtime: Optional[float] = None
+    lda_interval: Optional[str] = None
+    ldafp_interval: Optional[str] = None
+
+
+def _pct(value: "float | None") -> str:
+    return "     --" if value is None else f"{100.0 * value:6.2f}%"
+
+
+def _sec(value: "float | None") -> str:
+    return "      --" if value is None else f"{value:8.2f}"
+
+
+def format_table(title: str, rows: Sequence[ComparisonRow]) -> str:
+    """Render rows in the paper's column layout plus our extra columns."""
+    lines = [
+        title,
+        "=" * len(title),
+        "  WL |  LDA err (paper) | LDA-FP err (paper) | runtime s (paper) | proven",
+        "-----+------------------+--------------------+-------------------+-------",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.word_length:2d} | {_pct(row.lda_error)} ({_pct(row.paper_lda_error).strip()})"
+            f" | {_pct(row.ldafp_error)}  ({_pct(row.paper_ldafp_error).strip()})"
+            f" | {_sec(row.ldafp_runtime)} ({_sec(row.paper_runtime).strip()})"
+            f" | {'yes' if row.proven_optimal else 'no'}"
+        )
+    if any(row.lda_interval or row.ldafp_interval for row in rows):
+        lines.append("")
+        lines.append("bootstrap 95% intervals (pooled CV predictions):")
+        for row in rows:
+            lines.append(
+                f"  {row.word_length:2d} | LDA {row.lda_interval or '--'} | "
+                f"LDA-FP {row.ldafp_interval or '--'}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,136 @@
+"""Word-length allocation — the paper's stated future-work extension.
+
+Section 3 notes that "it is possible to further optimize the word length for
+each individual operation.  For instance, different elements of the weight
+vector w can be assigned with different word lengths.  However ... the
+problem of word length optimization should be considered as a separate
+topic".  This module implements that extension as a greedy bit-dropping
+search, plus a uniform-format search used by the main experiments to pick
+``K`` for a given total word length.
+
+The greedy per-element search starts from a uniform format and repeatedly
+removes one fractional bit from the weight whose removal degrades a
+user-supplied objective (typically validation error) the least, until any
+further removal would exceed ``max_degradation``.  This is the standard
+"bit-width allocation" loop from the word-length-optimization literature the
+paper cites ([10]-[12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .qformat import QFormat
+from .quantize import quantize
+
+__all__ = [
+    "AllocationResult",
+    "choose_uniform_format",
+    "greedy_wordlength_allocation",
+]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of a per-element word-length allocation.
+
+    Attributes
+    ----------
+    formats:
+        One :class:`QFormat` per weight element.
+    objective:
+        Objective value achieved with the allocated formats.
+    total_bits:
+        Sum of word lengths over all elements (the cost being minimized).
+    history:
+        ``(element_index, new_format, objective)`` per accepted greedy step.
+    """
+
+    formats: "tuple[QFormat, ...]"
+    objective: float
+    total_bits: int
+    history: "tuple[tuple[int, QFormat, float], ...]"
+
+
+def choose_uniform_format(word_length: int, weights_bound: float) -> QFormat:
+    """Uniform ``QK.F`` for a given total word length and weight magnitude bound.
+
+    Picks the smallest integer width that covers ``[-weights_bound,
+    weights_bound]`` so the fractional precision is maximized — the choice
+    the paper implies by quoting only total word lengths in Tables 1-2.
+    """
+    return QFormat.for_range(word_length, weights_bound)
+
+
+def greedy_wordlength_allocation(
+    weights: Sequence[float],
+    objective: Callable[[np.ndarray], float],
+    start_format: QFormat,
+    max_degradation: float,
+    min_fraction_bits: int = 0,
+) -> AllocationResult:
+    """Greedily shorten per-element fractional word lengths.
+
+    Parameters
+    ----------
+    weights:
+        The trained (real-valued) weight vector.
+    objective:
+        Maps a quantized weight vector to a scalar cost (e.g. validation
+        error).  Lower is better.  Called ``O(M * dropped_bits)`` times.
+    start_format:
+        Uniform starting format for every element.
+    max_degradation:
+        Maximum allowed increase of the objective relative to its value at
+        the starting allocation.
+    min_fraction_bits:
+        Floor on each element's fractional bits.
+
+    Returns
+    -------
+    AllocationResult
+        The per-element formats after greedy bit dropping.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    formats = [start_format] * w.size
+
+    def quantize_all(fmts: "list[QFormat]") -> np.ndarray:
+        return np.array(
+            [float(quantize(float(wi), fi)) for wi, fi in zip(w, fmts)]
+        )
+
+    base_objective = float(objective(quantize_all(formats)))
+    budget = base_objective + float(max_degradation)
+    history: "list[tuple[int, QFormat, float]]" = []
+
+    improved = True
+    current_objective = base_objective
+    while improved:
+        improved = False
+        best: "tuple[float, int, QFormat] | None" = None
+        for idx, fmt in enumerate(formats):
+            if fmt.fraction_bits <= min_fraction_bits:
+                continue
+            trial_fmt = QFormat(fmt.integer_bits, fmt.fraction_bits - 1)
+            trial_formats = list(formats)
+            trial_formats[idx] = trial_fmt
+            obj = float(objective(quantize_all(trial_formats)))
+            if obj <= budget and (best is None or obj < best[0]):
+                best = (obj, idx, trial_fmt)
+        if best is not None:
+            current_objective, idx, fmt = best
+            formats[idx] = fmt
+            history.append((idx, fmt, current_objective))
+            improved = True
+
+    return AllocationResult(
+        formats=tuple(formats),
+        objective=current_objective,
+        total_bits=sum(f.word_length for f in formats),
+        history=tuple(history),
+    )

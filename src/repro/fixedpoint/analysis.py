@@ -1,0 +1,103 @@
+"""Quantization-error analysis utilities.
+
+These support the documentation and ablation benchmarks: given a signal and
+a format, quantify the damage quantization does (max error, RMS error,
+signal-to-quantization-noise ratio) and, given a dataset, recommend how many
+integer bits the features need (the paper's "carefully scaled to avoid
+overflow" preprocessing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .qformat import QFormat
+from .quantize import quantize
+
+__all__ = [
+    "QuantizationReport",
+    "analyze_quantization",
+    "required_integer_bits",
+    "theoretical_sqnr_db",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Summary of the error introduced by quantizing one signal.
+
+    Attributes
+    ----------
+    fmt:
+        Format analyzed.
+    max_abs_error:
+        Largest absolute quantization error observed.
+    rms_error:
+        Root-mean-square error.
+    sqnr_db:
+        Signal-to-quantization-noise ratio in dB (``inf`` for an exactly
+        representable signal, ``nan`` for an all-zero signal).
+    clipped_fraction:
+        Fraction of samples outside the representable range (saturated).
+    """
+
+    fmt: QFormat
+    max_abs_error: float
+    rms_error: float
+    sqnr_db: float
+    clipped_fraction: float
+
+
+def analyze_quantization(signal: np.ndarray, fmt: QFormat, **quantize_kwargs) -> QuantizationReport:
+    """Quantize ``signal`` and report the resulting error statistics."""
+    x = np.asarray(signal, dtype=np.float64).ravel()
+    if x.size == 0:
+        raise ValueError("cannot analyze an empty signal")
+    q = np.asarray(quantize(x, fmt, **quantize_kwargs))
+    err = q - x
+    signal_power = float(np.mean(x**2))
+    noise_power = float(np.mean(err**2))
+    if noise_power == 0.0:
+        sqnr = math.inf
+    elif signal_power == 0.0:
+        sqnr = math.nan
+    else:
+        sqnr = 10.0 * math.log10(signal_power / noise_power)
+    clipped = float(np.mean((x < fmt.min_value) | (x > fmt.max_value)))
+    return QuantizationReport(
+        fmt=fmt,
+        max_abs_error=float(np.max(np.abs(err))),
+        rms_error=math.sqrt(noise_power),
+        sqnr_db=sqnr,
+        clipped_fraction=clipped,
+    )
+
+
+def required_integer_bits(signal: np.ndarray, margin: float = 1.0) -> int:
+    """Smallest ``K`` (including sign) whose range covers ``signal * margin``.
+
+    ``margin > 1`` leaves headroom; the result is always at least 1.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    if x.size == 0:
+        return 1
+    peak = float(np.max(np.abs(x))) * float(margin)
+    k = 1
+    while (2.0 ** (k - 1)) < peak and k < 63:
+        k += 1
+    return k
+
+
+def theoretical_sqnr_db(fmt: QFormat, signal_rms: float) -> float:
+    """Classic uniform-quantization SQNR model: noise variance ``LSB^2 / 12``.
+
+    Useful as a sanity reference next to :func:`analyze_quantization`; holds
+    when the signal exercises many quantization levels without clipping.
+    """
+    if signal_rms <= 0:
+        raise ValueError(f"signal_rms must be > 0, got {signal_rms}")
+    noise_rms = fmt.resolution / math.sqrt(12.0)
+    return 20.0 * math.log10(signal_rms / noise_rms)

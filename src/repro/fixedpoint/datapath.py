@@ -1,0 +1,239 @@
+"""Bit-accurate simulation of the classifier's fixed-point datapath.
+
+The on-chip classifier computes ``y = w' x - threshold`` and compares the
+result against zero (paper Eq. 12).  All operands live in one ``QK.F``
+format (paper Section 3); hardware performs:
+
+1. ``M`` multiplications ``w_m * x_m``.  Each full-precision product has
+   ``2K`` integer and ``2F`` fractional bits; the datapath rounds it back to
+   ``QK.F`` (drop ``F`` low bits with the configured rounding) and wraps.
+2. A chain of additions in ``QK.F`` with two's-complement **wrapping**.
+   Intermediate sums may overflow freely — the paper's Section 3 example
+   ``3 + 3 - 4`` in ``Q3.0`` wraps to ``-2`` after the first add yet the
+   final result ``2`` is exact.  This simulator reproduces that behaviour
+   exactly and is property-tested against exact integer arithmetic.
+3. A final subtraction of the threshold and a sign comparison.
+
+The simulator operates on raw integer words throughout, so results are
+bit-exact regardless of word length (Python ints are unbounded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .overflow import OverflowMode, apply_overflow_raw
+from .qformat import QFormat
+from .quantize import quantize_raw
+from .rounding import RoundingMode, shift_right_rounded
+
+__all__ = ["DatapathConfig", "DatapathTrace", "FixedPointDatapath"]
+
+
+@dataclass(frozen=True)
+class DatapathConfig:
+    """Static configuration of the MAC datapath.
+
+    Parameters
+    ----------
+    fmt:
+        The single ``QK.F`` format used by every operand and register.
+    rounding:
+        Rounding applied when narrowing each product back to ``QK.F``.
+    overflow:
+        Overflow policy of the adders/registers; ``WRAP`` matches the
+        paper's hardware assumption, ``SATURATE`` is provided for ablations.
+    product_overflow:
+        Overflow policy applied to each narrowed product.  Separate from
+        ``overflow`` because the paper's per-feature constraints (Eq. 18)
+        are specifically about keeping products in range — the ablation
+        benchmarks disable those constraints and observe wrap damage here.
+    """
+
+    fmt: QFormat
+    rounding: RoundingMode = RoundingMode.NEAREST_AWAY
+    overflow: OverflowMode = OverflowMode.WRAP
+    product_overflow: OverflowMode = OverflowMode.WRAP
+
+
+@dataclass
+class DatapathTrace:
+    """Step-by-step record of one dot-product evaluation.
+
+    Attributes
+    ----------
+    product_raws:
+        Raw words of each narrowed product ``w_m * x_m``.
+    accumulator_raws:
+        Raw accumulator word after each addition (length ``M``).
+    result_raw:
+        Final raw word of ``w' x - threshold``.
+    product_overflowed / accumulator_overflowed:
+        Flags marking where the exact value fell outside the format before
+        the overflow policy was applied; used to diagnose overflow damage.
+    """
+
+    product_raws: list = field(default_factory=list)
+    accumulator_raws: list = field(default_factory=list)
+    result_raw: int = 0
+    product_overflowed: list = field(default_factory=list)
+    accumulator_overflowed: list = field(default_factory=list)
+
+    @property
+    def any_product_overflow(self) -> bool:
+        return any(self.product_overflowed)
+
+    @property
+    def any_accumulator_overflow(self) -> bool:
+        return any(self.accumulator_overflowed)
+
+
+class FixedPointDatapath:
+    """Simulates ``sign(w' x - threshold)`` exactly as the RTL would compute it.
+
+    The weight vector and threshold are fixed at construction (they are
+    constants in the silicon); feature vectors stream through ``project`` /
+    ``classify``.
+
+    Parameters
+    ----------
+    weights:
+        Real-valued weights; quantized to ``config.fmt`` on construction
+        (values already on the grid pass through unchanged).
+    threshold:
+        Real-valued decision threshold ``w' (mu_A + mu_B) / 2``; quantized
+        likewise.
+    config:
+        Datapath configuration.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        threshold: float,
+        config: DatapathConfig,
+    ) -> None:
+        self.config = config
+        fmt = config.fmt
+        self.weight_raws = np.asarray(
+            quantize_raw(
+                np.asarray(weights, dtype=np.float64),
+                fmt,
+                rounding=config.rounding,
+                overflow=OverflowMode.SATURATE,
+            ),
+            dtype=np.int64,
+        )
+        self.threshold_raw = int(
+            quantize_raw(
+                float(threshold),
+                fmt,
+                rounding=config.rounding,
+                overflow=OverflowMode.SATURATE,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scalar path with tracing (reference implementation)
+    # ------------------------------------------------------------------ #
+    def project_traced(self, features: Sequence[float]) -> DatapathTrace:
+        """Compute ``w' x - threshold`` for one sample, recording every step."""
+        fmt = self.config.fmt
+        x_raws = quantize_raw(
+            np.asarray(features, dtype=np.float64),
+            fmt,
+            rounding=self.config.rounding,
+            overflow=OverflowMode.SATURATE,
+        )
+        if x_raws.shape != self.weight_raws.shape:
+            raise ValueError(
+                f"feature length {x_raws.shape} does not match weight length "
+                f"{self.weight_raws.shape}"
+            )
+        trace = DatapathTrace()
+        acc = 0
+        for w_raw, x_raw in zip(self.weight_raws.tolist(), x_raws.tolist()):
+            # Full product has 2F fractional bits; narrow by F with rounding.
+            full = int(w_raw) * int(x_raw)
+            narrowed = shift_right_rounded(full, fmt.fraction_bits, self.config.rounding)
+            prod_overflow = narrowed < fmt.min_raw or narrowed > fmt.max_raw
+            prod = int(
+                apply_overflow_raw(narrowed, fmt, mode=self.config.product_overflow)
+            )
+            trace.product_raws.append(prod)
+            trace.product_overflowed.append(prod_overflow)
+
+            exact_sum = acc + prod
+            acc_overflow = exact_sum < fmt.min_raw or exact_sum > fmt.max_raw
+            acc = int(apply_overflow_raw(exact_sum, fmt, mode=self.config.overflow))
+            trace.accumulator_raws.append(acc)
+            trace.accumulator_overflowed.append(acc_overflow)
+
+        final = acc - self.threshold_raw
+        trace.result_raw = int(
+            apply_overflow_raw(final, fmt, mode=self.config.overflow)
+        )
+        return trace
+
+    def project(self, features: Sequence[float]) -> float:
+        """Real value of ``w' x - threshold`` as computed by the hardware."""
+        return self.config.fmt.to_real(self.project_traced(features).result_raw)
+
+    def classify(self, features: Sequence[float]) -> int:
+        """Decision per Eq. 12: 1 (class A) if ``w'x - threshold >= 0`` else 0."""
+        return 1 if self.project_traced(features).result_raw >= 0 else 0
+
+    # ------------------------------------------------------------------ #
+    # Vectorized path (used by evaluation loops; tested against the traced path)
+    # ------------------------------------------------------------------ #
+    def project_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized ``w' x - threshold`` over rows of ``features``.
+
+        Bit-exact with :meth:`project` (covered by a property test); uses
+        object-dtype integers internally so arbitrary word lengths stay
+        exact.
+        """
+        fmt = self.config.fmt
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        x_raws = quantize_raw(
+            x, fmt, rounding=self.config.rounding, overflow=OverflowMode.SATURATE
+        ).astype(object)
+        w = self.weight_raws.astype(object)
+
+        full = x_raws * w[None, :]
+        narrow = np.vectorize(
+            lambda r: shift_right_rounded(int(r), fmt.fraction_bits, self.config.rounding),
+            otypes=[object],
+        )
+        narrowed = narrow(full) if full.size else full
+        prods = self._apply_overflow_object(narrowed, self.config.product_overflow)
+
+        acc = np.zeros(prods.shape[0], dtype=object)
+        for m in range(prods.shape[1]):
+            acc = self._apply_overflow_object(acc + prods[:, m], self.config.overflow)
+        result = self._apply_overflow_object(
+            acc - self.threshold_raw, self.config.overflow
+        )
+        return result.astype(np.int64).astype(np.float64) * fmt.resolution
+
+    def classify_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorized decisions (1 = class A, 0 = class B)."""
+        return (self.project_batch(features) >= 0.0).astype(np.int64)
+
+    def _apply_overflow_object(self, raws: np.ndarray, mode: OverflowMode) -> np.ndarray:
+        fmt = self.config.fmt
+        if mode is OverflowMode.WRAP:
+            half = fmt.modulus >> 1
+            return (raws + half) % fmt.modulus - half
+        if mode is OverflowMode.SATURATE:
+            return np.clip(raws, fmt.min_raw, fmt.max_raw)
+        out_of_range = (raws < fmt.min_raw) | (raws > fmt.max_raw)
+        if np.any(out_of_range):
+            offender = int(np.asarray(raws)[out_of_range].flat[0])
+            apply_overflow_raw(offender, fmt, mode=mode)  # raises
+        return raws

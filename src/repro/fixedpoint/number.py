@@ -1,0 +1,192 @@
+"""Scalar fixed-point numbers with exact two's-complement semantics.
+
+:class:`Fx` models a single hardware register of format ``QK.F``.  Its value
+is stored as the raw integer word, so all arithmetic is exact integer
+arithmetic followed by the selected overflow policy — precisely what an RTL
+implementation does.  Multiplication of two ``QK.F`` words produces a
+``Q(2K).(2F)`` full-precision product which is then rounded/overflowed back
+into the operand format, matching the single-format datapath the paper
+assumes ("all fixed-point operations in the classifier are implemented [in]
+the same format QK.F").
+
+For vectorized work use :mod:`repro.fixedpoint.quantize` and
+:mod:`repro.fixedpoint.datapath`; ``Fx`` favours clarity and is the
+reference model those are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .overflow import OverflowMode, apply_overflow_raw
+from .qformat import QFormat
+from .rounding import RoundingMode, round_to_int, shift_right_rounded
+
+__all__ = ["Fx"]
+
+Number = Union[int, float]
+
+
+class Fx:
+    """An immutable fixed-point scalar.
+
+    Parameters
+    ----------
+    value:
+        Real value to quantize into the register (rounded with ``rounding``,
+        range-reduced with ``overflow``).
+    fmt:
+        The register format.
+    rounding, overflow:
+        Policies used both for construction and for subsequent arithmetic
+        involving this operand (the left operand's policies win).
+
+    Examples
+    --------
+    >>> q = QFormat(3, 0)
+    >>> (Fx(3, q) + Fx(3, q)).value      # wraps: 6 -> -2 in Q3.0
+    -2.0
+    >>> (Fx(3, q) + Fx(3, q) - Fx(4, q)).value   # ...but the final sum is exact
+    2.0
+    """
+
+    __slots__ = ("_raw", "_fmt", "_rounding", "_overflow")
+
+    def __init__(
+        self,
+        value: Number,
+        fmt: QFormat,
+        rounding: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
+        overflow: "OverflowMode | str" = OverflowMode.WRAP,
+    ) -> None:
+        self._fmt = fmt
+        self._rounding = RoundingMode.coerce(rounding)
+        self._overflow = OverflowMode.coerce(overflow)
+        scaled = float(value) * (1 << fmt.fraction_bits)
+        raw = int(round_to_int(scaled, mode=self._rounding))
+        self._raw = int(apply_overflow_raw(raw, fmt, mode=self._overflow))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_raw(
+        cls,
+        raw: int,
+        fmt: QFormat,
+        rounding: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
+        overflow: "OverflowMode | str" = OverflowMode.WRAP,
+    ) -> "Fx":
+        """Build directly from a raw integer word (overflow policy applied)."""
+        out = cls.__new__(cls)
+        out._fmt = fmt
+        out._rounding = RoundingMode.coerce(rounding)
+        out._overflow = OverflowMode.coerce(overflow)
+        out._raw = int(apply_overflow_raw(int(raw), fmt, mode=out._overflow))
+        return out
+
+    def _like(self, raw: int) -> "Fx":
+        """A new Fx in this register's format/policies from an unreduced raw word."""
+        return Fx.from_raw(raw, self._fmt, self._rounding, self._overflow)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def raw(self) -> int:
+        """The underlying integer word."""
+        return self._raw
+
+    @property
+    def fmt(self) -> QFormat:
+        """The register format."""
+        return self._fmt
+
+    @property
+    def value(self) -> float:
+        """The represented real number ``raw * 2**-F``."""
+        return self._raw * self._fmt.resolution
+
+    @property
+    def bits(self) -> str:
+        """The two's-complement bit pattern as a string, MSB first."""
+        word = self._raw % self._fmt.modulus
+        return format(word, f"0{self._fmt.word_length}b")
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic (exact integer math, then overflow policy)
+    # ------------------------------------------------------------------ #
+    def _coerce_operand(self, other: "Fx | Number") -> "Fx":
+        if isinstance(other, Fx):
+            if other._fmt != self._fmt:
+                raise ValueError(
+                    f"mixed formats {self._fmt} and {other._fmt}; convert first"
+                )
+            return other
+        return Fx(other, self._fmt, self._rounding, self._overflow)
+
+    def __add__(self, other: "Fx | Number") -> "Fx":
+        rhs = self._coerce_operand(other)
+        return self._like(self._raw + rhs._raw)
+
+    def __radd__(self, other: Number) -> "Fx":
+        return self.__add__(other)
+
+    def __sub__(self, other: "Fx | Number") -> "Fx":
+        rhs = self._coerce_operand(other)
+        return self._like(self._raw - rhs._raw)
+
+    def __rsub__(self, other: Number) -> "Fx":
+        return self._coerce_operand(other).__sub__(self)
+
+    def __mul__(self, other: "Fx | Number") -> "Fx":
+        rhs = self._coerce_operand(other)
+        # Full product has 2F fractional bits; round F of them away using the
+        # register's rounding mode, then apply overflow.
+        full = self._raw * rhs._raw
+        raw = shift_right_rounded(full, self._fmt.fraction_bits, self._rounding)
+        return self._like(raw)
+
+    def __rmul__(self, other: Number) -> "Fx":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "Fx":
+        return self._like(-self._raw)
+
+    def __abs__(self) -> "Fx":
+        return self._like(abs(self._raw))
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (by represented value; formats must match for Fx operands)
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fx):
+            return self._fmt == other._fmt and self._raw == other._raw
+        if isinstance(other, (int, float)):
+            return self.value == float(other)
+        return NotImplemented
+
+    def __lt__(self, other: "Fx | Number") -> bool:
+        rhs = other.value if isinstance(other, Fx) else float(other)
+        return self.value < rhs
+
+    def __le__(self, other: "Fx | Number") -> bool:
+        rhs = other.value if isinstance(other, Fx) else float(other)
+        return self.value <= rhs
+
+    def __gt__(self, other: "Fx | Number") -> bool:
+        rhs = other.value if isinstance(other, Fx) else float(other)
+        return self.value > rhs
+
+    def __ge__(self, other: "Fx | Number") -> bool:
+        rhs = other.value if isinstance(other, Fx) else float(other)
+        return self.value >= rhs
+
+    def __hash__(self) -> int:
+        return hash((self._fmt, self._raw))
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Fx({self.value!r}, {self._fmt}, raw={self._raw})"

@@ -1,0 +1,78 @@
+"""Overflow handling policies for fixed-point quantization and arithmetic.
+
+Two's-complement hardware either *wraps* (the cheap default: high bits are
+simply discarded, so values move around the ring ``[-2**(K-1), 2**(K-1))``)
+or *saturates* (extra comparator logic clamps to the end of the range).
+The paper's key observation in Section 3 depends on wrapping: intermediate
+sums of a dot product may overflow freely as long as the final result is in
+range.  ``RAISE`` is a debugging mode used by the tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from ..errors import OverflowModeError
+from .qformat import QFormat
+
+__all__ = ["OverflowMode", "apply_overflow_raw"]
+
+RawLike = Union[int, np.ndarray]
+
+
+class OverflowMode(enum.Enum):
+    """What to do with a raw word outside ``[min_raw, max_raw]``."""
+
+    WRAP = "wrap"
+    SATURATE = "saturate"
+    RAISE = "raise"
+
+    @classmethod
+    def coerce(cls, mode: "OverflowMode | str") -> "OverflowMode":
+        if isinstance(mode, cls):
+            return mode
+        return cls(str(mode))
+
+
+def apply_overflow_raw(
+    raw: RawLike, fmt: QFormat, mode: "OverflowMode | str" = OverflowMode.WRAP
+) -> RawLike:
+    """Bring raw integer word(s) into the representable range of ``fmt``.
+
+    Parameters
+    ----------
+    raw:
+        Integer word(s); may lie far outside the format's raw range (e.g.
+        an exact wide accumulator value).
+    fmt:
+        Target format.
+    mode:
+        ``WRAP`` reduces modulo ``2**(K+F)`` (two's-complement wrap-around),
+        ``SATURATE`` clamps to ``[min_raw, max_raw]``, ``RAISE`` raises
+        :class:`~repro.errors.OverflowModeError` on any out-of-range word.
+    """
+    mode = OverflowMode.coerce(mode)
+    if isinstance(raw, np.ndarray):
+        if mode is OverflowMode.WRAP:
+            return fmt.wrap_raw(raw)
+        if mode is OverflowMode.SATURATE:
+            return np.clip(raw, fmt.min_raw, fmt.max_raw).astype(np.int64)
+        bad = (raw < fmt.min_raw) | (raw > fmt.max_raw)
+        if np.any(bad):
+            offender = int(np.asarray(raw)[bad].flat[0])
+            raise OverflowModeError(
+                fmt.to_real(offender), fmt.min_value, fmt.max_value
+            )
+        return raw.astype(np.int64)
+
+    value = int(raw)
+    if mode is OverflowMode.WRAP:
+        return fmt.wrap_raw(value)
+    if mode is OverflowMode.SATURATE:
+        return max(fmt.min_raw, min(fmt.max_raw, value))
+    if value < fmt.min_raw or value > fmt.max_raw:
+        raise OverflowModeError(fmt.to_real(value), fmt.min_value, fmt.max_value)
+    return value

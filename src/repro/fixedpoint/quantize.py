@@ -1,0 +1,97 @@
+"""Vectorized quantization of real values to a ``QK.F`` grid.
+
+This is the workhorse used throughout the library: training data are
+quantized before learning (paper Section 3, "the feature vector x should be
+rounded to its fixed-point representation, before the training data is used
+to learn the classifier"), and candidate weight vectors are snapped to the
+grid by the branch-and-bound upper-bound heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .overflow import OverflowMode, apply_overflow_raw
+from .qformat import QFormat
+from .rounding import RoundingMode, round_to_int
+
+__all__ = [
+    "quantize",
+    "quantize_raw",
+    "dequantize_raw",
+    "quantization_noise",
+    "nearest_grid_neighbors",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def quantize_raw(
+    value: ArrayLike,
+    fmt: QFormat,
+    rounding: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
+    overflow: "OverflowMode | str" = OverflowMode.SATURATE,
+    rng: "np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Quantize real value(s) to raw integer words of ``fmt``.
+
+    Rounding happens first (in quanta), then the overflow policy is applied
+    to the rounded word.  Non-finite inputs raise ``ValueError`` — silent
+    NaN propagation through int casts is a classic source of garbage runs.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("cannot quantize non-finite values")
+    scaled = arr * (1 << fmt.fraction_bits)
+    raw = round_to_int(scaled, mode=rounding, rng=rng)
+    return np.asarray(apply_overflow_raw(raw, fmt, mode=overflow))
+
+
+def dequantize_raw(raw: "int | np.ndarray", fmt: QFormat) -> np.ndarray:
+    """Convert raw word(s) back to real value(s)."""
+    return np.asarray(raw, dtype=np.float64) * fmt.resolution
+
+
+def quantize(
+    value: ArrayLike,
+    fmt: QFormat,
+    rounding: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
+    overflow: "OverflowMode | str" = OverflowMode.SATURATE,
+    rng: "np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Quantize real value(s) onto the representable grid of ``fmt``.
+
+    Returns float64 value(s) that are exactly representable in ``fmt``
+    (so ``quantize(quantize(x)) == quantize(x)`` — idempotence is covered by
+    a hypothesis property test).
+    """
+    raw = quantize_raw(value, fmt, rounding=rounding, overflow=overflow, rng=rng)
+    out = dequantize_raw(raw, fmt)
+    if np.isscalar(value) or np.asarray(value).ndim == 0:
+        return np.float64(out)
+    return out
+
+
+def quantization_noise(value: ArrayLike, fmt: QFormat, **kwargs) -> np.ndarray:
+    """The signed error ``quantize(x) - x`` introduced by quantization."""
+    return np.asarray(quantize(value, fmt, **kwargs)) - np.asarray(
+        value, dtype=np.float64
+    )
+
+
+def nearest_grid_neighbors(value: float, fmt: QFormat, radius: int = 1) -> np.ndarray:
+    """Representable values within ``radius`` quanta of ``value``.
+
+    Used by the discrete local-search polish: given a continuous relaxation
+    solution, the candidate discrete moves for one coordinate are the grid
+    points in a small window around it.  The result is clipped to the
+    format's range and sorted in increasing order.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    center = int(quantize_raw(float(value), fmt))
+    raws = np.arange(center - radius, center + radius + 1, dtype=np.int64)
+    raws = raws[(raws >= fmt.min_raw) & (raws <= fmt.max_raw)]
+    return dequantize_raw(raws, fmt)

@@ -1,0 +1,157 @@
+"""Rounding modes for fixed-point quantization.
+
+A rounding mode maps a real-valued quantity (expressed in *quanta*, i.e.
+already scaled by ``2**F``) to an integer raw word.  The paper uses simple
+round-to-nearest when rounding training data and weights to ``QK.F``; we
+additionally provide the other modes common in DSP hardware (truncation is
+what a bare wire-dropping implementation does, convergent rounding is what
+IEEE-style hardware does) so their effect on the classifier can be ablated.
+
+All functions are vectorized over numpy arrays and also accept scalars.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Union
+
+import numpy as np
+
+__all__ = ["RoundingMode", "round_to_int", "shift_right_rounded", "ROUNDERS"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class RoundingMode(enum.Enum):
+    """Supported rounding modes.
+
+    - ``NEAREST_EVEN``: round half to even (convergent rounding; unbiased).
+    - ``NEAREST_AWAY``: round half away from zero (what ``round()`` in most
+      hand calculators and the paper's MATLAB ``round`` do).
+    - ``FLOOR``: round toward minus infinity (two's-complement truncation —
+      the cheapest hardware realization: drop the low bits).
+    - ``CEIL``: round toward plus infinity.
+    - ``TOWARD_ZERO``: drop the fractional magnitude (sign-magnitude
+      truncation).
+    - ``STOCHASTIC``: round up with probability equal to the fractional
+      part; requires a ``numpy.random.Generator``.  Unbiased in expectation;
+      used in quantization-error ablations.
+    """
+
+    NEAREST_EVEN = "nearest-even"
+    NEAREST_AWAY = "nearest-away"
+    FLOOR = "floor"
+    CEIL = "ceil"
+    TOWARD_ZERO = "toward-zero"
+    STOCHASTIC = "stochastic"
+
+    @classmethod
+    def coerce(cls, mode: "RoundingMode | str") -> "RoundingMode":
+        """Accept either an enum member or its string value."""
+        if isinstance(mode, cls):
+            return mode
+        return cls(str(mode))
+
+
+def _round_nearest_even(scaled: ArrayLike) -> np.ndarray:
+    return np.rint(scaled)
+
+
+def _round_nearest_away(scaled: ArrayLike) -> np.ndarray:
+    arr = np.asarray(scaled, dtype=np.float64)
+    return np.sign(arr) * np.floor(np.abs(arr) + 0.5)
+
+
+def _round_floor(scaled: ArrayLike) -> np.ndarray:
+    return np.floor(scaled)
+
+
+def _round_ceil(scaled: ArrayLike) -> np.ndarray:
+    return np.ceil(scaled)
+
+
+def _round_toward_zero(scaled: ArrayLike) -> np.ndarray:
+    return np.trunc(scaled)
+
+
+ROUNDERS: "dict[RoundingMode, Callable[[ArrayLike], np.ndarray]]" = {
+    RoundingMode.NEAREST_EVEN: _round_nearest_even,
+    RoundingMode.NEAREST_AWAY: _round_nearest_away,
+    RoundingMode.FLOOR: _round_floor,
+    RoundingMode.CEIL: _round_ceil,
+    RoundingMode.TOWARD_ZERO: _round_toward_zero,
+}
+
+
+def round_to_int(
+    scaled: ArrayLike,
+    mode: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
+    rng: "np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Round value(s) already expressed in quanta to integer words.
+
+    Parameters
+    ----------
+    scaled:
+        Real value(s) in units of one LSB (i.e. ``value * 2**F``).
+    mode:
+        The rounding mode; see :class:`RoundingMode`.
+    rng:
+        Random generator, required only for ``STOCHASTIC`` mode.
+
+    Returns
+    -------
+    numpy.ndarray of int64 (0-d for scalar input).
+    """
+    mode = RoundingMode.coerce(mode)
+    arr = np.asarray(scaled, dtype=np.float64)
+    if mode is RoundingMode.STOCHASTIC:
+        if rng is None:
+            raise ValueError("stochastic rounding requires an explicit rng")
+        low = np.floor(arr)
+        frac = arr - low
+        bump = (rng.random(size=arr.shape) < frac).astype(np.float64)
+        result = low + bump
+    else:
+        result = ROUNDERS[mode](arr)
+    return result.astype(np.int64)
+
+
+def shift_right_rounded(
+    raw: int, shift: int, mode: "RoundingMode | str" = RoundingMode.NEAREST_AWAY
+) -> int:
+    """Exact integer right-shift of ``raw`` by ``shift`` bits with rounding.
+
+    Equivalent to rounding ``raw / 2**shift`` to an integer, computed in
+    unbounded integer arithmetic so the result is bit-exact for any word
+    length.  This is how the datapath narrows a ``2F``-fraction product back
+    to ``F`` fractional bits.
+    """
+    mode = RoundingMode.coerce(mode)
+    if shift < 0:
+        raise ValueError(f"shift must be >= 0, got {shift}")
+    if shift == 0:
+        return int(raw)
+    raw = int(raw)
+    div = 1 << shift
+    floor_q, rem = divmod(raw, div)  # Python divmod floors toward -inf
+    if mode is RoundingMode.FLOOR:
+        return floor_q
+    if mode is RoundingMode.CEIL:
+        return floor_q + (1 if rem else 0)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return floor_q + (1 if (rem and raw < 0) else 0)
+    half = div >> 1
+    if mode is RoundingMode.NEAREST_AWAY:
+        if rem > half or (rem == half and raw >= 0):
+            return floor_q + 1
+        if rem == half and raw < 0:
+            return floor_q  # floor already moved toward -inf; half goes away from 0
+        return floor_q
+    if mode is RoundingMode.NEAREST_EVEN:
+        if rem > half:
+            return floor_q + 1
+        if rem < half:
+            return floor_q
+        return floor_q + (floor_q & 1)
+    raise ValueError(f"unsupported mode for exact shift: {mode}")

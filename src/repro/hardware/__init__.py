@@ -1,0 +1,42 @@
+"""Hardware cost models and code generators for the trained classifier."""
+
+from .activity import ActivityReport, measure_switching_activity
+from .area import (
+    GateCounts,
+    adder_gates,
+    mac_datapath_gates,
+    multiplier_gates,
+    register_gates,
+)
+from .cgen import generate_classifier_c
+from .energy import EnergyEstimate, EnergyModel
+from .latency import LatencyEstimate, estimate_latency, meets_sample_rate
+from .power import PowerModel, paper_power_model, power_ratio
+from .report import ImplementationReport, build_report
+from .testbench import TestbenchBundle, generate_testbench
+from .verilog import VerilogGenerator, generate_classifier_verilog
+
+__all__ = [
+    "ActivityReport",
+    "measure_switching_activity",
+    "GateCounts",
+    "adder_gates",
+    "multiplier_gates",
+    "register_gates",
+    "mac_datapath_gates",
+    "generate_classifier_c",
+    "EnergyEstimate",
+    "EnergyModel",
+    "LatencyEstimate",
+    "estimate_latency",
+    "meets_sample_rate",
+    "PowerModel",
+    "paper_power_model",
+    "power_ratio",
+    "ImplementationReport",
+    "build_report",
+    "TestbenchBundle",
+    "generate_testbench",
+    "VerilogGenerator",
+    "generate_classifier_verilog",
+]

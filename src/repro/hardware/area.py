@@ -1,0 +1,82 @@
+"""Gate-level area estimates for the classifier datapath (unit-gate model).
+
+Standard unit-gate accounting (one 2-input NAND = 1 gate, one full adder =
+9 gates, one register bit = 4 gates): a ripple-carry adder of width ``n``
+costs ``9n`` gates, an ``n x n`` array multiplier costs roughly ``9n^2``
+(one full adder per partial-product bit) plus ``n^2`` AND gates for partial
+products.  These are the textbook numbers behind the paper's power-scales-
+quadratically argument, and they let the report module print area/energy
+next to classification error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GateCounts", "adder_gates", "multiplier_gates", "register_gates", "mac_datapath_gates"]
+
+FULL_ADDER_GATES = 9
+AND_GATE = 1
+REGISTER_BIT_GATES = 4
+
+
+@dataclass(frozen=True)
+class GateCounts:
+    """Gate-count breakdown of one classifier datapath."""
+
+    multiplier: int
+    adder: int
+    registers: int
+    comparator: int
+
+    @property
+    def total(self) -> int:
+        return self.multiplier + self.adder + self.registers + self.comparator
+
+
+def adder_gates(width: int) -> int:
+    """Ripple-carry adder of ``width`` bits: one full adder per bit."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return FULL_ADDER_GATES * width
+
+
+def multiplier_gates(width: int) -> int:
+    """``width x width`` array multiplier: AND array + (width-1) adder rows."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    partial_products = AND_GATE * width * width
+    adder_rows = FULL_ADDER_GATES * width * max(width - 1, 0)
+    return partial_products + adder_rows
+
+
+def register_gates(width: int) -> int:
+    """One ``width``-bit register."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    return REGISTER_BIT_GATES * width
+
+
+def mac_datapath_gates(word_length: int, serial: bool = True) -> GateCounts:
+    """Gate counts for the classifier's multiply-accumulate datapath.
+
+    Parameters
+    ----------
+    word_length:
+        The shared ``K + F`` width.
+    serial:
+        True models the low-power time-multiplexed implementation (one
+        multiplier + one accumulator shared across features, the usual
+        choice at <10 uW budgets).  False would scale the multiplier and
+        adder by the feature count, which callers can do themselves.
+    """
+    multiplier = multiplier_gates(word_length)
+    adder = adder_gates(word_length)
+    registers = register_gates(word_length) * 2  # accumulator + operand reg
+    comparator = word_length  # sign check + zero compare, ~1 gate/bit
+    counts = GateCounts(
+        multiplier=multiplier, adder=adder, registers=registers, comparator=comparator
+    )
+    if not serial:
+        raise NotImplementedError("parallel datapath accounting is left to callers")
+    return counts

@@ -1,0 +1,61 @@
+"""Energy-per-classification estimates.
+
+Combines the gate-count area model with a switching-activity assumption to
+estimate energy per decision: each gate switches with activity ``alpha``
+per evaluated operation, and a serial MAC performs ``M`` multiply-adds per
+classification.  Absolute numbers are in normalized gate-switch units; only
+ratios across word lengths are meaningful, which is exactly how the paper
+argues (9x, 1.8x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .area import mac_datapath_gates
+
+__all__ = ["EnergyModel", "EnergyEstimate"]
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown for one classification (normalized units)."""
+
+    per_mac: float
+    num_macs: int
+    total: float
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Switched-capacitance energy model over the serial MAC datapath.
+
+    Parameters
+    ----------
+    activity:
+        Mean switching activity per gate per operation (typical 0.1-0.3 for
+        datapath logic).
+    """
+
+    activity: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity <= 1.0:
+            raise ValueError(f"activity must be in (0, 1], got {self.activity}")
+
+    def per_classification(self, word_length: int, num_features: int) -> EnergyEstimate:
+        """Energy of one ``M``-feature classification at ``word_length`` bits."""
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1, got {num_features}")
+        gates = mac_datapath_gates(word_length)
+        per_mac = self.activity * gates.total
+        return EnergyEstimate(
+            per_mac=per_mac, num_macs=num_features, total=per_mac * num_features
+        )
+
+    def reduction(self, from_bits: int, to_bits: int, num_features: int) -> float:
+        """Energy ratio between two word lengths (feature count cancels)."""
+        return (
+            self.per_classification(from_bits, num_features).total
+            / self.per_classification(to_bits, num_features).total
+        )

@@ -1,0 +1,109 @@
+"""Latency / throughput model for the classifier datapath.
+
+The paper's first motivation is *small latency* (real-time response for
+vital-sign monitoring and deep-brain stimulation); this module quantifies
+the latency side of the serial-vs-parallel MAC architecture choice:
+
+- **serial** — one multiplier shared across features: ``M + pipeline``
+  cycles per decision, minimal area, the sub-10 uW choice;
+- **parallel** — one multiplier per feature with an adder tree:
+  ``1 + ceil(log2(M)) + pipeline`` cycles, ``M``-times the multiplier
+  area;
+- **digit-serial** — ``d`` bits per cycle through a narrow multiplier:
+  ``M * ceil(WL / d)`` cycles, the knob between the two extremes.
+
+Clock-rate limits are modeled with a unit-gate critical-path estimate so
+latency converts to wall-clock time per decision, and the throughput check
+against a sampling rate answers "can this front end keep up?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import DataError
+from .area import mac_datapath_gates, multiplier_gates
+
+__all__ = ["LatencyEstimate", "estimate_latency", "meets_sample_rate"]
+
+# Unit-gate delay estimates (one 2-input NAND = 1 delay unit).
+_GATE_DELAY_NS = 0.5  # a conservative subthreshold-ish gate delay
+_PIPELINE_STAGES = 1  # output register
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Cycles and wall-clock latency of one classification."""
+
+    architecture: str
+    cycles_per_decision: int
+    critical_path_gates: int
+    max_clock_hz: float
+    latency_seconds: float
+    relative_multiplier_area: float
+
+
+def _critical_path(word_length: int, architecture: str, num_features: int) -> int:
+    """Unit-gate critical path of one cycle."""
+    # Array multiplier: ~2*WL full-adder stages of 2 gate levels each.
+    multiplier_path = 4 * word_length
+    adder_path = 2 * word_length  # ripple carry
+    if architecture == "parallel":
+        tree_depth = max(1, math.ceil(math.log2(max(num_features, 2))))
+        return multiplier_path + tree_depth * adder_path
+    return multiplier_path + adder_path
+
+
+def estimate_latency(
+    word_length: int,
+    num_features: int,
+    architecture: str = "serial",
+    digit_bits: int = 4,
+) -> LatencyEstimate:
+    """Latency of one decision for the chosen MAC architecture.
+
+    Parameters
+    ----------
+    word_length:
+        Datapath width ``K + F``.
+    num_features:
+        ``M`` — multiplications per decision.
+    architecture:
+        ``"serial"``, ``"parallel"``, or ``"digit-serial"``.
+    digit_bits:
+        Digits processed per cycle for the digit-serial variant.
+    """
+    if word_length < 1 or num_features < 1:
+        raise DataError("word_length and num_features must be >= 1")
+    if architecture == "serial":
+        cycles = num_features + _PIPELINE_STAGES
+        area = 1.0
+    elif architecture == "parallel":
+        cycles = 1 + math.ceil(math.log2(max(num_features, 2))) + _PIPELINE_STAGES
+        area = float(num_features)
+    elif architecture == "digit-serial":
+        if digit_bits < 1:
+            raise DataError(f"digit_bits must be >= 1, got {digit_bits}")
+        cycles = num_features * math.ceil(word_length / digit_bits) + _PIPELINE_STAGES
+        area = multiplier_gates(max(digit_bits, 1)) / multiplier_gates(word_length)
+    else:
+        raise DataError(f"unknown architecture {architecture!r}")
+
+    path = _critical_path(word_length, architecture, num_features)
+    max_clock = 1.0 / (path * _GATE_DELAY_NS * 1e-9)
+    return LatencyEstimate(
+        architecture=architecture,
+        cycles_per_decision=cycles,
+        critical_path_gates=path,
+        max_clock_hz=max_clock,
+        latency_seconds=cycles / max_clock,
+        relative_multiplier_area=area,
+    )
+
+
+def meets_sample_rate(estimate: LatencyEstimate, sample_rate_hz: float) -> bool:
+    """Can the datapath produce one decision per input sample?"""
+    if sample_rate_hz <= 0:
+        raise DataError(f"sample rate must be > 0, got {sample_rate_hz}")
+    return estimate.latency_seconds <= 1.0 / sample_rate_hz

@@ -1,0 +1,110 @@
+"""Text report builder combining accuracy and hardware cost.
+
+Produces the implementation summary a designer would want after training:
+format, weights, estimated gates/energy/power-scaling, and the reproduction
+of the paper's power-reduction arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.classifier import FixedPointLinearClassifier
+from .area import mac_datapath_gates
+from .energy import EnergyModel
+from .power import paper_power_model
+
+__all__ = ["ImplementationReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class ImplementationReport:
+    """Hardware-facing summary of a trained classifier."""
+
+    word_length: int
+    num_features: int
+    total_gates: int
+    energy_per_classification: float
+    text: str
+
+
+def build_report(
+    classifier: FixedPointLinearClassifier,
+    test_error: "float | None" = None,
+    reference_word_length: "int | None" = None,
+    activity_features: "np.ndarray | None" = None,
+) -> ImplementationReport:
+    """Build the implementation report for a trained classifier.
+
+    Parameters
+    ----------
+    classifier:
+        The trained fixed-point classifier.
+    test_error:
+        Optional measured classification error to include.
+    reference_word_length:
+        If given, the report quotes the power reduction relative to this
+        word length using the paper's quadratic model.
+    activity_features:
+        Optional ``(N, M)`` representative feature stream; when given, the
+        report adds measured (toggle-count) switching activity and dynamic
+        energy next to the static model.
+    """
+    from .latency import estimate_latency
+
+    fmt = classifier.fmt
+    gates = mac_datapath_gates(fmt.word_length)
+    energy = EnergyModel().per_classification(fmt.word_length, classifier.num_features)
+    latency = estimate_latency(fmt.word_length, classifier.num_features, "serial")
+
+    lines = [
+        "LDA-FP implementation report",
+        "=" * 34,
+        f"format            : {fmt} ({fmt.word_length}-bit)",
+        f"features          : {classifier.num_features}",
+        f"weights           : {np.array2string(classifier.weights, precision=6)}",
+        f"threshold         : {classifier.threshold:+.6g}",
+        f"polarity          : {'A on >=0' if classifier.polarity > 0 else 'A on <0'}",
+        "",
+        "serial MAC datapath (unit-gate model)",
+        f"  multiplier gates: {gates.multiplier}",
+        f"  adder gates     : {gates.adder}",
+        f"  register gates  : {gates.registers}",
+        f"  comparator gates: {gates.comparator}",
+        f"  total gates     : {gates.total}",
+        f"energy/decision   : {energy.total:.1f} gate-switch units",
+        f"latency/decision  : {latency.cycles_per_decision} cycles "
+        f"(~{1e6 * latency.latency_seconds:.2f} us at the unit-gate clock limit)",
+    ]
+    if activity_features is not None:
+        from .activity import measure_switching_activity
+
+        measured = measure_switching_activity(classifier, activity_features)
+        lines.append(
+            f"measured activity : operand {measured.operand_activity:.3f}, "
+            f"product {measured.product_activity:.3f}, "
+            f"accumulator {measured.accumulator_activity:.3f} toggles/bit/cycle"
+        )
+        lines.append(
+            f"measured energy   : {measured.dynamic_energy_per_classification:.1f} "
+            f"gate-capacitance units/decision "
+            f"({measured.samples} samples replayed)"
+        )
+    if test_error is not None:
+        lines.append(f"test error        : {100.0 * test_error:.2f}%")
+    if reference_word_length is not None:
+        ratio = paper_power_model().reduction(reference_word_length, fmt.word_length)
+        lines.append(
+            f"power vs {reference_word_length}-bit : {ratio:.2f}x reduction "
+            "(quadratic model, paper Section 5.1)"
+        )
+    text = "\n".join(lines) + "\n"
+    return ImplementationReport(
+        word_length=fmt.word_length,
+        num_features=classifier.num_features,
+        total_gates=gates.total,
+        energy_per_classification=energy.total,
+        text=text,
+    )

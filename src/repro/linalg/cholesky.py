@@ -1,0 +1,68 @@
+"""Cholesky factorization and SPD solves.
+
+The LDA-FP relaxation's second-order cone constraints are written as
+``beta * ||L' w||_2 <= ...`` with ``L`` the Cholesky factor of a class
+covariance (paper Eq. 20 / 25), and the conventional LDA weight vector is
+the SPD solve ``S_W w = mu_A - mu_B`` (Eq. 11).  Both use this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LinAlgError
+from .triangular import solve_lower, solve_upper
+
+__all__ = ["cholesky", "solve_spd", "logdet_spd"]
+
+
+def cholesky(matrix: np.ndarray, jitter: float = 0.0) -> np.ndarray:
+    """Lower-triangular Cholesky factor ``L`` with ``L L' = matrix``.
+
+    Parameters
+    ----------
+    matrix:
+        Symmetric positive-definite matrix.  Symmetry is enforced by
+        averaging with the transpose (guards against floating-point
+        asymmetry in accumulated covariance estimates).
+    jitter:
+        Optional value added to the diagonal before factorizing — the usual
+        remedy for barely-PSD sample covariances.
+
+    Raises
+    ------
+    LinAlgError
+        If the (jittered) matrix is not positive definite.
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise LinAlgError(f"expected a square matrix, got shape {a.shape}")
+    a = 0.5 * (a + a.T)
+    if jitter:
+        a = a + float(jitter) * np.eye(a.shape[0])
+    n = a.shape[0]
+    lower = np.zeros_like(a)
+    for j in range(n):
+        diag = a[j, j] - lower[j, :j] @ lower[j, :j]
+        if diag <= 0.0 or not np.isfinite(diag):
+            raise LinAlgError(
+                f"matrix is not positive definite (pivot {diag:.3e} at column {j}); "
+                "consider covariance shrinkage or a diagonal jitter"
+            )
+        lower[j, j] = np.sqrt(diag)
+        if j + 1 < n:
+            lower[j + 1 :, j] = (a[j + 1 :, j] - lower[j + 1 :, :j] @ lower[j, :j]) / lower[j, j]
+    return lower
+
+
+def solve_spd(matrix: np.ndarray, rhs: np.ndarray, jitter: float = 0.0) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` for symmetric positive-definite ``matrix``."""
+    lower = cholesky(matrix, jitter=jitter)
+    y = solve_lower(lower, rhs)
+    return solve_upper(lower.T, y)
+
+
+def logdet_spd(matrix: np.ndarray, jitter: float = 0.0) -> float:
+    """Log-determinant of an SPD matrix via its Cholesky factor."""
+    lower = cholesky(matrix, jitter=jitter)
+    return float(2.0 * np.sum(np.log(np.diag(lower))))

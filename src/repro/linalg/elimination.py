@@ -1,0 +1,101 @@
+"""Gaussian elimination with partial pivoting (LU factorization).
+
+The paper's introduction motivates LDA-FP by analogy with classical
+numerical robustness techniques — "pivoting is an important technique for
+Gaussian elimination that is needed to mitigate the numerical error of a
+linear solver" — so the linear solver used for general (non-SPD) systems in
+this library is exactly that: LU with partial pivoting, built from scratch
+and validated against ``numpy.linalg.solve``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import LinAlgError
+from .triangular import solve_lower, solve_upper
+
+__all__ = ["LUFactors", "lu_factor", "lu_solve", "solve"]
+
+
+@dataclass(frozen=True)
+class LUFactors:
+    """Packed LU factorization ``P A = L U``.
+
+    Attributes
+    ----------
+    lower:
+        Unit lower-triangular factor ``L``.
+    upper:
+        Upper-triangular factor ``U``.
+    permutation:
+        Row permutation as an index array: row ``i`` of ``P A`` is row
+        ``permutation[i]`` of ``A``.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    permutation: np.ndarray
+
+    @property
+    def determinant(self) -> float:
+        """Determinant of the factored matrix (sign from the permutation parity)."""
+        perm = list(self.permutation)
+        swaps = 0
+        seen = [False] * len(perm)
+        for start in range(len(perm)):
+            if seen[start]:
+                continue
+            length = 0
+            node = start
+            while not seen[node]:
+                seen[node] = True
+                node = perm[node]
+                length += 1
+            swaps += length - 1
+        sign = -1.0 if swaps % 2 else 1.0
+        return float(sign * np.prod(np.diag(self.upper)))
+
+
+def lu_factor(matrix: np.ndarray, pivot_tol: float = 1e-12) -> LUFactors:
+    """Factor ``matrix`` as ``P A = L U`` with partial (row) pivoting.
+
+    Raises :class:`~repro.errors.LinAlgError` when the best available pivot
+    at some column is below ``pivot_tol`` times the matrix's max magnitude —
+    the matrix is singular to working precision.
+    """
+    a = np.asarray(matrix, dtype=np.float64).copy()
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise LinAlgError(f"expected a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    perm = np.arange(n)
+    scale = np.max(np.abs(a)) or 1.0
+    for k in range(n):
+        pivot_row = k + int(np.argmax(np.abs(a[k:, k])))
+        if abs(a[pivot_row, k]) < pivot_tol * scale:
+            raise LinAlgError(
+                f"matrix is singular to working precision (column {k})"
+            )
+        if pivot_row != k:
+            a[[k, pivot_row]] = a[[pivot_row, k]]
+            perm[[k, pivot_row]] = perm[[pivot_row, k]]
+        a[k + 1 :, k] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    lower = np.tril(a, -1) + np.eye(n)
+    upper = np.triu(a)
+    return LUFactors(lower=lower, upper=upper, permutation=perm)
+
+
+def lu_solve(factors: LUFactors, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``A x = rhs`` given ``P A = L U`` factors."""
+    b = np.asarray(rhs, dtype=np.float64)
+    permuted = b[factors.permutation]
+    y = solve_lower(factors.lower, permuted, unit_diagonal=True)
+    return solve_upper(factors.upper, y)
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """One-shot pivoted Gaussian-elimination solve of ``A x = rhs``."""
+    return lu_solve(lu_factor(matrix), rhs)

@@ -1,0 +1,58 @@
+"""Positive-semidefinite utilities.
+
+Sample covariances estimated from few trials (the BCI case: 42 features,
+~112 training trials per fold) are frequently indefinite at working
+precision.  These helpers test and repair PSD-ness so the cone-program
+constraints (which take Cholesky factors of class covariances) stay valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LinAlgError
+
+__all__ = ["is_symmetric", "is_psd", "nearest_psd", "symmetrize"]
+
+
+def symmetrize(matrix: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(A + A') / 2``."""
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise LinAlgError(f"expected a square matrix, got shape {a.shape}")
+    return 0.5 * (a + a.T)
+
+
+def is_symmetric(matrix: np.ndarray, tol: float = 1e-10) -> bool:
+    """True when ``A`` equals its transpose to within ``tol`` (relative)."""
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        return False
+    scale = max(1.0, float(np.max(np.abs(a))))
+    return bool(np.max(np.abs(a - a.T)) <= tol * scale)
+
+
+def is_psd(matrix: np.ndarray, tol: float = 1e-10) -> bool:
+    """True when the symmetric part of ``A`` has no eigenvalue below ``-tol*scale``."""
+    a = symmetrize(matrix)
+    eigvals = np.linalg.eigvalsh(a)
+    scale = max(1.0, float(np.max(np.abs(eigvals))) if eigvals.size else 1.0)
+    return bool(eigvals.min() >= -tol * scale)
+
+
+def nearest_psd(matrix: np.ndarray, floor: float = 0.0) -> np.ndarray:
+    """Project onto the PSD cone by clipping negative eigenvalues.
+
+    Parameters
+    ----------
+    matrix:
+        Square matrix (symmetrized internally).
+    floor:
+        Minimum eigenvalue of the result; ``floor > 0`` yields a strictly
+        positive-definite matrix, which is what the Cholesky-based cone
+        constraints require.
+    """
+    a = symmetrize(matrix)
+    eigvals, eigvecs = np.linalg.eigh(a)
+    clipped = np.maximum(eigvals, float(floor))
+    return symmetrize(eigvecs @ np.diag(clipped) @ eigvecs.T)

@@ -1,0 +1,80 @@
+"""Covariance shrinkage regularization.
+
+With 42 features and only ~56 training trials per class per CV fold (the
+paper's BCI setting), the sample covariance is ill-conditioned or singular,
+which makes both the conventional LDA solve (Eq. 11) and the cone-program
+Cholesky factors fragile.  The standard remedy — and the one any practical
+reimplementation must adopt — is linear shrinkage toward a scaled identity:
+
+    ``Sigma_hat = (1 - gamma) * S + gamma * (tr(S) / M) * I``
+
+We provide both a fixed-``gamma`` shrinkage and the Ledoit-Wolf
+data-driven choice of ``gamma`` (implemented from scratch; validated against
+its defining optimality conditions in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .psd import symmetrize
+
+__all__ = ["ShrinkageResult", "shrink_covariance", "ledoit_wolf_gamma"]
+
+
+@dataclass(frozen=True)
+class ShrinkageResult:
+    """A shrunk covariance and the intensity used to produce it."""
+
+    covariance: np.ndarray
+    gamma: float
+    target_scale: float
+
+
+def shrink_covariance(sample_cov: np.ndarray, gamma: float) -> ShrinkageResult:
+    """Shrink ``sample_cov`` toward ``(tr(S)/M) * I`` with intensity ``gamma``."""
+    s = symmetrize(sample_cov)
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    m = s.shape[0]
+    target_scale = float(np.trace(s)) / m
+    shrunk = (1.0 - gamma) * s + gamma * target_scale * np.eye(m)
+    return ShrinkageResult(covariance=shrunk, gamma=float(gamma), target_scale=target_scale)
+
+
+def ledoit_wolf_gamma(samples: np.ndarray) -> float:
+    """Ledoit-Wolf optimal shrinkage intensity for rows-as-samples data.
+
+    Implements the standard estimator: ``gamma* = min(1, (b^2)/(d^2))``
+    where ``d^2 = ||S - m I||_F^2`` measures dispersion of the sample
+    covariance around the scaled identity and ``b^2`` estimates the
+    sampling noise of ``S``.
+
+    Parameters
+    ----------
+    samples:
+        ``(N, M)`` array; rows are observations.  Must have ``N >= 2``.
+    """
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 2:
+        raise DataError(f"samples must be 2-D (N, M), got shape {x.shape}")
+    n, m = x.shape
+    if n < 2:
+        raise DataError(f"need at least 2 samples for shrinkage, got {n}")
+    centered = x - x.mean(axis=0, keepdims=True)
+    sample_cov = centered.T @ centered / n
+    mu = float(np.trace(sample_cov)) / m
+    d2 = float(np.sum((sample_cov - mu * np.eye(m)) ** 2))
+    if d2 == 0.0:
+        return 0.0
+    # b^2: average squared Frobenius distance of per-sample outer products
+    # from the sample covariance, divided by N (Ledoit & Wolf 2004, Lemma 3.3).
+    b2_sum = 0.0
+    for row in centered:
+        outer = np.outer(row, row)
+        b2_sum += float(np.sum((outer - sample_cov) ** 2))
+    b2 = min(b2_sum / (n * n), d2)
+    return float(b2 / d2)

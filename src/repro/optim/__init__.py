@@ -1,0 +1,40 @@
+"""Optimization substrate: cone programs, barrier solver, branch-and-bound."""
+
+from .barrier import BarrierResult, BarrierSolver, find_strictly_feasible
+from .bnb import (
+    BranchAndBoundConfig,
+    BranchAndBoundProblem,
+    BranchAndBoundResult,
+    BranchAndBoundSolver,
+    BranchAndBoundStats,
+    Candidate,
+    Relaxation,
+)
+from .boxes import Box
+from .bruteforce import BruteForceResult, brute_force_minimize
+from .certificate import KktReport, check_kkt
+from .cone import ConeProgram, LinearInequality, SocConstraint
+from .slsqp_backend import SlsqpResult, solve_with_slsqp
+
+__all__ = [
+    "BarrierResult",
+    "BarrierSolver",
+    "find_strictly_feasible",
+    "BranchAndBoundConfig",
+    "BranchAndBoundProblem",
+    "BranchAndBoundResult",
+    "BranchAndBoundSolver",
+    "BranchAndBoundStats",
+    "Candidate",
+    "Relaxation",
+    "Box",
+    "BruteForceResult",
+    "brute_force_minimize",
+    "KktReport",
+    "check_kkt",
+    "ConeProgram",
+    "LinearInequality",
+    "SocConstraint",
+    "SlsqpResult",
+    "solve_with_slsqp",
+]

@@ -1,0 +1,285 @@
+"""Generic best-first branch-and-bound framework (paper Algorithm 1).
+
+The framework is problem-agnostic: a :class:`BranchAndBoundProblem`
+implementation supplies the relaxation (lower bound), the incumbent
+heuristic (upper bound / feasible point), the branching rule, and terminal
+resolution.  The driver keeps a priority queue of open boxes ordered by
+lower bound, prunes nodes whose bound exceeds the incumbent (Algorithm 1
+step 5), and stops when the queue is empty (proven optimality), the gap
+target is met, or a node/time budget runs out — in which case the incumbent
+is returned with ``proven_optimal=False``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Generic, Iterable, Optional, Protocol, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..errors import SolverBudgetExceeded
+from .boxes import Box
+
+__all__ = [
+    "Candidate",
+    "Relaxation",
+    "BranchAndBoundProblem",
+    "BranchAndBoundConfig",
+    "BranchAndBoundStats",
+    "BranchAndBoundResult",
+    "BranchAndBoundSolver",
+]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A feasible discrete point and its true cost."""
+
+    x: np.ndarray
+    cost: float
+
+
+@dataclass(frozen=True)
+class Relaxation:
+    """Result of relaxing one node.
+
+    Attributes
+    ----------
+    lower_bound:
+        Valid lower bound on the discrete cost within the node's box
+        (``+inf`` marks an infeasible node).
+    solution:
+        Minimizer of the relaxation (used to guide rounding/branching);
+        ``None`` when infeasible.
+    """
+
+    lower_bound: float
+    solution: Optional[np.ndarray] = None
+
+    @property
+    def feasible(self) -> bool:
+        return np.isfinite(self.lower_bound)
+
+
+class BranchAndBoundProblem(Protocol):
+    """The problem-specific callbacks the driver needs."""
+
+    def initial_box(self) -> Box:
+        """The root search box (paper Eq. 28-29)."""
+        ...
+
+    def relax(self, box: Box) -> Relaxation:
+        """Lower bound for the box (paper Eq. 25-26)."""
+        ...
+
+    def candidates(self, box: Box, relaxation: Relaxation) -> Iterable[Candidate]:
+        """Feasible discrete points found inside/near the box (Eq. 27 + rounding)."""
+        ...
+
+    def branch(self, box: Box, relaxation: Relaxation) -> Sequence[Box]:
+        """Partition the box (Algorithm 1 step 4)."""
+        ...
+
+    def is_terminal(self, box: Box) -> bool:
+        """True when the box is small enough to resolve by enumeration."""
+        ...
+
+    def resolve_terminal(self, box: Box) -> Iterable[Candidate]:
+        """Enumerate the discrete points of a terminal box."""
+        ...
+
+
+@dataclass(frozen=True)
+class BranchAndBoundConfig:
+    """Budgets and tolerances for the driver.
+
+    Attributes
+    ----------
+    max_nodes:
+        Maximum nodes expanded before returning the incumbent.
+    time_limit:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    absolute_gap:
+        Stop when ``incumbent - best_lower_bound <= absolute_gap``.
+    relative_gap:
+        Stop when the gap relative to the incumbent is below this.
+    strategy:
+        ``"best-first"`` pops the node with the smallest lower bound
+        (optimal for proving); ``"depth-first"`` pops the most recently
+        created node (reaches terminal boxes — and hence exact incumbents —
+        sooner under tight budgets).  Both use the same pruning, so the
+        returned bounds are valid either way.
+    """
+
+    max_nodes: int = 200_000
+    time_limit: Optional[float] = None
+    absolute_gap: float = 1e-9
+    relative_gap: float = 1e-9
+    strategy: str = "best-first"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("best-first", "depth-first"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+
+
+@dataclass
+class BranchAndBoundStats:
+    """Counters describing one solve."""
+
+    nodes_expanded: int = 0
+    nodes_pruned: int = 0
+    nodes_infeasible: int = 0
+    terminal_nodes: int = 0
+    incumbent_updates: int = 0
+    wall_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class BranchAndBoundResult:
+    """Solution returned by the driver.
+
+    ``proven_optimal`` is True only when the search space was exhausted (or
+    closed by the gap test); a budget-limited run returns the incumbent with
+    the best remaining lower bound in ``lower_bound``.
+    """
+
+    x: np.ndarray
+    cost: float
+    lower_bound: float
+    proven_optimal: bool
+    stats: BranchAndBoundStats
+
+    @property
+    def gap(self) -> float:
+        return self.cost - self.lower_bound
+
+
+class BranchAndBoundSolver:
+    """Best-first branch-and-bound driver."""
+
+    def __init__(self, config: "BranchAndBoundConfig | None" = None) -> None:
+        self.config = config or BranchAndBoundConfig()
+
+    def solve(
+        self,
+        problem: BranchAndBoundProblem,
+        initial_incumbent: "Candidate | None" = None,
+    ) -> BranchAndBoundResult:
+        """Run the search.
+
+        Parameters
+        ----------
+        problem:
+            The problem callbacks.
+        initial_incumbent:
+            Optional warm-start feasible point (e.g. rounded conventional
+            LDA) — the paper's heuristics rely on a good incumbent to prune
+            early.
+
+        Raises
+        ------
+        SolverBudgetExceeded
+            Only if the budget expires with *no* feasible point found.
+        """
+        config = self.config
+        stats = BranchAndBoundStats()
+        start_time = time.perf_counter()
+
+        best: "Candidate | None" = initial_incumbent
+        root = problem.initial_box()
+        root_relax = problem.relax(root)
+        depth_first = config.strategy == "depth-first"
+        raw_counter = itertools.count()
+        # The heap entry is (key, tiebreak, bound, box, relaxation).  Best-
+        # first keys on the bound; depth-first keys on negative creation
+        # order, turning the heap into a stack while the true bound rides
+        # along for pruning and gap accounting.
+        heap: "list[tuple[float, int, float, Box, Relaxation]]" = []
+
+        def push(bound: float, box: Box, relaxation: Relaxation) -> None:
+            tick = next(raw_counter)
+            key = float(-tick) if depth_first else bound
+            heapq.heappush(heap, (key, tick, bound, box, relaxation))
+
+        if root_relax.feasible:
+            best = self._improve(best, problem.candidates(root, root_relax), stats)
+            push(root_relax.lower_bound, root, root_relax)
+        else:
+            stats.nodes_infeasible += 1
+
+        while heap:
+            if stats.nodes_expanded >= config.max_nodes:
+                break
+            if (
+                config.time_limit is not None
+                and time.perf_counter() - start_time > config.time_limit
+            ):
+                break
+
+            _, _, bound, box, relaxation = heapq.heappop(heap)
+            if best is not None and bound > best.cost - config.absolute_gap:
+                stats.nodes_pruned += 1
+                continue
+            if (
+                best is not None
+                and not depth_first
+                and self._gap_closed(best.cost, bound, config)
+            ):
+                # Best-first pops bounds in increasing order, so the popped
+                # bound is the global remaining bound and the gap is closed.
+                push(bound, box, relaxation)
+                break
+
+            stats.nodes_expanded += 1
+            if problem.is_terminal(box):
+                stats.terminal_nodes += 1
+                best = self._improve(best, problem.resolve_terminal(box), stats)
+                continue
+
+            for child in problem.branch(box, relaxation):
+                child_relax = problem.relax(child)
+                if not child_relax.feasible:
+                    stats.nodes_infeasible += 1
+                    continue
+                best = self._improve(best, problem.candidates(child, child_relax), stats)
+                if best is not None and child_relax.lower_bound > best.cost - config.absolute_gap:
+                    stats.nodes_pruned += 1
+                    continue
+                push(child_relax.lower_bound, child, child_relax)
+
+        stats.wall_time = time.perf_counter() - start_time
+        if best is None:
+            raise SolverBudgetExceeded(
+                "branch-and-bound found no feasible point within its budget"
+            )
+        remaining_bound = min((entry[2] for entry in heap), default=best.cost)
+        proven = not heap or self._gap_closed(best.cost, remaining_bound, config)
+        return BranchAndBoundResult(
+            x=best.x,
+            cost=best.cost,
+            lower_bound=min(remaining_bound, best.cost),
+            proven_optimal=proven,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _gap_closed(incumbent: float, bound: float, config: BranchAndBoundConfig) -> bool:
+        gap = incumbent - bound
+        if gap <= config.absolute_gap:
+            return True
+        scale = max(abs(incumbent), 1e-12)
+        return gap / scale <= config.relative_gap
+
+    @staticmethod
+    def _improve(
+        best: "Candidate | None", candidates: Iterable[Candidate], stats: BranchAndBoundStats
+    ) -> "Candidate | None":
+        for cand in candidates:
+            if np.isfinite(cand.cost) and (best is None or cand.cost < best.cost):
+                best = cand
+                stats.incumbent_updates += 1
+        return best

@@ -1,0 +1,144 @@
+"""Axis-aligned boxes for the branch-and-bound search space.
+
+A node of the LDA-FP search is a box over the ``M + 1`` variables
+``(w_1, ..., w_M, t)`` (paper Eq. 24).  Boxes know how to measure their
+width in *quanta* of a grid step per dimension, split along a chosen
+dimension at a grid-aligned point, and report terminality (every discrete
+dimension narrowed to at most one grid step — paper Algorithm 1 step 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box ``[lo_i, hi_i]`` per dimension.
+
+    ``steps`` gives the grid step per dimension; a non-positive step marks a
+    continuous dimension (the auxiliary variable ``t``), which never drives
+    terminality but may still be branched.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    steps: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        steps = np.asarray(self.steps, dtype=np.float64)
+        if lo.shape != hi.shape or lo.shape != steps.shape:
+            raise ValueError(
+                f"shape mismatch: lo {lo.shape}, hi {hi.shape}, steps {steps.shape}"
+            )
+        if np.any(hi < lo):
+            raise ValueError("box has hi < lo")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "steps", steps)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ndim(self) -> int:
+        return int(self.lo.shape[0])
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def widths_in_quanta(self) -> np.ndarray:
+        """Per-dimension width divided by the grid step (inf step -> 0 width).
+
+        Continuous dimensions report their raw width so they can still win
+        the branching choice when they dominate.
+        """
+        out = np.empty(self.ndim)
+        for i in range(self.ndim):
+            if self.steps[i] > 0:
+                out[i] = (self.hi[i] - self.lo[i]) / self.steps[i]
+            else:
+                out[i] = self.hi[i] - self.lo[i]
+        return out
+
+    def contains(self, point: np.ndarray, tol: float = 1e-12) -> bool:
+        p = np.asarray(point, dtype=np.float64)
+        return bool(np.all(p >= self.lo - tol) and np.all(p <= self.hi + tol))
+
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    # ------------------------------------------------------------------ #
+    def grid_count(self, dim: int) -> int:
+        """Number of grid points of dimension ``dim`` inside the box."""
+        step = self.steps[dim]
+        if step <= 0:
+            raise ValueError(f"dimension {dim} is continuous")
+        first = np.ceil(self.lo[dim] / step - 1e-9)
+        last = np.floor(self.hi[dim] / step + 1e-9)
+        return max(0, int(last - first) + 1)
+
+    def grid_values(self, dim: int) -> np.ndarray:
+        """The grid points of dimension ``dim`` inside the box, ascending."""
+        step = self.steps[dim]
+        if step <= 0:
+            raise ValueError(f"dimension {dim} is continuous")
+        first = int(np.ceil(self.lo[dim] / step - 1e-9))
+        last = int(np.floor(self.hi[dim] / step + 1e-9))
+        if last < first:
+            return np.empty(0)
+        return np.arange(first, last + 1, dtype=np.float64) * step
+
+    def is_terminal(self, discrete_dims: "np.ndarray | None" = None) -> bool:
+        """True when every discrete dimension holds at most two grid points.
+
+        This is the paper's "sizes of all intervals ... sufficiently small"
+        stopping rule made concrete: once each ``w`` dimension is down to a
+        single grid step, the node is resolved by enumeration instead of
+        further branching.
+        """
+        dims = (
+            np.flatnonzero(self.steps > 0)
+            if discrete_dims is None
+            else np.asarray(discrete_dims)
+        )
+        return all(self.grid_count(int(d)) <= 2 for d in dims)
+
+    # ------------------------------------------------------------------ #
+    def split(self, dim: int) -> "tuple[Box, Box]":
+        """Bisect along ``dim`` at a grid-aligned midpoint.
+
+        For discrete dimensions the cut is placed between two grid points so
+        no representable value is lost or duplicated; for continuous
+        dimensions the cut is the plain midpoint.
+        """
+        lo, hi, step = self.lo[dim], self.hi[dim], self.steps[dim]
+        if hi <= lo:
+            raise ValueError(f"cannot split zero-width dimension {dim}")
+        if step > 0:
+            values = self.grid_values(dim)
+            if values.size >= 2:
+                mid_index = values.size // 2
+                cut_hi = values[mid_index - 1]
+                cut_lo = values[mid_index]
+            else:
+                cut_hi = cut_lo = 0.5 * (lo + hi)
+        else:
+            cut_hi = cut_lo = 0.5 * (lo + hi)
+        left_hi = self.hi.copy()
+        left_hi[dim] = cut_hi
+        right_lo = self.lo.copy()
+        right_lo[dim] = cut_lo
+        return (
+            Box(self.lo.copy(), left_hi, self.steps.copy()),
+            Box(right_lo, self.hi.copy(), self.steps.copy()),
+        )
+
+    def widest_dimension(self) -> int:
+        """Index of the dimension with the largest width in quanta."""
+        return int(np.argmax(self.widths_in_quanta()))

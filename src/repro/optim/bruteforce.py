@@ -1,0 +1,82 @@
+"""Exhaustive enumeration over a discrete grid — ground truth for tests.
+
+For small dimension and word length (the synthetic example: M = 3 at 4-8
+bits) the entire feasible grid can be enumerated, giving the exact global
+optimum of the LDA-FP mixed-integer program.  The test suite checks that
+the branch-and-bound solver reproduces this optimum exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+__all__ = ["BruteForceResult", "brute_force_minimize"]
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Best grid point found by exhaustive search."""
+
+    x: np.ndarray
+    cost: float
+    evaluated: int
+    feasible_count: int
+
+
+def brute_force_minimize(
+    grids: Sequence[np.ndarray],
+    cost: Callable[[np.ndarray], float],
+    feasible: Optional[Callable[[np.ndarray], bool]] = None,
+    max_points: int = 5_000_000,
+) -> BruteForceResult:
+    """Minimize ``cost`` over the Cartesian product of per-dimension grids.
+
+    Parameters
+    ----------
+    grids:
+        One 1-D array of candidate values per dimension.
+    cost:
+        Objective evaluated at each feasible point (may return ``inf``).
+    feasible:
+        Optional predicate; infeasible points are skipped.
+    max_points:
+        Safety cap on the product size.
+
+    Raises
+    ------
+    OptimizationError
+        If the product exceeds ``max_points`` or no feasible point exists.
+    """
+    total = 1
+    for grid in grids:
+        total *= max(1, len(grid))
+    if total > max_points:
+        raise OptimizationError(
+            f"grid product has {total} points, exceeding the cap of {max_points}"
+        )
+
+    best_x: "np.ndarray | None" = None
+    best_cost = np.inf
+    evaluated = 0
+    feasible_count = 0
+    for combo in itertools.product(*[np.asarray(g, dtype=np.float64) for g in grids]):
+        point = np.array(combo)
+        evaluated += 1
+        if feasible is not None and not feasible(point):
+            continue
+        feasible_count += 1
+        value = float(cost(point))
+        if value < best_cost:
+            best_cost = value
+            best_x = point
+    if best_x is None:
+        raise OptimizationError("no feasible grid point found by brute force")
+    return BruteForceResult(
+        x=best_x, cost=best_cost, evaluated=evaluated, feasible_count=feasible_count
+    )

@@ -1,0 +1,203 @@
+"""Convex cone-program container: quadratic objective, linear + SOC constraints.
+
+The node relaxation of LDA-FP (paper Eq. 25) is exactly this problem class:
+
+    minimize    (1/eta) * w' S_W w
+    subject to  A w <= b                    (per-feature overflow, Eq. 18,
+                                             expanded to linear rows; box
+                                             bounds; t-interval bounds)
+                ||G_i w + h_i|| <= c_i' w + d_i   (projection overflow, Eq. 20)
+
+We represent the objective as ``0.5 w' P w + q' w + r`` and each
+second-order cone (SOC) constraint by the matrices above.  For barrier
+methods the SOC constraint is handled through the canonical self-concordant
+barrier ``-log((c'w + d)^2 - ||G w + h||^2)`` restricted to ``c'w + d > 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+__all__ = ["LinearInequality", "SocConstraint", "ConeProgram"]
+
+
+@dataclass(frozen=True)
+class LinearInequality:
+    """One linear row ``a' w <= b``."""
+
+    a: np.ndarray
+    b: float
+    name: str = ""
+
+    def value(self, w: np.ndarray) -> float:
+        """Constraint function ``a'w - b`` (feasible when <= 0)."""
+        return float(self.a @ w - self.b)
+
+    def grad(self, w: np.ndarray) -> np.ndarray:
+        return self.a
+
+
+@dataclass(frozen=True)
+class SocConstraint:
+    """Second-order cone constraint ``||G w + h||_2 <= c' w + d``."""
+
+    G: np.ndarray
+    h: np.ndarray
+    c: np.ndarray
+    d: float
+    name: str = ""
+
+    def residual(self, w: np.ndarray) -> float:
+        """``||G w + h|| - (c'w + d)``; feasible when <= 0."""
+        return float(np.linalg.norm(self.G @ w + self.h) - (self.c @ w + self.d))
+
+    def rhs(self, w: np.ndarray) -> float:
+        """The affine right-hand side ``c'w + d`` (must be >= 0 on the cone)."""
+        return float(self.c @ w + self.d)
+
+    def gap(self, w: np.ndarray) -> float:
+        """``(c'w+d)^2 - ||Gw+h||^2`` — the quantity the barrier logs."""
+        u = self.rhs(w)
+        v = self.G @ w + self.h
+        return u * u - float(v @ v)
+
+    def gap_grad(self, w: np.ndarray) -> np.ndarray:
+        u = self.rhs(w)
+        v = self.G @ w + self.h
+        return 2.0 * u * self.c - 2.0 * (self.G.T @ v)
+
+    def gap_hess(self, w: np.ndarray) -> np.ndarray:
+        return 2.0 * np.outer(self.c, self.c) - 2.0 * (self.G.T @ self.G)
+
+
+@dataclass
+class ConeProgram:
+    """``min 0.5 w'Pw + q'w + r`` over linear and SOC constraints plus a box.
+
+    Attributes
+    ----------
+    P:
+        Symmetric PSD quadratic term (``(M, M)``).
+    q:
+        Linear term (``(M,)``).
+    r:
+        Constant offset (carried so node lower bounds are directly
+        comparable to the original cost).
+    linear:
+        Linear inequality rows.
+    socs:
+        Second-order cone constraints.
+    lower, upper:
+        Elementwise box bounds (always finite in LDA-FP: the ``QK.F`` range
+        intersected with the node's interval).
+    """
+
+    P: np.ndarray
+    q: np.ndarray
+    r: float = 0.0
+    linear: List[LinearInequality] = field(default_factory=list)
+    socs: List[SocConstraint] = field(default_factory=list)
+    lower: Optional[np.ndarray] = None
+    upper: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.P = np.asarray(self.P, dtype=np.float64)
+        self.q = np.asarray(self.q, dtype=np.float64)
+        n = self.q.shape[0]
+        if self.P.shape != (n, n):
+            raise OptimizationError(
+                f"P shape {self.P.shape} inconsistent with q length {n}"
+            )
+        if self.lower is None:
+            self.lower = np.full(n, -np.inf)
+        if self.upper is None:
+            self.upper = np.full(n, np.inf)
+        self.lower = np.asarray(self.lower, dtype=np.float64)
+        self.upper = np.asarray(self.upper, dtype=np.float64)
+        if np.any(self.lower > self.upper):
+            raise OptimizationError("box bounds cross (lower > upper)")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vars(self) -> int:
+        return int(self.q.shape[0])
+
+    def objective(self, w: np.ndarray) -> float:
+        w = np.asarray(w, dtype=np.float64)
+        return float(0.5 * w @ self.P @ w + self.q @ w + self.r)
+
+    def objective_grad(self, w: np.ndarray) -> np.ndarray:
+        return self.P @ w + self.q
+
+    def objective_hess(self, w: np.ndarray) -> np.ndarray:
+        return self.P
+
+    # ------------------------------------------------------------------ #
+    def box_rows(self) -> List[LinearInequality]:
+        """The box bounds expanded into linear rows (skipping infinities)."""
+        rows: List[LinearInequality] = []
+        n = self.num_vars
+        for i in range(n):
+            unit = np.zeros(n)
+            unit[i] = 1.0
+            if np.isfinite(self.upper[i]):
+                rows.append(LinearInequality(unit.copy(), float(self.upper[i]), f"ub[{i}]"))
+            if np.isfinite(self.lower[i]):
+                rows.append(LinearInequality(-unit, -float(self.lower[i]), f"lb[{i}]"))
+        return rows
+
+    def all_linear_rows(self) -> List[LinearInequality]:
+        return list(self.linear) + self.box_rows()
+
+    def stacked_linear(self) -> "tuple[np.ndarray, np.ndarray]":
+        """All linear rows (including box) stacked as ``(A, b)`` with ``A w <= b``.
+
+        The stack is cached — solvers evaluate the linear constraints
+        thousands of times per solve and the vectorized form is the
+        difference between a usable and an unusable barrier method.
+        """
+        cached = getattr(self, "_stacked_cache", None)
+        if cached is not None:
+            return cached
+        rows = self.all_linear_rows()
+        if rows:
+            A = np.vstack([row.a for row in rows])
+            b = np.array([row.b for row in rows])
+        else:
+            A = np.zeros((0, self.num_vars))
+            b = np.zeros(0)
+        self._stacked_cache = (A, b)
+        return self._stacked_cache
+
+    def max_violation(self, w: np.ndarray) -> float:
+        """Largest constraint violation at ``w`` (<= 0 means feasible)."""
+        w = np.asarray(w, dtype=np.float64)
+        worst = -np.inf
+        A, b = self.stacked_linear()
+        if b.size:
+            worst = max(worst, float(np.max(A @ w - b)))
+        for soc in self.socs:
+            worst = max(worst, soc.residual(w))
+        return worst if worst > -np.inf else 0.0
+
+    def is_feasible(self, w: np.ndarray, tol: float = 1e-8) -> bool:
+        return self.max_violation(w) <= tol
+
+    def is_strictly_feasible(self, w: np.ndarray, margin: float = 1e-10) -> bool:
+        """Strict interior test, as required to start a barrier method."""
+        w = np.asarray(w, dtype=np.float64)
+        A, b = self.stacked_linear()
+        if b.size and float(np.max(A @ w - b)) >= -margin:
+            return False
+        for soc in self.socs:
+            if soc.rhs(w) <= margin or soc.gap(w) <= margin:
+                return False
+        return True
+
+    def clip_to_box(self, w: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(w, dtype=np.float64), self.lower, self.upper)

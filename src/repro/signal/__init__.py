@@ -1,0 +1,55 @@
+"""Signal-processing substrate: the ECoG front end ahead of the classifier.
+
+Raw-signal simulation (:mod:`timeseries`), filter design and application
+(:mod:`filters`), spectral estimation (:mod:`spectrum`), band-power feature
+extraction (:mod:`features`), and the fixed-point FIR datapath
+(:mod:`fxfir`).
+"""
+
+from .features import (
+    DEFAULT_BANDS,
+    BandPowerExtractor,
+    fir_band_power,
+    trials_to_dataset,
+)
+from .filters import (
+    Biquad,
+    apply_biquads,
+    apply_fir,
+    butterworth_bandpass,
+    design_fir,
+    filtfilt_fir,
+)
+from .fxbiquad import FixedPointBiquad, is_stable_after_quantization, quantized_poles
+from .fxfir import FixedPointFir
+from .preprocess import decimate, design_notch, remove_powerline
+from .spectrum import PsdEstimate, band_power, log_band_power, periodogram, welch_psd
+from .timeseries import EcogSimulator, EcogSimulatorConfig, EcogTrial
+
+__all__ = [
+    "DEFAULT_BANDS",
+    "BandPowerExtractor",
+    "fir_band_power",
+    "trials_to_dataset",
+    "Biquad",
+    "apply_biquads",
+    "apply_fir",
+    "butterworth_bandpass",
+    "design_fir",
+    "filtfilt_fir",
+    "FixedPointFir",
+    "FixedPointBiquad",
+    "is_stable_after_quantization",
+    "quantized_poles",
+    "decimate",
+    "design_notch",
+    "remove_powerline",
+    "PsdEstimate",
+    "band_power",
+    "log_band_power",
+    "periodogram",
+    "welch_psd",
+    "EcogSimulator",
+    "EcogSimulatorConfig",
+    "EcogTrial",
+]

@@ -1,0 +1,90 @@
+"""Front-end preprocessing: power-line notch and integer decimation.
+
+Real biopotential front ends do two things before feature extraction:
+remove mains interference (50/60 Hz and harmonics) with a narrow IIR notch,
+and decimate the over-sampled ADC stream down to the analysis rate behind
+an anti-alias lowpass.  Both are implemented here on top of
+:mod:`repro.signal.filters` and validated against ``scipy.signal`` designs
+in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from .filters import Biquad, apply_biquads, apply_fir, design_fir
+
+__all__ = ["design_notch", "remove_powerline", "decimate"]
+
+
+def design_notch(notch_hz: float, sample_rate: float, quality: float = 30.0) -> Biquad:
+    """Second-order IIR notch at ``notch_hz`` (standard RBJ-cookbook biquad).
+
+    ``quality`` sets the notch width: bandwidth = notch_hz / quality.
+    """
+    if not 0 < notch_hz < sample_rate / 2:
+        raise DataError(
+            f"notch frequency {notch_hz} outside (0, {sample_rate / 2})"
+        )
+    if quality <= 0:
+        raise DataError(f"quality must be > 0, got {quality}")
+    omega = 2.0 * math.pi * notch_hz / sample_rate
+    alpha = math.sin(omega) / (2.0 * quality)
+    cos_w = math.cos(omega)
+    b0, b1, b2 = 1.0, -2.0 * cos_w, 1.0
+    a0, a1, a2 = 1.0 + alpha, -2.0 * cos_w, 1.0 - alpha
+    return Biquad(b0=b0 / a0, b1=b1 / a0, b2=b2 / a0, a1=a1 / a0, a2=a2 / a0)
+
+
+def remove_powerline(
+    signal: np.ndarray,
+    sample_rate: float,
+    mains_hz: float = 50.0,
+    harmonics: int = 2,
+    quality: float = 30.0,
+) -> np.ndarray:
+    """Cascaded notches at the mains frequency and its harmonics.
+
+    Harmonics above Nyquist are skipped silently (they do not exist in the
+    sampled signal).
+    """
+    if harmonics < 1:
+        raise DataError(f"harmonics must be >= 1, got {harmonics}")
+    sections = []
+    for k in range(1, harmonics + 1):
+        freq = k * mains_hz
+        if freq >= sample_rate / 2:
+            break
+        sections.append(design_notch(freq, sample_rate, quality=quality))
+    if not sections:
+        raise DataError(
+            f"no notch below Nyquist for mains {mains_hz} Hz at fs {sample_rate}"
+        )
+    return apply_biquads(sections, np.asarray(signal, dtype=np.float64))
+
+
+def decimate(
+    signal: np.ndarray,
+    factor: int,
+    num_taps: int = 63,
+) -> np.ndarray:
+    """Anti-aliased integer decimation: FIR lowpass at 0.8x the new Nyquist,
+    then keep every ``factor``-th sample."""
+    if factor < 1:
+        raise DataError(f"factor must be >= 1, got {factor}")
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise DataError(f"signal must be 1-D, got shape {x.shape}")
+    if factor == 1:
+        return x.copy()
+    cutoff = 0.8 * (0.5 / factor)  # normalized to the input rate
+    taps = design_fir(num_taps, cutoff, kind="lowpass", sample_rate=1.0)
+    filtered = apply_fir(taps, x)
+    # Compensate the FIR group delay so decimated samples align.
+    delay = (num_taps - 1) // 2
+    aligned = np.concatenate([filtered[delay:], np.zeros(delay)])
+    return aligned[::factor]

@@ -1,0 +1,62 @@
+"""Statistics substrate: normal distribution, scatter estimators, CV, metrics."""
+
+from .confidence import (
+    Interval,
+    interval_within_format,
+    overflow_margin,
+    product_interval,
+    projection_interval,
+)
+from .bootstrap import (
+    BootstrapInterval,
+    bootstrap_error_interval,
+    paired_bootstrap_pvalue,
+)
+from .crossval import KFold, LeaveOneOut, StratifiedKFold, train_test_split
+from .metrics import (
+    ConfusionMatrix,
+    accuracy,
+    balanced_error,
+    classification_error,
+    confusion_matrix,
+)
+from .normal import confidence_beta, norm_cdf, norm_pdf, norm_ppf
+from .roc import RocCurve, auc, best_threshold, roc_curve
+from .scatter import (
+    ClassStats,
+    TwoClassStats,
+    estimate_class_stats,
+    estimate_two_class_stats,
+)
+
+__all__ = [
+    "Interval",
+    "product_interval",
+    "projection_interval",
+    "interval_within_format",
+    "overflow_margin",
+    "BootstrapInterval",
+    "bootstrap_error_interval",
+    "paired_bootstrap_pvalue",
+    "KFold",
+    "StratifiedKFold",
+    "LeaveOneOut",
+    "train_test_split",
+    "ConfusionMatrix",
+    "classification_error",
+    "accuracy",
+    "balanced_error",
+    "confusion_matrix",
+    "norm_pdf",
+    "norm_cdf",
+    "norm_ppf",
+    "confidence_beta",
+    "RocCurve",
+    "auc",
+    "best_threshold",
+    "roc_curve",
+    "ClassStats",
+    "TwoClassStats",
+    "estimate_class_stats",
+    "estimate_two_class_stats",
+]

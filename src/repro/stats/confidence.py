@@ -1,0 +1,91 @@
+"""Gaussian confidence intervals for fixed-point range analysis (Eq. 15-17).
+
+Given the Gaussian model of Eq. 14, each product ``w_m * x_m`` is Gaussian
+with mean ``w_m * mu_m`` and std ``|w_m| * sigma_m`` (Eq. 15), and the
+projection ``w' x`` is Gaussian with mean ``w' mu`` and std
+``sqrt(w' Sigma w)`` (Eq. 19).  The paper bounds both inside the ``QK.F``
+range with the two-sided ``beta``-sigma interval of Eq. 17.  This module
+computes those intervals and checks them against a format — the runtime
+verification counterpart of the training-time constraints (Eq. 18, 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fixedpoint.qformat import QFormat
+from .normal import confidence_beta
+
+__all__ = [
+    "Interval",
+    "product_interval",
+    "projection_interval",
+    "interval_within_format",
+    "overflow_margin",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+
+def product_interval(weight: float, mean: float, std: float, beta: float) -> Interval:
+    """Eq. 17: confidence interval of ``w_m * x_m`` for one class.
+
+    ``[w mu - beta |w| sigma,  w mu + beta |w| sigma]``.
+    """
+    if std < 0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    if beta < 0:
+        raise ValueError(f"beta must be >= 0, got {beta}")
+    center = weight * mean
+    half = beta * abs(weight) * std
+    return Interval(center - half, center + half)
+
+
+def projection_interval(
+    weights: np.ndarray, mean: np.ndarray, covariance: np.ndarray, beta: float
+) -> Interval:
+    """Confidence interval of the projection ``w' x`` for one class (Eq. 19-20)."""
+    w = np.asarray(weights, dtype=np.float64)
+    center = float(w @ np.asarray(mean, dtype=np.float64))
+    variance = float(w @ np.asarray(covariance, dtype=np.float64) @ w)
+    half = beta * np.sqrt(max(variance, 0.0))
+    return Interval(center - half, center + half)
+
+
+def interval_within_format(interval: Interval, fmt: QFormat) -> bool:
+    """True when the interval fits inside ``[-2^(K-1), 2^(K-1) - 2^-F]``."""
+    return interval.lo >= fmt.min_value and interval.hi <= fmt.max_value
+
+
+def overflow_margin(interval: Interval, fmt: QFormat) -> float:
+    """Distance (in value units) from the interval to the nearest format edge.
+
+    Positive means the interval is safely inside the range; negative means
+    it already sticks out by that amount.  Used by diagnostics and by the
+    ablation that relates margin to observed wrap damage.
+    """
+    return min(interval.lo - fmt.min_value, fmt.max_value - interval.hi)
+
+
+def beta_for_confidence(rho: float) -> float:
+    """Alias of :func:`repro.stats.normal.confidence_beta` (Eq. 16)."""
+    return confidence_beta(rho)

@@ -1,0 +1,133 @@
+"""Cross-validation splitters (Table 2 uses stratified 5-fold CV).
+
+Splitters yield ``(train_indices, test_indices)`` pairs over a label array.
+``StratifiedKFold`` keeps class proportions balanced per fold — with only
+70 trials per class, unstratified folds could easily starve a class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["KFold", "StratifiedKFold", "LeaveOneOut", "train_test_split"]
+
+Split = Tuple[np.ndarray, np.ndarray]
+
+
+def _as_labels(labels: np.ndarray) -> np.ndarray:
+    y = np.asarray(labels)
+    if y.ndim != 1 or y.size == 0:
+        raise DataError(f"labels must be a non-empty 1-D array, got shape {y.shape}")
+    return y
+
+
+@dataclass(frozen=True)
+class KFold:
+    """Plain k-fold splitter with optional shuffling.
+
+    Parameters
+    ----------
+    n_splits:
+        Number of folds (>= 2).
+    shuffle:
+        Shuffle indices before folding.
+    seed:
+        Seed for the shuffle (ignored when ``shuffle`` is False).
+    """
+
+    n_splits: int = 5
+    shuffle: bool = True
+    seed: int = 0
+
+    def split(self, labels: np.ndarray) -> Iterator[Split]:
+        y = _as_labels(labels)
+        n = y.size
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+        if self.n_splits > n:
+            raise DataError(f"cannot make {self.n_splits} folds from {n} samples")
+        indices = np.arange(n)
+        if self.shuffle:
+            np.random.default_rng(self.seed).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits, dtype=int)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield np.sort(train), np.sort(test)
+            start += size
+
+
+@dataclass(frozen=True)
+class StratifiedKFold:
+    """K-fold that preserves per-class proportions in every fold."""
+
+    n_splits: int = 5
+    shuffle: bool = True
+    seed: int = 0
+
+    def split(self, labels: np.ndarray) -> Iterator[Split]:
+        y = _as_labels(labels)
+        classes = np.unique(y)
+        if self.n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+        rng = np.random.default_rng(self.seed)
+        per_class_folds: "list[list[np.ndarray]]" = []
+        for cls in classes:
+            idx = np.flatnonzero(y == cls)
+            if idx.size < self.n_splits:
+                raise DataError(
+                    f"class {cls!r} has {idx.size} samples, fewer than "
+                    f"{self.n_splits} folds"
+                )
+            if self.shuffle:
+                rng.shuffle(idx)
+            per_class_folds.append(np.array_split(idx, self.n_splits))
+        for fold in range(self.n_splits):
+            test = np.sort(np.concatenate([folds[fold] for folds in per_class_folds]))
+            mask = np.ones(y.size, dtype=bool)
+            mask[test] = False
+            yield np.flatnonzero(mask), test
+
+
+@dataclass(frozen=True)
+class LeaveOneOut:
+    """Leave-one-out splitter (used in tests and small-data diagnostics)."""
+
+    def split(self, labels: np.ndarray) -> Iterator[Split]:
+        y = _as_labels(labels)
+        indices = np.arange(y.size)
+        for held_out in indices:
+            yield np.delete(indices, held_out), np.array([held_out])
+
+
+def train_test_split(
+    labels: np.ndarray, test_fraction: float = 0.3, seed: int = 0, stratify: bool = True
+) -> Split:
+    """One random (optionally stratified) train/test split over a label array."""
+    y = _as_labels(labels)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    if stratify:
+        test_parts = []
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            rng.shuffle(idx)
+            take = max(1, int(round(idx.size * test_fraction)))
+            test_parts.append(idx[:take])
+        test = np.sort(np.concatenate(test_parts))
+    else:
+        idx = np.arange(y.size)
+        rng.shuffle(idx)
+        take = max(1, int(round(y.size * test_fraction)))
+        test = np.sort(idx[:take])
+    mask = np.ones(y.size, dtype=bool)
+    mask[test] = False
+    return np.flatnonzero(mask), test

@@ -1,0 +1,101 @@
+"""Classification metrics.
+
+The paper reports a single metric — classification error (1 - accuracy) —
+estimated either on a held-out Monte-Carlo test set (Table 1) or by 5-fold
+cross-validation (Table 2).  We additionally provide a confusion matrix and
+balanced error for the documentation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = [
+    "classification_error",
+    "accuracy",
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "balanced_error",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    t = np.asarray(y_true).ravel()
+    p = np.asarray(y_pred).ravel()
+    if t.size == 0:
+        raise DataError("empty label arrays")
+    if t.shape != p.shape:
+        raise DataError(f"label shapes differ: {t.shape} vs {p.shape}")
+    return t, p
+
+
+def classification_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of misclassified samples — the paper's reported metric."""
+    t, p = _check_pair(y_true, y_pred)
+    return float(np.mean(t != p))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``1 - classification_error``."""
+    return 1.0 - classification_error(y_true, y_pred)
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion counts with class A encoded as label 1."""
+
+    true_a: int
+    false_b: int  # actual A predicted B
+    false_a: int  # actual B predicted A
+    true_b: int
+
+    @property
+    def total(self) -> int:
+        return self.true_a + self.false_b + self.false_a + self.true_b
+
+    @property
+    def error(self) -> float:
+        return (self.false_a + self.false_b) / self.total
+
+    @property
+    def sensitivity(self) -> float:
+        """Recall of class A; ``nan`` if there are no class-A samples."""
+        denom = self.true_a + self.false_b
+        return self.true_a / denom if denom else float("nan")
+
+    @property
+    def specificity(self) -> float:
+        """Recall of class B; ``nan`` if there are no class-B samples."""
+        denom = self.true_b + self.false_a
+        return self.true_b / denom if denom else float("nan")
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    """Binary confusion matrix; labels must be 0/1 (1 = class A)."""
+    t, p = _check_pair(y_true, y_pred)
+    valid = {0, 1}
+    if not set(np.unique(t)).issubset(valid) or not set(np.unique(p)).issubset(valid):
+        raise DataError("confusion_matrix expects binary 0/1 labels")
+    return ConfusionMatrix(
+        true_a=int(np.sum((t == 1) & (p == 1))),
+        false_b=int(np.sum((t == 1) & (p == 0))),
+        false_a=int(np.sum((t == 0) & (p == 1))),
+        true_b=int(np.sum((t == 0) & (p == 0))),
+    )
+
+
+def balanced_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of per-class error rates (robust to class imbalance)."""
+    cm = confusion_matrix(y_true, y_pred)
+    errors = []
+    if cm.true_a + cm.false_b:
+        errors.append(cm.false_b / (cm.true_a + cm.false_b))
+    if cm.true_b + cm.false_a:
+        errors.append(cm.false_a / (cm.true_b + cm.false_a))
+    if not errors:
+        raise DataError("no samples of either class")
+    return float(np.mean(errors))

@@ -1,0 +1,122 @@
+"""ROC analysis and threshold tuning for the fixed-point classifier.
+
+The decision threshold ``w' (mu_A + mu_B)/2`` (Eq. 12) is the balanced
+choice, but in hardware the threshold register is free to reprogram — for
+a seizure detector one trades sensitivity against false alarms without
+touching the weights.  This module computes ROC curves over the *quantized*
+threshold grid (only representable thresholds are realizable on-chip) and
+picks operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["RocCurve", "roc_curve", "auc", "best_threshold"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """ROC curve samples over candidate thresholds.
+
+    Attributes
+    ----------
+    thresholds:
+        Candidate decision thresholds, increasing.
+    true_positive_rate:
+        Sensitivity at each threshold (class A = positive).
+    false_positive_rate:
+        1 - specificity at each threshold.
+    """
+
+    thresholds: np.ndarray
+    true_positive_rate: np.ndarray
+    false_positive_rate: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.thresholds.size
+        if self.true_positive_rate.size != n or self.false_positive_rate.size != n:
+            raise DataError("ROC arrays must have equal length")
+
+
+def roc_curve(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    thresholds: "np.ndarray | None" = None,
+) -> RocCurve:
+    """ROC over thresholds applied as ``predict A iff score >= threshold``.
+
+    Parameters
+    ----------
+    scores:
+        Real-valued decision scores (e.g. ``w'x``).
+    labels:
+        Binary 0/1 labels (1 = class A = positive).
+    thresholds:
+        Candidate thresholds; defaults to the sorted unique scores bracketed
+        by sentinels (the full empirical curve).
+    """
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel()
+    if s.shape != y.shape or s.size == 0:
+        raise DataError("scores and labels must be equal-length and non-empty")
+    positives = int(np.sum(y == 1))
+    negatives = int(np.sum(y == 0))
+    if positives == 0 or negatives == 0:
+        raise DataError("ROC needs both classes present")
+    if thresholds is None:
+        unique = np.unique(s)
+        spread = max(float(unique[-1] - unique[0]), 1.0)
+        thresholds = np.concatenate(
+            [[unique[0] - 0.01 * spread], unique, [unique[-1] + 0.01 * spread]]
+        )
+    thresholds = np.sort(np.asarray(thresholds, dtype=np.float64))
+
+    tpr = np.empty(thresholds.size)
+    fpr = np.empty(thresholds.size)
+    for i, threshold in enumerate(thresholds):
+        predicted = s >= threshold
+        tpr[i] = float(np.sum(predicted & (y == 1))) / positives
+        fpr[i] = float(np.sum(predicted & (y == 0))) / negatives
+    return RocCurve(
+        thresholds=thresholds, true_positive_rate=tpr, false_positive_rate=fpr
+    )
+
+
+def auc(curve: RocCurve) -> float:
+    """Area under the ROC curve (trapezoidal over FPR, robust to ordering)."""
+    order = np.argsort(curve.false_positive_rate, kind="stable")
+    fpr = curve.false_positive_rate[order]
+    tpr = curve.true_positive_rate[order]
+    # Anchor the endpoints so partial curves integrate sensibly.
+    fpr = np.concatenate([[0.0], fpr, [1.0]])
+    tpr = np.concatenate([[0.0], tpr, [1.0]])
+    return float(np.trapezoid(tpr, fpr))
+
+
+def best_threshold(
+    curve: RocCurve,
+    max_false_positive_rate: Optional[float] = None,
+) -> float:
+    """Pick an operating threshold from a ROC curve.
+
+    With ``max_false_positive_rate`` set, returns the threshold with the
+    highest sensitivity whose FPR respects the cap (a detector budget);
+    otherwise maximizes Youden's J (``TPR - FPR``).
+    """
+    if max_false_positive_rate is not None:
+        mask = curve.false_positive_rate <= max_false_positive_rate
+        if not np.any(mask):
+            raise DataError(
+                f"no threshold achieves FPR <= {max_false_positive_rate}"
+            )
+        candidates = np.flatnonzero(mask)
+        best = candidates[np.argmax(curve.true_positive_rate[candidates])]
+    else:
+        best = int(np.argmax(curve.true_positive_rate - curve.false_positive_rate))
+    return float(curve.thresholds[best])

@@ -1,0 +1,118 @@
+"""Class statistics: means, covariances, scatter matrices (paper Eq. 1-6).
+
+These are the quantities every stage of LDA-FP consumes.  Note the paper's
+covariance convention (Eq. 5-6) normalizes by ``N`` (not ``N - 1``); we
+follow the paper and expose ``ddof`` for callers that want the unbiased
+variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["ClassStats", "TwoClassStats", "estimate_class_stats", "estimate_two_class_stats"]
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Mean vector and covariance matrix of one class (Eq. 3-6)."""
+
+    mean: np.ndarray
+    covariance: np.ndarray
+    count: int
+
+    @property
+    def std(self) -> np.ndarray:
+        """Per-feature standard deviations (sqrt of covariance diagonal)."""
+        return np.sqrt(np.clip(np.diag(self.covariance), 0.0, None))
+
+
+@dataclass(frozen=True)
+class TwoClassStats:
+    """Everything the LDA-FP formulation needs about the two classes.
+
+    Attributes
+    ----------
+    class_a, class_b:
+        Per-class statistics (Eq. 3-6).
+    within_scatter:
+        ``S_W = (Sigma_A + Sigma_B) / 2`` (Eq. 2).
+    mean_difference:
+        ``mu_A - mu_B`` — the between-class direction (Eq. 1 is its outer
+        product, which is never materialized because Eq. 10 only ever uses
+        ``(mu_A - mu_B)' w``).
+    """
+
+    class_a: ClassStats
+    class_b: ClassStats
+    within_scatter: np.ndarray
+    mean_difference: np.ndarray
+
+    @property
+    def num_features(self) -> int:
+        return int(self.mean_difference.shape[0])
+
+    @property
+    def between_scatter(self) -> np.ndarray:
+        """``S_B = (mu_A - mu_B)(mu_A - mu_B)'`` (Eq. 1), materialized on demand."""
+        d = self.mean_difference
+        return np.outer(d, d)
+
+    @property
+    def midpoint(self) -> np.ndarray:
+        """``(mu_A + mu_B) / 2`` — the point through which the boundary passes (Eq. 12)."""
+        return 0.5 * (self.class_a.mean + self.class_b.mean)
+
+    def fisher_cost(self, weights: np.ndarray) -> float:
+        """Paper Eq. 10: ``w' S_W w / ((mu_A - mu_B)' w)^2``.
+
+        Returns ``inf`` for weights orthogonal to the mean difference (the
+        denominator vanishes, so the classes are not separated at all).
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        numerator = float(w @ self.within_scatter @ w)
+        t = float(self.mean_difference @ w)
+        if t == 0.0:
+            return float("inf")
+        return numerator / (t * t)
+
+
+def estimate_class_stats(samples: np.ndarray, ddof: int = 0) -> ClassStats:
+    """Mean and covariance of one class from rows-as-samples data (Eq. 3, 5)."""
+    x = np.asarray(samples, dtype=np.float64)
+    if x.ndim != 2:
+        raise DataError(f"samples must be 2-D (N, M), got shape {x.shape}")
+    n = x.shape[0]
+    if n < 1:
+        raise DataError("need at least one sample")
+    if n - ddof < 1:
+        raise DataError(f"need more than ddof={ddof} samples, got {n}")
+    if not np.all(np.isfinite(x)):
+        raise DataError("samples contain non-finite values")
+    mean = x.mean(axis=0)
+    centered = x - mean
+    cov = centered.T @ centered / (n - ddof)
+    return ClassStats(mean=mean, covariance=0.5 * (cov + cov.T), count=n)
+
+
+def estimate_two_class_stats(
+    samples_a: np.ndarray, samples_b: np.ndarray, ddof: int = 0
+) -> TwoClassStats:
+    """Full two-class statistics (Eq. 1-6) from the two training sets."""
+    stats_a = estimate_class_stats(samples_a, ddof=ddof)
+    stats_b = estimate_class_stats(samples_b, ddof=ddof)
+    if stats_a.mean.shape != stats_b.mean.shape:
+        raise DataError(
+            f"feature dimensions differ: {stats_a.mean.shape} vs {stats_b.mean.shape}"
+        )
+    within = 0.5 * (stats_a.covariance + stats_b.covariance)
+    return TwoClassStats(
+        class_a=stats_a,
+        class_b=stats_b,
+        within_scatter=within,
+        mean_difference=stats_a.mean - stats_b.mean,
+    )

@@ -1,0 +1,35 @@
+"""Word-length optimization: range analysis, precision analysis, search.
+
+The paper's Section 3 defers word-length optimization to future work while
+citing the DSP literature ([10]-[12]); this subpackage implements that
+companion flow for the classifier datapath.
+"""
+
+from .precision import (
+    PrecisionPoint,
+    decision_noise_variance,
+    precision_sweep,
+    predicted_error,
+)
+from .range_analysis import (
+    DatapathRanges,
+    bits_for_range,
+    interval_ranges,
+    statistical_ranges,
+)
+from .search import SweepPoint, minimum_wordlength, pareto_front, wordlength_sweep
+
+__all__ = [
+    "PrecisionPoint",
+    "decision_noise_variance",
+    "precision_sweep",
+    "predicted_error",
+    "DatapathRanges",
+    "bits_for_range",
+    "interval_ranges",
+    "statistical_ranges",
+    "SweepPoint",
+    "minimum_wordlength",
+    "pareto_front",
+    "wordlength_sweep",
+]

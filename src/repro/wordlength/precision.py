@@ -1,0 +1,118 @@
+"""Analytical precision analysis: predicted error increase vs fractional bits.
+
+The second half of word-length optimization: with the integer width fixed
+by range analysis, how many *fractional* bits does the classifier need?
+Under the uniform-quantization-noise model (each rounding adds independent
+noise of variance ``LSB^2 / 12``), the decision value ``w'x - threshold``
+acquires three noise contributions:
+
+1. feature quantization, filtered by the weights: ``sum w_m^2 * q^2/12``;
+2. product narrowing: one rounding per MAC, ``M * q^2/12``;
+3. weight quantization (bias, not noise — bounded by its worst case).
+
+The projection per class is Gaussian (paper Eq. 19), so the predicted
+misclassification probability with noise variance ``v`` added is a closed
+form — giving an analytic error-vs-``F`` curve that the tests compare to
+Monte-Carlo simulation of the actual bit-exact datapath.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import DataError
+from ..fixedpoint.qformat import QFormat
+from ..stats.normal import norm_cdf
+from ..stats.scatter import TwoClassStats
+
+__all__ = ["PrecisionPoint", "decision_noise_variance", "predicted_error", "precision_sweep"]
+
+
+def decision_noise_variance(weights: np.ndarray, fmt: QFormat) -> float:
+    """Quantization-noise variance added to ``w'x`` at format ``fmt``.
+
+    Uniform-noise model: features and product narrowings each contribute
+    ``q^2/12`` per rounding.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    q2_12 = fmt.resolution**2 / 12.0
+    feature_noise = float(np.sum(w * w)) * q2_12
+    product_noise = w.size * q2_12
+    return feature_noise + product_noise
+
+
+def predicted_error(
+    stats: TwoClassStats,
+    weights: np.ndarray,
+    threshold: float,
+    extra_variance: float = 0.0,
+) -> float:
+    """Gaussian-model classification error of the linear rule with added noise.
+
+    Balanced priors; class A positive (Eq. 12).  ``extra_variance`` is the
+    quantization-noise variance from :func:`decision_noise_variance`.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if extra_variance < 0:
+        raise DataError(f"extra_variance must be >= 0, got {extra_variance}")
+    errors = []
+    for cls, is_positive in ((stats.class_a, True), (stats.class_b, False)):
+        mean = float(w @ cls.mean) - threshold
+        variance = float(w @ cls.covariance @ w) + extra_variance
+        std = math.sqrt(max(variance, 1e-300))
+        prob_positive = 1.0 - float(norm_cdf(-mean / std))
+        errors.append(1.0 - prob_positive if is_positive else prob_positive)
+    return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One fractional-width sample of the analytic precision curve."""
+
+    fraction_bits: int
+    fmt: QFormat
+    noise_variance: float
+    predicted_error: float
+    weight_rounding_worst_case: float
+
+
+def precision_sweep(
+    stats: TwoClassStats,
+    weights: np.ndarray,
+    threshold: float,
+    integer_bits: int,
+    fraction_range: "tuple[int, int]" = (1, 12),
+) -> "List[PrecisionPoint]":
+    """Analytic error-vs-``F`` curve for fixed float weights.
+
+    At each ``F`` the weights are snapped to the grid (deterministic bias)
+    and the uniform-noise variance of features/products is added to the
+    Gaussian error model.
+    """
+    from ..fixedpoint.quantize import quantize
+
+    w = np.asarray(weights, dtype=np.float64)
+    lo, hi = fraction_range
+    if lo < 0 or hi < lo:
+        raise DataError(f"bad fraction range {fraction_range}")
+    points: "List[PrecisionPoint]" = []
+    for fraction_bits in range(lo, hi + 1):
+        fmt = QFormat(integer_bits, fraction_bits)
+        wq = np.asarray(quantize(w, fmt))
+        thresholdq = float(quantize(threshold, fmt))
+        variance = decision_noise_variance(wq, fmt)
+        error = predicted_error(stats, wq, thresholdq, extra_variance=variance)
+        points.append(
+            PrecisionPoint(
+                fraction_bits=fraction_bits,
+                fmt=fmt,
+                noise_variance=variance,
+                predicted_error=error,
+                weight_rounding_worst_case=float(np.max(np.abs(wq - w))),
+            )
+        )
+    return points

@@ -1,0 +1,149 @@
+"""Range analysis: how many integer bits does each datapath node need?
+
+The classic first half of word-length optimization ([10]-[12]): determine
+the dynamic range of every intermediate signal so the integer width ``K``
+can be fixed, leaving the fractional width ``F`` to precision analysis.
+Two methods, both over the classifier datapath (features -> products ->
+accumulated sum -> threshold subtraction):
+
+- **interval analysis** — worst-case bounds from feature intervals
+  (sound, often loose for long sums);
+- **statistical analysis** — Gaussian model bounds at a confidence level
+  (the paper's own Eq. 16-20 viewpoint, applied to sizing instead of
+  constraining).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..stats.normal import confidence_beta
+from ..stats.scatter import TwoClassStats
+
+__all__ = ["DatapathRanges", "interval_ranges", "statistical_ranges", "bits_for_range"]
+
+
+@dataclass(frozen=True)
+class DatapathRanges:
+    """Per-node value ranges of the classifier datapath.
+
+    Attributes
+    ----------
+    features:
+        ``(M, 2)`` per-feature [lo, hi].
+    products:
+        ``(M, 2)`` per-product [lo, hi] of ``w_m * x_m``.
+    accumulator:
+        [lo, hi] of the final sum ``w'x``.
+    decision:
+        [lo, hi] of ``w'x - threshold``.
+    """
+
+    features: np.ndarray
+    products: np.ndarray
+    accumulator: "tuple[float, float]"
+    decision: "tuple[float, float]"
+
+    def integer_bits_needed(self) -> "dict[str, int]":
+        """Smallest signed integer width covering each node."""
+        return {
+            "features": max(
+                bits_for_range(float(lo), float(hi)) for lo, hi in self.features
+            ),
+            "products": max(
+                bits_for_range(float(lo), float(hi)) for lo, hi in self.products
+            ),
+            "accumulator": bits_for_range(*self.accumulator),
+            "decision": bits_for_range(*self.decision),
+        }
+
+
+def bits_for_range(lo: float, hi: float) -> int:
+    """Smallest ``K`` (two's complement, including sign) with
+    ``[-2^(K-1), 2^(K-1)) ⊇ [lo, hi]``."""
+    if hi < lo:
+        raise DataError(f"empty range [{lo}, {hi}]")
+    k = 1
+    while -(2.0 ** (k - 1)) > lo or hi >= 2.0 ** (k - 1):
+        k += 1
+        if k > 62:
+            raise DataError(f"range [{lo}, {hi}] needs more than 62 bits")
+    return k
+
+
+def interval_ranges(
+    feature_lo: np.ndarray,
+    feature_hi: np.ndarray,
+    weights: np.ndarray,
+    threshold: float,
+) -> DatapathRanges:
+    """Worst-case interval propagation through the dot product."""
+    lo = np.asarray(feature_lo, dtype=np.float64)
+    hi = np.asarray(feature_hi, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if lo.shape != hi.shape or lo.shape != w.shape:
+        raise DataError("feature bounds and weights must share a shape")
+    if np.any(hi < lo):
+        raise DataError("feature bounds cross")
+    product_lo = np.minimum(w * lo, w * hi)
+    product_hi = np.maximum(w * lo, w * hi)
+    acc_lo = float(np.sum(product_lo))
+    acc_hi = float(np.sum(product_hi))
+    return DatapathRanges(
+        features=np.column_stack([lo, hi]),
+        products=np.column_stack([product_lo, product_hi]),
+        accumulator=(acc_lo, acc_hi),
+        decision=(acc_lo - threshold, acc_hi - threshold),
+    )
+
+
+def statistical_ranges(
+    stats: TwoClassStats,
+    weights: np.ndarray,
+    threshold: float,
+    rho: float = 0.9999,
+) -> DatapathRanges:
+    """Gaussian confidence-interval ranges (paper Eq. 15-20 as a sizing tool).
+
+    Per node, the range is the union of both classes' ``beta``-sigma
+    intervals at confidence ``rho``.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape[0] != stats.num_features:
+        raise DataError("weights do not match the statistics' dimension")
+    beta = confidence_beta(rho)
+
+    def union(lo_a, hi_a, lo_b, hi_b):
+        return np.minimum(lo_a, lo_b), np.maximum(hi_a, hi_b)
+
+    cls_a, cls_b = stats.class_a, stats.class_b
+    feat_lo, feat_hi = union(
+        cls_a.mean - beta * cls_a.std,
+        cls_a.mean + beta * cls_a.std,
+        cls_b.mean - beta * cls_b.std,
+        cls_b.mean + beta * cls_b.std,
+    )
+    prod_lo_a = w * cls_a.mean - beta * np.abs(w) * cls_a.std
+    prod_hi_a = w * cls_a.mean + beta * np.abs(w) * cls_a.std
+    prod_lo_b = w * cls_b.mean - beta * np.abs(w) * cls_b.std
+    prod_hi_b = w * cls_b.mean + beta * np.abs(w) * cls_b.std
+    prod_lo, prod_hi = union(prod_lo_a, prod_hi_a, prod_lo_b, prod_hi_b)
+
+    def projection_interval(cls):
+        center = float(w @ cls.mean)
+        spread = beta * math.sqrt(max(float(w @ cls.covariance @ w), 0.0))
+        return center - spread, center + spread
+
+    a_lo, a_hi = projection_interval(cls_a)
+    b_lo, b_hi = projection_interval(cls_b)
+    acc_lo, acc_hi = min(a_lo, b_lo), max(a_hi, b_hi)
+    return DatapathRanges(
+        features=np.column_stack([feat_lo, feat_hi]),
+        products=np.column_stack([prod_lo, prod_hi]),
+        accumulator=(acc_lo, acc_hi),
+        decision=(acc_lo - threshold, acc_hi - threshold),
+    )

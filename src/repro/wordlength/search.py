@@ -1,0 +1,96 @@
+"""Minimum-word-length search and error/power Pareto fronts.
+
+Ties the pieces together: given train/test data and a target error, find
+the smallest total word length whose (retrained) classifier meets it, and
+build the (word length, error, power) Pareto front a designer reads.
+
+Monotonicity caveat: measured error is *not* guaranteed monotone in word
+length on small test sets (the paper notes the same for its Table 2), so
+the minimum search scans linearly rather than bisecting, and reports all
+evaluated points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.pipeline import PipelineConfig, PipelineResult, TrainingPipeline
+from ..data.dataset import Dataset
+from ..errors import DataError
+from ..hardware.power import paper_power_model
+
+__all__ = ["SweepPoint", "wordlength_sweep", "minimum_wordlength", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated word length."""
+
+    word_length: int
+    test_error: float
+    power: float
+    train_seconds: float
+    proven_optimal: Optional[bool]
+
+
+def wordlength_sweep(
+    train: Dataset,
+    test: Dataset,
+    word_lengths: Sequence[int],
+    pipeline_config: "PipelineConfig | None" = None,
+) -> "List[SweepPoint]":
+    """Train and score the pipeline at each word length."""
+    if not word_lengths:
+        raise DataError("no word lengths given")
+    pipeline = TrainingPipeline(pipeline_config or PipelineConfig())
+    model = paper_power_model()
+    points: "List[SweepPoint]" = []
+    for wl in word_lengths:
+        result: PipelineResult = pipeline.run(train, test, wl)
+        proven = (
+            result.ldafp_report.proven_optimal
+            if result.ldafp_report is not None
+            else None
+        )
+        points.append(
+            SweepPoint(
+                word_length=wl,
+                test_error=result.test_error,
+                power=model.power(wl),
+                train_seconds=result.train_seconds,
+                proven_optimal=proven,
+            )
+        )
+    return points
+
+
+def minimum_wordlength(
+    points: Sequence[SweepPoint], target_error: float
+) -> Optional[SweepPoint]:
+    """Smallest evaluated word length meeting the target error (or None)."""
+    eligible = [p for p in points if p.test_error <= target_error]
+    if not eligible:
+        return None
+    return min(eligible, key=lambda p: p.word_length)
+
+
+def pareto_front(points: Sequence[SweepPoint]) -> "List[SweepPoint]":
+    """Non-dominated (power, error) points, sorted by power.
+
+    A point is kept when no other point has both lower-or-equal power and
+    strictly lower error (or equal error at lower power).
+    """
+    front: "List[SweepPoint]" = []
+    for candidate in points:
+        dominated = any(
+            (other.power <= candidate.power and other.test_error < candidate.test_error)
+            or (
+                other.power < candidate.power
+                and other.test_error <= candidate.test_error
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda p: p.power)

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_synthetic_dataset
+from repro.fixedpoint.qformat import QFormat
+from repro.stats.scatter import estimate_two_class_stats
+
+
+@pytest.fixture(scope="session")
+def q3_0() -> QFormat:
+    return QFormat(3, 0)
+
+
+@pytest.fixture(scope="session")
+def q2_2() -> QFormat:
+    return QFormat(2, 2)
+
+
+@pytest.fixture(scope="session")
+def q4_4() -> QFormat:
+    return QFormat(4, 4)
+
+
+@pytest.fixture(scope="session")
+def synthetic_train():
+    return make_synthetic_dataset(600, seed=0)
+
+
+@pytest.fixture(scope="session")
+def synthetic_test():
+    return make_synthetic_dataset(1500, seed=1)
+
+
+@pytest.fixture(scope="session")
+def synthetic_stats(synthetic_train):
+    return estimate_two_class_stats(synthetic_train.class_a, synthetic_train.class_b)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,71 @@
+"""Tests for repro.hardware.activity (toggle counting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+from repro.hardware.activity import measure_switching_activity
+
+
+def make_classifier(weights, fmt=None):
+    fmt = fmt or QFormat(2, 4)
+    return FixedPointLinearClassifier(
+        weights=np.asarray(weights, dtype=np.float64), threshold=0.0, fmt=fmt
+    )
+
+
+class TestToggleCounting:
+    def test_constant_zero_stream_minimal_toggles(self):
+        clf = make_classifier([0.0, 0.0, 0.0])
+        report = measure_switching_activity(clf, np.zeros((10, 3)))
+        # All-zero weights and features: nothing ever changes.
+        assert report.total_toggles == 0
+        assert report.dynamic_energy_per_classification == 0.0
+
+    def test_alternating_stream_many_toggles(self, rng):
+        clf = make_classifier([0.5, -0.5])
+        # Alternate between extreme values so the operand bus flips hard.
+        features = np.tile(np.array([[1.9, -2.0], [-2.0, 1.9]]), (10, 1))
+        busy = measure_switching_activity(clf, features)
+        quiet = measure_switching_activity(clf, np.full((20, 2), 0.0625))
+        assert busy.operand_toggles > quiet.operand_toggles
+
+    def test_random_data_activity_near_half_on_operand_lsb_region(self, rng):
+        clf = make_classifier([0.5, -0.25, 1.0])
+        features = rng.uniform(-1.9, 1.9, size=(200, 3))
+        report = measure_switching_activity(clf, features)
+        # Uniform random words toggle ~half their bits per cycle.
+        assert 0.25 < report.operand_activity < 0.6
+
+    def test_cycle_accounting(self):
+        clf = make_classifier([0.5, 0.5])
+        report = measure_switching_activity(clf, np.ones((7, 2)))
+        assert report.samples == 7
+        assert report.cycles == 14  # M cycles per sample (serial MAC)
+
+    def test_weight_bus_only_toggles_between_weights(self):
+        clf = make_classifier([0.5, 0.5, 0.5])  # identical weights
+        report = measure_switching_activity(clf, np.ones((5, 3)))
+        assert report.weight_toggles <= 2  # only the initial 0 -> 0.5 flip
+
+    def test_energy_scales_with_wordlength_for_same_data(self, rng):
+        features = rng.uniform(-1.5, 1.5, size=(50, 2))
+        small = make_classifier([0.5, -0.5], QFormat(2, 2))
+        large = make_classifier([0.5, -0.5], QFormat(2, 10))
+        e_small = measure_switching_activity(small, features)
+        e_large = measure_switching_activity(large, features)
+        assert (
+            e_large.dynamic_energy_per_classification
+            > e_small.dynamic_energy_per_classification
+        )
+
+    def test_shape_validation(self):
+        clf = make_classifier([0.5, 0.5])
+        with pytest.raises(DataError):
+            measure_switching_activity(clf, np.ones((3, 5)))
+        with pytest.raises(DataError):
+            measure_switching_activity(clf, np.ones((0, 2)))

@@ -1,0 +1,73 @@
+"""Tests for repro.fixedpoint.allocation (word-length allocation extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.allocation import (
+    choose_uniform_format,
+    greedy_wordlength_allocation,
+)
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestChooseUniformFormat:
+    def test_unit_bound(self):
+        fmt = choose_uniform_format(8, 0.99)
+        assert fmt.integer_bits == 1
+        assert fmt.word_length == 8
+
+    def test_larger_bound(self):
+        assert choose_uniform_format(8, 1.5).integer_bits == 2
+
+
+class TestGreedyAllocation:
+    def test_drops_bits_from_insensitive_elements(self):
+        # Objective only cares about element 0; element 1's bits are free
+        # to drop all the way to the floor.
+        weights = [0.515625, 0.75]
+        start = QFormat(2, 8)
+
+        def objective(quantized: np.ndarray) -> float:
+            return abs(quantized[0] - 0.515625)
+
+        result = greedy_wordlength_allocation(
+            weights, objective, start, max_degradation=0.0, min_fraction_bits=1
+        )
+        assert result.formats[1].fraction_bits == 1
+        # element 0 needs >= 6 fraction bits to represent 0.515625 = 33/64
+        assert result.formats[0].fraction_bits >= 6
+        assert result.objective == 0.0
+
+    def test_respects_budget(self):
+        weights = [0.3, 0.3]
+        start = QFormat(2, 6)
+
+        def objective(quantized: np.ndarray) -> float:
+            return float(np.sum(np.abs(quantized - np.asarray(weights))))
+
+        base = greedy_wordlength_allocation(weights, objective, start, max_degradation=0.0)
+        loose = greedy_wordlength_allocation(weights, objective, start, max_degradation=0.5)
+        assert loose.total_bits <= base.total_bits
+
+    def test_history_records_steps(self):
+        weights = [0.5]
+        start = QFormat(2, 4)
+        result = greedy_wordlength_allocation(
+            weights, lambda q: 0.0, start, max_degradation=1.0
+        )
+        # 0.5 survives any fraction-bit count >= 1; history should show drops
+        assert len(result.history) == 4  # 4 -> 0 fraction bits
+        assert result.formats[0].fraction_bits == 0
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_wordlength_allocation([], lambda q: 0.0, QFormat(2, 4), 0.1)
+
+    def test_total_bits_accounting(self):
+        weights = [0.25, 0.25, 0.25]
+        result = greedy_wordlength_allocation(
+            weights, lambda q: 0.0, QFormat(2, 2), max_degradation=0.0
+        )
+        assert result.total_bits == sum(f.word_length for f in result.formats)

@@ -1,0 +1,70 @@
+"""Tests for repro.fixedpoint.analysis."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.analysis import (
+    analyze_quantization,
+    required_integer_bits,
+    theoretical_sqnr_db,
+)
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestAnalyzeQuantization:
+    def test_exact_signal_infinite_sqnr(self, q2_2):
+        report = analyze_quantization(q2_2.grid(), q2_2)
+        assert report.max_abs_error == 0.0
+        assert report.rms_error == 0.0
+        assert math.isinf(report.sqnr_db)
+        assert report.clipped_fraction == 0.0
+
+    def test_error_bounded_by_half_lsb(self, q4_4, rng):
+        signal = rng.uniform(-3, 3, size=5000)
+        report = analyze_quantization(signal, q4_4)
+        assert report.max_abs_error <= q4_4.resolution / 2 + 1e-12
+
+    def test_clipping_detected(self, q2_2, rng):
+        signal = rng.uniform(-10, 10, size=2000)
+        report = analyze_quantization(signal, q2_2)
+        assert report.clipped_fraction > 0.5
+
+    def test_empty_signal_rejected(self, q2_2):
+        with pytest.raises(ValueError):
+            analyze_quantization(np.array([]), q2_2)
+
+    def test_measured_sqnr_near_theory(self, rng):
+        fmt = QFormat(2, 10)
+        signal = rng.uniform(-1.5, 1.5, size=50_000)
+        report = analyze_quantization(signal, fmt)
+        theory = theoretical_sqnr_db(fmt, float(np.sqrt(np.mean(signal**2))))
+        assert abs(report.sqnr_db - theory) < 1.0  # dB
+
+
+class TestRequiredIntegerBits:
+    def test_small_signal(self):
+        assert required_integer_bits(np.array([0.4, -0.3])) == 1
+
+    def test_larger_signal(self):
+        assert required_integer_bits(np.array([3.5])) == 3
+
+    def test_margin(self):
+        assert required_integer_bits(np.array([0.9]), margin=2.0) == 2
+
+    def test_empty(self):
+        assert required_integer_bits(np.array([])) == 1
+
+
+class TestTheoreticalSqnr:
+    def test_six_db_per_bit(self):
+        fmt_a, fmt_b = QFormat(2, 8), QFormat(2, 9)
+        gain = theoretical_sqnr_db(fmt_b, 1.0) - theoretical_sqnr_db(fmt_a, 1.0)
+        assert gain == pytest.approx(6.02, abs=0.01)
+
+    def test_rejects_nonpositive_rms(self):
+        with pytest.raises(ValueError):
+            theoretical_sqnr_db(QFormat(2, 8), 0.0)

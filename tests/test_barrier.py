@@ -1,0 +1,197 @@
+"""Tests for repro.optim.barrier — the from-scratch interior-point solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleProblemError
+from repro.optim.barrier import BarrierSolver, find_strictly_feasible
+from repro.optim.cone import ConeProgram, LinearInequality, SocConstraint
+from repro.optim.slsqp_backend import solve_with_slsqp
+
+
+def box_qp(center: np.ndarray, lo: float, hi: float) -> ConeProgram:
+    """min ||w - center||^2 over a box."""
+    n = center.size
+    return ConeProgram(
+        P=2.0 * np.eye(n),
+        q=-2.0 * center,
+        r=float(center @ center),
+        lower=np.full(n, lo),
+        upper=np.full(n, hi),
+    )
+
+
+class TestFindStrictlyFeasible:
+    def test_box_center_works(self):
+        prog = box_qp(np.zeros(3), -1.0, 1.0)
+        point = find_strictly_feasible(prog)
+        assert prog.is_strictly_feasible(point)
+
+    def test_respects_linear_constraints(self):
+        prog = ConeProgram(
+            P=np.eye(2),
+            q=np.zeros(2),
+            linear=[LinearInequality(np.array([1.0, 0.0]), -0.5)],  # x <= -0.5
+            lower=np.array([-2.0, -2.0]),
+            upper=np.array([2.0, 2.0]),
+        )
+        point = find_strictly_feasible(prog)
+        assert point[0] < -0.5
+
+    def test_infeasible_detected(self):
+        prog = ConeProgram(
+            P=np.eye(1),
+            q=np.zeros(1),
+            linear=[
+                LinearInequality(np.array([1.0]), -1.0),  # x <= -1
+                LinearInequality(np.array([-1.0]), -1.0),  # x >= 1
+            ],
+            lower=np.array([-5.0]),
+            upper=np.array([5.0]),
+        )
+        with pytest.raises(InfeasibleProblemError):
+            find_strictly_feasible(prog)
+
+    def test_zero_width_box_rejected(self):
+        prog = ConeProgram(
+            P=np.eye(1), q=np.zeros(1), lower=np.array([1.0]), upper=np.array([1.0])
+        )
+        with pytest.raises(InfeasibleProblemError):
+            find_strictly_feasible(prog)
+
+    def test_hint_used_when_feasible(self):
+        prog = box_qp(np.zeros(2), -1.0, 1.0)
+        hint = np.array([0.3, -0.3])
+        point = find_strictly_feasible(prog, hint=hint)
+        assert np.allclose(point, hint)
+
+
+class TestBarrierSolver:
+    def test_unconstrained_interior_optimum(self):
+        prog = box_qp(np.array([0.2, -0.3]), -1.0, 1.0)
+        result = BarrierSolver().solve(prog)
+        assert result.converged
+        assert np.allclose(result.x, [0.2, -0.3], atol=1e-5)
+        assert result.objective == pytest.approx(0.0, abs=1e-8)
+
+    def test_active_box_constraint(self):
+        prog = box_qp(np.array([5.0]), -1.0, 1.0)
+        result = BarrierSolver().solve(prog)
+        assert result.x[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_linear_constraint_active(self):
+        # min x^2+y^2 s.t. x + y >= 1 -> optimum (0.5, 0.5)
+        prog = ConeProgram(
+            P=2.0 * np.eye(2),
+            q=np.zeros(2),
+            linear=[LinearInequality(np.array([-1.0, -1.0]), -1.0)],
+            lower=np.array([-5.0, -5.0]),
+            upper=np.array([5.0, 5.0]),
+        )
+        result = BarrierSolver().solve(prog)
+        assert np.allclose(result.x, [0.5, 0.5], atol=1e-5)
+
+    def test_soc_constraint_active(self):
+        # min (x-3)^2 + y^2 s.t. ||(x,y)|| <= 1 -> optimum (1, 0)
+        prog = ConeProgram(
+            P=2.0 * np.eye(2),
+            q=np.array([-6.0, 0.0]),
+            r=9.0,
+            socs=[SocConstraint(np.eye(2), np.zeros(2), np.zeros(2), 1.0)],
+            lower=np.array([-3.0, -3.0]),
+            upper=np.array([3.0, 3.0]),
+        )
+        result = BarrierSolver().solve(prog)
+        assert np.allclose(result.x, [1.0, 0.0], atol=1e-4)
+        assert result.objective == pytest.approx(4.0, abs=1e-3)
+
+    def test_duality_gap_bound_is_honest(self):
+        prog = ConeProgram(
+            P=2.0 * np.eye(2),
+            q=np.zeros(2),
+            linear=[LinearInequality(np.array([-1.0, -1.0]), -1.0)],
+            lower=np.array([-5.0, -5.0]),
+            upper=np.array([5.0, 5.0]),
+        )
+        result = BarrierSolver().solve(prog)
+        true_optimum = 0.5
+        assert result.objective >= true_optimum - 1e-12
+        assert result.objective - result.duality_gap <= true_optimum + 1e-9
+
+    def test_agrees_with_slsqp(self):
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            center = rng.uniform(-2, 2, size=3)
+            prog = ConeProgram(
+                P=2.0 * np.eye(3),
+                q=-2.0 * center,
+                r=float(center @ center),
+                linear=[LinearInequality(rng.uniform(-1, 1, size=3), 0.5)],
+                socs=[
+                    SocConstraint(np.eye(3), np.zeros(3), np.zeros(3), 2.0)
+                ],
+                lower=np.full(3, -1.5),
+                upper=np.full(3, 1.5),
+            )
+            barrier = BarrierSolver().solve(prog)
+            slsqp = solve_with_slsqp(prog)
+            assert barrier.objective == pytest.approx(slsqp.objective, abs=1e-4)
+
+    def test_infeasible_raises(self):
+        prog = ConeProgram(
+            P=np.eye(1),
+            q=np.zeros(1),
+            linear=[
+                LinearInequality(np.array([1.0]), -1.0),
+                LinearInequality(np.array([-1.0]), -1.0),
+            ],
+            lower=np.array([-5.0]),
+            upper=np.array([5.0]),
+        )
+        with pytest.raises(InfeasibleProblemError):
+            BarrierSolver().solve(prog)
+
+    def test_bad_mu_rejected(self):
+        with pytest.raises(ValueError):
+            BarrierSolver(mu=1.0)
+
+    def test_solution_always_feasible(self):
+        rng = np.random.default_rng(9)
+        for trial in range(5):
+            prog = ConeProgram(
+                P=2.0 * np.eye(2),
+                q=rng.uniform(-1, 1, 2),
+                linear=[LinearInequality(rng.uniform(-1, 1, 2), 1.0)],
+                lower=np.full(2, -2.0),
+                upper=np.full(2, 2.0),
+            )
+            result = BarrierSolver().solve(prog)
+            assert prog.max_violation(result.x) <= 1e-9
+
+
+class TestSlsqpBackend:
+    def test_simple_qp(self):
+        prog = box_qp(np.array([0.5, 0.5]), -1.0, 1.0)
+        result = solve_with_slsqp(prog)
+        assert result.success
+        assert np.allclose(result.x, [0.5, 0.5], atol=1e-6)
+        assert result.max_violation <= 1e-9
+
+    def test_active_soc(self):
+        prog = ConeProgram(
+            P=2.0 * np.eye(2),
+            q=np.array([-6.0, 0.0]),
+            r=9.0,
+            socs=[SocConstraint(np.eye(2), np.zeros(2), np.zeros(2), 1.0)],
+            lower=np.array([-3.0, -3.0]),
+            upper=np.array([3.0, 3.0]),
+        )
+        result = solve_with_slsqp(prog)
+        assert np.allclose(result.x, [1.0, 0.0], atol=1e-5)
+
+    def test_x0_respected(self):
+        prog = box_qp(np.zeros(2), -1.0, 1.0)
+        result = solve_with_slsqp(prog, x0=np.array([0.9, 0.9]))
+        assert np.allclose(result.x, [0.0, 0.0], atol=1e-6)

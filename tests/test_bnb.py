@@ -1,0 +1,172 @@
+"""Tests for the generic branch-and-bound driver on toy separable problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverBudgetExceeded
+from repro.optim.bnb import (
+    BranchAndBoundConfig,
+    BranchAndBoundSolver,
+    Candidate,
+    Relaxation,
+)
+from repro.optim.boxes import Box
+
+
+class QuadraticGridProblem:
+    """min ||x - target||^2 over a uniform grid in a box.
+
+    The relaxation is the exact continuous minimum over the box (clipping the
+    target), so bounds are tight and the driver must find the snapped target.
+    """
+
+    def __init__(self, target: np.ndarray, lo: float, hi: float, step: float) -> None:
+        self.target = np.asarray(target, dtype=np.float64)
+        n = self.target.size
+        self.box = Box(np.full(n, lo), np.full(n, hi), np.full(n, step))
+        self.step = step
+        self.relax_calls = 0
+
+    def cost(self, x: np.ndarray) -> float:
+        return float(np.sum((x - self.target) ** 2))
+
+    def initial_box(self) -> Box:
+        return self.box
+
+    def relax(self, box: Box) -> Relaxation:
+        self.relax_calls += 1
+        clipped = np.clip(self.target, box.lo, box.hi)
+        return Relaxation(lower_bound=self.cost(clipped), solution=clipped)
+
+    def candidates(self, box: Box, relaxation: Relaxation):
+        if relaxation.solution is None:
+            return []
+        snapped = np.round(relaxation.solution / self.step) * self.step
+        snapped = np.clip(snapped, self.box.lo, self.box.hi)
+        return [Candidate(x=snapped, cost=self.cost(snapped))]
+
+    def branch(self, box: Box, relaxation: Relaxation):
+        return list(box.split(box.widest_dimension()))
+
+    def is_terminal(self, box: Box) -> bool:
+        return box.is_terminal()
+
+    def resolve_terminal(self, box: Box):
+        import itertools
+
+        grids = [box.grid_values(d) for d in range(box.ndim)]
+        return [
+            Candidate(x=np.array(c), cost=self.cost(np.array(c)))
+            for c in itertools.product(*grids)
+        ]
+
+
+class InfeasibleProblem(QuadraticGridProblem):
+    def relax(self, box: Box) -> Relaxation:
+        return Relaxation(lower_bound=np.inf)
+
+
+class TestDriver:
+    def test_finds_grid_optimum_1d(self):
+        problem = QuadraticGridProblem(np.array([0.30]), -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.proven_optimal
+        assert result.x[0] == pytest.approx(0.25)
+
+    def test_finds_grid_optimum_3d(self):
+        target = np.array([0.3, -0.6, 0.9])
+        problem = QuadraticGridProblem(target, -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.proven_optimal
+        assert np.allclose(result.x, [0.25, -0.5, 1.0])
+        assert result.cost == pytest.approx(problem.cost(result.x))
+
+    def test_gap_is_nonnegative(self):
+        problem = QuadraticGridProblem(np.array([0.1, 0.1]), -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.gap >= -1e-12
+        assert result.lower_bound <= result.cost + 1e-12
+
+    def test_incumbent_warm_start_used(self):
+        problem = QuadraticGridProblem(np.array([0.25]), -1.0, 1.0, 0.25)
+        optimal = Candidate(x=np.array([0.25]), cost=0.0)
+        result = BranchAndBoundSolver().solve(problem, initial_incumbent=optimal)
+        assert result.cost == 0.0
+        # A perfect warm start with tight root bound prunes everything.
+        assert result.stats.nodes_expanded <= 1
+
+    def test_node_budget_returns_incumbent(self):
+        problem = QuadraticGridProblem(np.arange(4) / 10.0, -1.0, 1.0, 0.0625)
+        config = BranchAndBoundConfig(max_nodes=3)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert np.isfinite(result.cost)
+
+    def test_infeasible_root_raises(self):
+        problem = InfeasibleProblem(np.array([0.0]), -1.0, 1.0, 0.5)
+        with pytest.raises(SolverBudgetExceeded):
+            BranchAndBoundSolver().solve(problem)
+
+    def test_infeasible_with_warm_start_returns_it(self):
+        problem = InfeasibleProblem(np.array([0.0]), -1.0, 1.0, 0.5)
+        incumbent = Candidate(x=np.array([0.5]), cost=0.25)
+        result = BranchAndBoundSolver().solve(problem, initial_incumbent=incumbent)
+        assert result.cost == 0.25
+        assert result.proven_optimal  # empty queue -> exhausted
+
+    def test_stats_populated(self):
+        problem = QuadraticGridProblem(np.array([0.3, 0.3]), -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver().solve(problem)
+        stats = result.stats
+        assert stats.nodes_expanded > 0
+        assert stats.wall_time > 0.0
+        assert stats.incumbent_updates >= 1
+
+    def test_time_limit_respected(self):
+        import time
+
+        problem = QuadraticGridProblem(np.arange(6) / 7.0, -1.0, 1.0, 2.0**-10)
+        config = BranchAndBoundConfig(time_limit=0.2, max_nodes=10**9)
+        start = time.perf_counter()
+        BranchAndBoundSolver(config).solve(problem)
+        assert time.perf_counter() - start < 5.0
+
+    def test_relative_gap_termination(self):
+        problem = QuadraticGridProblem(np.array([0.3]), -1.0, 1.0, 0.25)
+        config = BranchAndBoundConfig(relative_gap=0.5)  # very loose
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert np.isfinite(result.cost)
+
+
+class TestDepthFirst:
+    def test_same_optimum_as_best_first(self):
+        target = np.array([0.3, -0.6, 0.9])
+        for strategy in ("best-first", "depth-first"):
+            problem = QuadraticGridProblem(target, -1.0, 1.0, 0.25)
+            result = BranchAndBoundSolver(
+                BranchAndBoundConfig(strategy=strategy)
+            ).solve(problem)
+            assert result.proven_optimal
+            assert np.allclose(result.x, [0.25, -0.5, 1.0])
+
+    def test_depth_first_reaches_terminal_nodes_early(self):
+        target = np.arange(4) / 10.0
+        problem = QuadraticGridProblem(target, -1.0, 1.0, 0.125)
+        config = BranchAndBoundConfig(strategy="depth-first", max_nodes=40)
+        result = BranchAndBoundSolver(config).solve(problem)
+        # Diving hits terminal boxes within a small node budget.
+        assert result.stats.terminal_nodes >= 1
+
+    def test_bounds_still_valid(self):
+        problem = QuadraticGridProblem(np.array([0.3, 0.3]), -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver(
+            BranchAndBoundConfig(strategy="depth-first")
+        ).solve(problem)
+        assert result.lower_bound <= result.cost + 1e-12
+
+    def test_unknown_strategy_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            BranchAndBoundConfig(strategy="sideways")

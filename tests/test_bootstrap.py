@@ -1,0 +1,79 @@
+"""Tests for repro.stats.bootstrap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.stats.bootstrap import (
+    bootstrap_error_interval,
+    paired_bootstrap_pvalue,
+)
+
+
+class TestErrorInterval:
+    def test_contains_point_estimate(self, rng):
+        t = rng.integers(0, 2, size=200)
+        p = np.where(rng.random(200) < 0.8, t, 1 - t)  # ~20% error
+        interval = bootstrap_error_interval(t, p)
+        assert interval.lower <= interval.point_estimate <= interval.upper
+        assert interval.point_estimate == pytest.approx(0.2, abs=0.1)
+
+    def test_width_shrinks_with_sample_size(self, rng):
+        def width(n):
+            t = rng.integers(0, 2, size=n)
+            p = np.where(rng.random(n) < 0.75, t, 1 - t)
+            return bootstrap_error_interval(t, p).half_width
+
+        assert width(4000) < width(100)
+
+    def test_perfect_classifier_degenerate_interval(self):
+        t = np.array([0, 1] * 50)
+        interval = bootstrap_error_interval(t, t)
+        assert interval.point_estimate == 0.0
+        assert interval.upper == 0.0
+
+    def test_deterministic_given_seed(self, rng):
+        t = rng.integers(0, 2, size=100)
+        p = 1 - t
+        a = bootstrap_error_interval(t, p, seed=3)
+        b = bootstrap_error_interval(t, p, seed=3)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_describe(self, rng):
+        t = rng.integers(0, 2, size=50)
+        text = bootstrap_error_interval(t, t).describe()
+        assert "%" in text and "confidence" in text
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            bootstrap_error_interval(np.ones(3), np.ones(4))
+        with pytest.raises(DataError):
+            bootstrap_error_interval(np.ones(3), np.ones(3), confidence=1.5)
+        with pytest.raises(DataError):
+            bootstrap_error_interval(np.ones(3), np.ones(3), resamples=2)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_pvalue(self, rng):
+        t = rng.integers(0, 2, size=500)
+        good = np.where(rng.random(500) < 0.9, t, 1 - t)  # ~10% error
+        bad = np.where(rng.random(500) < 0.6, t, 1 - t)  # ~40% error
+        assert paired_bootstrap_pvalue(t, good, bad) < 0.01
+
+    def test_identical_predictors_pvalue_one(self, rng):
+        t = rng.integers(0, 2, size=200)
+        p = np.where(rng.random(200) < 0.8, t, 1 - t)
+        assert paired_bootstrap_pvalue(t, p, p) == 1.0
+
+    def test_symmetric_near_half(self, rng):
+        t = rng.integers(0, 2, size=400)
+        a = np.where(rng.random(400) < 0.8, t, 1 - t)
+        b = np.where(rng.random(400) < 0.8, t, 1 - t)
+        p = paired_bootstrap_pvalue(t, a, b)
+        assert 0.02 < p < 0.98  # no decisive winner
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            paired_bootstrap_pvalue(np.ones(3), np.ones(3), np.ones(4))

@@ -1,0 +1,124 @@
+"""Tests for repro.optim.boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optim.boxes import Box
+
+
+def make_box(lo, hi, steps):
+    return Box(np.asarray(lo, float), np.asarray(hi, float), np.asarray(steps, float))
+
+
+class TestConstruction:
+    def test_basic(self):
+        box = make_box([-1, 0], [1, 2], [0.5, 0.0])
+        assert box.ndim == 2
+        assert np.allclose(box.widths, [2.0, 2.0])
+        assert np.allclose(box.center(), [0.0, 1.0])
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            make_box([1.0], [0.0], [0.1])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(2), np.zeros(3), np.zeros(2))
+
+    def test_contains(self):
+        box = make_box([-1, -1], [1, 1], [0.5, 0.5])
+        assert box.contains(np.array([0.0, 0.0]))
+        assert box.contains(np.array([1.0, -1.0]))
+        assert not box.contains(np.array([1.1, 0.0]))
+
+
+class TestGrid:
+    def test_grid_count_aligned(self):
+        box = make_box([-1.0], [1.0], [0.5])
+        assert box.grid_count(0) == 5  # -1, -0.5, 0, 0.5, 1
+
+    def test_grid_count_unaligned(self):
+        box = make_box([-0.9], [0.9], [0.5])
+        assert box.grid_count(0) == 3  # -0.5, 0, 0.5
+
+    def test_grid_values(self):
+        box = make_box([-0.9], [0.9], [0.5])
+        assert list(box.grid_values(0)) == [-0.5, 0.0, 0.5]
+
+    def test_grid_empty(self):
+        box = make_box([0.1], [0.2], [0.5])
+        assert box.grid_count(0) == 0
+        assert box.grid_values(0).size == 0
+
+    def test_continuous_dim_rejects_grid(self):
+        box = make_box([0.0], [1.0], [0.0])
+        with pytest.raises(ValueError):
+            box.grid_count(0)
+
+
+class TestSplit:
+    def test_discrete_split_grid_aligned(self):
+        box = make_box([-1.0], [1.0], [0.5])
+        left, right = box.split(0)
+        # No grid point lost, none duplicated
+        all_values = list(left.grid_values(0)) + list(right.grid_values(0))
+        assert sorted(all_values) == [-1.0, -0.5, 0.0, 0.5, 1.0]
+        assert left.hi[0] < right.lo[0]
+
+    def test_continuous_split_at_midpoint(self):
+        box = make_box([0.0], [2.0], [0.0])
+        left, right = box.split(0)
+        assert left.hi[0] == 1.0
+        assert right.lo[0] == 1.0
+
+    def test_split_zero_width_rejected(self):
+        box = make_box([1.0], [1.0], [0.5])
+        with pytest.raises(ValueError):
+            box.split(0)
+
+    def test_repeated_splits_reach_terminal(self):
+        box = make_box([-2.0], [2.0 - 0.25], [0.25])
+        for _ in range(10):
+            if box.is_terminal():
+                break
+            box, _ = box.split(0)
+        assert box.is_terminal()
+
+    def test_split_preserves_other_dims(self):
+        box = make_box([-1, -2], [1, 2], [0.5, 0.0])
+        left, right = box.split(0)
+        assert left.lo[1] == -2 and left.hi[1] == 2
+        assert right.lo[1] == -2 and right.hi[1] == 2
+
+
+class TestTerminal:
+    def test_terminal_two_points(self):
+        box = make_box([0.0], [0.5], [0.5])
+        assert box.is_terminal()
+
+    def test_not_terminal_three_points(self):
+        box = make_box([0.0], [1.0], [0.5])
+        assert not box.is_terminal()
+
+    def test_continuous_dims_ignored(self):
+        box = make_box([0.0, 0.0], [0.5, 100.0], [0.5, 0.0])
+        assert box.is_terminal()
+
+    def test_explicit_discrete_dims(self):
+        box = make_box([0.0, 0.0], [1.0, 0.5], [0.5, 0.5])
+        assert box.is_terminal(discrete_dims=np.array([1]))
+        assert not box.is_terminal(discrete_dims=np.array([0]))
+
+
+class TestWidths:
+    def test_widths_in_quanta(self):
+        box = make_box([-1, 0], [1, 3], [0.5, 0.0])
+        quanta = box.widths_in_quanta()
+        assert quanta[0] == pytest.approx(4.0)
+        assert quanta[1] == pytest.approx(3.0)  # raw width for continuous
+
+    def test_widest_dimension(self):
+        box = make_box([-1, 0], [1, 3], [0.5, 0.0])
+        assert box.widest_dimension() == 0

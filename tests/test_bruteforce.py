@@ -1,0 +1,46 @@
+"""Tests for repro.optim.bruteforce."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim.bruteforce import brute_force_minimize
+
+
+class TestBruteForce:
+    def test_finds_minimum(self):
+        grids = [np.array([-1.0, 0.0, 1.0])] * 2
+        result = brute_force_minimize(grids, lambda x: float(np.sum((x - 0.8) ** 2)))
+        assert np.allclose(result.x, [1.0, 1.0])
+        assert result.evaluated == 9
+        assert result.feasible_count == 9
+
+    def test_feasibility_filter(self):
+        grids = [np.array([-1.0, 0.0, 1.0])]
+        result = brute_force_minimize(
+            grids,
+            lambda x: float(x[0]),
+            feasible=lambda x: x[0] >= 0.0,
+        )
+        assert result.x[0] == 0.0
+        assert result.feasible_count == 2
+
+    def test_no_feasible_point_raises(self):
+        with pytest.raises(OptimizationError):
+            brute_force_minimize(
+                [np.array([0.0, 1.0])], lambda x: 0.0, feasible=lambda x: False
+            )
+
+    def test_cap_enforced(self):
+        grids = [np.arange(100)] * 4
+        with pytest.raises(OptimizationError):
+            brute_force_minimize(grids, lambda x: 0.0, max_points=10)
+
+    def test_inf_costs_skipped(self):
+        grids = [np.array([0.0, 1.0])]
+        result = brute_force_minimize(
+            grids, lambda x: np.inf if x[0] == 0.0 else 1.0
+        )
+        assert result.x[0] == 1.0

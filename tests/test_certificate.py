@@ -1,0 +1,105 @@
+"""Tests for repro.optim.certificate (KKT checking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim.barrier import BarrierSolver
+from repro.optim.certificate import check_kkt
+from repro.optim.cone import ConeProgram, LinearInequality, SocConstraint
+from repro.optim.slsqp_backend import solve_with_slsqp
+
+
+def constrained_qp() -> ConeProgram:
+    """min x^2 + y^2 s.t. x + y >= 1 — optimum (0.5, 0.5), lambda = 1."""
+    return ConeProgram(
+        P=2.0 * np.eye(2),
+        q=np.zeros(2),
+        linear=[LinearInequality(np.array([-1.0, -1.0]), -1.0)],
+        lower=np.full(2, -5.0),
+        upper=np.full(2, 5.0),
+    )
+
+
+def soc_program() -> ConeProgram:
+    """min (x-3)^2 + y^2 s.t. ||(x,y)|| <= 1 — optimum (1, 0)."""
+    return ConeProgram(
+        P=2.0 * np.eye(2),
+        q=np.array([-6.0, 0.0]),
+        r=9.0,
+        socs=[SocConstraint(np.eye(2), np.zeros(2), np.zeros(2), 1.0)],
+        lower=np.full(2, -3.0),
+        upper=np.full(2, 3.0),
+    )
+
+
+class TestCheckKkt:
+    def test_true_optimum_certifies(self):
+        report = check_kkt(constrained_qp(), np.array([0.5, 0.5]))
+        assert report.is_certificate(tol=1e-6)
+        assert report.active_constraints >= 1
+
+    def test_interior_optimum_certifies(self):
+        program = ConeProgram(
+            P=2.0 * np.eye(2), q=np.zeros(2),
+            lower=np.full(2, -1.0), upper=np.full(2, 1.0),
+        )
+        report = check_kkt(program, np.zeros(2))
+        assert report.is_certificate(tol=1e-9)
+        assert report.active_constraints == 0
+
+    def test_non_optimal_point_fails_stationarity(self):
+        report = check_kkt(constrained_qp(), np.array([1.0, 0.0]))
+        assert not report.is_certificate(tol=1e-5)
+        assert report.stationarity > 1e-3
+
+    def test_infeasible_point_flagged(self):
+        report = check_kkt(constrained_qp(), np.array([0.2, 0.2]))
+        assert report.primal_infeasibility > 0.0
+
+    def test_soc_optimum_certifies(self):
+        report = check_kkt(soc_program(), np.array([1.0, 0.0]))
+        assert report.stationarity <= 1e-6
+        assert report.primal_infeasibility <= 1e-9
+
+    def test_shape_mismatch(self):
+        with pytest.raises(OptimizationError):
+            check_kkt(constrained_qp(), np.zeros(3))
+
+
+class TestSolversProduceCertificates:
+    def test_slsqp_solution_certifies(self):
+        program = constrained_qp()
+        x = solve_with_slsqp(program).x
+        assert check_kkt(program, x, active_tol=1e-5).is_certificate(tol=1e-3)
+
+    def test_barrier_solution_certifies(self):
+        program = constrained_qp()
+        result = BarrierSolver().solve(program)
+        # Barrier iterates are strictly interior; active-set detection needs
+        # a tolerance comparable to the duality gap.
+        report = check_kkt(program, result.x, active_tol=1e-4)
+        assert report.stationarity <= 1e-2
+        assert report.primal_infeasibility <= 0.0
+
+    def test_ldafp_node_solution_certifies(self, synthetic_train):
+        from repro.core.problem import LdaFpProblem, eta_sup
+        from repro.fixedpoint.qformat import QFormat
+        from repro.fixedpoint.quantize import quantize
+        from repro.stats.scatter import estimate_two_class_stats
+
+        fmt = QFormat(2, 3)
+        quantized = synthetic_train.map_features(
+            lambda v: np.asarray(quantize(v, fmt))
+        )
+        stats = estimate_two_class_stats(quantized.class_a, quantized.class_b)
+        problem = LdaFpProblem(stats=stats, fmt=fmt)
+        box = problem.root_box()
+        eta = eta_sup(float(box.lo[3]), float(box.hi[3]))
+        program = problem.node_program(box, eta)
+        x = solve_with_slsqp(program).x
+        report = check_kkt(program, x, active_tol=1e-5)
+        assert report.primal_infeasibility <= 1e-6
+        assert report.stationarity <= 0.05  # SLSQP default tolerances

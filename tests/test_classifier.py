@@ -1,0 +1,111 @@
+"""Tests for repro.core.classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.data.dataset import Dataset
+from repro.errors import TrainingError
+from repro.fixedpoint.overflow import OverflowMode
+from repro.fixedpoint.qformat import QFormat
+
+
+def make_classifier(weights, threshold=0.0, fmt=None, polarity=1):
+    fmt = fmt or QFormat(2, 4)
+    return FixedPointLinearClassifier(
+        weights=np.asarray(weights, dtype=np.float64),
+        threshold=threshold,
+        fmt=fmt,
+        polarity=polarity,
+    )
+
+
+class TestConstruction:
+    def test_grid_weights_accepted(self):
+        clf = make_classifier([0.5, -0.25])
+        assert clf.num_features == 2
+        assert clf.word_length == 6
+
+    def test_off_grid_weights_rejected(self):
+        with pytest.raises(TrainingError):
+            make_classifier([0.3])
+
+    def test_threshold_quantized(self):
+        clf = make_classifier([0.5], threshold=0.3)
+        assert clf.threshold == 0.3125  # nearest Q2.4 value
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(TrainingError):
+            make_classifier([0.5], polarity=2)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(TrainingError):
+            make_classifier([])
+
+
+class TestPrediction:
+    def test_decision_rule_eq12(self):
+        clf = make_classifier([1.0], threshold=0.5)
+        assert clf.predict(np.array([[1.0], [0.0]])).tolist() == [1, 0]
+        # boundary: w'x - threshold == 0 -> class A
+        assert clf.predict(np.array([[0.5]])).tolist() == [1]
+
+    def test_polarity_inverts(self):
+        clf = make_classifier([1.0], threshold=0.0, polarity=-1)
+        assert clf.predict(np.array([[1.0]])).tolist() == [0]
+        assert clf.predict(np.array([[-1.0]])).tolist() == [1]
+
+    def test_features_quantized_before_projection(self):
+        clf = make_classifier([1.0], threshold=0.05)
+        # 0.08 quantizes to 0.0625 (Q2.4); 0.0625 - 0.0625(threshold q) = 0 -> A
+        assert clf.predict(np.array([[0.08]])).tolist() == [1]
+
+    def test_single_row_input(self):
+        clf = make_classifier([1.0, 0.5])
+        assert clf.predict(np.array([1.0, 1.0])).shape == (1,)
+
+
+class TestBitexactAgreement:
+    def test_agrees_without_overflow(self, rng):
+        fmt = QFormat(3, 5)
+        weights = np.asarray(
+            [0.25, -0.5, 0.125], dtype=np.float64
+        )
+        clf = FixedPointLinearClassifier(weights, 0.25, fmt)
+        features = rng.uniform(-1, 1, size=(50, 3))
+        fast = clf.predict(features)
+        exact = clf.predict_bitexact(features)
+        # Small weights/features: no overflow, but product rounding can
+        # differ — measure agreement is high rather than demanding identity.
+        assert np.mean(fast == exact) > 0.9
+
+    def test_bitexact_polarity(self):
+        fmt = QFormat(3, 3)
+        clf = FixedPointLinearClassifier(
+            np.array([1.0]), 0.0, fmt, polarity=-1
+        )
+        assert clf.predict_bitexact(np.array([[1.0]])).tolist() == [0]
+
+    def test_bitexact_saturate_option(self):
+        fmt = QFormat(2, 2)
+        clf = FixedPointLinearClassifier(np.array([1.5, 1.5]), 0.0, fmt)
+        features = np.array([[1.0, 1.0]])
+        wrap = clf.predict_bitexact(features, overflow=OverflowMode.WRAP)
+        sat = clf.predict_bitexact(features, overflow=OverflowMode.SATURATE)
+        # Each product is 1.5 (in range); the sum 3.0 exceeds Q2.2's max
+        # (1.75): wrapping lands at -1.0 (class B), saturation at 1.75.
+        assert sat.tolist() == [1]
+        assert wrap.tolist() == [0]
+
+
+class TestErrorOn:
+    def test_error_computation(self):
+        clf = make_classifier([1.0])
+        ds = Dataset(np.array([[1.0], [-1.0], [1.0]]), np.array([1, 0, 0]))
+        assert clf.error_on(ds) == pytest.approx(1 / 3)
+
+    def test_describe(self):
+        clf = make_classifier([0.5])
+        assert "Q2.4" in clf.describe()

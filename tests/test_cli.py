@@ -1,0 +1,63 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_options(self):
+        args = build_parser().parse_args(
+            ["table1", "--time-limit", "5", "--word-lengths", "4", "6"]
+        )
+        assert args.command == "table1"
+        assert args.time_limit == 5.0
+        assert args.word_lengths == [4, 6]
+
+    def test_table2_options(self):
+        args = build_parser().parse_args(["table2", "--folds", "3"])
+        assert args.folds == 3
+
+    def test_report_options(self):
+        args = build_parser().parse_args(["report", "--word-length", "6", "--verilog"])
+        assert args.word_length == 6
+        assert args.verilog
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tableX"])
+
+
+class TestMain:
+    def test_table1_tiny(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--time-limit", "2",
+                "--max-nodes", "5",
+                "--word-lengths", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "WL" in out
+
+    def test_report(self, capsys):
+        code = main(["report", "--word-length", "4", "--time-limit", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "implementation report" in out
+
+    def test_report_with_verilog(self, capsys):
+        code = main(
+            ["report", "--word-length", "4", "--time-limit", "2", "--verilog"]
+        )
+        assert code == 0
+        assert "module lda_fp_classifier" in capsys.readouterr().out

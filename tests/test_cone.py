@@ -1,0 +1,127 @@
+"""Tests for repro.optim.cone."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim.cone import ConeProgram, LinearInequality, SocConstraint
+
+
+def simple_program() -> ConeProgram:
+    """min x^2 + y^2 s.t. x + y <= 1, ||(x, y)|| <= 2 + 0*..., box [-3, 3]^2."""
+    return ConeProgram(
+        P=2.0 * np.eye(2),
+        q=np.zeros(2),
+        linear=[LinearInequality(np.array([1.0, 1.0]), 1.0, "sum")],
+        socs=[
+            SocConstraint(
+                G=np.eye(2), h=np.zeros(2), c=np.zeros(2), d=2.0, name="ball"
+            )
+        ],
+        lower=np.array([-3.0, -3.0]),
+        upper=np.array([3.0, 3.0]),
+    )
+
+
+class TestLinearInequality:
+    def test_value_and_grad(self):
+        row = LinearInequality(np.array([2.0, -1.0]), 3.0)
+        w = np.array([1.0, 1.0])
+        assert row.value(w) == pytest.approx(-2.0)
+        assert np.array_equal(row.grad(w), [2.0, -1.0])
+
+
+class TestSocConstraint:
+    def test_residual_inside(self):
+        soc = SocConstraint(np.eye(2), np.zeros(2), np.zeros(2), 2.0)
+        assert soc.residual(np.array([1.0, 0.0])) == pytest.approx(-1.0)
+
+    def test_residual_outside(self):
+        soc = SocConstraint(np.eye(2), np.zeros(2), np.zeros(2), 2.0)
+        assert soc.residual(np.array([3.0, 0.0])) == pytest.approx(1.0)
+
+    def test_gap_and_grad_consistency(self):
+        rng = np.random.default_rng(0)
+        soc = SocConstraint(
+            rng.standard_normal((3, 3)), rng.standard_normal(3),
+            rng.standard_normal(3), 5.0,
+        )
+        w = rng.standard_normal(3) * 0.1
+        gap0 = soc.gap(w)
+        grad = soc.gap_grad(w)
+        eps = 1e-6
+        for i in range(3):
+            delta = np.zeros(3)
+            delta[i] = eps
+            numeric = (soc.gap(w + delta) - soc.gap(w - delta)) / (2 * eps)
+            assert numeric == pytest.approx(grad[i], rel=1e-4, abs=1e-6)
+
+    def test_gap_hess_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        soc = SocConstraint(
+            rng.standard_normal((2, 2)), rng.standard_normal(2),
+            rng.standard_normal(2), 3.0,
+        )
+        w = rng.standard_normal(2) * 0.1
+        hess = soc.gap_hess(w)
+        eps = 1e-5
+        for i in range(2):
+            delta = np.zeros(2)
+            delta[i] = eps
+            numeric = (soc.gap_grad(w + delta) - soc.gap_grad(w - delta)) / (2 * eps)
+            assert np.allclose(numeric, hess[i], rtol=1e-4, atol=1e-6)
+
+
+class TestConeProgram:
+    def test_objective_and_grad(self):
+        prog = simple_program()
+        w = np.array([1.0, 2.0])
+        assert prog.objective(w) == pytest.approx(5.0)
+        assert np.allclose(prog.objective_grad(w), [2.0, 4.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(OptimizationError):
+            ConeProgram(P=np.eye(3), q=np.zeros(2))
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(OptimizationError):
+            ConeProgram(
+                P=np.eye(1), q=np.zeros(1), lower=np.array([1.0]), upper=np.array([0.0])
+            )
+
+    def test_box_rows_count(self):
+        prog = simple_program()
+        assert len(prog.box_rows()) == 4
+
+    def test_box_rows_skip_infinite(self):
+        prog = ConeProgram(P=np.eye(1), q=np.zeros(1))
+        assert prog.box_rows() == []
+
+    def test_stacked_linear_cached(self):
+        prog = simple_program()
+        a1, b1 = prog.stacked_linear()
+        a2, b2 = prog.stacked_linear()
+        assert a1 is a2 and b1 is b2
+        assert a1.shape == (5, 2)  # 1 explicit + 4 box rows
+
+    def test_max_violation_feasible_point(self):
+        prog = simple_program()
+        assert prog.max_violation(np.zeros(2)) <= 0.0
+        assert prog.is_feasible(np.zeros(2))
+
+    def test_max_violation_infeasible_point(self):
+        prog = simple_program()
+        w = np.array([1.0, 1.0])  # sum = 2 > 1
+        assert prog.max_violation(w) == pytest.approx(1.0)
+        assert not prog.is_feasible(w)
+
+    def test_strictly_feasible(self):
+        prog = simple_program()
+        assert prog.is_strictly_feasible(np.array([-0.1, -0.1]))
+        assert not prog.is_strictly_feasible(np.array([0.5, 0.5]))  # on boundary
+
+    def test_clip_to_box(self):
+        prog = simple_program()
+        assert np.allclose(prog.clip_to_box(np.array([10.0, -10.0])), [3.0, -3.0])

@@ -1,0 +1,261 @@
+"""Tests for repro.data: Dataset, generators, scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.bci import BciConfig, make_bci_dataset
+from repro.data.dataset import LABEL_A, LABEL_B, Dataset
+from repro.data.gaussian import (
+    GaussianClassModel,
+    TwoClassGaussianModel,
+    make_gaussian_dataset,
+)
+from repro.data.scaling import FeatureScaler, scale_dataset_pair
+from repro.data.synthetic import (
+    make_noise_cancellation_dataset,
+    make_synthetic_dataset,
+)
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestDataset:
+    def test_from_class_arrays(self):
+        ds = Dataset.from_class_arrays(np.ones((3, 2)), np.zeros((4, 2)))
+        assert ds.num_samples == 7
+        assert ds.num_features == 2
+        assert ds.class_counts() == (3, 4)
+        assert np.all(ds.class_a == 1.0)
+        assert np.all(ds.class_b == 0.0)
+
+    def test_labels_validated(self):
+        with pytest.raises(DataError):
+            Dataset(np.ones((2, 2)), np.array([1, 2]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataError):
+            Dataset(np.array([[np.nan, 1.0]]), np.array([1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            Dataset(np.ones((3, 2)), np.array([1, 0]))
+
+    def test_subset(self):
+        ds = Dataset.from_class_arrays(np.ones((3, 2)), np.zeros((3, 2)))
+        sub = ds.subset(np.array([0, 3]))
+        assert sub.num_samples == 2
+        assert list(sub.labels) == [LABEL_A, LABEL_B]
+
+    def test_map_features(self):
+        ds = Dataset.from_class_arrays(np.ones((2, 2)), np.zeros((2, 2)))
+        doubled = ds.map_features(lambda x: 2 * x)
+        assert np.all(doubled.class_a == 2.0)
+        assert np.array_equal(doubled.labels, ds.labels)
+
+    def test_feature_dim_mismatch_in_class_arrays(self):
+        with pytest.raises(DataError):
+            Dataset.from_class_arrays(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestSynthetic:
+    def test_shape_and_balance(self):
+        ds = make_synthetic_dataset(100, seed=0)
+        assert ds.features.shape == (200, 3)
+        assert ds.class_counts() == (100, 100)
+
+    def test_deterministic(self):
+        a = make_synthetic_dataset(50, seed=7)
+        b = make_synthetic_dataset(50, seed=7)
+        assert np.array_equal(a.features, b.features)
+
+    def test_seed_changes_data(self):
+        a = make_synthetic_dataset(50, seed=1)
+        b = make_synthetic_dataset(50, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_structure_x3_is_eps3(self):
+        # x2 - x3 = 0.001 * eps2, so x2 and x3 correlate near 1.
+        ds = make_synthetic_dataset(5000, seed=3)
+        corr = np.corrcoef(ds.features[:, 1], ds.features[:, 2])[0, 1]
+        assert corr > 0.999
+
+    def test_class_means_separated_in_x1_only(self):
+        ds = make_synthetic_dataset(20_000, seed=4)
+        mean_diff = ds.class_a.mean(axis=0) - ds.class_b.mean(axis=0)
+        assert mean_diff[0] == pytest.approx(-1.0, abs=0.06)
+        assert abs(mean_diff[1]) < 0.06
+        assert abs(mean_diff[2]) < 0.06
+
+    def test_noise_cancellation_possible(self):
+        # The oracle weights (1, -580, 579.42)-ish cancel eps2 and eps3.
+        ds = make_synthetic_dataset(5000, seed=5)
+        w = np.array([1.0, -580.0, 580.0 - 0.58 - 0.001 * 0.58])
+        projections_a = ds.class_a @ w
+        projections_b = ds.class_b @ w
+        # Residual std should be close to 0.58 (only eps1 left), far below
+        # the uncancelled ~1.0.
+        assert np.std(projections_a) == pytest.approx(0.58, rel=0.1)
+        assert (projections_b.mean() - projections_a.mean()) == pytest.approx(
+            1.0, rel=0.1
+        )
+
+    def test_min_samples(self):
+        with pytest.raises(DataError):
+            make_synthetic_dataset(1)
+
+    def test_generalized_family_dimensions(self):
+        ds = make_noise_cancellation_dataset(100, num_noise_features=5, seed=0)
+        assert ds.num_features == 6
+
+    def test_generalized_family_validates(self):
+        with pytest.raises(DataError):
+            make_noise_cancellation_dataset(100, num_noise_features=0)
+
+
+class TestGaussian:
+    def test_sample_dataset(self):
+        model = TwoClassGaussianModel(
+            class_a=GaussianClassModel(np.array([1.0, 0.0]), np.eye(2)),
+            class_b=GaussianClassModel(np.array([-1.0, 0.0]), np.eye(2)),
+        )
+        ds = model.sample_dataset(500, seed=0)
+        assert ds.class_a.mean(axis=0)[0] == pytest.approx(1.0, abs=0.15)
+
+    def test_linear_classifier_error_closed_form(self):
+        model = TwoClassGaussianModel(
+            class_a=GaussianClassModel(np.array([1.0]), np.eye(1)),
+            class_b=GaussianClassModel(np.array([-1.0]), np.eye(1)),
+        )
+        # Optimal boundary at 0: error = Phi(-1) each side.
+        from repro.stats.normal import norm_cdf
+
+        error = model.linear_classifier_error(np.array([1.0]), 0.0)
+        assert error == pytest.approx(float(norm_cdf(-1.0)), abs=1e-12)
+
+    def test_error_matches_monte_carlo(self, rng):
+        cov = np.array([[1.0, 0.5], [0.5, 2.0]])
+        model = TwoClassGaussianModel(
+            class_a=GaussianClassModel(np.array([0.5, 0.2]), cov),
+            class_b=GaussianClassModel(np.array([-0.5, -0.2]), cov),
+        )
+        w = np.array([0.7, 0.1])
+        threshold = 0.05
+        exact = model.linear_classifier_error(w, threshold)
+        ds = model.sample_dataset(100_000, seed=11)
+        predictions = (ds.features @ w - threshold >= 0).astype(int)
+        mc = float(np.mean(predictions != ds.labels))
+        assert exact == pytest.approx(mc, abs=0.005)
+
+    def test_degenerate_projection(self):
+        model = TwoClassGaussianModel(
+            class_a=GaussianClassModel(np.array([1.0]), np.zeros((1, 1))),
+            class_b=GaussianClassModel(np.array([-1.0]), np.zeros((1, 1))),
+        )
+        assert model.linear_classifier_error(np.array([1.0]), 0.0) == 0.0
+        assert model.linear_classifier_error(np.array([-1.0]), 0.0) == 1.0
+
+    def test_bayes_error_decreases_with_separation(self):
+        def bayes(sep):
+            model = TwoClassGaussianModel(
+                class_a=GaussianClassModel(np.array([sep]), np.eye(1)),
+                class_b=GaussianClassModel(np.array([-sep]), np.eye(1)),
+            )
+            return model.bayes_error_equal_covariance()
+
+        assert bayes(1.0) < bayes(0.5) < bayes(0.1) < 0.5
+
+    def test_make_gaussian_dataset(self):
+        ds = make_gaussian_dataset(
+            np.array([1.0]), np.array([-1.0]), np.eye(1), 50, seed=0
+        )
+        assert ds.num_samples == 100
+
+
+class TestBci:
+    def test_paper_dimensions(self):
+        ds = make_bci_dataset()
+        assert ds.features.shape == (140, 42)
+        assert ds.class_counts() == (70, 70)
+
+    def test_deterministic(self):
+        a = make_bci_dataset(BciConfig(seed=3))
+        b = make_bci_dataset(BciConfig(seed=3))
+        assert np.array_equal(a.features, b.features)
+
+    def test_covariance_is_correlated(self):
+        ds = make_bci_dataset(BciConfig(trials_per_class=500))
+        cov = np.cov(ds.features.T)
+        off_diag = cov - np.diag(np.diag(cov))
+        assert np.max(np.abs(off_diag)) > 0.3  # strong channel correlation
+
+    def test_config_validation(self):
+        with pytest.raises(DataError):
+            BciConfig(informative_channels=0).validate()
+        with pytest.raises(DataError):
+            BciConfig(num_channels=0).validate()
+        with pytest.raises(DataError):
+            BciConfig(spatial_correlation=1.0).validate()
+        with pytest.raises(DataError):
+            BciConfig(trials_per_class=1).validate()
+
+    def test_signal_exists(self):
+        # Float LDA on plentiful data must do far better than chance.
+        from repro.core.lda import fit_lda
+        from repro.stats.metrics import classification_error
+
+        train = make_bci_dataset(BciConfig(trials_per_class=400, seed=0))
+        test = make_bci_dataset(BciConfig(trials_per_class=400, seed=0))
+        model = fit_lda(train, shrinkage=0.01)
+        error = classification_error(test.labels, model.predict(test.features))
+        assert error < 0.25
+
+    def test_custom_feature_count(self):
+        ds = make_bci_dataset(BciConfig(num_channels=7, num_bands=2))
+        assert ds.num_features == 14
+
+
+class TestScaling:
+    def test_fit_transform_range(self, rng):
+        scaler = FeatureScaler(limit=1.0)
+        x = rng.uniform(-37.0, 12.0, size=(200, 4))
+        z = scaler.fit_transform(x)
+        assert np.max(np.abs(z)) <= 1.0 + 1e-12
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DataError):
+            FeatureScaler().transform(np.ones((2, 2)))
+
+    def test_per_feature_scaling(self, rng):
+        x = np.column_stack([rng.uniform(-1, 1, 100), rng.uniform(-100, 100, 100)])
+        z = FeatureScaler(limit=1.0).fit_transform(x)
+        assert np.max(np.abs(z[:, 0])) == pytest.approx(1.0, abs=1e-9)
+        assert np.max(np.abs(z[:, 1])) == pytest.approx(1.0, abs=1e-9)
+
+    def test_for_format(self):
+        scaler = FeatureScaler.for_format(QFormat(3, 2), margin=0.5)
+        assert scaler.limit == pytest.approx(2.0)
+
+    def test_constant_feature_survives(self):
+        x = np.ones((10, 1))
+        z = FeatureScaler(limit=1.0).fit_transform(x)
+        assert np.all(np.isfinite(z))
+
+    def test_scale_dataset_pair(self):
+        train = make_synthetic_dataset(200, seed=0)
+        test = make_synthetic_dataset(200, seed=1)
+        fmt = QFormat(2, 4)
+        train_s, test_s, scaler = scale_dataset_pair(train, test, fmt, margin=0.5)
+        assert np.max(np.abs(train_s.features)) <= 1.0 + 1e-9
+        assert scaler.is_fitted
+        # Test data may exceed slightly but should be in the ballpark.
+        assert np.max(np.abs(test_s.features)) < 2.5
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            FeatureScaler.for_format(QFormat(2, 2), margin=0.0)
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            FeatureScaler(limit=-1.0)

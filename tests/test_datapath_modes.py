@@ -1,0 +1,90 @@
+"""Cross-mode matrix tests for the datapath: every rounding x overflow combo.
+
+The datapath is the deployment truth for the whole library, so each policy
+combination gets exercised against hand-computed expectations and against
+the scalar Fx reference semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint.datapath import DatapathConfig, FixedPointDatapath
+from repro.fixedpoint.number import Fx
+from repro.fixedpoint.overflow import OverflowMode
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+
+DETERMINISTIC_MODES = (
+    RoundingMode.NEAREST_AWAY,
+    RoundingMode.NEAREST_EVEN,
+    RoundingMode.FLOOR,
+    RoundingMode.CEIL,
+    RoundingMode.TOWARD_ZERO,
+)
+OVERFLOWS = (OverflowMode.WRAP, OverflowMode.SATURATE)
+
+
+class TestModeMatrix:
+    @pytest.mark.parametrize("rounding", DETERMINISTIC_MODES)
+    @pytest.mark.parametrize("overflow", OVERFLOWS)
+    def test_single_product_matches_fx(self, rounding, overflow):
+        fmt = QFormat(3, 3)
+        weight, feature = 1.375, -0.625
+        dp = FixedPointDatapath(
+            [weight], 0.0,
+            DatapathConfig(fmt=fmt, rounding=rounding,
+                           overflow=overflow, product_overflow=overflow),
+        )
+        expected = Fx(weight, fmt, rounding, overflow) * Fx(
+            feature, fmt, rounding, overflow
+        )
+        assert dp.project([feature]) == expected.value
+
+    @pytest.mark.parametrize("rounding", DETERMINISTIC_MODES)
+    def test_batch_equals_scalar_for_every_mode(self, rounding, rng):
+        fmt = QFormat(2, 4)
+        weights = rng.uniform(-1.5, 1.5, size=4)
+        dp = FixedPointDatapath(
+            weights, 0.25, DatapathConfig(fmt=fmt, rounding=rounding)
+        )
+        features = rng.uniform(-2.5, 2.5, size=(12, 4))
+        batch = dp.project_batch(features)
+        for row, value in zip(features, batch):
+            assert dp.project(row) == value
+
+    @given(st.integers(min_value=0, max_value=10**5))
+    @settings(max_examples=40, deadline=None)
+    def test_accumulation_order_free_sum_when_saturating_products(self, seed):
+        """With in-range products and a wrapping accumulator, the final
+        result equals the exact wrapped sum regardless of ordering."""
+        rng = np.random.default_rng(seed)
+        fmt = QFormat(3, 2)
+        m = int(rng.integers(2, 7))
+        # Weights of +-1 and small features keep every product exact.
+        weights = rng.choice([-1.0, 1.0], size=m)
+        features = rng.integers(-4, 4, size=m) * 0.25
+        dp = FixedPointDatapath(weights, 0.0, DatapathConfig(fmt=fmt))
+        raw_sum = sum(
+            int(fmt.to_raw(w * f)) for w, f in zip(weights, features)
+        )
+        assert dp.project(features) == fmt.to_real(fmt.wrap_raw(raw_sum))
+
+        permutation = rng.permutation(m)
+        dp2 = FixedPointDatapath(weights[permutation], 0.0, DatapathConfig(fmt=fmt))
+        assert dp2.project(features[permutation]) == dp.project(features)
+
+    def test_threshold_saturates_on_construction(self):
+        fmt = QFormat(2, 2)
+        dp = FixedPointDatapath([1.0], 100.0, DatapathConfig(fmt=fmt))
+        assert dp.threshold_raw == fmt.max_raw
+
+    def test_empty_feature_batch(self):
+        fmt = QFormat(2, 2)
+        dp = FixedPointDatapath([1.0, 1.0], 0.0, DatapathConfig(fmt=fmt))
+        out = dp.project_batch(np.zeros((0, 2)))
+        assert out.shape == (0,)

@@ -1,0 +1,107 @@
+"""Tests for the ECG application domain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.ecg import (
+    EcgBeatConfig,
+    extract_beat_features,
+    make_ecg_dataset,
+    synthesize_beat,
+)
+from repro.errors import DataError
+
+
+class TestBeatSynthesis:
+    def test_shape(self, rng):
+        config = EcgBeatConfig()
+        beat = synthesize_beat(config, rng, abnormal=False)
+        assert beat.shape == (config.samples_per_beat,)
+
+    def test_normal_beat_has_dominant_r_peak(self, rng):
+        config = EcgBeatConfig(noise_scale=0.0, morphology_jitter=0.0, baseline_wander=0.0)
+        beat = synthesize_beat(config, rng, abnormal=False)
+        r_index = int(np.argmax(beat))
+        assert beat[r_index] == pytest.approx(1.2, abs=0.15)
+        assert r_index / beat.size == pytest.approx(0.40, abs=0.03)
+
+    def test_pvc_wider_qrs(self, rng):
+        config = EcgBeatConfig(noise_scale=0.0, morphology_jitter=0.0, baseline_wander=0.0)
+        normal = synthesize_beat(config, rng, abnormal=False)
+        pvc = synthesize_beat(config, rng, abnormal=True)
+        qrs_normal = extract_beat_features(normal, config)[2]
+        qrs_pvc = extract_beat_features(pvc, config)[2]
+        assert qrs_pvc > 1.5 * qrs_normal
+
+    def test_pvc_missing_p_wave(self, rng):
+        config = EcgBeatConfig(noise_scale=0.0, morphology_jitter=0.0, baseline_wander=0.0)
+        normal = extract_beat_features(synthesize_beat(config, rng, False), config)
+        pvc = extract_beat_features(synthesize_beat(config, rng, True), config)
+        assert normal[4] > pvc[4] + 0.02  # P-window amplitude
+
+    def test_config_validation(self):
+        with pytest.raises(DataError):
+            EcgBeatConfig(sample_rate=10.0).validate()
+        with pytest.raises(DataError):
+            EcgBeatConfig(noise_scale=-1.0).validate()
+
+
+class TestFeatures:
+    def test_feature_count(self, rng):
+        config = EcgBeatConfig()
+        features = extract_beat_features(synthesize_beat(config, rng, False), config)
+        assert features.shape == (8,)
+        assert np.all(np.isfinite(features))
+
+    def test_rejects_bad_shapes(self):
+        config = EcgBeatConfig()
+        with pytest.raises(DataError):
+            extract_beat_features(np.zeros((2, 10)), config)
+        with pytest.raises(DataError):
+            extract_beat_features(np.zeros(5), config)
+
+
+class TestDataset:
+    def test_shape_and_labels(self):
+        ds = make_ecg_dataset(30, seed=0)
+        assert ds.features.shape == (60, 8)
+        assert ds.class_counts() == (30, 30)
+
+    def test_deterministic(self):
+        a = make_ecg_dataset(10, seed=4)
+        b = make_ecg_dataset(10, seed=4)
+        assert np.array_equal(a.features, b.features)
+
+    def test_classes_separable_by_float_lda(self):
+        from repro.core.lda import fit_lda
+        from repro.stats.metrics import classification_error
+
+        train = make_ecg_dataset(200, seed=0)
+        test = make_ecg_dataset(200, seed=1)
+        model = fit_lda(train, shrinkage=1e-4)
+        error = classification_error(test.labels, model.predict(test.features))
+        assert error < 0.05  # PVC morphology is clearly separable
+
+    def test_min_beats(self):
+        with pytest.raises(DataError):
+            make_ecg_dataset(1)
+
+
+class TestFixedPointTraining:
+    def test_lda_fp_on_ecg(self):
+        """The second application end to end at a small word length."""
+        from repro.core.ldafp import LdaFpConfig
+        from repro.core.pipeline import PipelineConfig, TrainingPipeline
+
+        train = make_ecg_dataset(150, seed=2)
+        test = make_ecg_dataset(150, seed=3)
+        pipe = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp",
+                ldafp=LdaFpConfig(max_nodes=40, time_limit=10),
+            )
+        )
+        result = pipe.run(train, test, 5)
+        assert result.test_error < 0.10

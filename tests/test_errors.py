@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "FixedPointError",
+            "QFormatError",
+            "OverflowModeError",
+            "LinAlgError",
+            "OptimizationError",
+            "InfeasibleProblemError",
+            "SolverBudgetExceeded",
+            "DataError",
+            "TrainingError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_qformat_error_is_fixed_point_error(self):
+        assert issubclass(errors.QFormatError, errors.FixedPointError)
+
+    def test_infeasible_is_optimization_error(self):
+        assert issubclass(errors.InfeasibleProblemError, errors.OptimizationError)
+
+    def test_overflow_error_carries_context(self):
+        exc = errors.OverflowModeError(5.0, -4.0, 3.75)
+        assert exc.value == 5.0
+        assert exc.lo == -4.0
+        assert exc.hi == 3.75
+        assert "5.0" in str(exc)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SolverBudgetExceeded("budget")

@@ -1,0 +1,160 @@
+"""Smoke tests for the experiment harness (tiny configurations).
+
+Full-budget table regeneration lives in benchmarks/; these tests verify the
+harness plumbing — row structure, formatting, power-claim arithmetic — with
+budgets small enough for the unit-test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure2 import Figure2Config, format_figure2, run_figure2
+from repro.experiments.figure4 import Figure4Config, format_figure4, run_figure4
+from repro.experiments.power_claims import derive_power_claim, smallest_word_length
+from repro.experiments.runner import ComparisonRow, format_table
+from repro.experiments.table1 import PAPER_TABLE1, Table1Config, format_table1, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, Table2Config, format_table2, run_table2
+from repro.data.bci import BciConfig
+
+
+def tiny_table1() -> Table1Config:
+    return Table1Config(
+        word_lengths=(4, 12),
+        train_per_class=300,
+        test_per_class=600,
+        max_nodes=10,
+        time_limit=3.0,
+    )
+
+
+class TestRunnerFormatting:
+    def test_format_table_includes_paper_columns(self):
+        rows = [
+            ComparisonRow(4, 0.5, 0.27, 0.8, True, 0.5, 0.2704, 0.81),
+            ComparisonRow(6, 0.5, 0.26, 5.0, False),
+        ]
+        text = format_table("Demo", rows)
+        assert "Demo" in text
+        assert "50.00%" in text
+        assert "27.04%" in text  # paper value rendered
+        assert "--" in text  # missing paper values rendered as --
+        assert "yes" in text and "no" in text
+
+
+class TestTable1Harness:
+    def test_rows_structure(self):
+        rows = run_table1(tiny_table1())
+        assert [r.word_length for r in rows] == [4, 12]
+        for row in rows:
+            assert 0.0 <= row.lda_error <= 1.0
+            assert 0.0 <= row.ldafp_error <= 1.0
+            assert row.ldafp_runtime >= 0.0
+        # paper reference values attached
+        assert rows[0].paper_lda_error == PAPER_TABLE1[4][0]
+
+    def test_format(self):
+        rows = run_table1(tiny_table1())
+        text = format_table1(rows)
+        assert "Table 1" in text
+
+    def test_shape_lda_chance_at_4_bits(self):
+        rows = run_table1(tiny_table1())
+        four_bit = rows[0]
+        assert four_bit.lda_error > 0.40  # stuck at chance
+        assert four_bit.ldafp_error < four_bit.lda_error  # LDA-FP works
+
+
+class TestTable2Harness:
+    def test_rows_structure(self):
+        config = Table2Config(
+            word_lengths=(4,),
+            folds=3,
+            max_nodes=5,
+            time_limit=2.0,
+            bci=BciConfig(trials_per_class=30),
+        )
+        rows = run_table2(config)
+        assert len(rows) == 1
+        assert rows[0].word_length == 4
+        assert rows[0].paper_ldafp_error == PAPER_TABLE2[4][1]
+        assert "Table 2" in format_table2(rows)
+
+
+class TestFigure4Harness:
+    def test_weight_trajectories(self):
+        config = Figure4Config(
+            word_lengths=(4, 14),
+            train_per_class=300,
+            max_nodes=10,
+            time_limit=3.0,
+        )
+        points = run_figure4(config)
+        assert len(points) == 2
+        # Figure 4's story: LDA w1 rounds to zero at 4 bits, stays nonzero
+        # at 14; LDA-FP w1 nonzero at both.
+        assert points[0].lda_weights[0] == 0.0
+        assert points[1].lda_weights[0] != 0.0
+        assert points[0].ldafp_weights[0] != 0.0
+        text = format_figure4(points)
+        assert "Figure 4" in text
+
+    def test_normalization(self):
+        config = Figure4Config(
+            word_lengths=(4,), train_per_class=300, max_nodes=5, time_limit=2.0
+        )
+        point = run_figure4(config)[0]
+        assert np.max(np.abs(point.ldafp_normalized)) == pytest.approx(1.0)
+
+
+class TestFigure2Harness:
+    def test_sensitivity_shape(self):
+        config = Figure2Config(
+            word_lengths=(4,),
+            train_per_class=400,
+            max_nodes=20,
+            time_limit=5.0,
+        )
+        points = run_figure2(config)
+        assert len(points) == 2  # lda + lda-fp at one word length
+        by_method = {p.method: p for p in points}
+        # The robust boundary's worst case under 1-LSB perturbation should
+        # not be (much) worse than conventional LDA's.
+        assert (
+            by_method["lda-fp"].worst_error
+            <= by_method["lda"].worst_error + 0.02
+        )
+        assert "Figure 2" in format_figure2(points)
+        for p in points:
+            assert p.worst_error >= p.nominal_error - 1e-12
+            assert p.spread >= -1e-12
+
+
+class TestPowerClaims:
+    def test_smallest_word_length(self):
+        rows = [
+            ComparisonRow(4, 0.50, 0.27, 1.0, True),
+            ComparisonRow(8, 0.50, 0.25, 1.0, True),
+            ComparisonRow(12, 0.24, 0.20, 1.0, True),
+        ]
+        assert smallest_word_length(rows, "lda", 0.30) == 12
+        assert smallest_word_length(rows, "lda-fp", 0.30) == 4
+        assert smallest_word_length(rows, "lda", 0.10) is None
+
+    def test_derive_power_claim_9x(self):
+        rows = [
+            ComparisonRow(4, 0.50, 0.28, 1.0, True),
+            ComparisonRow(12, 0.28, 0.20, 1.0, True),
+        ]
+        claim = derive_power_claim(rows, 0.30)
+        assert claim.lda_bits == 12
+        assert claim.ldafp_bits == 4
+        assert claim.power_reduction == pytest.approx(9.0)
+        assert "9.00x" in claim.describe()
+
+    def test_unreached_target(self):
+        rows = [ComparisonRow(4, 0.50, 0.40, 1.0, True)]
+        claim = derive_power_claim(rows, 0.05)
+        assert claim.power_reduction is None
+        assert "not reached" in claim.describe()

@@ -1,0 +1,59 @@
+"""Tests for repro.experiments.export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import rows_to_csv, rows_to_json, write_rows
+from repro.experiments.runner import ComparisonRow
+
+
+@pytest.fixture
+def rows():
+    return [
+        ComparisonRow(4, 0.50, 0.27, 0.81, True, 0.5, 0.2704, 0.81),
+        ComparisonRow(6, 0.50, 0.26, 5.87, False, lda_interval="50% [44%, 56%]"),
+    ]
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, rows):
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 2
+        assert parsed[0]["word_length"] == "4"
+        assert float(parsed[1]["ldafp_error"]) == 0.26
+        assert parsed[1]["lda_interval"] == "50% [44%, 56%]"
+
+    def test_header_first(self, rows):
+        first_line = rows_to_csv(rows).splitlines()[0]
+        assert first_line.startswith("word_length,lda_error")
+
+
+class TestJson:
+    def test_valid_json_with_all_fields(self, rows):
+        payload = json.loads(rows_to_json(rows))
+        assert len(payload) == 2
+        assert payload[0]["word_length"] == 4
+        assert payload[0]["paper_ldafp_error"] == 0.2704
+        assert payload[1]["paper_runtime"] is None
+
+
+class TestWriteRows:
+    def test_csv_file(self, rows, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(rows, str(path))
+        assert path.read_text().startswith("word_length")
+
+    def test_json_file(self, rows, tmp_path):
+        path = tmp_path / "out.json"
+        write_rows(rows, str(path))
+        assert json.loads(path.read_text())[0]["word_length"] == 4
+
+    def test_unknown_extension(self, rows, tmp_path):
+        with pytest.raises(ValueError):
+            write_rows(rows, str(tmp_path / "out.xlsx"))

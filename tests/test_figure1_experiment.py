@@ -1,0 +1,44 @@
+"""Unit tests for the Figure 1 experiment module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure1 import Figure1Config, format_figure1, run_figure1
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return run_figure1(Figure1Config(samples_per_class=1500, seed=1))
+
+
+class TestRunFigure1:
+    def test_three_directions(self, summaries):
+        names = [s.name for s in summaries]
+        assert names == ["lda (w)", "mean difference", "x1 axis"]
+
+    def test_directions_unit_norm(self, summaries):
+        for s in summaries:
+            assert np.linalg.norm(s.direction) == pytest.approx(1.0)
+
+    def test_lda_strictly_better_than_naive(self, summaries):
+        by_name = {s.name: s for s in summaries}
+        assert by_name["lda (w)"].d_prime > 1.3 * by_name["x1 axis"].d_prime
+
+    def test_histograms_cover_all_samples(self, summaries):
+        for s in summaries:
+            assert int(s.histogram_a.sum()) == 1500
+            assert int(s.histogram_b.sum()) == 1500
+            assert s.bin_edges.size == s.histogram_a.size + 1
+
+    def test_format_plain(self, summaries):
+        text = format_figure1(summaries)
+        assert "d-prime" in text
+        assert "lda (w)" in text
+        assert "histogram" not in text
+
+    def test_format_with_histograms(self, summaries):
+        text = format_figure1(summaries, histograms=True)
+        assert "projection histogram" in text
+        assert "A" in text and "B" in text

@@ -1,0 +1,92 @@
+"""Tests for repro.signal.fxbiquad."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+from repro.signal.filters import Biquad, butterworth_bandpass
+from repro.signal.fxbiquad import (
+    FixedPointBiquad,
+    is_stable_after_quantization,
+    quantized_poles,
+)
+from repro.signal.preprocess import design_notch
+
+
+@pytest.fixture
+def notch_section() -> Biquad:
+    return design_notch(50.0, 500.0, quality=10.0)
+
+
+class TestStabilityCheck:
+    def test_stable_section_passes(self, notch_section):
+        assert is_stable_after_quantization(notch_section, QFormat(2, 12))
+
+    def test_sharp_notch_destabilizes_at_coarse_format(self):
+        # A very high-Q notch has poles within an LSB of the unit circle;
+        # coarse quantization can push them onto/outside it.
+        razor = design_notch(50.0, 500.0, quality=500.0)
+        fine_ok = is_stable_after_quantization(razor, QFormat(2, 14))
+        assert fine_ok
+        poles_coarse = np.abs(quantized_poles(razor, QFormat(2, 3)))
+        assert np.any(poles_coarse >= 1.0 - 1e-12) or not is_stable_after_quantization(
+            razor, QFormat(2, 3)
+        )
+
+    def test_constructor_rejects_unstable(self):
+        razor = design_notch(50.0, 500.0, quality=500.0)
+        if not is_stable_after_quantization(razor, QFormat(2, 3)):
+            with pytest.raises(DataError):
+                FixedPointBiquad(razor, QFormat(2, 3))
+
+    def test_quantized_poles_move_with_format(self, notch_section):
+        fine = quantized_poles(notch_section, QFormat(2, 14))
+        coarse = quantized_poles(notch_section, QFormat(2, 4))
+        assert not np.allclose(np.sort_complex(fine), np.sort_complex(coarse))
+
+
+class TestFixedPointApply:
+    def test_tracks_reference_at_wide_format(self, notch_section, rng):
+        fx = FixedPointBiquad(notch_section, QFormat(2, 13))
+        signal = rng.uniform(-1, 1, size=400)
+        exact = fx.apply(signal)
+        reference = fx.reference_apply(signal)
+        # Small residual from per-multiply rounding in the recursion.
+        assert float(np.mean((exact - reference) ** 2)) < 1e-5
+
+    def test_notch_still_notches_in_fixed_point(self):
+        fs = 500.0
+        t = np.arange(4096) / fs
+        interference = 0.8 * np.sin(2 * np.pi * 50.0 * t)
+        fx = FixedPointBiquad(design_notch(50.0, fs, quality=10.0), QFormat(2, 10))
+        out = fx.apply(interference)
+        assert float(np.std(out[500:])) < 0.1 * float(np.std(interference))
+
+    def test_output_saturates_not_wraps(self):
+        fmt = QFormat(2, 6)
+        # A passthrough section with gain 1.9 on a near-full-scale input.
+        gainy = Biquad(b0=1.9, b1=0.0, b2=0.0, a1=0.0, a2=0.0)
+        fx = FixedPointBiquad(gainy, fmt)
+        out = fx.apply(np.full(10, 1.5))
+        assert np.all(out <= fmt.max_value)
+        assert np.all(out > 0.0)  # saturated positive, never wrapped negative
+
+    def test_coefficient_error_bounded(self, notch_section):
+        fx = FixedPointBiquad(notch_section, QFormat(2, 8))
+        assert fx.coefficient_error() <= 2.0**-9 + 1e-12
+
+    def test_multidim_rejected(self, notch_section):
+        fx = FixedPointBiquad(notch_section, QFormat(2, 10))
+        with pytest.raises(DataError):
+            fx.apply(np.ones((2, 5)))
+
+    def test_butterworth_sections_run(self, rng):
+        fmt = QFormat(2, 12)
+        signal = rng.uniform(-0.5, 0.5, size=300)
+        out = signal
+        for section in butterworth_bandpass(2, 10.0, 25.0, 500.0):
+            out = FixedPointBiquad(section, fmt).apply(out)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,194 @@
+"""Tests for repro.hardware: power, area, energy, report, codegen."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.qformat import QFormat
+from repro.hardware.area import (
+    GateCounts,
+    adder_gates,
+    mac_datapath_gates,
+    multiplier_gates,
+    register_gates,
+)
+from repro.hardware.cgen import generate_classifier_c
+from repro.hardware.energy import EnergyModel
+from repro.hardware.power import PowerModel, paper_power_model, power_ratio
+from repro.hardware.report import build_report
+from repro.hardware.verilog import generate_classifier_verilog
+
+
+@pytest.fixture
+def classifier() -> FixedPointLinearClassifier:
+    fmt = QFormat(2, 4)
+    return FixedPointLinearClassifier(
+        weights=np.array([0.5, -0.25, 1.0]), threshold=0.125, fmt=fmt
+    )
+
+
+class TestPowerModel:
+    def test_paper_9x_claim(self):
+        # 12 -> 4 bits with quadratic power: (12/4)^2 = 9
+        assert power_ratio(12, 4) == pytest.approx(9.0)
+
+    def test_paper_1p8x_claim(self):
+        # 8 -> 6 bits: (8/6)^2 = 1.78 ("1.8x" in the paper)
+        assert power_ratio(8, 6) == pytest.approx(16.0 / 9.0)
+
+    def test_quadratic_scaling(self):
+        model = paper_power_model()
+        assert model.power(8) == pytest.approx(4.0 * model.power(4))
+
+    def test_linear_and_static_terms(self):
+        model = PowerModel(quadratic=1.0, linear=2.0, static=3.0)
+        assert model.power(2) == pytest.approx(4 + 4 + 3)
+
+    def test_invalid_models_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(quadratic=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(quadratic=0.0, linear=0.0, static=0.0)
+
+    def test_invalid_word_length(self):
+        with pytest.raises(ValueError):
+            paper_power_model().power(0)
+
+
+class TestArea:
+    def test_adder_linear(self):
+        assert adder_gates(8) == 2 * adder_gates(4)
+
+    def test_multiplier_roughly_quadratic(self):
+        ratio = multiplier_gates(16) / multiplier_gates(8)
+        assert 3.0 < ratio < 4.5
+
+    def test_mac_breakdown_sums(self):
+        counts = mac_datapath_gates(8)
+        assert isinstance(counts, GateCounts)
+        assert counts.total == (
+            counts.multiplier + counts.adder + counts.registers + counts.comparator
+        )
+
+    def test_register_gates(self):
+        assert register_gates(8) == 32
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            adder_gates(0)
+        with pytest.raises(ValueError):
+            multiplier_gates(0)
+
+
+class TestEnergy:
+    def test_scales_with_features(self):
+        model = EnergyModel()
+        e10 = model.per_classification(8, 10).total
+        e20 = model.per_classification(8, 20).total
+        assert e20 == pytest.approx(2 * e10)
+
+    def test_reduction_independent_of_features(self):
+        model = EnergyModel()
+        assert model.reduction(12, 4, 10) == pytest.approx(model.reduction(12, 4, 42))
+
+    def test_reduction_order_of_quadratic(self):
+        # dominated by the multiplier term -> close to (12/4)^2 = 9
+        model = EnergyModel()
+        assert 6.0 < model.reduction(12, 4, 10) < 9.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(activity=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel().per_classification(8, 0)
+
+
+class TestReport:
+    def test_contains_key_fields(self, classifier):
+        report = build_report(classifier, test_error=0.21, reference_word_length=12)
+        assert "Q2.4" in report.text
+        assert "21.00%" in report.text
+        assert "reduction" in report.text
+        assert report.total_gates > 0
+
+    def test_without_optional_fields(self, classifier):
+        report = build_report(classifier)
+        assert "test error" not in report.text
+        assert "measured activity" not in report.text
+
+    def test_with_measured_activity(self, classifier, rng):
+        features = rng.uniform(-1, 1, size=(25, 3))
+        report = build_report(classifier, activity_features=features)
+        assert "measured activity" in report.text
+        assert "25 samples replayed" in report.text
+
+    def test_latency_line_present(self, classifier):
+        report = build_report(classifier)
+        assert "latency/decision" in report.text
+        assert "cycles" in report.text
+
+
+class TestVerilog:
+    def test_structure(self, classifier):
+        source = generate_classifier_verilog(classifier)
+        assert source.count("module ") == 1
+        assert source.count("endmodule") == 1
+        assert source.count("begin") == source.count("end") - source.count("endmodule")
+        assert "NUM_FEATURES = 3" in source
+        assert "WIDTH = 6" in source
+
+    def test_weight_constants_encoded(self, classifier):
+        source = generate_classifier_verilog(classifier)
+        # 0.5 in Q2.4 is raw 8 -> 6'sh08
+        assert "6'sh08" in source
+        # -0.25 is raw -4 -> two's complement 0x3C in 6 bits
+        assert "6'sh3C" in source
+
+    def test_polarity_inversion_emitted(self):
+        fmt = QFormat(2, 4)
+        clf = FixedPointLinearClassifier(
+            weights=np.array([0.5]), threshold=0.0, fmt=fmt, polarity=-1
+        )
+        assert "~decision_sign" in generate_classifier_verilog(clf)
+
+    def test_custom_module_name(self, classifier):
+        source = generate_classifier_verilog(classifier, module_name="my_clf")
+        assert "module my_clf" in source
+
+
+class TestCgen:
+    def test_structure(self, classifier):
+        source = generate_classifier_c(classifier)
+        assert "#include <stdint.h>" in source
+        assert "NUM_FEATURES 3" in source
+        assert "int lda_fp_classify(" in source
+        assert source.count("{") == source.count("}")
+
+    def test_weights_parse_back(self, classifier):
+        source = generate_classifier_c(classifier)
+        match = re.search(r"WEIGHTS\[NUM_FEATURES\] = \{([^}]*)\}", source)
+        assert match is not None
+        raws = [int(v) for v in match.group(1).split(",")]
+        fmt = classifier.fmt
+        assert raws == [int(fmt.to_raw(w)) for w in classifier.weights]
+
+    def test_storage_width_selection(self):
+        fmt = QFormat(8, 9)  # 17 bits -> int32
+        clf = FixedPointLinearClassifier(
+            weights=np.array([1.0]), threshold=0.0, fmt=fmt
+        )
+        assert "int32_t" in generate_classifier_c(clf)
+
+    def test_polarity_changes_return(self, classifier):
+        fmt = classifier.fmt
+        inverted = FixedPointLinearClassifier(
+            weights=classifier.weights,
+            threshold=classifier.threshold,
+            fmt=fmt,
+            polarity=-1,
+        )
+        assert generate_classifier_c(classifier) != generate_classifier_c(inverted)

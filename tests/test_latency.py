@@ -1,0 +1,62 @@
+"""Tests for repro.hardware.latency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DataError
+from repro.hardware.latency import estimate_latency, meets_sample_rate
+
+
+class TestArchitectures:
+    def test_serial_cycles_linear_in_features(self):
+        small = estimate_latency(6, 10, "serial")
+        large = estimate_latency(6, 40, "serial")
+        assert large.cycles_per_decision - small.cycles_per_decision == 30
+
+    def test_parallel_cycles_logarithmic(self):
+        est = estimate_latency(6, 42, "parallel")
+        assert est.cycles_per_decision <= 2 + 6 + 1  # 1 + ceil(log2 42)=6 + pipe
+
+    def test_parallel_trades_area_for_latency(self):
+        serial = estimate_latency(6, 42, "serial")
+        parallel = estimate_latency(6, 42, "parallel")
+        assert parallel.latency_seconds < serial.latency_seconds
+        assert parallel.relative_multiplier_area == 42.0
+        assert serial.relative_multiplier_area == 1.0
+
+    def test_digit_serial_between_extremes(self):
+        serial = estimate_latency(8, 42, "serial")
+        digit = estimate_latency(8, 42, "digit-serial", digit_bits=4)
+        assert digit.cycles_per_decision > serial.cycles_per_decision
+        assert digit.relative_multiplier_area < 1.0
+
+    def test_wider_words_slower_clock(self):
+        narrow = estimate_latency(4, 10, "serial")
+        wide = estimate_latency(16, 10, "serial")
+        assert wide.max_clock_hz < narrow.max_clock_hz
+
+    def test_unknown_architecture(self):
+        with pytest.raises(DataError):
+            estimate_latency(6, 10, "quantum")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            estimate_latency(0, 10)
+        with pytest.raises(DataError):
+            estimate_latency(6, 10, "digit-serial", digit_bits=0)
+
+
+class TestThroughput:
+    def test_ecog_rate_easily_met(self):
+        # 42 features at a 500 Hz decision rate is trivial for any clock.
+        est = estimate_latency(6, 42, "serial")
+        assert meets_sample_rate(est, 500.0)
+
+    def test_impossible_rate_detected(self):
+        est = estimate_latency(16, 42, "serial")
+        assert not meets_sample_rate(est, 1e9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(DataError):
+            meets_sample_rate(estimate_latency(6, 4), 0.0)

@@ -1,0 +1,112 @@
+"""Tests for repro.core.lda — the conventional baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lda import fit_lda, quantize_lda
+from repro.data.gaussian import GaussianClassModel, TwoClassGaussianModel
+from repro.data.synthetic import make_synthetic_dataset
+from repro.errors import TrainingError
+from repro.fixedpoint.qformat import QFormat
+from repro.stats.metrics import classification_error
+
+
+class TestFitLda:
+    def test_unit_norm(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        assert np.linalg.norm(model.weights) == pytest.approx(1.0)
+
+    def test_closed_form_direction(self):
+        # With identity covariance, w must align with mu_A - mu_B.
+        model_def = TwoClassGaussianModel(
+            class_a=GaussianClassModel(np.array([1.0, 2.0]), np.eye(2)),
+            class_b=GaussianClassModel(np.array([-1.0, -2.0]), np.eye(2)),
+        )
+        ds = model_def.sample_dataset(20_000, seed=0)
+        model = fit_lda(ds)
+        direction = np.array([2.0, 4.0]) / np.linalg.norm([2.0, 4.0])
+        assert np.allclose(model.weights, direction, atol=0.03)
+
+    def test_matches_direct_solve(self, synthetic_train, synthetic_stats):
+        model = fit_lda(synthetic_train)
+        expected = np.linalg.solve(
+            synthetic_stats.within_scatter + 1e-10 * np.eye(3),
+            synthetic_stats.mean_difference,
+        )
+        expected /= np.linalg.norm(expected)
+        assert np.allclose(model.weights, expected, atol=1e-5)
+
+    def test_threshold_is_midpoint_projection(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        assert model.threshold == pytest.approx(
+            float(model.weights @ model.stats.midpoint)
+        )
+
+    def test_class_a_positive_side(self, synthetic_train, synthetic_test):
+        model = fit_lda(synthetic_train)
+        error = classification_error(
+            synthetic_test.labels, model.predict(synthetic_test.features)
+        )
+        assert error < 0.5  # oriented correctly, not inverted
+
+    def test_noise_cancellation_weights(self):
+        # The synthetic problem's LDA solution has |w2|, |w3| >> |w1|.
+        ds = make_synthetic_dataset(4000, seed=0)
+        model = fit_lda(ds, shrinkage=0.0)
+        assert abs(model.weights[1]) > 100 * abs(model.weights[0])
+        assert abs(model.weights[2]) > 100 * abs(model.weights[0])
+        # and the two noise weights have opposite signs
+        assert model.weights[1] * model.weights[2] < 0
+
+    def test_shrinkage_rescues_singular(self):
+        # 3 samples in 5 dims: singular within-scatter.
+        rng = np.random.default_rng(0)
+        from repro.data.dataset import Dataset
+
+        features = rng.standard_normal((6, 5))
+        labels = np.array([1, 1, 1, 0, 0, 0])
+        ds = Dataset(features, labels)
+        model = fit_lda(ds, shrinkage=0.2)
+        assert np.all(np.isfinite(model.weights))
+
+    def test_fisher_cost_finite(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        assert np.isfinite(model.fisher_cost())
+        assert model.fisher_cost() > 0
+
+
+class TestQuantizeLda:
+    def test_weights_on_grid(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        fmt = QFormat(2, 4)
+        classifier = quantize_lda(model, fmt)
+        for w in classifier.weights:
+            assert fmt.contains(float(w))
+
+    def test_tiny_weight_rounds_to_zero(self):
+        ds = make_synthetic_dataset(4000, seed=0)
+        model = fit_lda(ds, shrinkage=0.0)
+        classifier = quantize_lda(model, QFormat(2, 2))
+        # w1 ~ 0.0012 is far below the 0.25 LSB: must round to zero —
+        # the paper's Figure 4 story.
+        assert classifier.weights[0] == 0.0
+
+    def test_grid_max_scaling_uses_range(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        fmt = QFormat(2, 6)
+        classifier = quantize_lda(model, fmt, weight_scale="grid-max")
+        assert np.max(np.abs(classifier.weights)) >= 0.8 * fmt.max_value
+
+    def test_unknown_scale_rejected(self, synthetic_train):
+        model = fit_lda(synthetic_train)
+        with pytest.raises(ValueError):
+            quantize_lda(model, QFormat(2, 4), weight_scale="bogus")
+
+    def test_rounding_mode_passed_through(self, synthetic_train):
+        from repro.fixedpoint.rounding import RoundingMode
+
+        model = fit_lda(synthetic_train)
+        classifier = quantize_lda(model, QFormat(2, 4), rounding=RoundingMode.FLOOR)
+        assert classifier.rounding is RoundingMode.FLOOR

@@ -1,0 +1,95 @@
+"""Tests for repro.core.localsearch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.localsearch import coordinate_descent, scale_sweep_candidates
+from repro.core.problem import LdaFpProblem
+from repro.fixedpoint.qformat import QFormat
+from repro.stats.scatter import ClassStats, TwoClassStats
+
+
+def toy_problem(fmt=None) -> LdaFpProblem:
+    fmt = fmt or QFormat(2, 3)
+    mean_a = np.array([0.4, 0.0])
+    cov = np.array([[0.09, 0.0], [0.0, 0.09]])
+    stats = TwoClassStats(
+        class_a=ClassStats(mean_a, cov, 100),
+        class_b=ClassStats(-mean_a, cov, 100),
+        within_scatter=cov,
+        mean_difference=2 * mean_a,
+    )
+    return LdaFpProblem(stats=stats, fmt=fmt, rho=0.99)
+
+
+class TestCoordinateDescent:
+    def test_improves_or_keeps_cost(self):
+        problem = toy_problem()
+        start = np.array([0.125, 0.5])
+        result = coordinate_descent(problem, start)
+        assert result.cost <= problem.cost(start) + 1e-12
+
+    def test_result_feasible_and_on_grid(self):
+        problem = toy_problem()
+        result = coordinate_descent(problem, np.array([0.125, 0.25]))
+        assert problem.is_feasible(result.weights)
+
+    def test_local_optimum_unmoved(self):
+        problem = toy_problem()
+        # The best direction is (1, 0); a point already optimal in its
+        # neighborhood should come back unchanged with zero moves.
+        result = coordinate_descent(problem, np.array([0.5, 0.0]), radius=1)
+        second = coordinate_descent(problem, result.weights, radius=1)
+        assert second.moves_accepted == 0
+        assert np.array_equal(second.weights, result.weights)
+
+    def test_converged_flag(self):
+        problem = toy_problem()
+        result = coordinate_descent(problem, np.array([0.25, 0.25]), max_sweeps=25)
+        assert result.converged
+
+    def test_zero_sweeps_budget(self):
+        problem = toy_problem()
+        result = coordinate_descent(problem, np.array([0.25, 0.25]), max_sweeps=0)
+        assert not result.converged
+        assert result.moves_accepted == 0
+
+
+class TestScaleSweep:
+    def test_candidates_on_grid_and_nonzero(self):
+        problem = toy_problem()
+        candidates = scale_sweep_candidates(problem, np.array([1.0, 0.3]))
+        assert candidates
+        for c in candidates:
+            assert problem.on_grid(c)
+            assert np.any(c)
+
+    def test_includes_near_optimal_scaling(self):
+        problem = toy_problem()
+        direction = np.array([1.0, 0.0])
+        candidates = scale_sweep_candidates(problem, direction)
+        best = min(
+            (problem.cost(c) for c in candidates if problem.is_feasible(c)),
+            default=np.inf,
+        )
+        # continuous optimum for this toy problem
+        star = problem.continuous_optimum()
+        assert best <= star * 1.05
+
+    def test_zero_direction_empty(self):
+        problem = toy_problem()
+        assert scale_sweep_candidates(problem, np.zeros(2)) == []
+
+    def test_no_duplicates(self):
+        problem = toy_problem()
+        candidates = scale_sweep_candidates(problem, np.array([0.7, -0.2]))
+        keys = {c.tobytes() for c in candidates}
+        assert len(keys) == len(candidates)
+
+    def test_both_signs_generated(self):
+        problem = toy_problem()
+        candidates = scale_sweep_candidates(problem, np.array([1.0, 0.0]), refine=False)
+        signs = {np.sign(c[0]) for c in candidates}
+        assert signs == {1.0, -1.0}

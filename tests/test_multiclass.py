@@ -1,0 +1,81 @@
+"""Tests for the one-vs-rest multiclass extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldafp import LdaFpConfig
+from repro.core.multiclass import (
+    MulticlassFixedPointClassifier,
+    train_one_vs_rest,
+)
+from repro.errors import DataError, TrainingError
+from repro.fixedpoint.qformat import QFormat
+
+
+def three_class_blobs(n_per_class: int = 150, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.8, 0.0], [-0.5, 0.7], [-0.5, -0.7]])
+    features = []
+    labels = []
+    for label, center in enumerate(centers):
+        features.append(rng.standard_normal((n_per_class, 2)) * 0.3 + center)
+        labels.append(np.full(n_per_class, label))
+    return np.vstack(features), np.concatenate(labels)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x, y = three_class_blobs()
+    fmt = QFormat(2, 3)
+    return train_one_vs_rest(
+        x, y, fmt, LdaFpConfig(max_nodes=30, time_limit=5)
+    ), (x, y)
+
+
+class TestTraining:
+    def test_one_classifier_per_class(self, trained):
+        (clf, reports), _ = trained
+        assert clf.classes == (0, 1, 2)
+        assert len(clf.classifiers) == 3
+        assert set(reports) == {0, 1, 2}
+
+    def test_accuracy_on_separable_blobs(self, trained):
+        (clf, _), (x, y) = trained
+        assert clf.error_on(x, y) < 0.12
+
+    def test_decision_matrix_shape(self, trained):
+        (clf, _), (x, _) = trained
+        assert clf.decision_matrix(x[:7]).shape == (7, 3)
+
+    def test_predict_returns_original_labels(self, trained):
+        (clf, _), (x, _) = trained
+        assert set(np.unique(clf.predict(x))) <= {0, 1, 2}
+
+    def test_weights_share_format(self, trained):
+        (clf, _), _ = trained
+        formats = {c.fmt for c in clf.classifiers}
+        assert formats == {QFormat(2, 3)}
+
+
+class TestValidation:
+    def test_single_class_rejected(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        with pytest.raises(DataError):
+            train_one_vs_rest(x, y, QFormat(2, 2))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            train_one_vs_rest(np.zeros((10, 2)), np.zeros(5), QFormat(2, 2))
+
+    def test_container_validation(self):
+        from repro.core.classifier import FixedPointLinearClassifier
+
+        fmt = QFormat(2, 2)
+        one = FixedPointLinearClassifier(np.array([0.5]), 0.0, fmt)
+        with pytest.raises(TrainingError):
+            MulticlassFixedPointClassifier(classes=(0,), classifiers=(one,))
+        with pytest.raises(TrainingError):
+            MulticlassFixedPointClassifier(classes=(0, 1), classifiers=(one,))

@@ -1,0 +1,137 @@
+"""Tests for repro.fixedpoint.number (Fx scalar arithmetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint.number import Fx
+from repro.fixedpoint.overflow import OverflowMode
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+
+
+class TestPaperExample:
+    """The paper's Section 3 worked example: 3 + 3 - 4 in Q3.0."""
+
+    def test_intermediate_wraps(self, q3_0):
+        intermediate = Fx(3, q3_0) + Fx(3, q3_0)
+        assert intermediate.value == -2.0  # 6 wraps to -2
+
+    def test_final_result_correct(self, q3_0):
+        result = Fx(3, q3_0) + Fx(3, q3_0) - Fx(4, q3_0)
+        # 4 itself saturates/wraps: Q3.0 max is 3, and Fx(4) wraps to -4...
+        # The paper's example is stated on raw bit patterns: 011+011=110,
+        # then 110+100=010 (=2).  100 is -4, i.e. the subtraction of 4 is
+        # the addition of the wrapped -4's negation; reproduce it exactly:
+        result = Fx.from_raw(3, q3_0) + Fx.from_raw(3, q3_0) + Fx.from_raw(-4, q3_0)
+        assert result.value == 2.0
+
+    def test_bits_of_intermediate(self, q3_0):
+        assert (Fx(3, q3_0) + Fx(3, q3_0)).bits == "110"
+
+
+class TestConstruction:
+    def test_value_round_trip(self, q2_2):
+        assert Fx(0.75, q2_2).value == 0.75
+        assert Fx(0.75, q2_2).raw == 3
+
+    def test_rounding_on_construction(self, q2_2):
+        assert Fx(0.3, q2_2).value == 0.25
+
+    def test_wrap_on_construction(self, q3_0):
+        assert Fx(4, q3_0).value == -4.0
+
+    def test_saturate_on_construction(self, q3_0):
+        assert Fx(4, q3_0, overflow=OverflowMode.SATURATE).value == 3.0
+
+    def test_from_raw(self, q2_2):
+        assert Fx.from_raw(-8, q2_2).value == -2.0
+
+
+class TestArithmetic:
+    def test_add(self, q2_2):
+        assert (Fx(0.5, q2_2) + Fx(0.25, q2_2)).value == 0.75
+
+    def test_add_scalar(self, q2_2):
+        assert (Fx(0.5, q2_2) + 0.25).value == 0.75
+        assert (0.25 + Fx(0.5, q2_2)).value == 0.75
+
+    def test_sub(self, q2_2):
+        assert (Fx(0.5, q2_2) - Fx(0.75, q2_2)).value == -0.25
+        assert (1.0 - Fx(0.25, q2_2)).value == 0.75
+
+    def test_mul_exact(self, q2_2):
+        assert (Fx(0.5, q2_2) * Fx(0.5, q2_2)).value == 0.25
+
+    def test_mul_rounds(self, q2_2):
+        # 0.25 * 0.25 = 0.0625 rounds to 0.25 * ... -> nearest grid 0.0 or 0.25?
+        # 0.0625 in Q2.2 (res 0.25): scaled 0.25 quanta -> rounds to 0
+        assert (Fx(0.25, q2_2) * Fx(0.25, q2_2)).value == 0.0
+
+    def test_mul_scalar(self, q2_2):
+        assert (Fx(0.5, q2_2) * 1.5).value == 0.75
+
+    def test_mul_scalar_wraps_unrepresentable_operand(self, q2_2):
+        # 2.0 is above Q2.2's max (1.75): with the default WRAP policy the
+        # scalar operand itself wraps to -2.0 before the multiply.
+        assert (Fx(0.5, q2_2) * 2).value == -1.0
+
+    def test_neg_abs(self, q2_2):
+        assert (-Fx(0.5, q2_2)).value == -0.5
+        assert abs(Fx(-0.5, q2_2)).value == 0.5
+
+    def test_mixed_formats_rejected(self, q2_2, q3_0):
+        with pytest.raises(ValueError):
+            Fx(1, q2_2) + Fx(1, q3_0)
+
+    def test_mul_overflow_wraps(self, q3_0):
+        assert (Fx(3, q3_0) * Fx(3, q3_0)).value == 1.0  # 9 mod 8 -> 1
+
+
+class TestComparison:
+    def test_equality(self, q2_2):
+        assert Fx(0.5, q2_2) == Fx(0.5, q2_2)
+        assert Fx(0.5, q2_2) == 0.5
+        assert Fx(0.5, q2_2) != Fx(0.25, q2_2)
+
+    def test_ordering(self, q2_2):
+        assert Fx(0.25, q2_2) < Fx(0.5, q2_2)
+        assert Fx(0.5, q2_2) >= 0.5
+        assert Fx(-1, q2_2) <= 0
+
+    def test_hashable(self, q2_2):
+        assert len({Fx(0.5, q2_2), Fx(0.5, q2_2), Fx(0.25, q2_2)}) == 2
+
+    def test_float_conversion(self, q2_2):
+        assert float(Fx(0.75, q2_2)) == 0.75
+
+    def test_repr(self, q2_2):
+        assert "raw=3" in repr(Fx(0.75, q2_2))
+
+
+class TestAgainstExactArithmetic:
+    @given(
+        st.integers(min_value=-8, max_value=7),
+        st.integers(min_value=-8, max_value=7),
+    )
+    def test_add_matches_wrapped_integers(self, ra, rb):
+        fmt = QFormat(2, 2)
+        out = Fx.from_raw(ra, fmt) + Fx.from_raw(rb, fmt)
+        assert out.raw == fmt.wrap_raw(ra + rb)
+
+    @given(
+        st.integers(min_value=-8, max_value=7),
+        st.integers(min_value=-8, max_value=7),
+    )
+    @settings(max_examples=200)
+    def test_mul_matches_shift_narrowing(self, ra, rb):
+        from repro.fixedpoint.rounding import shift_right_rounded
+
+        fmt = QFormat(2, 2)
+        out = Fx.from_raw(ra, fmt) * Fx.from_raw(rb, fmt)
+        expected = fmt.wrap_raw(
+            shift_right_rounded(ra * rb, fmt.fraction_bits, RoundingMode.NEAREST_AWAY)
+        )
+        assert out.raw == expected

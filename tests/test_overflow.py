@@ -1,0 +1,80 @@
+"""Tests for repro.fixedpoint.overflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import OverflowModeError
+from repro.fixedpoint.overflow import OverflowMode, apply_overflow_raw
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestWrap:
+    def test_in_range_unchanged(self, q3_0):
+        for raw in range(-4, 4):
+            assert apply_overflow_raw(raw, q3_0, OverflowMode.WRAP) == raw
+
+    def test_positive_overflow_wraps_negative(self, q3_0):
+        assert apply_overflow_raw(4, q3_0, OverflowMode.WRAP) == -4
+        assert apply_overflow_raw(6, q3_0, OverflowMode.WRAP) == -2
+
+    def test_negative_overflow_wraps_positive(self, q3_0):
+        assert apply_overflow_raw(-5, q3_0, OverflowMode.WRAP) == 3
+
+    def test_array(self, q3_0):
+        out = apply_overflow_raw(np.array([6, -5, 2]), q3_0, OverflowMode.WRAP)
+        assert list(out) == [-2, 3, 2]
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9))
+    def test_wrap_additive_homomorphism(self, value):
+        # wrap(a + b) == wrap(wrap(a) + wrap(b)) — the property that makes
+        # intermediate overflow harmless (paper Section 3).
+        fmt = QFormat(3, 2)
+        a, b = value, value // 3 + 7
+        lhs = apply_overflow_raw(a + b, fmt, OverflowMode.WRAP)
+        rhs = apply_overflow_raw(
+            int(apply_overflow_raw(a, fmt, OverflowMode.WRAP))
+            + int(apply_overflow_raw(b, fmt, OverflowMode.WRAP)),
+            fmt,
+            OverflowMode.WRAP,
+        )
+        assert lhs == rhs
+
+
+class TestSaturate:
+    def test_clamps_high(self, q3_0):
+        assert apply_overflow_raw(100, q3_0, OverflowMode.SATURATE) == 3
+
+    def test_clamps_low(self, q3_0):
+        assert apply_overflow_raw(-100, q3_0, OverflowMode.SATURATE) == -4
+
+    def test_array(self, q3_0):
+        out = apply_overflow_raw(np.array([100, -100, 1]), q3_0, OverflowMode.SATURATE)
+        assert list(out) == [3, -4, 1]
+
+
+class TestRaise:
+    def test_in_range_passes(self, q3_0):
+        assert apply_overflow_raw(3, q3_0, OverflowMode.RAISE) == 3
+
+    def test_overflow_raises_with_context(self, q3_0):
+        with pytest.raises(OverflowModeError) as excinfo:
+            apply_overflow_raw(4, q3_0, OverflowMode.RAISE)
+        assert excinfo.value.lo == q3_0.min_value
+        assert excinfo.value.hi == q3_0.max_value
+
+    def test_array_overflow_raises(self, q3_0):
+        with pytest.raises(OverflowModeError):
+            apply_overflow_raw(np.array([0, 4]), q3_0, OverflowMode.RAISE)
+
+
+class TestCoercion:
+    def test_string_mode(self, q3_0):
+        assert apply_overflow_raw(6, q3_0, "wrap") == -2
+        assert apply_overflow_raw(6, q3_0, "saturate") == 3
+
+    def test_bad_string(self, q3_0):
+        with pytest.raises(ValueError):
+            apply_overflow_raw(1, q3_0, "explode")

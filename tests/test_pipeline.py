@@ -1,0 +1,91 @@
+"""Tests for repro.core.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldafp import LdaFpConfig
+from repro.core.pipeline import PipelineConfig, TrainingPipeline
+from repro.errors import TrainingError
+from repro.fixedpoint.qformat import QFormat
+
+
+class TestConfig:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(method="svm")
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(scale_margin=0.0)
+
+    def test_format_for(self):
+        pipe = TrainingPipeline(PipelineConfig(integer_bits=2))
+        assert pipe.format_for(8) == QFormat(2, 6)
+
+    def test_format_for_too_small(self):
+        pipe = TrainingPipeline(PipelineConfig(integer_bits=2))
+        with pytest.raises(TrainingError):
+            pipe.format_for(2)
+
+
+class TestLdaPath:
+    def test_run_produces_result(self, synthetic_train, synthetic_test):
+        pipe = TrainingPipeline(
+            PipelineConfig(method="lda", lda_shrinkage=0.0)
+        )
+        result = pipe.run(synthetic_train, synthetic_test, 12)
+        assert result.method == "lda"
+        assert result.word_length == 12
+        assert 0.0 <= result.test_error <= 1.0
+        assert result.ldafp_report is None
+
+    def test_small_wordlength_near_chance(self, synthetic_train, synthetic_test):
+        # The paper's Table 1: conventional LDA is stuck at ~50% at 4 bits
+        # on the noise-cancellation synthetic problem.
+        pipe = TrainingPipeline(PipelineConfig(method="lda", lda_shrinkage=0.0))
+        result = pipe.run(synthetic_train, synthetic_test, 4)
+        assert result.test_error > 0.4
+
+    def test_large_wordlength_converges(self, synthetic_train, synthetic_test):
+        pipe = TrainingPipeline(PipelineConfig(method="lda", lda_shrinkage=0.0))
+        result = pipe.run(synthetic_train, synthetic_test, 16)
+        assert result.test_error < 0.30
+
+
+class TestLdaFpPath:
+    def test_run_produces_report(self, synthetic_train, synthetic_test):
+        pipe = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp",
+                ldafp=LdaFpConfig(max_nodes=60, time_limit=10),
+            )
+        )
+        result = pipe.run(synthetic_train, synthetic_test, 4)
+        assert result.ldafp_report is not None
+        assert result.train_seconds > 0
+
+    def test_beats_lda_at_small_wordlength(self, synthetic_train, synthetic_test):
+        """The paper's headline claim on the synthetic set at 4 bits."""
+        lda = TrainingPipeline(PipelineConfig(method="lda", lda_shrinkage=0.0))
+        ldafp = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp",
+                ldafp=LdaFpConfig(max_nodes=200, time_limit=30),
+            )
+        )
+        lda_error = lda.run(synthetic_train, synthetic_test, 4).test_error
+        fp_error = ldafp.run(synthetic_train, synthetic_test, 4).test_error
+        assert fp_error < lda_error - 0.10
+
+    def test_bitexact_eval_runs(self, synthetic_train, synthetic_test):
+        pipe = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp",
+                ldafp=LdaFpConfig(max_nodes=30, time_limit=5),
+            )
+        )
+        small_test = synthetic_test.subset(np.arange(60))
+        result = pipe.run(synthetic_train, small_test, 4, bitexact_eval=True)
+        assert 0.0 <= result.test_error <= 1.0

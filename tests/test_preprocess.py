@@ -1,0 +1,132 @@
+"""Tests for repro.signal.preprocess (notch + decimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+
+from repro.errors import DataError
+from repro.signal.preprocess import decimate, design_notch, remove_powerline
+from repro.signal.spectrum import band_power, welch_psd
+
+
+class TestNotch:
+    def test_response_properties(self):
+        # RBJ-cookbook notch (scipy's iirnotch parametrizes bandwidth
+        # slightly differently, so compare responses, not coefficients):
+        # unit gain at DC and Nyquist, a null at the notch, and a -3 dB
+        # bandwidth of roughly f0/Q.
+        fs, f0, q = 500.0, 50.0, 30.0
+        notch = design_notch(f0, fs, quality=q)
+        b = np.array([notch.b0, notch.b1, notch.b2])
+        a = np.array([1.0, notch.a1, notch.a2])
+
+        def gain(freq):
+            _, h = ss.freqz(b, a, worN=[freq], fs=fs)
+            return float(np.abs(h[0]))
+
+        assert gain(0.001) == pytest.approx(1.0, abs=1e-3)
+        assert gain(249.9) == pytest.approx(1.0, abs=1e-3)
+        assert gain(f0) < 1e-6
+        half_bw = 0.5 * f0 / q
+        assert gain(f0 - half_bw) == pytest.approx(1 / np.sqrt(2), abs=0.08)
+        assert gain(f0 + half_bw) == pytest.approx(1 / np.sqrt(2), abs=0.08)
+
+    def test_close_to_scipy_iirnotch_response(self):
+        fs, f0, q = 500.0, 50.0, 30.0
+        notch = design_notch(f0, fs, quality=q)
+        b_ref, a_ref = ss.iirnotch(f0, q, fs=fs)
+        freqs = np.linspace(1, 249, 200)
+        _, ours = ss.freqz(
+            [notch.b0, notch.b1, notch.b2], [1.0, notch.a1, notch.a2],
+            worN=freqs, fs=fs,
+        )
+        _, theirs = ss.freqz(b_ref, a_ref, worN=freqs, fs=fs)
+        assert np.max(np.abs(np.abs(ours) - np.abs(theirs))) < 0.05
+
+    def test_kills_notch_frequency_keeps_neighbors(self):
+        fs = 500.0
+        t = np.arange(8192) / fs
+        interference = np.sin(2 * np.pi * 50.0 * t)
+        wanted = np.sin(2 * np.pi * 20.0 * t)
+        cleaned = design_notch(50.0, fs).apply(interference + wanted)
+        psd = welch_psd(cleaned[1000:], fs, segment_length=1024)
+        assert band_power(psd, 48.0, 52.0) < 0.01
+        assert band_power(psd, 18.0, 22.0) == pytest.approx(0.5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            design_notch(300.0, 500.0)
+        with pytest.raises(DataError):
+            design_notch(50.0, 500.0, quality=0.0)
+
+
+class TestRemovePowerline:
+    def test_harmonics_removed(self):
+        fs = 500.0
+        t = np.arange(8192) / fs
+        signal = (
+            np.sin(2 * np.pi * 50.0 * t)
+            + 0.5 * np.sin(2 * np.pi * 100.0 * t)
+            + np.sin(2 * np.pi * 15.0 * t)
+        )
+        cleaned = remove_powerline(signal, fs, mains_hz=50.0, harmonics=2)
+        psd = welch_psd(cleaned[1000:], fs, segment_length=1024)
+        assert band_power(psd, 48.0, 52.0) < 0.01
+        assert band_power(psd, 98.0, 102.0) < 0.01
+        assert band_power(psd, 13.0, 17.0) == pytest.approx(0.5, rel=0.1)
+
+    def test_harmonics_above_nyquist_skipped(self):
+        fs = 120.0
+        signal = np.random.default_rng(0).standard_normal(1000)
+        # 50 Hz fits; 100 Hz does not — must not raise.
+        out = remove_powerline(signal, fs, mains_hz=50.0, harmonics=3)
+        assert out.shape == signal.shape
+
+    def test_no_valid_notch_rejected(self):
+        with pytest.raises(DataError):
+            remove_powerline(np.zeros(100), 80.0, mains_hz=50.0)
+
+    def test_bad_harmonics(self):
+        with pytest.raises(DataError):
+            remove_powerline(np.zeros(100), 500.0, harmonics=0)
+
+
+class TestDecimate:
+    def test_length(self):
+        out = decimate(np.zeros(1000), 4)
+        assert out.size == 250
+
+    def test_factor_one_is_copy(self):
+        x = np.arange(10.0)
+        out = decimate(x, 1)
+        assert np.array_equal(out, x)
+        out[0] = 99.0
+        assert x[0] == 0.0  # no aliasing of the input array
+
+    def test_preserves_low_frequency(self):
+        fs = 1000.0
+        t = np.arange(8000) / fs
+        signal = np.sin(2 * np.pi * 10.0 * t)
+        out = decimate(signal, 4)
+        t_out = np.arange(out.size) * 4 / fs
+        expected = np.sin(2 * np.pi * 10.0 * t_out)
+        core = slice(100, out.size - 100)
+        assert np.corrcoef(out[core], expected[core])[0, 1] > 0.999
+
+    def test_removes_aliasing_component(self):
+        fs = 1000.0
+        t = np.arange(16000) / fs
+        # 400 Hz would alias to 100 Hz after /4 decimation (new fs 250).
+        signal = np.sin(2 * np.pi * 400.0 * t) + np.sin(2 * np.pi * 20.0 * t)
+        out = decimate(signal, 4)
+        psd = welch_psd(out[200:], 250.0, segment_length=512)
+        assert band_power(psd, 95.0, 105.0) < 0.02  # alias suppressed
+        assert band_power(psd, 18.0, 22.0) == pytest.approx(0.5, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            decimate(np.zeros(10), 0)
+        with pytest.raises(DataError):
+            decimate(np.zeros((2, 5)), 2)

@@ -1,0 +1,148 @@
+"""Cross-cutting hypothesis property tests on the library's core invariants.
+
+Module-level properties live next to their modules; this file holds the
+end-to-end and cross-module invariants:
+
+- the wrap identity (paper Section 3) on random accumulation chains,
+- datapath determinism and scale behaviour,
+- solver soundness on randomized LDA-FP instances (lower bound really is a
+  lower bound; returned point really is feasible),
+- grid closure under doubling (the property the scale-sweep exploits),
+- train/deploy consistency of the pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ldafp import LdaFpConfig, train_lda_fp
+from repro.core.problem import LdaFpProblem
+from repro.data.dataset import Dataset
+from repro.fixedpoint.datapath import DatapathConfig, FixedPointDatapath
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.stats.scatter import estimate_two_class_stats
+
+small_formats = st.builds(
+    QFormat,
+    integer_bits=st.integers(min_value=2, max_value=4),
+    fraction_bits=st.integers(min_value=0, max_value=4),
+)
+
+
+class TestWrapIdentity:
+    @given(
+        small_formats,
+        st.lists(st.integers(min_value=-200, max_value=200), min_size=1, max_size=12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_wrapping_chain_recovers_in_range_sums(self, fmt, raw_terms):
+        """Any accumulation order wraps to the exact sum mod 2^(K+F); when
+        the exact sum is representable, the chain result equals it."""
+        acc = 0
+        for term in raw_terms:
+            acc = fmt.wrap_raw(acc + term)
+        exact = sum(raw_terms)
+        assert (acc - exact) % fmt.modulus == 0
+        if fmt.min_raw <= exact <= fmt.max_raw:
+            assert acc == exact
+
+
+class TestDatapathProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        fmt = QFormat(3, 3)
+        weights = rng.uniform(-2, 2, size=4)
+        dp = FixedPointDatapath(weights, 0.0, DatapathConfig(fmt=fmt))
+        features = rng.uniform(-3, 3, size=4)
+        assert dp.project(features) == dp.project(features)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_weights_always_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        fmt = QFormat(3, 3)
+        dp = FixedPointDatapath(np.zeros(3), 0.0, DatapathConfig(fmt=fmt))
+        assert dp.project(rng.uniform(-3, 3, size=3)) == 0.0
+
+
+class TestGridClosure:
+    @given(small_formats, st.integers(min_value=-100, max_value=100))
+    @settings(max_examples=100)
+    def test_doubling_stays_on_grid(self, fmt, raw):
+        """2 * (grid point) is a grid point whenever it is in range — the
+        property that makes geometric scale ladders effective."""
+        raw = max(fmt.min_raw, min(fmt.max_raw, raw))
+        value = fmt.to_real(raw)
+        doubled = 2.0 * value
+        if fmt.min_value <= doubled <= fmt.max_value:
+            assert fmt.contains(doubled)
+
+
+def random_instance(seed: int) -> "tuple[Dataset, QFormat]":
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(2, 4))
+    separation = rng.uniform(0.3, 0.9)
+    scale = rng.uniform(0.2, 0.5)
+    mean = rng.uniform(-separation, separation, size=m)
+    a = rng.standard_normal((150, m)) * scale + mean
+    b = rng.standard_normal((150, m)) * scale - mean
+    fmt = QFormat(2, int(rng.integers(1, 4)))
+    return Dataset.from_class_arrays(a, b), fmt
+
+
+class TestSolverSoundness:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_randomized_instances(self, seed):
+        ds, fmt = random_instance(seed)
+        config = LdaFpConfig(max_nodes=60, time_limit=8.0)
+        classifier, report = train_lda_fp(ds, fmt, config)
+
+        # 1. the returned weights are on the grid and feasible for the
+        #    problem the trainer actually built (PQN-adjusted stats)
+        from repro.core.ldafp import _adjust_stats
+
+        quantized = ds.map_features(lambda x: np.asarray(quantize(x, fmt)))
+        stats = _adjust_stats(
+            estimate_two_class_stats(quantized.class_a, quantized.class_b),
+            fmt,
+            config,
+        )
+        problem = LdaFpProblem(stats=stats, fmt=fmt, rho=config.rho)
+        assert problem.on_grid(classifier.weights)
+        assert problem.constraint_violation(classifier.weights) <= 1e-6
+
+        # 2. report consistency
+        assert report.lower_bound <= report.cost + 1e-9
+        assert report.cost == pytest.approx(problem.cost(classifier.weights), rel=1e-9)
+
+        # 3. the continuous optimum really lower-bounds the result
+        assert report.cost >= problem.continuous_optimum() * (1 - 1e-6) - 1e-12
+
+
+class TestPipelineConsistency:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_error_in_unit_interval_and_deterministic(self, seed):
+        from repro.core.pipeline import PipelineConfig, TrainingPipeline
+        from repro.data.gaussian import make_gaussian_dataset
+
+        rng = np.random.default_rng(seed)
+        m = 3
+        mean = rng.uniform(0.2, 0.8, size=m)
+        train = make_gaussian_dataset(mean, -mean, np.eye(m), 120, seed=seed)
+        test = make_gaussian_dataset(mean, -mean, np.eye(m), 120, seed=seed + 1)
+        pipe = TrainingPipeline(
+            PipelineConfig(
+                method="lda-fp", ldafp=LdaFpConfig(max_nodes=10, time_limit=3)
+            )
+        )
+        first = pipe.run(train, test, 5).test_error
+        second = pipe.run(train, test, 5).test_error
+        assert 0.0 <= first <= 1.0
+        assert first == second

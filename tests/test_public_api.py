@@ -1,0 +1,61 @@
+"""The public package surface: everything advertised in __all__ exists and
+the version metadata is consistent."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.fixedpoint",
+            "repro.linalg",
+            "repro.stats",
+            "repro.optim",
+            "repro.core",
+            "repro.hardware",
+            "repro.data",
+            "repro.signal",
+            "repro.wordlength",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_docstrings_on_public_callables(self):
+        import inspect
+
+        for module_name in (
+            "repro.fixedpoint",
+            "repro.core",
+            "repro.optim",
+            "repro.hardware",
+            "repro.signal",
+            "repro.wordlength",
+            "repro.stats",
+            "repro.linalg",
+            "repro.data",
+        ):
+            mod = importlib.import_module(module_name)
+            for name in getattr(mod, "__all__", []):
+                obj = getattr(mod, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__, f"{module_name}.{name} lacks a docstring"

@@ -1,0 +1,192 @@
+"""Tests for repro.fixedpoint.qformat."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QFormatError
+from repro.fixedpoint.qformat import QFormat
+
+formats = st.builds(
+    QFormat,
+    integer_bits=st.integers(min_value=1, max_value=8),
+    fraction_bits=st.integers(min_value=0, max_value=10),
+)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        q = QFormat(3, 4)
+        assert q.integer_bits == 3
+        assert q.fraction_bits == 4
+        assert q.word_length == 7
+        assert q.resolution == 2.0**-4
+
+    def test_range_q3_0(self):
+        q = QFormat(3, 0)
+        assert q.min_value == -4.0
+        assert q.max_value == 3.0
+        assert q.num_values == 8
+
+    def test_range_with_fraction(self):
+        q = QFormat(2, 2)
+        assert q.min_value == -2.0
+        assert q.max_value == 2.0 - 0.25
+
+    def test_raw_range(self):
+        q = QFormat(2, 2)
+        assert q.min_raw == -8
+        assert q.max_raw == 7
+        assert q.modulus == 16
+
+    def test_zero_integer_bits_rejected(self):
+        with pytest.raises(QFormatError):
+            QFormat(0, 4)
+
+    def test_negative_fraction_bits_rejected(self):
+        with pytest.raises(QFormatError):
+            QFormat(3, -1)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(QFormatError):
+            QFormat(60, 10)
+
+    def test_non_integer_bits_rejected(self):
+        with pytest.raises(QFormatError):
+            QFormat(2.5, 3)  # type: ignore[arg-type]
+
+    def test_numpy_integer_bits_accepted(self):
+        q = QFormat(np.int64(3), np.int64(2))
+        assert q.word_length == 5
+        assert isinstance(q.integer_bits, int)
+
+
+class TestParsing:
+    def test_from_string(self):
+        q = QFormat.from_string("Q4.4")
+        assert (q.integer_bits, q.fraction_bits) == (4, 4)
+
+    def test_from_string_strips_whitespace(self):
+        assert QFormat.from_string("  Q2.6 ").word_length == 8
+
+    @pytest.mark.parametrize("bad", ["4.4", "Qx.y", "Q-1.2", "Q2", "", "Q2.3.4"])
+    def test_from_string_rejects_garbage(self, bad):
+        with pytest.raises(QFormatError):
+            QFormat.from_string(bad)
+
+    def test_str_round_trip(self):
+        q = QFormat(5, 3)
+        assert QFormat.from_string(str(q)) == q
+
+    def test_from_word_length(self):
+        q = QFormat.from_word_length(8, 2)
+        assert (q.integer_bits, q.fraction_bits) == (2, 6)
+
+    def test_from_word_length_too_small(self):
+        with pytest.raises(QFormatError):
+            QFormat.from_word_length(2, 4)
+
+
+class TestForRange:
+    def test_picks_smallest_integer_bits(self):
+        q = QFormat.for_range(8, 0.9)
+        assert q.integer_bits == 1
+        assert q.fraction_bits == 7
+
+    def test_larger_range(self):
+        q = QFormat.for_range(8, 3.5)
+        assert q.integer_bits == 3
+
+    def test_exact_power_of_two(self):
+        # +2.0 is not representable in K=2 (max is 2 - 2^-F), so K=3.
+        assert QFormat.for_range(8, 2.0).integer_bits == 3
+        assert QFormat.for_range(8, 1.99).integer_bits == 2
+
+    def test_impossible_range(self):
+        with pytest.raises(QFormatError):
+            QFormat.for_range(2, 100.0)
+
+    def test_negative_max_abs(self):
+        with pytest.raises(QFormatError):
+            QFormat.for_range(8, -1.0)
+
+
+class TestGridAndMembership:
+    def test_grid_size_and_order(self, q2_2):
+        grid = q2_2.grid()
+        assert grid.size == 16
+        assert np.all(np.diff(grid) > 0)
+        assert grid[0] == q2_2.min_value
+        assert grid[-1] == q2_2.max_value
+
+    def test_grid_spacing_is_resolution(self, q2_2):
+        grid = q2_2.grid()
+        assert np.allclose(np.diff(grid), q2_2.resolution)
+
+    def test_grid_refuses_huge(self):
+        with pytest.raises(QFormatError):
+            QFormat(16, 16).grid()
+
+    def test_contains_grid_points(self, q2_2):
+        for value in q2_2.grid():
+            assert q2_2.contains(float(value))
+
+    def test_contains_rejects_off_grid(self, q2_2):
+        assert not q2_2.contains(0.1)
+        assert not q2_2.contains(2.0)  # above max
+        assert not q2_2.contains(-2.25)  # below min
+        assert not q2_2.contains(float("nan"))
+        assert not q2_2.contains(float("inf"))
+
+
+class TestRawConversions:
+    def test_to_real_scalar(self, q2_2):
+        assert q2_2.to_real(3) == 0.75
+
+    def test_to_raw_scalar(self, q2_2):
+        assert q2_2.to_raw(0.75) == 3
+
+    def test_round_trip_array(self, q2_2):
+        raws = np.arange(q2_2.min_raw, q2_2.max_raw + 1)
+        assert np.array_equal(q2_2.to_raw(q2_2.to_real(raws)), raws)
+
+    def test_wrap_raw_identity_in_range(self, q3_0):
+        for raw in range(q3_0.min_raw, q3_0.max_raw + 1):
+            assert q3_0.wrap_raw(raw) == raw
+
+    def test_wrap_raw_overflow(self, q3_0):
+        # 6 wraps to -2 in Q3.0 (the paper's 3+3 example)
+        assert q3_0.wrap_raw(6) == -2
+        assert q3_0.wrap_raw(-5) == 3
+
+    def test_wrap_raw_array(self, q3_0):
+        wrapped = q3_0.wrap_raw(np.array([6, -5, 0, 7]))
+        assert list(wrapped) == [-2, 3, 0, -1]
+
+    @given(formats, st.integers(min_value=-(10**9), max_value=10**9))
+    def test_wrap_raw_is_congruent_mod_modulus(self, fmt, raw):
+        wrapped = fmt.wrap_raw(raw)
+        assert fmt.min_raw <= wrapped <= fmt.max_raw
+        assert (wrapped - raw) % fmt.modulus == 0
+
+
+class TestMisc:
+    def test_widen(self):
+        q = QFormat(2, 3).widen(extra_integer=1, extra_fraction=2)
+        assert (q.integer_bits, q.fraction_bits) == (3, 5)
+
+    def test_equality_and_hash(self):
+        assert QFormat(2, 3) == QFormat(2, 3)
+        assert QFormat(2, 3) != QFormat(3, 2)
+        assert hash(QFormat(2, 3)) == hash(QFormat(2, 3))
+
+    def test_repr_mentions_bits(self):
+        assert "integer_bits=2" in repr(QFormat(2, 3))
+
+    @given(formats)
+    def test_range_consistency(self, fmt):
+        assert fmt.min_value == fmt.to_real(fmt.min_raw)
+        assert fmt.max_value == fmt.to_real(fmt.max_raw)
+        assert fmt.max_value - fmt.min_value == (fmt.num_values - 1) * fmt.resolution

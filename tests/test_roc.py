@@ -1,0 +1,93 @@
+"""Tests for repro.stats.roc."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.stats.roc import auc, best_threshold, roc_curve
+
+
+def separable_scores(rng, gap: float = 3.0):
+    scores = np.concatenate([rng.normal(gap, 1, 200), rng.normal(0, 1, 200)])
+    labels = np.concatenate([np.ones(200, dtype=int), np.zeros(200, dtype=int)])
+    return scores, labels
+
+
+class TestRocCurve:
+    def test_monotone_rates(self, rng):
+        scores, labels = separable_scores(rng)
+        curve = roc_curve(scores, labels)
+        # Raising the threshold can only lower both rates.
+        assert np.all(np.diff(curve.true_positive_rate) <= 1e-12)
+        assert np.all(np.diff(curve.false_positive_rate) <= 1e-12)
+
+    def test_extreme_thresholds(self, rng):
+        scores, labels = separable_scores(rng)
+        curve = roc_curve(scores, labels)
+        assert curve.true_positive_rate[0] == 1.0  # threshold below all scores
+        assert curve.false_positive_rate[0] == 1.0
+        assert curve.true_positive_rate[-1] <= 0.05
+        assert curve.false_positive_rate[-1] == 0.0
+
+    def test_custom_thresholds(self, rng):
+        scores, labels = separable_scores(rng)
+        grid = np.linspace(-2, 5, 16)
+        curve = roc_curve(scores, labels, thresholds=grid)
+        assert curve.thresholds.size == 16
+
+    def test_needs_both_classes(self, rng):
+        with pytest.raises(DataError):
+            roc_curve(rng.normal(size=10), np.ones(10, dtype=int))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            roc_curve(np.ones(3), np.ones(4, dtype=int))
+
+
+class TestAuc:
+    def test_separable_near_one(self, rng):
+        scores, labels = separable_scores(rng, gap=5.0)
+        assert auc(roc_curve(scores, labels)) > 0.99
+
+    def test_random_near_half(self, rng):
+        scores = rng.normal(size=2000)
+        labels = rng.integers(0, 2, size=2000)
+        assert auc(roc_curve(scores, labels)) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_below_half(self, rng):
+        scores, labels = separable_scores(rng, gap=5.0)
+        assert auc(roc_curve(-scores, labels)) < 0.05
+
+
+class TestBestThreshold:
+    def test_youden_on_separable(self, rng):
+        scores, labels = separable_scores(rng, gap=4.0)
+        threshold = best_threshold(roc_curve(scores, labels))
+        # Optimal cut for N(4,1) vs N(0,1) is 2.
+        assert threshold == pytest.approx(2.0, abs=0.7)
+
+    def test_fpr_budget_respected(self, rng):
+        scores, labels = separable_scores(rng, gap=2.0)
+        curve = roc_curve(scores, labels)
+        threshold = best_threshold(curve, max_false_positive_rate=0.05)
+        predicted = scores >= threshold
+        fpr = float(np.sum(predicted & (labels == 0))) / float(np.sum(labels == 0))
+        assert fpr <= 0.05
+
+    def test_impossible_budget(self, rng):
+        scores, labels = separable_scores(rng)
+        curve = roc_curve(scores, labels, thresholds=np.array([-100.0]))
+        with pytest.raises(DataError):
+            best_threshold(curve, max_false_positive_rate=0.01)
+
+    def test_quantized_threshold_grid(self, rng):
+        """The on-chip use case: thresholds restricted to the QK.F grid."""
+        from repro.fixedpoint.qformat import QFormat
+
+        scores, labels = separable_scores(rng, gap=1.0)
+        fmt = QFormat(3, 2)
+        curve = roc_curve(scores, labels, thresholds=fmt.grid())
+        threshold = best_threshold(curve)
+        assert fmt.contains(threshold)

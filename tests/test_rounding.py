@@ -1,0 +1,143 @@
+"""Tests for repro.fixedpoint.rounding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fixedpoint.rounding import (
+    RoundingMode,
+    round_to_int,
+    shift_right_rounded,
+)
+
+
+class TestCoerce:
+    def test_enum_passthrough(self):
+        assert RoundingMode.coerce(RoundingMode.FLOOR) is RoundingMode.FLOOR
+
+    def test_string_coercion(self):
+        assert RoundingMode.coerce("floor") is RoundingMode.FLOOR
+        assert RoundingMode.coerce("nearest-even") is RoundingMode.NEAREST_EVEN
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError):
+            RoundingMode.coerce("bogus")
+
+
+class TestRoundToInt:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.5, 1), (-0.5, -1), (1.5, 2), (-1.5, -2), (2.4, 2), (-2.4, -2)],
+    )
+    def test_nearest_away(self, value, expected):
+        assert int(round_to_int(value, RoundingMode.NEAREST_AWAY)) == expected
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.5, 0), (-0.5, 0), (1.5, 2), (-1.5, -2), (2.5, 2), (3.5, 4)],
+    )
+    def test_nearest_even(self, value, expected):
+        assert int(round_to_int(value, RoundingMode.NEAREST_EVEN)) == expected
+
+    @pytest.mark.parametrize("value,expected", [(1.9, 1), (-1.1, -2), (-0.001, -1)])
+    def test_floor(self, value, expected):
+        assert int(round_to_int(value, RoundingMode.FLOOR)) == expected
+
+    @pytest.mark.parametrize("value,expected", [(1.1, 2), (-1.9, -1), (0.001, 1)])
+    def test_ceil(self, value, expected):
+        assert int(round_to_int(value, RoundingMode.CEIL)) == expected
+
+    @pytest.mark.parametrize("value,expected", [(1.9, 1), (-1.9, -1), (0.5, 0)])
+    def test_toward_zero(self, value, expected):
+        assert int(round_to_int(value, RoundingMode.TOWARD_ZERO)) == expected
+
+    def test_vectorized(self):
+        out = round_to_int(np.array([0.4, 0.6, -0.6]), RoundingMode.NEAREST_AWAY)
+        assert out.dtype == np.int64
+        assert list(out) == [0, 1, -1]
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ValueError):
+            round_to_int(0.5, RoundingMode.STOCHASTIC)
+
+    def test_stochastic_unbiased(self, rng):
+        values = np.full(20_000, 0.25)
+        out = round_to_int(values, RoundingMode.STOCHASTIC, rng=rng)
+        assert set(np.unique(out)) <= {0, 1}
+        assert abs(float(out.mean()) - 0.25) < 0.02
+
+    def test_stochastic_exact_integers_unchanged(self, rng):
+        values = np.array([1.0, -3.0, 0.0])
+        out = round_to_int(values, RoundingMode.STOCHASTIC, rng=rng)
+        assert list(out) == [1, -3, 0]
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    def test_all_modes_within_one(self, value):
+        for mode in (
+            RoundingMode.NEAREST_AWAY,
+            RoundingMode.NEAREST_EVEN,
+            RoundingMode.FLOOR,
+            RoundingMode.CEIL,
+            RoundingMode.TOWARD_ZERO,
+        ):
+            out = int(round_to_int(value, mode))
+            assert abs(out - value) <= 1.0
+
+
+class TestShiftRightRounded:
+    @given(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_matches_float_nearest_away(self, raw, shift):
+        exact = raw / (2**shift)
+        got = shift_right_rounded(raw, shift, RoundingMode.NEAREST_AWAY)
+        expected = int(np.sign(exact) * np.floor(abs(exact) + 0.5))
+        assert got == expected
+
+    @given(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_matches_float_floor(self, raw, shift):
+        assert shift_right_rounded(raw, shift, RoundingMode.FLOOR) == raw >> shift
+
+    @given(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_matches_float_nearest_even(self, raw, shift):
+        got = shift_right_rounded(raw, shift, RoundingMode.NEAREST_EVEN)
+        expected = int(np.rint(raw / (2**shift)))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "raw,shift,mode,expected",
+        [
+            (-3, 1, RoundingMode.NEAREST_AWAY, -2),
+            (3, 1, RoundingMode.NEAREST_AWAY, 2),
+            (-1, 1, RoundingMode.NEAREST_AWAY, -1),
+            (1, 1, RoundingMode.NEAREST_AWAY, 1),
+            (-1, 1, RoundingMode.NEAREST_EVEN, 0),
+            (1, 1, RoundingMode.NEAREST_EVEN, 0),
+            (-3, 1, RoundingMode.TOWARD_ZERO, -1),
+            (-3, 1, RoundingMode.CEIL, -1),
+            (-3, 1, RoundingMode.FLOOR, -2),
+        ],
+    )
+    def test_half_cases(self, raw, shift, mode, expected):
+        assert shift_right_rounded(raw, shift, mode) == expected
+
+    def test_zero_shift_identity(self):
+        assert shift_right_rounded(12345, 0) == 12345
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            shift_right_rounded(1, -1)
+
+    def test_exact_beyond_float53(self):
+        # A value whose float division would lose bits.
+        raw = (1 << 60) + 1
+        assert shift_right_rounded(raw, 1, RoundingMode.FLOOR) == (raw - 1) // 2

@@ -1,0 +1,59 @@
+"""Tests for the experiment row formatter (including interval rendering)."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ComparisonRow, format_table
+
+
+def make_row(**overrides):
+    defaults = dict(
+        word_length=6,
+        lda_error=0.32,
+        ldafp_error=0.21,
+        ldafp_runtime=12.5,
+        proven_optimal=True,
+    )
+    defaults.update(overrides)
+    return ComparisonRow(**defaults)
+
+
+class TestFormatTable:
+    def test_basic_columns(self):
+        text = format_table("T", [make_row()])
+        assert "32.00%" in text
+        assert "21.00%" in text
+        assert "12.50" in text
+        assert "yes" in text
+
+    def test_paper_columns_placeholder(self):
+        text = format_table("T", [make_row()])
+        assert "--" in text  # missing paper values
+
+    def test_paper_values_rendered(self):
+        text = format_table(
+            "T",
+            [make_row(paper_lda_error=0.5, paper_ldafp_error=0.27, paper_runtime=5.87)],
+        )
+        assert "50.00%" in text
+        assert "27.00%" in text
+        assert "5.87" in text
+
+    def test_no_interval_block_without_intervals(self):
+        text = format_table("T", [make_row()])
+        assert "bootstrap" not in text
+
+    def test_interval_block_rendered(self):
+        text = format_table(
+            "T",
+            [
+                make_row(lda_interval="32% [25%, 39%]", ldafp_interval=None),
+                make_row(word_length=8),
+            ],
+        )
+        assert "bootstrap 95% intervals" in text
+        assert "32% [25%, 39%]" in text
+        assert "LDA-FP --" in text
+
+    def test_not_proven_marked(self):
+        text = format_table("T", [make_row(proven_optimal=False)])
+        assert "| no" in text

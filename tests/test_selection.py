@@ -1,0 +1,71 @@
+"""Tests for repro.core.selection (CV hyperparameter search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldafp import LdaFpConfig
+from repro.core.pipeline import PipelineConfig
+from repro.core.selection import select_rho, select_shrinkage
+from repro.data.bci import BciConfig, make_bci_dataset
+from repro.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def small_bci():
+    return make_bci_dataset(BciConfig(trials_per_class=40, seed=3))
+
+
+class TestSelectShrinkage:
+    def test_returns_candidate_with_lowest_cv_error(self, small_bci):
+        result = select_shrinkage(
+            small_bci,
+            word_length=8,
+            base_config=PipelineConfig(method="lda"),
+            candidates=(1e-4, 1e-2, 0.3),
+            folds=3,
+        )
+        assert result.best_value in result.candidates
+        best_index = result.candidates.index(result.best_value)
+        assert result.best_cv_error == min(result.cv_errors)
+        assert result.cv_errors[best_index] == result.best_cv_error
+
+    def test_shrinkage_matters_in_small_sample_regime(self, small_bci):
+        """Zero shrinkage must be measurably worse than a small positive
+        value when n is near M (the selection's raison d'etre)."""
+        result = select_shrinkage(
+            small_bci,
+            word_length=10,
+            base_config=PipelineConfig(method="lda"),
+            candidates=(0.0, 1e-2),
+            folds=3,
+        )
+        none_error = result.cv_errors[0]
+        some_error = result.cv_errors[1]
+        assert some_error <= none_error + 0.02
+
+    def test_empty_candidates_rejected(self, small_bci):
+        with pytest.raises(DataError):
+            select_shrinkage(small_bci, 8, candidates=())
+
+
+class TestSelectRho:
+    def test_requires_ldafp_method(self, small_bci):
+        with pytest.raises(DataError):
+            select_rho(
+                small_bci, 6, base_config=PipelineConfig(method="lda")
+            )
+
+    def test_runs_and_returns_candidate(self, small_bci):
+        config = PipelineConfig(
+            method="lda-fp",
+            ldafp=LdaFpConfig(
+                max_nodes=5, time_limit=2, shrinkage=0.05, local_search=False
+            ),
+        )
+        result = select_rho(
+            small_bci, 5, base_config=config, candidates=(0.9, 0.99), folds=3
+        )
+        assert result.best_value in (0.9, 0.99)
+        assert len(result.cv_errors) == 2

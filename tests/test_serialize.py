@@ -1,0 +1,90 @@
+"""Tests for classifier serialization."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.core.serialize import (
+    classifier_from_dict,
+    classifier_to_dict,
+    load_classifier,
+    save_classifier,
+)
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+
+
+@pytest.fixture
+def classifier() -> FixedPointLinearClassifier:
+    return FixedPointLinearClassifier(
+        weights=np.array([0.5, -0.25, 1.0]),
+        threshold=0.125,
+        fmt=QFormat(2, 4),
+        rounding=RoundingMode.FLOOR,
+        polarity=-1,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_bit_exact(self, classifier):
+        rebuilt = classifier_from_dict(classifier_to_dict(classifier))
+        assert np.array_equal(rebuilt.weights, classifier.weights)
+        assert rebuilt.threshold == classifier.threshold
+        assert rebuilt.fmt == classifier.fmt
+        assert rebuilt.polarity == classifier.polarity
+        assert rebuilt.rounding is classifier.rounding
+
+    def test_file_round_trip(self, classifier, tmp_path):
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        rebuilt = load_classifier(str(path))
+        assert np.array_equal(rebuilt.weights, classifier.weights)
+
+    def test_predictions_identical(self, classifier, rng):
+        rebuilt = classifier_from_dict(classifier_to_dict(classifier))
+        features = rng.uniform(-2, 2, size=(50, 3))
+        assert np.array_equal(rebuilt.predict(features), classifier.predict(features))
+        assert np.array_equal(
+            rebuilt.predict_bitexact(features), classifier.predict_bitexact(features)
+        )
+
+    def test_payload_uses_raw_integers(self, classifier):
+        payload = classifier_to_dict(classifier)
+        assert payload["weight_raws"] == [8, -4, 16]
+        assert all(isinstance(raw, int) for raw in payload["weight_raws"])
+
+    def test_json_serializable(self, classifier):
+        json.dumps(classifier_to_dict(classifier))
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["schema"] = "something-else"
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_out_of_range_raw_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["weight_raws"][0] = 9999
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_missing_field_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        del payload["threshold_raw"]
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_default_polarity_and_rounding(self, classifier):
+        payload = classifier_to_dict(classifier)
+        del payload["polarity"]
+        del payload["rounding"]
+        rebuilt = classifier_from_dict(payload)
+        assert rebuilt.polarity == 1
+        assert rebuilt.rounding is RoundingMode.NEAREST_AWAY

@@ -1,0 +1,145 @@
+"""Tests for repro.signal.filters (validated against scipy.signal)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+
+from repro.errors import DataError
+from repro.signal.filters import (
+    Biquad,
+    apply_biquads,
+    apply_fir,
+    butterworth_bandpass,
+    design_fir,
+    filtfilt_fir,
+)
+
+
+def magnitude_response(taps: np.ndarray, freqs_hz: np.ndarray, fs: float) -> np.ndarray:
+    z = np.exp(-2j * np.pi * freqs_hz / fs)
+    return np.abs(np.polyval(taps[::-1], 1 / z) * z ** 0)  # sum h[n] z^-n
+
+
+def fir_response(taps: np.ndarray, freqs_hz: np.ndarray, fs: float) -> np.ndarray:
+    n = np.arange(taps.size)
+    out = []
+    for f in freqs_hz:
+        phase = np.exp(-2j * np.pi * f / fs * n)
+        out.append(abs(np.sum(taps * phase)))
+    return np.array(out)
+
+
+class TestFirDesign:
+    def test_lowpass_response(self):
+        taps = design_fir(101, 30.0, kind="lowpass", sample_rate=500.0)
+        passband = fir_response(taps, np.array([5.0, 15.0]), 500.0)
+        stopband = fir_response(taps, np.array([80.0, 150.0]), 500.0)
+        assert np.all(passband > 0.95)
+        assert np.all(stopband < 0.02)
+
+    def test_highpass_response(self):
+        taps = design_fir(101, 50.0, kind="highpass", sample_rate=500.0)
+        assert fir_response(taps, np.array([100.0]), 500.0)[0] > 0.95
+        assert fir_response(taps, np.array([10.0]), 500.0)[0] < 0.02
+
+    def test_bandpass_response(self):
+        taps = design_fir(151, (10.0, 25.0), kind="bandpass", sample_rate=500.0)
+        inband = fir_response(taps, np.array([17.0]), 500.0)[0]
+        below = fir_response(taps, np.array([2.0]), 500.0)[0]
+        above = fir_response(taps, np.array([60.0]), 500.0)[0]
+        assert inband > 0.9
+        assert below < 0.05 and above < 0.05
+
+    def test_bandstop_response(self):
+        taps = design_fir(151, (45.0, 55.0), kind="bandstop", sample_rate=500.0)
+        notch = fir_response(taps, np.array([50.0]), 500.0)[0]
+        passband = fir_response(taps, np.array([10.0, 100.0]), 500.0)
+        assert notch < 0.05
+        assert np.all(passband > 0.9)
+
+    def test_matches_scipy_firwin_response(self):
+        taps = design_fir(101, (10.0, 25.0), kind="bandpass", sample_rate=500.0)
+        ref = ss.firwin(101, [10, 25], pass_zero=False, fs=500.0)
+        freqs = np.linspace(1, 240, 120)
+        ours = fir_response(taps, freqs, 500.0)
+        theirs = fir_response(ref, freqs, 500.0)
+        assert np.max(np.abs(ours - theirs)) < 0.05
+
+    def test_linear_phase_symmetry(self):
+        taps = design_fir(75, 40.0, kind="lowpass", sample_rate=500.0)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_even_taps_rejected(self):
+        with pytest.raises(DataError):
+            design_fir(100, 30.0, sample_rate=500.0)
+
+    def test_bad_cutoff_rejected(self):
+        with pytest.raises(DataError):
+            design_fir(101, 300.0, sample_rate=500.0)  # above Nyquist
+        with pytest.raises(DataError):
+            design_fir(101, (25.0, 10.0), kind="bandpass", sample_rate=500.0)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(DataError):
+            design_fir(101, 30.0, window="kaiser9000", sample_rate=500.0)
+
+
+class TestApplication:
+    def test_apply_matches_scipy_lfilter(self, rng):
+        taps = design_fir(31, 0.2)
+        signal = rng.standard_normal(300)
+        ours = apply_fir(taps, signal)
+        ref = ss.lfilter(taps, [1.0], signal)
+        assert np.allclose(ours, ref, atol=1e-12)
+
+    def test_filtfilt_zero_phase(self):
+        # A pure in-band sinusoid should come back with no phase shift.
+        fs = 500.0
+        t = np.arange(2000) / fs
+        signal = np.sin(2 * np.pi * 17.0 * t)
+        taps = design_fir(101, (10.0, 25.0), kind="bandpass", sample_rate=fs)
+        out = filtfilt_fir(taps, signal)
+        core = slice(300, 1700)
+        correlation = np.corrcoef(signal[core], out[core])[0, 1]
+        assert correlation > 0.999
+
+    def test_multidim_rejected(self):
+        with pytest.raises(DataError):
+            apply_fir(np.ones(3), np.ones((2, 5)))
+
+
+class TestButterworth:
+    def test_matches_scipy_response(self):
+        sections = butterworth_bandpass(2, 10.0, 25.0, 500.0)
+        b_ref, a_ref = ss.butter(2, [10.0, 25.0], btype="bandpass", fs=500.0)
+        freqs = np.linspace(1, 100, 150)
+        z = np.exp(2j * np.pi * freqs / 500.0)
+        ours = np.ones_like(z)
+        for s in sections:
+            ours *= (s.b0 + s.b1 / z + s.b2 / z**2) / (1 + s.a1 / z + s.a2 / z**2)
+        _, theirs = ss.freqz(b_ref, a_ref, worN=freqs, fs=500.0)
+        assert np.max(np.abs(np.abs(ours) - np.abs(theirs))) < 0.02
+
+    def test_sections_count(self):
+        assert len(butterworth_bandpass(3, 5.0, 40.0, 500.0)) == 3
+
+    def test_stability(self):
+        for s in butterworth_bandpass(4, 8.0, 30.0, 500.0):
+            poles = np.roots([1.0, s.a1, s.a2])
+            assert np.all(np.abs(poles) < 1.0)
+
+    def test_biquad_apply_matches_scipy(self, rng):
+        sections = butterworth_bandpass(2, 10.0, 25.0, 500.0)
+        signal = rng.standard_normal(500)
+        ours = apply_biquads(sections, signal)
+        b_ref, a_ref = ss.butter(2, [10.0, 25.0], btype="bandpass", fs=500.0)
+        ref = ss.lfilter(b_ref, a_ref, signal)
+        assert np.allclose(ours, ref, atol=1e-8)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(DataError):
+            butterworth_bandpass(2, 30.0, 10.0, 500.0)
+        with pytest.raises(DataError):
+            butterworth_bandpass(0, 10.0, 25.0, 500.0)

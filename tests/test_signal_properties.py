@@ -1,0 +1,103 @@
+"""Hypothesis property tests on the signal substrate's system-theory invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.signal.filters import (
+    apply_biquads,
+    apply_fir,
+    butterworth_bandpass,
+    design_fir,
+)
+from repro.signal.preprocess import design_notch
+
+seeds = st.integers(min_value=0, max_value=10**6)
+gains = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+def random_signal(seed: int, n: int = 120) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal(n)
+
+
+@pytest.fixture(scope="module")
+def fir_taps():
+    return design_fir(21, 0.2)
+
+
+class TestFirLtiProperties:
+    @given(seeds, seeds, gains, gains)
+    @settings(max_examples=40, deadline=None)
+    def test_linearity(self, seed_a, seed_b, alpha, beta):
+        taps = design_fir(21, 0.2)
+        x = random_signal(seed_a)
+        y = random_signal(seed_b)
+        combined = apply_fir(taps, alpha * x + beta * y)
+        separate = alpha * apply_fir(taps, x) + beta * apply_fir(taps, y)
+        assert np.allclose(combined, separate, atol=1e-10)
+
+    @given(seeds, st.integers(min_value=1, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_time_invariance(self, seed, shift):
+        taps = design_fir(21, 0.2)
+        x = random_signal(seed)
+        shifted_in = np.concatenate([np.zeros(shift), x])
+        out_then_shift = np.concatenate([np.zeros(shift), apply_fir(taps, x)])
+        shift_then_out = apply_fir(taps, shifted_in)
+        assert np.allclose(shift_then_out, out_then_shift, atol=1e-10)
+
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_causality(self, seed):
+        """Output before the first nonzero input sample must be zero."""
+        taps = design_fir(21, 0.2)
+        x = np.zeros(100)
+        onset = 40
+        x[onset:] = random_signal(seed, 60)
+        out = apply_fir(taps, x)
+        assert np.allclose(out[:onset], 0.0, atol=1e-14)
+
+    def test_impulse_response_is_taps(self):
+        taps = design_fir(21, 0.2)
+        impulse = np.zeros(50)
+        impulse[0] = 1.0
+        out = apply_fir(taps, impulse)
+        assert np.allclose(out[:21], taps, atol=1e-14)
+
+
+class TestIirLtiProperties:
+    @given(seeds, gains)
+    @settings(max_examples=30, deadline=None)
+    def test_biquad_homogeneity(self, seed, alpha):
+        sections = butterworth_bandpass(2, 10.0, 25.0, 500.0)
+        x = random_signal(seed)
+        assert np.allclose(
+            apply_biquads(sections, alpha * x),
+            alpha * apply_biquads(sections, x),
+            atol=1e-9,
+        )
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_bibo_stability(self, seed):
+        """Bounded input -> bounded output over a long run."""
+        sections = butterworth_bandpass(3, 8.0, 30.0, 500.0)
+        x = np.sign(random_signal(seed, 5000))  # bounded by 1
+        out = apply_biquads(sections, x)
+        assert np.all(np.isfinite(out))
+        assert np.max(np.abs(out)) < 50.0
+
+    def test_notch_dc_gain_unity(self):
+        notch = design_notch(50.0, 500.0)
+        constant = np.ones(2000)
+        out = notch.apply(constant)
+        assert out[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cascade_order_irrelevant(self, rng):
+        sections = butterworth_bandpass(2, 10.0, 25.0, 500.0)
+        x = rng.standard_normal(300)
+        forward = apply_biquads(sections, x)
+        reversed_order = apply_biquads(list(reversed(sections)), x)
+        assert np.allclose(forward, reversed_order, atol=1e-9)

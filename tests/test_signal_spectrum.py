@@ -1,0 +1,218 @@
+"""Tests for repro.signal.spectrum and features/timeseries/fxfir."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.signal as ss
+
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+from repro.signal.features import BandPowerExtractor, fir_band_power, trials_to_dataset
+from repro.signal.fxfir import FixedPointFir
+from repro.signal.spectrum import band_power, log_band_power, periodogram, welch_psd
+from repro.signal.timeseries import EcogSimulator, EcogSimulatorConfig
+
+
+class TestWelch:
+    def test_matches_scipy(self, rng):
+        signal = rng.standard_normal(4096)
+        ours = welch_psd(signal, 500.0, segment_length=256)
+        f_ref, p_ref = ss.welch(
+            signal, fs=500.0, nperseg=256, window="hann", detrend="constant"
+        )
+        assert np.allclose(ours.frequencies, f_ref)
+        assert np.allclose(ours.power, p_ref, rtol=1e-10)
+
+    def test_white_noise_flat(self, rng):
+        signal = rng.standard_normal(100_000)
+        psd = welch_psd(signal, 1000.0, segment_length=512)
+        # White noise with unit variance: PSD ~ 1/fs * 2 (one-sided) = 0.002
+        mid = psd.power[10:-10]
+        assert np.mean(mid) == pytest.approx(0.002, rel=0.05)
+
+    def test_sinusoid_peak_location(self):
+        fs = 500.0
+        t = np.arange(8192) / fs
+        signal = np.sin(2 * np.pi * 40.0 * t)
+        psd = welch_psd(signal, fs, segment_length=512)
+        peak_freq = psd.frequencies[np.argmax(psd.power)]
+        assert peak_freq == pytest.approx(40.0, abs=1.0)
+
+    def test_parseval_total_power(self, rng):
+        # Integrated PSD ~ signal variance.
+        signal = rng.standard_normal(65536)
+        psd = welch_psd(signal, 1000.0, segment_length=1024)
+        total = band_power(psd, float(psd.frequencies[0] + 0.1), 499.0)
+        assert total == pytest.approx(float(np.var(signal)), rel=0.06)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            welch_psd(np.ones(4), 100.0, segment_length=256)
+
+    def test_bad_overlap_rejected(self, rng):
+        with pytest.raises(DataError):
+            welch_psd(rng.standard_normal(512), 100.0, overlap=1.0)
+
+
+class TestPeriodogram:
+    def test_matches_scipy(self, rng):
+        signal = rng.standard_normal(1024)
+        ours = periodogram(signal, 500.0)
+        f_ref, p_ref = ss.periodogram(signal, fs=500.0, window="hann")
+        assert np.allclose(ours.power, p_ref, rtol=1e-9)
+
+
+class TestBandPower:
+    def test_band_slice_validation(self, rng):
+        psd = welch_psd(rng.standard_normal(2048), 500.0)
+        with pytest.raises(DataError):
+            psd.band_slice(50.0, 10.0)
+        with pytest.raises(DataError):
+            band_power(psd, 400.0, 450.0)  # above Nyquist bins
+
+    def test_sinusoid_band_power_concentrated(self):
+        fs = 500.0
+        t = np.arange(8192) / fs
+        signal = np.sin(2 * np.pi * 40.0 * t)
+        psd = welch_psd(signal, fs, segment_length=1024)
+        inband = band_power(psd, 35.0, 45.0)
+        outband = band_power(psd, 100.0, 200.0)
+        assert inband > 100 * outband
+        assert inband == pytest.approx(0.5, rel=0.05)  # sin^2 power
+
+    def test_log_band_power_floor(self):
+        psd = welch_psd(np.zeros(2048) + 1e-20, 500.0)
+        assert log_band_power(psd, 10.0, 20.0) >= -30.0
+
+
+class TestEcogSimulator:
+    def test_trial_shape(self):
+        sim = EcogSimulator(seed=0)
+        trial = sim.trial("left")
+        config = sim.config
+        assert trial.signals.shape == (config.num_channels, config.samples_per_trial)
+        assert trial.direction == "left"
+
+    def test_balanced_trials(self):
+        trials = EcogSimulator(seed=0).trials(5)
+        directions = [t.direction for t in trials]
+        assert directions.count("left") == 5
+        assert directions.count("right") == 5
+
+    def test_contralateral_gamma_signature(self):
+        """Left-hand movement raises gamma power on the right-hemisphere
+        electrodes (and vice versa) — the decodable signal."""
+        sim = EcogSimulator(seed=1)
+        config = sim.config
+        extractor = BandPowerExtractor(sample_rate=config.sample_rate)
+        features, labels = extractor.extract(sim.trials(15))
+        gamma_band_index = 2  # third band = high gamma
+        right_channel = config.movement_channels_right[0]
+        left_channel = config.movement_channels_left[0]
+        col_right = right_channel * 3 + gamma_band_index
+        col_left = left_channel * 3 + gamma_band_index
+        left_trials = features[labels == 1]
+        right_trials = features[labels == 0]
+        assert left_trials[:, col_right].mean() > right_trials[:, col_right].mean()
+        assert right_trials[:, col_left].mean() > left_trials[:, col_left].mean()
+
+    def test_invalid_direction(self):
+        with pytest.raises(DataError):
+            EcogSimulator().trial("up")
+
+    def test_config_validation(self):
+        with pytest.raises(DataError):
+            EcogSimulatorConfig(sample_rate=100.0).validate()  # Nyquist vs gamma
+        with pytest.raises(DataError):
+            EcogSimulatorConfig(movement_channels_left=(99,)).validate()
+
+    def test_deterministic_given_seed(self):
+        a = EcogSimulator(seed=7).trial("left").signals
+        b = EcogSimulator(seed=7).trial("left").signals
+        assert np.array_equal(a, b)
+
+    def test_mains_interference_and_removal(self):
+        from repro.signal.preprocess import remove_powerline
+        from repro.signal.spectrum import band_power, welch_psd
+
+        config = EcogSimulatorConfig(mains_hz=50.0, mains_amplitude=1.5)
+        trial = EcogSimulator(config, seed=2).trial("left")
+        fs = config.sample_rate
+        channel = trial.signals[0]
+        dirty = welch_psd(channel, fs, segment_length=256)
+        clean_signal = remove_powerline(channel, fs, mains_hz=50.0, harmonics=1)
+        clean = welch_psd(clean_signal[50:], fs, segment_length=256)
+        assert band_power(dirty, 48.0, 52.0) > 20 * band_power(clean, 48.0, 52.0)
+
+
+class TestFeatureExtraction:
+    def test_42_features(self):
+        sim = EcogSimulator(seed=0)
+        extractor = BandPowerExtractor(sample_rate=sim.config.sample_rate)
+        features = extractor.extract_trial(sim.trial("left").signals)
+        assert features.shape == (42,)
+
+    def test_trials_to_dataset(self):
+        sim = EcogSimulator(seed=0)
+        extractor = BandPowerExtractor(sample_rate=sim.config.sample_rate)
+        ds = trials_to_dataset(sim.trials(4), extractor)
+        assert ds.num_samples == 8
+        assert ds.num_features == 42
+        assert ds.class_counts() == (4, 4)
+
+    def test_fir_band_power_tracks_welch(self):
+        fs = 500.0
+        t = np.arange(4096) / fs
+        rng = np.random.default_rng(3)
+        signal = np.sin(2 * np.pi * 17.0 * t) + 0.1 * rng.standard_normal(t.size)
+        strong = fir_band_power(signal, fs, (10.0, 25.0))
+        weak = fir_band_power(signal, fs, (70.0, 110.0))
+        assert strong > weak + 1.0  # an order of magnitude in log10
+
+
+class TestFixedPointFir:
+    def test_matches_reference_at_wide_format(self, rng):
+        from repro.signal.filters import design_fir
+
+        taps = design_fir(31, 0.15)
+        fir = FixedPointFir(taps, QFormat(2, 14))
+        signal = rng.uniform(-1, 1, size=200)
+        exact = fir.apply(signal)
+        reference = fir.reference_apply(
+            np.asarray(
+                np.round(signal * 2**14) / 2**14
+            )
+        )
+        assert np.max(np.abs(exact - reference)) < 1e-3
+
+    def test_coefficient_error_bounded(self):
+        from repro.signal.filters import design_fir
+
+        taps = design_fir(31, 0.2)
+        fir = FixedPointFir(taps, QFormat(2, 8))
+        assert fir.coefficient_error() <= 2.0**-9 + 1e-12
+
+    def test_narrow_format_degrades(self, rng):
+        from repro.signal.filters import design_fir
+
+        taps = design_fir(31, 0.15)
+        signal = rng.uniform(-1, 1, size=300)
+        wide = FixedPointFir(taps, QFormat(2, 12)).apply(signal)
+        narrow = FixedPointFir(taps, QFormat(2, 3)).apply(signal)
+        reference = FixedPointFir(taps, QFormat(2, 12)).reference_apply(signal)
+        err_wide = float(np.mean((wide - reference) ** 2))
+        err_narrow = float(np.mean((narrow - reference) ** 2))
+        assert err_narrow > err_wide
+
+    def test_accumulator_format(self):
+        fir = FixedPointFir(np.array([0.5, 0.5]), QFormat(2, 4), guard_bits=6)
+        assert fir.accumulator_format == QFormat(8, 4)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FixedPointFir(np.array([]), QFormat(2, 4))
+        with pytest.raises(DataError):
+            FixedPointFir(np.array([1.0]), QFormat(2, 4), guard_bits=-1)
+        with pytest.raises(DataError):
+            FixedPointFir(np.array([1.0]), QFormat(2, 4)).apply(np.ones((2, 2)))

@@ -1,0 +1,69 @@
+"""Tests for repro.hardware.testbench."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.qformat import QFormat
+from repro.hardware.testbench import generate_testbench
+
+
+@pytest.fixture
+def classifier() -> FixedPointLinearClassifier:
+    fmt = QFormat(2, 4)
+    return FixedPointLinearClassifier(
+        weights=np.array([0.5, -0.25]), threshold=0.0, fmt=fmt
+    )
+
+
+@pytest.fixture
+def samples(rng) -> np.ndarray:
+    return rng.uniform(-1.5, 1.5, size=(10, 2))
+
+
+class TestBundle:
+    def test_stimulus_line_count(self, classifier, samples):
+        bundle = generate_testbench(classifier, samples)
+        assert len(bundle.stimulus_hex.strip().splitlines()) == 10 * 2
+        assert len(bundle.expected_hex.strip().splitlines()) == 10
+
+    def test_expected_matches_bitexact_path(self, classifier, samples):
+        bundle = generate_testbench(classifier, samples)
+        expected = [int(line) for line in bundle.expected_hex.strip().splitlines()]
+        assert expected == classifier.predict_bitexact(samples).tolist()
+
+    def test_stimulus_round_trips_to_quantized_features(self, classifier, samples):
+        from repro.fixedpoint.overflow import OverflowMode
+        from repro.fixedpoint.quantize import quantize_raw
+
+        fmt = classifier.fmt
+        bundle = generate_testbench(classifier, samples)
+        lines = bundle.stimulus_hex.strip().splitlines()
+        raws = quantize_raw(samples, fmt, overflow=OverflowMode.SATURATE)
+        mask = (1 << fmt.word_length) - 1
+        for idx, line in enumerate(lines):
+            s, f = divmod(idx, 2)
+            assert int(line, 16) == int(raws[s, f]) & mask
+
+    def test_testbench_structure(self, classifier, samples):
+        bundle = generate_testbench(classifier, samples, module_name="my_clf")
+        tb = bundle.testbench
+        assert "module my_clf_tb;" in tb
+        assert "my_clf dut (" in tb
+        assert '$readmemh("stimulus.hex", stimulus);' in tb
+        assert "NUM_SAMPLES = 10" in tb
+        assert tb.count("endmodule") == 1
+        assert "$finish" in tb
+
+    def test_custom_paths(self, classifier, samples):
+        bundle = generate_testbench(
+            classifier, samples, stimulus_path="a.hex", expected_path="b.hex"
+        )
+        assert '"a.hex"' in bundle.testbench
+        assert '"b.hex"' in bundle.testbench
+
+    def test_feature_count_validated(self, classifier):
+        with pytest.raises(ValueError):
+            generate_testbench(classifier, np.ones((3, 5)))

@@ -1,0 +1,235 @@
+"""Tests for repro.wordlength: range analysis, precision analysis, search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lda import fit_lda
+from repro.data.synthetic import make_synthetic_dataset
+from repro.errors import DataError
+from repro.fixedpoint.qformat import QFormat
+from repro.stats.scatter import ClassStats, TwoClassStats, estimate_two_class_stats
+from repro.wordlength.precision import (
+    decision_noise_variance,
+    precision_sweep,
+    predicted_error,
+)
+from repro.wordlength.range_analysis import (
+    bits_for_range,
+    interval_ranges,
+    statistical_ranges,
+)
+from repro.wordlength.search import minimum_wordlength, pareto_front, wordlength_sweep
+
+
+def toy_stats() -> TwoClassStats:
+    mean_a = np.array([0.5, 0.0])
+    cov = 0.25 * np.eye(2)
+    return TwoClassStats(
+        class_a=ClassStats(mean_a, cov, 100),
+        class_b=ClassStats(-mean_a, cov, 100),
+        within_scatter=cov,
+        mean_difference=2 * mean_a,
+    )
+
+
+class TestBitsForRange:
+    @pytest.mark.parametrize(
+        "lo,hi,expected",
+        [
+            (-1.0, 0.9, 1),
+            (-1.0, 1.0, 2),
+            (-2.0, 1.9, 2),
+            (-4.0, 3.9, 3),
+            (0.0, 0.0, 1),
+            (-0.5, 7.9, 4),
+        ],
+    )
+    def test_known_cases(self, lo, hi, expected):
+        assert bits_for_range(lo, hi) == expected
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(DataError):
+            bits_for_range(1.0, 0.0)
+
+    def test_huge_range_rejected(self):
+        with pytest.raises(DataError):
+            bits_for_range(-1e30, 1e30)
+
+
+class TestIntervalRanges:
+    def test_products_and_accumulator(self):
+        ranges = interval_ranges(
+            feature_lo=np.array([-1.0, -2.0]),
+            feature_hi=np.array([1.0, 2.0]),
+            weights=np.array([0.5, -1.0]),
+            threshold=0.25,
+        )
+        assert np.allclose(ranges.products[0], [-0.5, 0.5])
+        assert np.allclose(ranges.products[1], [-2.0, 2.0])
+        assert ranges.accumulator == (-2.5, 2.5)
+        assert ranges.decision == (-2.75, 2.25)
+
+    def test_integer_bits_summary(self):
+        ranges = interval_ranges(
+            np.array([-1.0]), np.array([1.0]), np.array([3.0]), 0.0
+        )
+        bits = ranges.integer_bits_needed()
+        assert bits["features"] == 2  # hi == 1.0 not representable at K=1
+        assert bits["products"] == 3  # [-3, 3]
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            interval_ranges(np.array([1.0]), np.array([0.0]), np.array([1.0]), 0.0)
+        with pytest.raises(DataError):
+            interval_ranges(np.zeros(2), np.ones(2), np.ones(3), 0.0)
+
+
+class TestStatisticalRanges:
+    def test_contains_most_samples(self, rng):
+        ds = make_synthetic_dataset(2000, seed=0)
+        stats = estimate_two_class_stats(ds.class_a, ds.class_b)
+        w = np.array([1.0, 0.2, -0.2])
+        ranges = statistical_ranges(stats, w, threshold=0.0, rho=0.9999)
+        projections = ds.features @ w
+        lo, hi = ranges.accumulator
+        inside = np.mean((projections >= lo) & (projections <= hi))
+        assert inside > 0.999
+
+    def test_tighter_than_3x_interval_for_long_sums(self):
+        # The statistical accumulator range should not exceed the interval
+        # one (sqrt-of-sum vs sum growth).
+        stats = toy_stats()
+        w = np.ones(2)
+        stat = statistical_ranges(stats, w, 0.0, rho=0.999)
+        feat = stat.features
+        interval = interval_ranges(feat[:, 0], feat[:, 1], w, 0.0)
+        stat_width = stat.accumulator[1] - stat.accumulator[0]
+        interval_width = interval.accumulator[1] - interval.accumulator[0]
+        assert stat_width <= interval_width + 1e-9
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DataError):
+            statistical_ranges(toy_stats(), np.ones(3), 0.0)
+
+
+class TestPrecision:
+    def test_noise_variance_formula(self):
+        fmt = QFormat(2, 4)
+        w = np.array([1.0, -2.0])
+        expected = (1.0 + 4.0) * fmt.resolution**2 / 12.0 + 2 * fmt.resolution**2 / 12.0
+        assert decision_noise_variance(w, fmt) == pytest.approx(expected)
+
+    def test_predicted_error_matches_closed_form(self):
+        stats = toy_stats()
+        w = np.array([1.0, 0.0])
+        # separation 1.0 between projected means, std 0.5: error = Phi(-1)
+        from repro.stats.normal import norm_cdf
+
+        assert predicted_error(stats, w, 0.0) == pytest.approx(
+            float(norm_cdf(-1.0)), abs=1e-12
+        )
+
+    def test_noise_increases_error(self):
+        stats = toy_stats()
+        w = np.array([1.0, 0.0])
+        clean = predicted_error(stats, w, 0.0)
+        noisy = predicted_error(stats, w, 0.0, extra_variance=1.0)
+        assert noisy > clean
+
+    def test_sweep_converges_to_float_error(self):
+        # The curve is NOT monotone in F (weight-rounding bias flips sign
+        # between grids), but it must converge to the float error and its
+        # noise-variance column must shrink 4x per extra bit.
+        ds = make_synthetic_dataset(1500, seed=0)
+        stats = estimate_two_class_stats(ds.class_a, ds.class_b)
+        model = fit_lda(ds, shrinkage=0.0)
+        points = precision_sweep(
+            stats, model.weights, model.threshold, integer_bits=2,
+            fraction_range=(2, 14),
+        )
+        float_error = predicted_error(stats, model.weights, model.threshold)
+        assert points[-1].predicted_error == pytest.approx(float_error, abs=0.01)
+        # ~4x noise reduction per extra bit (not exact: the quantized
+        # weights themselves change slightly between grids).
+        for earlier, later in zip(points, points[1:]):
+            assert later.noise_variance == pytest.approx(
+                earlier.noise_variance / 4.0, rel=0.1
+            )
+        for p in points:
+            assert 0.0 <= p.predicted_error <= 0.52
+
+    def test_sweep_tracks_simulated_error(self):
+        """The analytic curve must agree with measured fixed-point error to
+        within a few points at moderate F (the PQN model's regime)."""
+        from repro.core.lda import quantize_lda
+        from repro.data.scaling import FeatureScaler
+
+        train = make_synthetic_dataset(1500, seed=1)
+        test = make_synthetic_dataset(4000, seed=2)
+        scaler = FeatureScaler(limit=0.9)
+        train_s = train.map_features(scaler.fit(train.features).transform)
+        test_s = test.map_features(scaler.transform)
+        stats = estimate_two_class_stats(train_s.class_a, train_s.class_b)
+        model = fit_lda(train_s, shrinkage=0.0)
+        points = precision_sweep(
+            stats, model.weights, model.threshold, integer_bits=2,
+            fraction_range=(9, 14),
+        )
+        for point in points:
+            classifier = quantize_lda(model, point.fmt)
+            measured = classifier.error_on(test_s)
+            # The independent-noise model ignores that correlated features'
+            # quantization errors partially cancel through opposing weights,
+            # so it is conservative in the transition zone...
+            assert point.predicted_error >= measured - 0.03
+            # ...and sharp once quantization noise is small.
+            if point.fraction_bits >= 13:
+                assert point.predicted_error == pytest.approx(measured, abs=0.02)
+
+    def test_bad_fraction_range(self):
+        with pytest.raises(DataError):
+            precision_sweep(toy_stats(), np.ones(2), 0.0, 2, fraction_range=(5, 2))
+
+
+class TestSearch:
+    @pytest.fixture(scope="class")
+    def sweep_points(self):
+        from repro.core.pipeline import PipelineConfig
+
+        train = make_synthetic_dataset(600, seed=0)
+        test = make_synthetic_dataset(1500, seed=1)
+        return wordlength_sweep(
+            train,
+            test,
+            word_lengths=(4, 8, 12, 16),
+            pipeline_config=PipelineConfig(method="lda", lda_shrinkage=0.0),
+        )
+
+    def test_sweep_structure(self, sweep_points):
+        assert [p.word_length for p in sweep_points] == [4, 8, 12, 16]
+        powers = [p.power for p in sweep_points]
+        assert powers == sorted(powers)
+
+    def test_minimum_wordlength(self, sweep_points):
+        best = minimum_wordlength(sweep_points, target_error=0.45)
+        assert best is not None
+        assert best.word_length >= 12  # LDA needs 12 bits to beat chance
+
+    def test_minimum_wordlength_unreachable(self, sweep_points):
+        assert minimum_wordlength(sweep_points, target_error=0.0) is None
+
+    def test_pareto_front_non_dominated(self, sweep_points):
+        front = pareto_front(sweep_points)
+        assert front
+        for i, a in enumerate(front):
+            for b in front:
+                if a is b:
+                    continue
+                assert not (b.power <= a.power and b.test_error < a.test_error)
+
+    def test_empty_sweep_rejected(self):
+        train = make_synthetic_dataset(100, seed=0)
+        with pytest.raises(DataError):
+            wordlength_sweep(train, train, word_lengths=())
