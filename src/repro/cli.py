@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--word-length", type=int, default=6)
     report.add_argument("--time-limit", type=float, default=30.0)
     report.add_argument("--verilog", action="store_true", help="also print Verilog")
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="frontier nodes expanded concurrently per branch-and-bound round",
+    )
+    report.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the solver's event trace to PATH as JSON",
+    )
 
     ablations = sub.add_parser("ablations", help="run the design-choice ablations")
     ablations.add_argument(
@@ -185,16 +196,27 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         from .core.pipeline import PipelineConfig, TrainingPipeline
         from .data.synthetic import make_synthetic_dataset
         from .hardware.report import build_report
+        from .optim.trace import SolverTrace
 
         train = make_synthetic_dataset(1500, seed=0)
         test = make_synthetic_dataset(4000, seed=1)
         pipeline = TrainingPipeline(
             PipelineConfig(
-                method="lda-fp", ldafp=LdaFpConfig(time_limit=args.time_limit)
+                method="lda-fp",
+                ldafp=LdaFpConfig(
+                    time_limit=args.time_limit, workers=args.workers
+                ),
             )
         )
-        result = pipeline.run(train, test, args.word_length)
+        trace = SolverTrace() if args.trace else None
+        result = pipeline.run(train, test, args.word_length, trace=trace)
         print(build_report(result.classifier, test_error=result.test_error).text)
+        if trace is not None:
+            trace.save(args.trace)
+            print(
+                f"solver trace ({len(trace.events)} events, "
+                f"stop={trace.stop_reason()}) written to {args.trace}"
+            )
         if args.verilog:
             from .hardware.verilog import generate_classifier_verilog
 

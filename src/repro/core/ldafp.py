@@ -46,6 +46,7 @@ from ..optim.bnb import (
 )
 from ..optim.boxes import Box
 from ..optim.slsqp_backend import solve_with_slsqp
+from ..optim.trace import SolverTrace
 from ..data.dataset import Dataset
 from ..stats.scatter import estimate_two_class_stats
 from .classifier import FixedPointLinearClassifier
@@ -98,6 +99,10 @@ class LdaFpConfig:
         ``benchmarks/test_ablations.py``.
     warm_start:
         Seed the incumbent with rounded conventional LDA.
+    workers:
+        Frontier nodes expanded concurrently per branch-and-bound round
+        (``1`` = serial).  The parallel merge replays the serial pruning
+        logic, so results match the serial driver.
     """
 
     rho: float = 0.99
@@ -117,10 +122,13 @@ class LdaFpConfig:
     search_strategy: str = "best-first"
     warm_start: bool = True
     rounding: RoundingMode = RoundingMode.NEAREST_AWAY
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.backend not in ("barrier", "slsqp", "auto"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass
@@ -137,10 +145,21 @@ class LdaFpReport:
     train_seconds: float
     relaxations_solved: int
     backend_fallbacks: int
+    stop_reason: str = "exhausted"
 
 
 class LdaFpNodeProblem:
-    """Adapter exposing :class:`LdaFpProblem` to the generic B&B driver."""
+    """Adapter exposing :class:`LdaFpProblem` to the generic B&B driver.
+
+    The adapter keeps shared heuristic state (the best candidate cost that
+    gates the analytic-skip and polishing, the seen-candidate dedup set),
+    so parallel expansion must run in threads of the owning process —
+    declared via ``parallel_executor``.  Warm-start hints flow through
+    ``relax_child`` (the parent's relaxation solution) instead of mutable
+    instance state, so concurrent child relaxations cannot race on them.
+    """
+
+    parallel_executor = "thread"
 
     def __init__(self, problem: LdaFpProblem, config: LdaFpConfig) -> None:
         self.problem = problem
@@ -151,7 +170,6 @@ class LdaFpNodeProblem:
         self._root_widths = np.maximum(self._root.widths, 1e-300)
         self._barrier = BarrierSolver(gap_tol=1e-10)
         self._seen_candidates: "set[bytes]" = set()
-        self._hint: "np.ndarray | None" = None  # parent relaxation solution
         self._best_cost = np.inf  # best candidate cost seen (gates polishing)
         # Global continuous bound, deflated by a hair so floating-point error
         # in the ill-conditioned SPD solve cannot make it invalid.
@@ -163,6 +181,12 @@ class LdaFpNodeProblem:
 
     # ------------------------------------------------------------------ #
     def relax(self, box: Box) -> Relaxation:
+        return self._relax(box, hint=None)
+
+    def relax_child(self, box: Box, parent_relaxation: Relaxation) -> Relaxation:
+        return self._relax(box, hint=parent_relaxation.solution)
+
+    def _relax(self, box: Box, hint: "np.ndarray | None") -> Relaxation:
         m = self.problem.num_features
         t_lo, t_hi = float(box.lo[m]), float(box.hi[m])
         w_lo, w_hi = box.lo[:m].copy(), box.hi[:m].copy()
@@ -206,9 +230,9 @@ class LdaFpNodeProblem:
         self.relaxations_solved += 1
         backend = self.config.backend
         if backend == "barrier":
-            return self._relax_barrier(program, analytic, allow_fallback=False)
+            return self._relax_barrier(program, analytic, hint, allow_fallback=False)
         # SLSQP primary path (fast); barrier verifies failures under "auto".
-        result = solve_with_slsqp(program, x0=self._hint)
+        result = solve_with_slsqp(program, x0=hint)
         if result.success and result.max_violation <= 1e-7:
             # SLSQP gives no duality certificate; subtract a safety margin so
             # the bound stays conservative.
@@ -226,13 +250,20 @@ class LdaFpNodeProblem:
                 solution=result.x,
             )
         self.backend_fallbacks += 1
-        return self._relax_barrier(program, analytic, allow_fallback=True, slsqp_result=result)
+        return self._relax_barrier(
+            program, analytic, hint, allow_fallback=True, slsqp_result=result
+        )
 
     def _relax_barrier(
-        self, program, analytic: float, allow_fallback: bool, slsqp_result=None
+        self,
+        program,
+        analytic: float,
+        hint: "np.ndarray | None",
+        allow_fallback: bool,
+        slsqp_result=None,
     ) -> Relaxation:
         try:
-            result = self._barrier.solve(program, x0=self._hint)
+            result = self._barrier.solve(program, x0=hint)
             bound = result.objective - result.duality_gap - 1e-12
             return Relaxation(lower_bound=max(bound, analytic), solution=result.x)
         except InfeasibleProblemError:
@@ -280,10 +311,8 @@ class LdaFpNodeProblem:
 
     # ------------------------------------------------------------------ #
     def branch(self, box: Box, relaxation: Relaxation) -> Sequence[Box]:
-        # The driver relaxes the children immediately after this call, so the
-        # parent's relaxation solution is the natural warm start for them.
-        if relaxation.solution is not None:
-            self._hint = relaxation.solution
+        # Children get the parent's relaxation solution as warm start via
+        # relax_child; branching itself is pure.
         widths = box.widths / self._root_widths
         m = self.problem.num_features
         # Do not branch dimensions already at one grid step.
@@ -416,6 +445,7 @@ def train_lda_fp(
     dataset: Dataset,
     fmt: QFormat,
     config: "LdaFpConfig | None" = None,
+    trace: "SolverTrace | None" = None,
 ) -> "tuple[FixedPointLinearClassifier, LdaFpReport]":
     """Train an LDA-FP classifier (Algorithm 1 end to end).
 
@@ -423,6 +453,10 @@ def train_lda_fp(
     estimate the class statistics, build the Eq. 21 program, run
     branch-and-bound, and assemble the fixed-point classifier with the
     threshold ``w' (mu_A + mu_B) / 2`` quantized to the same format.
+
+    Pass a :class:`~repro.optim.trace.SolverTrace` to record the solver's
+    event stream (the warm-start early exit emits a minimal start/stop
+    trace so the export is well-formed either way).
 
     Returns the classifier and a :class:`LdaFpReport`.  The report's
     ``proven_optimal`` is True only when the search closed the gap within
@@ -455,12 +489,20 @@ def train_lda_fp(
         and incumbent.cost
         <= cost_star * (1.0 + config.relative_gap) + config.absolute_gap
     ):
+        solver_stats = BranchAndBoundStats(stop_reason="gap")
+        if trace is not None:
+            trace.begin()
+            trace.record("start", incumbent=incumbent.cost)
+            trace.record(
+                "stop", bound=cost_star, incumbent=incumbent.cost, detail="gap"
+            )
+            trace.finalize(solver_stats)
         result = BranchAndBoundResult(
             x=incumbent.x,
             cost=incumbent.cost,
             lower_bound=cost_star,
             proven_optimal=True,
-            stats=BranchAndBoundStats(),
+            stats=solver_stats,
         )
     else:
         solver = BranchAndBoundSolver(
@@ -470,9 +512,10 @@ def train_lda_fp(
                 absolute_gap=config.absolute_gap,
                 relative_gap=config.relative_gap,
                 strategy=config.search_strategy,
+                workers=config.workers,
             )
         )
-        result = solver.solve(node_problem, initial_incumbent=incumbent)
+        result = solver.solve(node_problem, initial_incumbent=incumbent, trace=trace)
         if cost_star > result.lower_bound:
             result = BranchAndBoundResult(
                 x=result.x,
@@ -506,5 +549,6 @@ def train_lda_fp(
         train_seconds=time.perf_counter() - start_time,
         relaxations_solved=node_problem.relaxations_solved,
         backend_fallbacks=node_problem.backend_fallbacks,
+        stop_reason=result.stats.stop_reason,
     )
     return classifier, report

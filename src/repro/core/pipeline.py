@@ -104,8 +104,14 @@ class TrainingPipeline:
         test: Dataset,
         word_length: int,
         bitexact_eval: bool = False,
+        trace=None,
     ) -> PipelineResult:
-        """Scale, quantize, train, and score one configuration."""
+        """Scale, quantize, train, and score one configuration.
+
+        ``trace`` is an optional :class:`~repro.optim.trace.SolverTrace`
+        recording the LDA-FP solver's event stream (ignored for
+        ``method="lda"``, which has no solver).
+        """
         config = self.config
         fmt = self.format_for(word_length)
 
@@ -124,7 +130,9 @@ class TrainingPipeline:
                 model, fmt, weight_scale=config.lda_weight_scale
             )
         else:
-            classifier, ldafp_report = train_lda_fp(train_scaled, fmt, config.ldafp)
+            classifier, ldafp_report = train_lda_fp(
+                train_scaled, fmt, config.ldafp, trace=trace
+            )
         train_seconds = time.perf_counter() - start
 
         test_error = classifier.error_on(test_scaled, bitexact=bitexact_eval)

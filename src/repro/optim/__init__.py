@@ -15,6 +15,7 @@ from .bruteforce import BruteForceResult, brute_force_minimize
 from .certificate import KktReport, check_kkt
 from .cone import ConeProgram, LinearInequality, SocConstraint
 from .slsqp_backend import SlsqpResult, solve_with_slsqp
+from .trace import SolverTrace, TraceEvent, TraceProgress
 
 __all__ = [
     "BarrierResult",
@@ -37,4 +38,7 @@ __all__ = [
     "SocConstraint",
     "SlsqpResult",
     "solve_with_slsqp",
+    "SolverTrace",
+    "TraceEvent",
+    "TraceProgress",
 ]

@@ -7,21 +7,41 @@ resolution.  The driver keeps a priority queue of open boxes ordered by
 lower bound, prunes nodes whose bound exceeds the incumbent (Algorithm 1
 step 5), and stops when the queue is empty (proven optimality), the gap
 target is met, or a node/time budget runs out — in which case the incumbent
-is returned with ``proven_optimal=False``.
+is returned with ``proven_optimal=False`` and
+``BranchAndBoundStats.stop_reason`` records why.
+
+Parallel frontier expansion (``BranchAndBoundConfig.workers > 1``): each
+round pops up to ``workers`` frontier nodes, solves their child relaxations
+concurrently (``concurrent.futures``; a process pool when the problem is
+picklable, threads otherwise), then *merges* the speculative expansions on
+the main thread in pop order, re-applying the exact serial prune / gap /
+incumbent logic against the shared incumbent.  A node whose bound loses to
+an incumbent improvement made earlier in the same round is discarded along
+with its speculative children — precisely as the serial driver would have
+pruned it — so the merged search makes the same decisions as the serial one
+and returns the same ``(cost, lower_bound, proven_optimal)``.
+
+Telemetry: pass a :class:`~repro.optim.trace.SolverTrace` to
+:meth:`BranchAndBoundSolver.solve` to record typed events (expand, prune,
+infeasible, incumbent, gap progress) with a periodic progress callback and
+JSON export.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import heapq
 import itertools
+import pickle
 import time
-from dataclasses import dataclass, field
-from typing import Generic, Iterable, Optional, Protocol, Sequence, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import SolverBudgetExceeded
 from .boxes import Box
+from .trace import SolverTrace
 
 __all__ = [
     "Candidate",
@@ -31,7 +51,10 @@ __all__ = [
     "BranchAndBoundStats",
     "BranchAndBoundResult",
     "BranchAndBoundSolver",
+    "STOP_REASONS",
 ]
+
+STOP_REASONS = ("nodes", "time", "gap", "exhausted")
 
 
 @dataclass(frozen=True)
@@ -65,7 +88,18 @@ class Relaxation:
 
 
 class BranchAndBoundProblem(Protocol):
-    """The problem-specific callbacks the driver needs."""
+    """The problem-specific callbacks the driver needs.
+
+    Beyond the required methods, the driver honours two optional hooks:
+
+    - ``relax_child(box, parent_relaxation)`` — relax a child with its
+      parent's relaxation available as a warm start.  Problems that keep a
+      warm-start hint as mutable state should implement this instead so the
+      parallel driver can thread the correct hint per parent.
+    - ``parallel_executor`` — ``"thread"`` or ``"process"``; problems whose
+      relaxation reads shared mutable state (e.g. an incumbent-gated
+      shortcut) should declare ``"thread"`` so workers observe it.
+    """
 
     def initial_box(self) -> Box:
         """The root search box (paper Eq. 28-29)."""
@@ -99,9 +133,13 @@ class BranchAndBoundConfig:
     Attributes
     ----------
     max_nodes:
-        Maximum nodes expanded before returning the incumbent.
+        Maximum nodes popped (pruned, branched, or terminal) before
+        returning the incumbent.
     time_limit:
-        Wall-clock budget in seconds (``None`` = unlimited).
+        Wall-clock budget in seconds (``None`` = unlimited).  Checked per
+        pop, between child relaxations, and per parallel batch, so one
+        expensive expansion cannot overshoot the budget by more than a
+        single relaxation solve.
     absolute_gap:
         Stop when ``incumbent - best_lower_bound <= absolute_gap``.
     relative_gap:
@@ -112,6 +150,15 @@ class BranchAndBoundConfig:
         created node (reaches terminal boxes — and hence exact incumbents —
         sooner under tight budgets).  Both use the same pruning, so the
         returned bounds are valid either way.
+    workers:
+        Frontier nodes expanded concurrently per round.  ``1`` (default)
+        is the classic serial loop.  The parallel merge replays the serial
+        pruning logic, so the returned result matches ``workers=1``.
+    executor:
+        ``"process"`` (picklable problems; true CPU parallelism),
+        ``"thread"`` (shared-state problems), or ``"auto"`` — honour the
+        problem's ``parallel_executor`` preference, else pick ``process``
+        when the problem pickles and ``thread`` otherwise.
     """
 
     max_nodes: int = 200_000
@@ -119,22 +166,39 @@ class BranchAndBoundConfig:
     absolute_gap: float = 1e-9
     relative_gap: float = 1e-9
     strategy: str = "best-first"
+    workers: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.strategy not in ("best-first", "depth-first"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in ("auto", "thread", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
 
 
 @dataclass
 class BranchAndBoundStats:
-    """Counters describing one solve."""
+    """Counters describing one solve.
+
+    ``nodes_expanded`` counts every popped-and-processed node, so
+    ``nodes_expanded == nodes_pruned_after_pop + nodes_branched +
+    terminal_nodes`` holds for serial and parallel runs alike;
+    ``nodes_pruned == nodes_pruned_after_pop + children_pruned``.
+    """
 
     nodes_expanded: int = 0
     nodes_pruned: int = 0
+    nodes_pruned_after_pop: int = 0
+    nodes_branched: int = 0
+    children_pruned: int = 0
     nodes_infeasible: int = 0
     terminal_nodes: int = 0
     incumbent_updates: int = 0
+    rounds: int = 0
     wall_time: float = 0.0
+    stop_reason: str = "exhausted"
 
 
 @dataclass(frozen=True)
@@ -157,8 +221,120 @@ class BranchAndBoundResult:
         return self.cost - self.lower_bound
 
 
+# --------------------------------------------------------------------- #
+# Parallel expansion plumbing.  ``_expand_pairs`` is the unit of work: it
+# branches one parent and relaxes every child, threading the parent's
+# relaxation through as the warm-start hint.  For process pools the problem
+# is pickled once per worker (initializer), not once per task.
+# --------------------------------------------------------------------- #
+
+_WORKER_PROBLEM = None
+
+
+def _relax_child(problem, child: Box, parent_relaxation: Relaxation) -> Relaxation:
+    hook = getattr(problem, "relax_child", None)
+    if hook is not None:
+        return hook(child, parent_relaxation)
+    return problem.relax(child)
+
+
+def _expand_pairs(
+    problem, box: Box, relaxation: Relaxation
+) -> "List[Tuple[Box, Relaxation]]":
+    return [
+        (child, _relax_child(problem, child, relaxation))
+        for child in problem.branch(box, relaxation)
+    ]
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_PROBLEM
+    _WORKER_PROBLEM = pickle.loads(payload)
+
+
+def _expand_in_worker(box: Box, relaxation: Relaxation):
+    return _expand_pairs(_WORKER_PROBLEM, box, relaxation)
+
+
+# Sentinel outcomes of processing one popped node.
+_CONTINUE, _STOP = "continue", "stop"
+
+
+class _SearchState:
+    """Mutable search state shared by the serial and parallel loops."""
+
+    def __init__(self, problem, config, stats, trace, start_time, incumbent):
+        self.problem = problem
+        self.config = config
+        self.stats = stats
+        self.trace = trace
+        self.start_time = start_time
+        self.best: "Candidate | None" = incumbent
+        self.heap: "list[tuple[float, int, float, Box, Relaxation]]" = []
+        self.ticks = itertools.count()
+        self.depth_first = config.strategy == "depth-first"
+        self._last_gap_bound = -np.inf
+
+    # ------------------------------------------------------------------ #
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start_time
+
+    def out_of_time(self) -> bool:
+        limit = self.config.time_limit
+        return limit is not None and self.elapsed() > limit
+
+    def push(self, bound: float, box: Box, relaxation: Relaxation) -> None:
+        # The heap entry is (key, tiebreak, bound, box, relaxation).  Best-
+        # first keys on the bound; depth-first keys on negative creation
+        # order, turning the heap into a stack while the true bound rides
+        # along for pruning and gap accounting.
+        tick = next(self.ticks)
+        key = float(-tick) if self.depth_first else bound
+        heapq.heappush(self.heap, (key, tick, bound, box, relaxation))
+
+    def improve(self, candidates: Iterable[Candidate]) -> None:
+        for cand in candidates:
+            if np.isfinite(cand.cost) and (
+                self.best is None or cand.cost < self.best.cost
+            ):
+                self.best = cand
+                self.stats.incumbent_updates += 1
+                self.event("incumbent", incumbent=cand.cost)
+
+    def event(self, kind: str, **kwargs) -> None:
+        if self.trace is not None:
+            self.trace.record(kind, **kwargs)
+
+    def gap_progress(self, bound: float) -> None:
+        """Emit a ``gap`` event when the global remaining bound advances.
+
+        Only meaningful for best-first, where the popped bound is the
+        global minimum over the frontier at pop time.
+        """
+        if self.trace is None or self.depth_first or self.best is None:
+            return
+        reported = min(bound, self.best.cost)
+        if reported > self._last_gap_bound:
+            self._last_gap_bound = reported
+            self.event("gap", bound=reported, incumbent=self.best.cost)
+
+    def progress_tick(self) -> None:
+        if self.trace is None or self.trace.progress is None:
+            return
+        lower = min((entry[2] for entry in self.heap), default=None)
+        if lower is not None and self.best is not None:
+            lower = min(lower, self.best.cost)
+        self.trace.maybe_progress(
+            nodes_expanded=self.stats.nodes_expanded,
+            frontier=len(self.heap),
+            incumbent=None if self.best is None else self.best.cost,
+            lower_bound=lower,
+            elapsed=self.elapsed(),
+        )
+
+
 class BranchAndBoundSolver:
-    """Best-first branch-and-bound driver."""
+    """Best-first branch-and-bound driver (serial or batched-parallel)."""
 
     def __init__(self, config: "BranchAndBoundConfig | None" = None) -> None:
         self.config = config or BranchAndBoundConfig()
@@ -167,6 +343,7 @@ class BranchAndBoundSolver:
         self,
         problem: BranchAndBoundProblem,
         initial_incumbent: "Candidate | None" = None,
+        trace: "SolverTrace | None" = None,
     ) -> BranchAndBoundResult:
         """Run the search.
 
@@ -178,6 +355,9 @@ class BranchAndBoundSolver:
             Optional warm-start feasible point (e.g. rounded conventional
             LDA) — the paper's heuristics rely on a good incumbent to prune
             early.
+        trace:
+            Optional :class:`SolverTrace` receiving typed events, the
+            periodic progress callback, and the final stats.
 
         Raises
         ------
@@ -187,82 +367,306 @@ class BranchAndBoundSolver:
         config = self.config
         stats = BranchAndBoundStats()
         start_time = time.perf_counter()
+        if trace is not None:
+            trace.begin(start_time)
+            trace.record(
+                "start",
+                incumbent=None if initial_incumbent is None else initial_incumbent.cost,
+            )
 
-        best: "Candidate | None" = initial_incumbent
+        state = _SearchState(problem, config, stats, trace, start_time, initial_incumbent)
         root = problem.initial_box()
         root_relax = problem.relax(root)
-        depth_first = config.strategy == "depth-first"
-        raw_counter = itertools.count()
-        # The heap entry is (key, tiebreak, bound, box, relaxation).  Best-
-        # first keys on the bound; depth-first keys on negative creation
-        # order, turning the heap into a stack while the true bound rides
-        # along for pruning and gap accounting.
-        heap: "list[tuple[float, int, float, Box, Relaxation]]" = []
-
-        def push(bound: float, box: Box, relaxation: Relaxation) -> None:
-            tick = next(raw_counter)
-            key = float(-tick) if depth_first else bound
-            heapq.heappush(heap, (key, tick, bound, box, relaxation))
-
         if root_relax.feasible:
-            best = self._improve(best, problem.candidates(root, root_relax), stats)
-            push(root_relax.lower_bound, root, root_relax)
+            state.improve(problem.candidates(root, root_relax))
+            state.push(root_relax.lower_bound, root, root_relax)
         else:
             stats.nodes_infeasible += 1
+            state.event("infeasible", bound=np.inf, detail="root")
 
-        while heap:
-            if stats.nodes_expanded >= config.max_nodes:
-                break
-            if (
-                config.time_limit is not None
-                and time.perf_counter() - start_time > config.time_limit
-            ):
-                break
-
-            _, _, bound, box, relaxation = heapq.heappop(heap)
-            if best is not None and bound > best.cost - config.absolute_gap:
-                stats.nodes_pruned += 1
-                continue
-            if (
-                best is not None
-                and not depth_first
-                and self._gap_closed(best.cost, bound, config)
-            ):
-                # Best-first pops bounds in increasing order, so the popped
-                # bound is the global remaining bound and the gap is closed.
-                push(bound, box, relaxation)
-                break
-
-            stats.nodes_expanded += 1
-            if problem.is_terminal(box):
-                stats.terminal_nodes += 1
-                best = self._improve(best, problem.resolve_terminal(box), stats)
-                continue
-
-            for child in problem.branch(box, relaxation):
-                child_relax = problem.relax(child)
-                if not child_relax.feasible:
-                    stats.nodes_infeasible += 1
-                    continue
-                best = self._improve(best, problem.candidates(child, child_relax), stats)
-                if best is not None and child_relax.lower_bound > best.cost - config.absolute_gap:
-                    stats.nodes_pruned += 1
-                    continue
-                push(child_relax.lower_bound, child, child_relax)
+        if config.workers <= 1:
+            self._run_serial(state)
+        else:
+            self._run_parallel(state)
 
         stats.wall_time = time.perf_counter() - start_time
+        best = state.best
         if best is None:
+            if trace is not None:
+                trace.record("stop", detail=stats.stop_reason)
+                trace.finalize(stats)
             raise SolverBudgetExceeded(
                 "branch-and-bound found no feasible point within its budget"
             )
-        remaining_bound = min((entry[2] for entry in heap), default=best.cost)
-        proven = not heap or self._gap_closed(best.cost, remaining_bound, config)
-        return BranchAndBoundResult(
+        remaining_bound = min((entry[2] for entry in state.heap), default=best.cost)
+        proven = not state.heap or self._gap_closed(best.cost, remaining_bound, config)
+        result = BranchAndBoundResult(
             x=best.x,
             cost=best.cost,
             lower_bound=min(remaining_bound, best.cost),
             proven_optimal=proven,
             stats=stats,
+        )
+        if trace is not None:
+            trace.record(
+                "stop",
+                bound=result.lower_bound,
+                incumbent=result.cost,
+                detail=stats.stop_reason,
+            )
+            trace.finalize(stats)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, st: _SearchState) -> None:
+        config, stats = self.config, st.stats
+        while st.heap:
+            if stats.nodes_expanded >= config.max_nodes:
+                stats.stop_reason = "nodes"
+                return
+            if st.out_of_time():
+                stats.stop_reason = "time"
+                return
+            _, _, bound, box, relaxation = heapq.heappop(st.heap)
+            if self._process_node(st, bound, box, relaxation, precomputed=None) is _STOP:
+                return
+            st.progress_tick()
+        # Heap drained: proven optimality by exhaustion.
+        stats.stop_reason = "exhausted"
+
+    def _run_parallel(self, st: _SearchState) -> None:
+        config, stats = self.config, st.stats
+        executor, submit = self._make_executor(st.problem)
+        try:
+            while st.heap:
+                if stats.nodes_expanded >= config.max_nodes:
+                    stats.stop_reason = "nodes"
+                    return
+                if st.out_of_time():
+                    stats.stop_reason = "time"
+                    return
+
+                # ---- pop a batch of up to `workers` survivors ---------- #
+                batch: "list[tuple[float, Box, Relaxation]]" = []
+                pops = 0
+                gap_seen = False
+                node_budget = config.max_nodes - stats.nodes_expanded
+                while st.heap and len(batch) < config.workers and pops < node_budget:
+                    _, _, bound, box, relaxation = heapq.heappop(st.heap)
+                    best = st.best
+                    if best is not None and bound > best.cost - config.absolute_gap:
+                        pops += 1
+                        stats.nodes_expanded += 1
+                        stats.nodes_pruned_after_pop += 1
+                        stats.nodes_pruned += 1
+                        st.event("prune", bound=bound, incumbent=best.cost)
+                        continue
+                    if (
+                        best is not None
+                        and not st.depth_first
+                        and self._gap_closed(best.cost, bound, config)
+                    ):
+                        # The incumbent is unchanged since the last merge, so
+                        # the serial driver would stop at this pop too — after
+                        # first processing the nodes already in the batch.
+                        st.push(bound, box, relaxation)
+                        gap_seen = True
+                        break
+                    pops += 1
+                    batch.append((bound, box, relaxation))
+
+                if not batch:
+                    if gap_seen:
+                        stats.stop_reason = "gap"
+                        st.event(
+                            "gap",
+                            bound=min(st.heap[0][2], st.best.cost),
+                            incumbent=st.best.cost,
+                            detail="closed",
+                        )
+                        return
+                    continue  # only pruned pops this round; re-check budgets
+
+                # ---- speculative expansion ----------------------------- #
+                stats.rounds += 1
+                jobs: "list[tuple[float, Box, Relaxation, object]]" = []
+                for bound, box, relaxation in batch:
+                    future = (
+                        None
+                        if st.problem.is_terminal(box)
+                        else submit(box, relaxation)
+                    )
+                    jobs.append((bound, box, relaxation, future))
+                # Wait for the whole round before merging: merging mutates
+                # the shared incumbent, which thread-pool workers may read.
+                concurrent.futures.wait(
+                    [f for _, _, _, f in jobs if f is not None]
+                )
+
+                # ---- deterministic merge in pop order ------------------ #
+                for index, (bound, box, relaxation, future) in enumerate(jobs):
+                    if st.out_of_time():
+                        for rest_bound, rest_box, rest_relax, _ in jobs[index:]:
+                            st.push(rest_bound, rest_box, rest_relax)
+                        stats.stop_reason = "time"
+                        return
+                    pairs = None if future is None else future.result()
+                    outcome = self._process_node(
+                        st, bound, box, relaxation, precomputed=pairs
+                    )
+                    if outcome is _STOP:
+                        for rest_bound, rest_box, rest_relax, _ in jobs[index + 1 :]:
+                            st.push(rest_bound, rest_box, rest_relax)
+                        return
+                st.progress_tick()
+            stats.stop_reason = "exhausted"
+        finally:
+            executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    def _process_node(
+        self,
+        st: _SearchState,
+        bound: float,
+        box: Box,
+        relaxation: Relaxation,
+        precomputed: "List[Tuple[Box, Relaxation]] | None",
+    ) -> str:
+        """Apply the serial pop logic to one node (children may be precomputed).
+
+        Returns ``_STOP`` when the search should end (gap closed or time
+        budget expired), ``_CONTINUE`` otherwise.
+        """
+        config, stats = self.config, st.stats
+        best = st.best
+        if best is not None and bound > best.cost - config.absolute_gap:
+            stats.nodes_expanded += 1
+            stats.nodes_pruned_after_pop += 1
+            stats.nodes_pruned += 1
+            st.event("prune", bound=bound, incumbent=best.cost)
+            return _CONTINUE
+        if (
+            best is not None
+            and not st.depth_first
+            and self._gap_closed(best.cost, bound, config)
+        ):
+            # Best-first pops bounds in increasing order, so the popped
+            # bound is the global remaining bound and the gap is closed.
+            st.push(bound, box, relaxation)
+            stats.stop_reason = "gap"
+            st.event(
+                "gap", bound=min(bound, best.cost), incumbent=best.cost, detail="closed"
+            )
+            return _STOP
+        st.gap_progress(bound)
+
+        stats.nodes_expanded += 1
+        if st.problem.is_terminal(box):
+            stats.terminal_nodes += 1
+            st.event(
+                "expand",
+                bound=bound,
+                incumbent=None if best is None else best.cost,
+                detail="terminal",
+            )
+            st.improve(st.problem.resolve_terminal(box))
+            return _CONTINUE
+
+        stats.nodes_branched += 1
+        if precomputed is not None:
+            st.event(
+                "expand",
+                bound=bound,
+                incumbent=None if best is None else best.cost,
+                detail=f"branch:{len(precomputed)}",
+            )
+            for index, (child, child_relax) in enumerate(precomputed):
+                if st.out_of_time():
+                    # Remaining children are already relaxed: push them with
+                    # their own (valid) bounds, skipping candidate work.
+                    for rest_child, rest_relax in precomputed[index:]:
+                        if rest_relax.feasible:
+                            st.push(rest_relax.lower_bound, rest_child, rest_relax)
+                        else:
+                            stats.nodes_infeasible += 1
+                            st.event("infeasible", bound=np.inf)
+                    stats.stop_reason = "time"
+                    return _STOP
+                self._consume_child(st, child, child_relax)
+            return _CONTINUE
+
+        child_boxes = list(st.problem.branch(box, relaxation))
+        st.event(
+            "expand",
+            bound=bound,
+            incumbent=None if best is None else best.cost,
+            detail=f"branch:{len(child_boxes)}",
+        )
+        for index, child in enumerate(child_boxes):
+            if st.out_of_time():
+                # Unrelaxed children inherit the parent's bound, which is a
+                # valid lower bound for any subset of the parent box, so the
+                # returned lower_bound stays sound under a mid-node stop.
+                for rest in child_boxes[index:]:
+                    st.push(bound, rest, relaxation)
+                stats.stop_reason = "time"
+                return _STOP
+            child_relax = _relax_child(st.problem, child, relaxation)
+            self._consume_child(st, child, child_relax)
+        return _CONTINUE
+
+    def _consume_child(self, st: _SearchState, child: Box, child_relax: Relaxation) -> None:
+        stats = st.stats
+        if not child_relax.feasible:
+            stats.nodes_infeasible += 1
+            st.event("infeasible", bound=np.inf)
+            return
+        st.improve(st.problem.candidates(child, child_relax))
+        if (
+            st.best is not None
+            and child_relax.lower_bound > st.best.cost - self.config.absolute_gap
+        ):
+            stats.children_pruned += 1
+            stats.nodes_pruned += 1
+            st.event(
+                "child_pruned",
+                bound=child_relax.lower_bound,
+                incumbent=st.best.cost,
+            )
+            return
+        st.push(child_relax.lower_bound, child, child_relax)
+
+    # ------------------------------------------------------------------ #
+    def _make_executor(self, problem):
+        """Build the round executor: (executor, submit(box, relaxation))."""
+        workers = self.config.workers
+        mode = self.config.executor
+        payload: "bytes | None" = None
+        if mode == "auto":
+            mode = getattr(problem, "parallel_executor", None)
+            if mode not in ("thread", "process"):
+                try:
+                    payload = pickle.dumps(problem)
+                    mode = "process"
+                except Exception:
+                    mode = "thread"
+        if mode == "process":
+            try:
+                if payload is None:
+                    payload = pickle.dumps(problem)
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(payload,),
+                )
+                return executor, lambda box, relax: executor.submit(
+                    _expand_in_worker, box, relax
+                )
+            except Exception:
+                pass  # non-picklable or no process support: thread fallback
+        executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        return executor, lambda box, relax: executor.submit(
+            _expand_pairs, problem, box, relax
         )
 
     # ------------------------------------------------------------------ #
@@ -273,13 +677,3 @@ class BranchAndBoundSolver:
             return True
         scale = max(abs(incumbent), 1e-12)
         return gap / scale <= config.relative_gap
-
-    @staticmethod
-    def _improve(
-        best: "Candidate | None", candidates: Iterable[Candidate], stats: BranchAndBoundStats
-    ) -> "Candidate | None":
-        for cand in candidates:
-            if np.isfinite(cand.cost) and (best is None or cand.cost < best.cost):
-                best = cand
-                stats.incumbent_updates += 1
-        return best

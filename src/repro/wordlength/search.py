@@ -13,7 +13,7 @@ evaluated points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.pipeline import PipelineConfig, PipelineResult, TrainingPipeline
 from ..data.dataset import Dataset
@@ -32,6 +32,7 @@ class SweepPoint:
     power: float
     train_seconds: float
     proven_optimal: Optional[bool]
+    stop_reason: Optional[str] = None
 
 
 def wordlength_sweep(
@@ -39,27 +40,32 @@ def wordlength_sweep(
     test: Dataset,
     word_lengths: Sequence[int],
     pipeline_config: "PipelineConfig | None" = None,
+    trace_factory: "Callable[[int], object] | None" = None,
 ) -> "List[SweepPoint]":
-    """Train and score the pipeline at each word length."""
+    """Train and score the pipeline at each word length.
+
+    ``trace_factory`` maps a word length to a
+    :class:`~repro.optim.trace.SolverTrace` (or ``None``) so callers can
+    collect per-word-length solver telemetry; each point's ``stop_reason``
+    echoes why that word length's search stopped.
+    """
     if not word_lengths:
         raise DataError("no word lengths given")
     pipeline = TrainingPipeline(pipeline_config or PipelineConfig())
     model = paper_power_model()
     points: "List[SweepPoint]" = []
     for wl in word_lengths:
-        result: PipelineResult = pipeline.run(train, test, wl)
-        proven = (
-            result.ldafp_report.proven_optimal
-            if result.ldafp_report is not None
-            else None
-        )
+        trace = trace_factory(wl) if trace_factory is not None else None
+        result: PipelineResult = pipeline.run(train, test, wl, trace=trace)
+        report = result.ldafp_report
         points.append(
             SweepPoint(
                 word_length=wl,
                 test_error=result.test_error,
                 power=model.power(wl),
                 train_seconds=result.train_seconds,
-                proven_optimal=proven,
+                proven_optimal=None if report is None else report.proven_optimal,
+                stop_reason=None if report is None else report.stop_reason,
             )
         )
     return points

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.data.synthetic import make_synthetic_dataset
 from repro.fixedpoint.qformat import QFormat
 from repro.stats.scatter import estimate_two_class_stats
+
+# CI runs the property suites under a pinned, derandomized profile
+# (HYPOTHESIS_PROFILE=ci in .github/workflows/ci.yml) so failures are
+# reproducible from the log; local runs keep exploring fresh examples.
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

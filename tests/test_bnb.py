@@ -170,3 +170,185 @@ class TestDepthFirst:
 
         with _pytest.raises(ValueError):
             BranchAndBoundConfig(strategy="sideways")
+
+    def test_no_feasible_point_under_budget_raises(self):
+        # Depth-first with a candidate-free problem and a tiny node budget:
+        # the budget expires with no incumbent.
+        problem = NoCandidateProblem(np.array([0.3, -0.2]), -1.0, 1.0, 2.0**-8)
+        config = BranchAndBoundConfig(strategy="depth-first", max_nodes=3)
+        with pytest.raises(SolverBudgetExceeded):
+            BranchAndBoundSolver(config).solve(problem)
+
+    def test_depth_first_never_stops_on_gap(self):
+        problem = QuadraticGridProblem(np.array([0.3]), -1.0, 1.0, 0.25)
+        config = BranchAndBoundConfig(strategy="depth-first", relative_gap=0.9)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.stats.stop_reason == "exhausted"
+
+
+class NoCandidateProblem(QuadraticGridProblem):
+    """Feasible relaxations but no incumbents until a terminal box."""
+
+    def candidates(self, box, relaxation):
+        return []
+
+    def is_terminal(self, box):
+        return False  # never terminal: the driver can only run out of budget
+
+
+class SlowChildrenProblem(QuadraticGridProblem):
+    """Each child relaxation sleeps, exercising the in-loop time check."""
+
+    def __init__(self, *args, delay: float, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.delay = delay
+
+    def branch(self, box, relaxation):
+        # Many children per node so the child loop dominates the wall time.
+        children = list(box.split(box.widest_dimension()))
+        out = []
+        for child in children:
+            out.extend(child.split(child.widest_dimension()))
+        return out
+
+    def relax(self, box):
+        import time as _time
+
+        _time.sleep(self.delay)
+        return super().relax(box)
+
+
+class TestStopReasons:
+    def test_exhausted(self):
+        problem = QuadraticGridProblem(np.array([0.3]), -1.0, 1.0, 0.25)
+        result = BranchAndBoundSolver().solve(problem)
+        assert result.proven_optimal
+        assert result.stats.stop_reason == "exhausted"
+
+    def test_nodes(self):
+        problem = QuadraticGridProblem(np.arange(4) / 10.0, -1.0, 1.0, 2.0**-6)
+        result = BranchAndBoundSolver(BranchAndBoundConfig(max_nodes=3)).solve(
+            problem
+        )
+        assert not result.proven_optimal
+        assert result.stats.stop_reason == "nodes"
+
+    def test_time(self):
+        problem = SlowChildrenProblem(
+            np.arange(4) / 7.0, -1.0, 1.0, 2.0**-10, delay=0.02
+        )
+        config = BranchAndBoundConfig(time_limit=0.1, max_nodes=10**9)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.stats.stop_reason == "time"
+
+    def test_gap(self):
+        # Gap termination is only reachable via the relative gap: a bound
+        # within absolute_gap of the incumbent is pruned instead.
+        problem = QuadraticGridProblem(np.array([0.3, 0.1]), -1.0, 1.0, 0.25)
+        config = BranchAndBoundConfig(relative_gap=100.0)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.stats.stop_reason == "gap"
+        assert result.proven_optimal
+
+    def test_time_checked_inside_child_loop(self):
+        import time
+
+        problem = SlowChildrenProblem(
+            np.arange(3) / 7.0, -1.0, 1.0, 2.0**-9, delay=0.05
+        )
+        config = BranchAndBoundConfig(time_limit=0.2, max_nodes=10**9)
+        start = time.perf_counter()
+        result = BranchAndBoundSolver(config).solve(problem)
+        elapsed = time.perf_counter() - start
+        assert result.stats.stop_reason == "time"
+        # Each node spawns ~4 children at 0.05 s each; without the in-loop
+        # check the driver would only notice the budget one full node late.
+        # With it, overshoot is bounded by ~one child relaxation.
+        assert elapsed < 1.5
+        assert result.lower_bound <= result.cost + 1e-12
+
+    def test_stats_invariant(self):
+        problem = QuadraticGridProblem(np.array([0.3, -0.6]), -1.0, 1.0, 0.125)
+        stats = BranchAndBoundSolver().solve(problem).stats
+        assert stats.nodes_expanded == (
+            stats.nodes_pruned_after_pop + stats.nodes_branched + stats.terminal_nodes
+        )
+        assert stats.nodes_pruned == (
+            stats.nodes_pruned_after_pop + stats.children_pruned
+        )
+
+
+class TestParallel:
+    def _stats_tuple(self, stats):
+        return (
+            stats.nodes_expanded,
+            stats.nodes_pruned,
+            stats.nodes_pruned_after_pop,
+            stats.nodes_branched,
+            stats.children_pruned,
+            stats.nodes_infeasible,
+            stats.terminal_nodes,
+            stats.incumbent_updates,
+            stats.stop_reason,
+        )
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_matches_serial_exactly(self, executor):
+        target = np.array([0.31, -0.57, 0.88])
+        serial = BranchAndBoundSolver().solve(
+            QuadraticGridProblem(target, -1.0, 1.0, 0.25)
+        )
+        par = BranchAndBoundSolver(
+            BranchAndBoundConfig(workers=4, executor=executor)
+        ).solve(QuadraticGridProblem(target, -1.0, 1.0, 0.25))
+        assert np.array_equal(serial.x, par.x)
+        assert serial.cost == par.cost
+        assert serial.lower_bound == par.lower_bound
+        assert serial.proven_optimal == par.proven_optimal
+        assert self._stats_tuple(serial.stats) == self._stats_tuple(par.stats)
+
+    def test_parallel_depth_first_matches_serial(self):
+        target = np.array([0.3, -0.6])
+        serial = BranchAndBoundSolver(
+            BranchAndBoundConfig(strategy="depth-first")
+        ).solve(QuadraticGridProblem(target, -1.0, 1.0, 0.25))
+        par = BranchAndBoundSolver(
+            BranchAndBoundConfig(strategy="depth-first", workers=3, executor="thread")
+        ).solve(QuadraticGridProblem(target, -1.0, 1.0, 0.25))
+        assert serial.cost == par.cost
+        assert serial.lower_bound == par.lower_bound
+        assert self._stats_tuple(serial.stats) == self._stats_tuple(par.stats)
+
+    def test_parallel_node_budget(self):
+        problem = QuadraticGridProblem(np.arange(4) / 10.0, -1.0, 1.0, 2.0**-6)
+        config = BranchAndBoundConfig(workers=4, executor="thread", max_nodes=5)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.stats.nodes_expanded <= 5
+        assert result.stats.stop_reason == "nodes"
+
+    def test_parallel_gap_stop(self):
+        problem = QuadraticGridProblem(np.array([0.3, 0.1]), -1.0, 1.0, 0.25)
+        config = BranchAndBoundConfig(workers=4, executor="thread", relative_gap=100.0)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.stats.stop_reason == "gap"
+        assert result.proven_optimal
+
+    def test_auto_executor_picks_process_for_picklable(self):
+        problem = QuadraticGridProblem(np.array([0.3]), -1.0, 1.0, 0.25)
+        config = BranchAndBoundConfig(workers=2)
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.proven_optimal
+
+    def test_thread_fallback_for_nonpicklable(self):
+        problem = QuadraticGridProblem(np.array([0.3]), -1.0, 1.0, 0.25)
+        problem.unpicklable = lambda: None  # lambdas cannot pickle
+        config = BranchAndBoundConfig(workers=2, executor="auto")
+        result = BranchAndBoundSolver(config).solve(problem)
+        assert result.proven_optimal
+        assert result.x[0] == pytest.approx(0.25)
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundConfig(workers=0)
+        with pytest.raises(ValueError):
+            BranchAndBoundConfig(executor="gpu")

@@ -44,3 +44,73 @@ class TestBruteForce:
             grids, lambda x: np.inf if x[0] == 0.0 else 1.0
         )
         assert result.x[0] == 1.0
+
+
+class TestBnbMatchesBruteForce:
+    """The branch-and-bound drivers against exhaustive enumeration.
+
+    On grids tiny enough to enumerate, serial and parallel branch-and-bound
+    must both land on the brute-force optimum (same cost; the argmin may
+    differ only between exact ties, which the toy quadratic does not have).
+    """
+
+    def _toy(self, target, step):
+        from tests.test_bnb import QuadraticGridProblem
+
+        return QuadraticGridProblem(np.asarray(target), -1.0, 1.0, step)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize(
+        "target,step",
+        [
+            ([0.30], 0.25),
+            ([0.31, -0.57], 0.25),
+            ([0.1, 0.2, -0.3], 0.5),
+        ],
+    )
+    def test_toy_grid(self, workers, target, step):
+        from repro.optim.bnb import BranchAndBoundConfig, BranchAndBoundSolver
+
+        problem = self._toy(target, step)
+        grids = [
+            problem.box.grid_values(d) for d in range(problem.box.ndim)
+        ]
+        oracle = brute_force_minimize(grids, problem.cost)
+        result = BranchAndBoundSolver(
+            BranchAndBoundConfig(workers=workers, executor="thread")
+        ).solve(self._toy(target, step))
+        assert result.proven_optimal
+        assert result.cost == pytest.approx(oracle.cost, abs=1e-12)
+        assert np.allclose(result.x, oracle.x)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_ldafp_tiny_instance(self, workers):
+        """Both drivers match brute force on a tiny LDA-FP grid."""
+        from repro.core.ldafp import LdaFpConfig, train_lda_fp, _adjust_stats
+        from repro.core.problem import LdaFpProblem
+        from repro.fixedpoint.qformat import QFormat
+        from repro.fixedpoint.quantize import quantize
+        from repro.stats.scatter import estimate_two_class_stats
+        from tests.test_properties import random_instance
+
+        dataset, _ = random_instance(3)
+        fmt = QFormat(2, 1)  # 2 or 3 features at 8 grid points each
+        config = LdaFpConfig(max_nodes=4000, time_limit=None, workers=workers)
+        classifier, report = train_lda_fp(dataset, fmt, config)
+        assert report.proven_optimal
+
+        quantized = dataset.map_features(lambda x: np.asarray(quantize(x, fmt)))
+        stats = _adjust_stats(
+            estimate_two_class_stats(quantized.class_a, quantized.class_b),
+            fmt,
+            config,
+        )
+        problem = LdaFpProblem(stats=stats, fmt=fmt, rho=config.rho)
+        grid = np.arange(problem.value_lo, problem.value_hi + 1e-12, fmt.resolution)
+        oracle = brute_force_minimize(
+            [grid] * problem.num_features,
+            lambda w: float(problem.cost(w)) if np.any(w) else np.inf,
+            feasible=lambda w: problem.constraint_violation(w) <= 1e-9,
+            max_points=10**6,
+        )
+        assert report.cost == pytest.approx(oracle.cost, rel=1e-9)

@@ -68,6 +68,51 @@ class TestCheckKkt:
         with pytest.raises(OptimizationError):
             check_kkt(constrained_qp(), np.zeros(3))
 
+    def test_boundary_point_not_optimal_fails(self):
+        # Feasible, on the constraint boundary, but not stationary: the
+        # multiplier estimate cannot cancel the objective gradient.
+        report = check_kkt(constrained_qp(), np.array([1.5, -0.5]))
+        assert report.primal_infeasibility <= 1e-12
+        assert report.active_constraints >= 1
+        assert not report.is_certificate(tol=1e-4)
+
+    def test_soc_infeasible_point_flagged(self):
+        report = check_kkt(soc_program(), np.array([2.0, 0.0]))
+        assert report.primal_infeasibility > 0.0
+        assert not report.is_certificate(tol=1e-6)
+
+    def test_active_tol_widens_active_set(self):
+        # (0.5 + eps, 0.5) is eps off the x+y >= 1 boundary: a tight
+        # active_tol treats the constraint as inactive (stationarity then
+        # fails, since the unconstrained gradient is nonzero); a loose one
+        # recovers the near-certificate.
+        x = np.array([0.5 + 1e-5, 0.5])
+        tight = check_kkt(constrained_qp(), x, active_tol=1e-8)
+        loose = check_kkt(constrained_qp(), x, active_tol=1e-3)
+        assert tight.active_constraints == 0
+        assert tight.stationarity > 0.1
+        assert loose.active_constraints >= 1
+        assert loose.stationarity <= 1e-3
+
+    def test_box_bound_active_at_corner(self):
+        # min x^2+y^2 over [1, 5]^2: optimum pinned at the (1, 1) corner by
+        # the lower bounds, with both bound rows active.
+        program = ConeProgram(
+            P=2.0 * np.eye(2),
+            q=np.zeros(2),
+            lower=np.full(2, 1.0),
+            upper=np.full(2, 5.0),
+        )
+        report = check_kkt(program, np.array([1.0, 1.0]))
+        assert report.is_certificate(tol=1e-6)
+        assert report.active_constraints == 2
+
+    def test_report_fields_finite(self):
+        report = check_kkt(constrained_qp(), np.array([0.5, 0.5]))
+        assert np.isfinite(report.stationarity)
+        assert np.isfinite(report.primal_infeasibility)
+        assert np.isfinite(report.complementarity)
+
 
 class TestSolversProduceCertificates:
     def test_slsqp_solution_certifies(self):

@@ -28,6 +28,15 @@ class TestParser:
         args = build_parser().parse_args(["report", "--word-length", "6", "--verilog"])
         assert args.word_length == 6
         assert args.verilog
+        assert args.workers == 1
+        assert args.trace is None
+
+    def test_report_workers_and_trace(self):
+        args = build_parser().parse_args(
+            ["report", "--workers", "4", "--trace", "out.json"]
+        )
+        assert args.workers == 4
+        assert args.trace == "out.json"
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -61,3 +70,26 @@ class TestMain:
         )
         assert code == 0
         assert "module lda_fp_classifier" in capsys.readouterr().out
+
+    def test_report_writes_trace_json(self, capsys, tmp_path):
+        from repro.optim.trace import SolverTrace
+
+        path = tmp_path / "trace.json"
+        code = main(
+            [
+                "report",
+                "--word-length", "4",
+                "--time-limit", "5",
+                "--workers", "2",
+                "--trace", str(path),
+            ]
+        )
+        assert code == 0
+        assert f"written to {path}" in capsys.readouterr().out
+        trace = SolverTrace.load(path)
+        # The exported trace carries the final stats and its event-derived
+        # counters agree with them (the round-trip acceptance criterion).
+        assert trace.stats is not None
+        assert trace.verify_counters()
+        assert trace.events[0].kind == "start"
+        assert trace.events[-1].kind == "stop"

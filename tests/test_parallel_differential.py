@@ -1,0 +1,92 @@
+"""Differential tests: the parallel branch-and-bound driver vs the serial one.
+
+The parallel driver's merge replays the serial prune/gap/incumbent logic in
+pop order, so on deterministic problems every observable — the returned
+point, cost, lower bound, proof status, and all node counters — must match
+the serial run exactly.  This file checks that promise on the toy quadratic
+problem (both executor kinds) and on randomized small LDA-FP instances
+(the paper workload, thread executor via the adapter's declared
+``parallel_executor``), with the brute-force oracle closing the loop on
+tiny grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ldafp import LdaFpConfig, train_lda_fp
+from repro.optim.bnb import (
+    BranchAndBoundConfig,
+    BranchAndBoundSolver,
+)
+from repro.optim.trace import SolverTrace
+
+from tests.test_bnb import QuadraticGridProblem
+from tests.test_properties import random_instance
+
+# Run-to-optimality settings: time_limit must be None for determinism (a
+# wall-clock stop is scheduling-dependent) and the node budget generous
+# enough that every instance is solved to proven optimality.
+_LDA_KW = dict(max_nodes=4000, time_limit=None)
+
+
+def _train(dataset, fmt, workers: int, trace=None):
+    config = LdaFpConfig(workers=workers, **_LDA_KW)
+    return train_lda_fp(dataset, fmt, config, trace=trace)
+
+
+class TestToyDifferential:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_full_stats_identity(self, executor, workers):
+        target = np.array([0.31, -0.57, 0.88])
+
+        def run(cfg):
+            problem = QuadraticGridProblem(target, -1.0, 1.0, 0.25)
+            return BranchAndBoundSolver(cfg).solve(problem)
+
+        serial = run(BranchAndBoundConfig())
+        par = run(BranchAndBoundConfig(workers=workers, executor=executor))
+        assert np.array_equal(serial.x, par.x)
+        assert serial.cost == par.cost
+        assert serial.lower_bound == par.lower_bound
+        assert serial.proven_optimal == par.proven_optimal
+        for field in (
+            "nodes_expanded",
+            "nodes_pruned",
+            "nodes_pruned_after_pop",
+            "nodes_branched",
+            "children_pruned",
+            "nodes_infeasible",
+            "terminal_nodes",
+            "incumbent_updates",
+            "stop_reason",
+        ):
+            assert getattr(serial.stats, field) == getattr(par.stats, field), field
+
+
+class TestLdaFpDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_workers4_bit_identical_to_serial(self, seed):
+        dataset, fmt = random_instance(seed)
+        c1, r1 = _train(dataset, fmt, workers=1)
+        c4, r4 = _train(dataset, fmt, workers=4)
+        assert np.array_equal(c1.weights, c4.weights)
+        assert c1.threshold == c4.threshold
+        assert c1.polarity == c4.polarity
+        assert r1.cost == r4.cost
+        assert r1.lower_bound == r4.lower_bound
+        assert r1.proven_optimal == r4.proven_optimal
+        assert r1.stop_reason == r4.stop_reason
+
+    def test_traces_agree_on_structure(self):
+        dataset, fmt = random_instance(0)
+        t1, t4 = SolverTrace(), SolverTrace()
+        _train(dataset, fmt, workers=1, trace=t1)
+        _train(dataset, fmt, workers=4, trace=t4)
+        assert t1.verify_counters() and t4.verify_counters()
+        # Same decisions (event order may interleave differently: batch
+        # prunes are recorded before the merge replays the survivors).
+        assert t1.counters() == t4.counters()
+        assert t1.stop_reason() == t4.stop_reason()

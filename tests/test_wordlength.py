@@ -233,3 +233,38 @@ class TestSearch:
         train = make_synthetic_dataset(100, seed=0)
         with pytest.raises(DataError):
             wordlength_sweep(train, train, word_lengths=())
+
+    def test_lda_points_have_no_stop_reason(self, sweep_points):
+        assert all(p.stop_reason is None for p in sweep_points)
+
+    def test_trace_factory_collects_per_wordlength_traces(self):
+        from repro.core.ldafp import LdaFpConfig
+        from repro.core.pipeline import PipelineConfig
+        from repro.optim.trace import SolverTrace
+
+        train = make_synthetic_dataset(300, seed=0)
+        test = make_synthetic_dataset(300, seed=1)
+        traces: "dict[int, SolverTrace]" = {}
+
+        def factory(wl: int) -> SolverTrace:
+            traces[wl] = SolverTrace()
+            return traces[wl]
+
+        points = wordlength_sweep(
+            train,
+            test,
+            word_lengths=(4, 5),
+            pipeline_config=PipelineConfig(
+                method="lda-fp",
+                ldafp=LdaFpConfig(max_nodes=20, time_limit=5.0),
+            ),
+            trace_factory=factory,
+        )
+        assert sorted(traces) == [4, 5]
+        for wl, point in zip((4, 5), points):
+            trace = traces[wl]
+            assert trace.events[0].kind == "start"
+            assert trace.events[-1].kind == "stop"
+            assert trace.verify_counters()
+            # The sweep point echoes the trace's stop reason.
+            assert point.stop_reason == trace.stop_reason()
