@@ -1,0 +1,92 @@
+"""CI smoke test for the serving stack.
+
+Trains nothing itself: takes an artifact produced by ``repro report
+--save-artifact``, launches the real ``repro serve`` CLI as a subprocess on
+an ephemeral port, POSTs a known feature vector, asserts the served labels
+are bit-identical to ``predict_bitexact`` on the same artifact, and scrapes
+``/metrics`` asserting the request and batch counters moved.
+
+Usage: PYTHONPATH=src python .github/scripts/serve_smoke.py ARTIFACT.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import urllib.request
+
+import numpy as np
+
+from repro.core.serialize import load_classifier
+
+FEATURES = [
+    [0.5, -0.25, 1.0, 0.125, -0.5, 0.75],
+    [-1.0, 0.5, -0.125, 0.25, 1.0, -0.75],
+]
+
+
+def main() -> int:
+    artifact = sys.argv[1]
+    classifier = load_classifier(artifact)
+    width = classifier.weights.shape[0]
+    features = [row[:width] + [0.0] * (width - len(row)) for row in FEATURES]
+    expected = [int(v) for v in classifier.predict_bitexact(np.array(features))]
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--artifact", artifact,
+         "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        match = None
+        for line in proc.stdout:
+            print("server:", line.rstrip())
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if match:
+                break
+        if not match:
+            raise SystemExit("server exited without announcing a port")
+        base = f"http://127.0.0.1:{match.group(1)}"
+        print(f"server up at {base}")
+
+        body = json.dumps({"features": features}).encode()
+        request = urllib.request.Request(
+            f"{base}/predict", data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        print("predict response:", json.dumps(payload))
+        if payload["labels"] != expected:
+            raise SystemExit(
+                f"served labels {payload['labels']} != bit-exact {expected}"
+            )
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            metrics = response.read().decode()
+        counters = {
+            name: float(value)
+            for name, value in re.findall(r"^(\w+) ([\d.eE+-]+)$", metrics, re.M)
+        }
+        if counters.get("repro_serve_requests_total", 0) < 1:
+            raise SystemExit(f"request counter never moved:\n{metrics}")
+        if counters.get("repro_serve_batches_total", 0) < 1:
+            raise SystemExit(f"batch counter never moved:\n{metrics}")
+        print(
+            "metrics ok: requests_total="
+            f"{counters['repro_serve_requests_total']:.0f} "
+            f"batches_total={counters['repro_serve_batches_total']:.0f}"
+        )
+        print("serve smoke passed: labels bit-identical to predict_bitexact")
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,12 @@ Regenerates the paper's tables and figures from the terminal::
     python -m repro figure2
     python -m repro power
     python -m repro report --word-length 6
+
+and deploys trained artifacts (see docs/serving.md)::
+
+    python -m repro report --word-length 6 --save-artifact clf.json
+    python -m repro serve --artifact clf.json --port 8400
+    echo "0.5 -0.25 1.0" | python -m repro predict --artifact clf.json
 """
 
 from __future__ import annotations
@@ -68,6 +74,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help="write the solver's event trace to PATH as JSON",
+    )
+    report.add_argument(
+        "--save-artifact",
+        metavar="PATH",
+        help="write the trained classifier as a JSON deployment artifact",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve classifier artifacts over HTTP with micro-batching"
+    )
+    serve.add_argument(
+        "--artifact",
+        metavar="[NAME=]PATH",
+        action="append",
+        required=True,
+        help="classifier JSON artifact to register (repeatable); the model "
+        "name defaults to the file stem",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8400, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a micro-batch at this many pending samples",
+    )
+    serve.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=5.0,
+        help="maximum milliseconds a request waits for co-batching",
+    )
+
+    predict = sub.add_parser(
+        "predict", help="one-shot bit-exact prediction from an artifact"
+    )
+    predict.add_argument("--artifact", metavar="PATH", required=True)
+    predict.add_argument(
+        "--features",
+        metavar="FILE",
+        default="-",
+        help="feature vectors, one sample per line (comma/space separated); "
+        "'-' (default) reads stdin",
+    )
+    predict.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per sample (label, projection, overflow) "
+        "instead of a bare label",
     )
 
     ablations = sub.add_parser("ablations", help="run the design-choice ablations")
@@ -221,8 +278,101 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             from .hardware.verilog import generate_classifier_verilog
 
             print(generate_classifier_verilog(result.classifier))
+        if args.save_artifact:
+            from .core.serialize import save_classifier
+
+            save_classifier(result.classifier, args.save_artifact)
+            print(f"artifact written to {args.save_artifact}")
+
+    elif args.command == "serve":
+        import asyncio
+
+        from .serve import BatcherConfig, InferenceServer, ModelRegistry, ServeConfig
+
+        registry = ModelRegistry()
+        for spec in args.artifact:
+            name, sep, path = spec.partition("=")
+            if not sep:
+                name, path = _artifact_stem(spec), spec
+            model = registry.register_file(name, path)
+            print(f"registered {model.describe()}")
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            batcher=BatcherConfig(
+                max_batch_size=args.max_batch,
+                max_delay=args.max_delay_ms / 1000.0,
+            ),
+        )
+        server = InferenceServer(registry, config=config)
+
+        async def _serve() -> None:
+            await server.start()
+            print(
+                f"serving on http://{args.host}:{server.port} "
+                "(POST /predict, GET /healthz, GET /metrics)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            pass
+
+    elif args.command == "predict":
+        import json as _json
+
+        import numpy as np
+
+        from .core.serialize import load_classifier
+        from .serve.engine import BatchInferenceEngine
+
+        engine = BatchInferenceEngine(load_classifier(args.artifact))
+        stream = sys.stdin if args.features == "-" else open(args.features)
+        try:
+            rows = []
+            for line in stream:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                rows.append([float(tok) for tok in line.replace(",", " ").split()])
+        finally:
+            if stream is not sys.stdin:
+                stream.close()
+        if rows:
+            result = engine.run(np.asarray(rows, dtype=np.float64))
+            if args.json:
+                resolution = engine.fmt.resolution
+                for i in range(result.num_samples):
+                    print(
+                        _json.dumps(
+                            {
+                                "label": int(result.labels[i]),
+                                "projection": float(
+                                    int(result.projection_raws[i]) * resolution
+                                ),
+                                "product_overflows": int(
+                                    np.count_nonzero(result.product_overflowed[i])
+                                ),
+                                "accumulator_overflows": int(
+                                    np.count_nonzero(result.accumulator_overflowed[i])
+                                ),
+                            }
+                        )
+                    )
+            else:
+                for label in result.labels:
+                    print(int(label))
 
     return 0
+
+
+def _artifact_stem(path: str) -> str:
+    """Default model name for ``repro serve --artifact PATH``."""
+    from pathlib import Path
+
+    return Path(path).stem
 
 
 if __name__ == "__main__":

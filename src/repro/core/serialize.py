@@ -24,7 +24,7 @@ from typing import Any, Dict
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, QFormatError
 from ..fixedpoint.qformat import QFormat
 from ..fixedpoint.rounding import RoundingMode
 from .classifier import FixedPointLinearClassifier
@@ -32,6 +32,26 @@ from .classifier import FixedPointLinearClassifier
 __all__ = ["classifier_to_dict", "classifier_from_dict", "save_classifier", "load_classifier"]
 
 _SCHEMA = "repro.fixed-point-classifier.v1"
+_SCHEMA_FAMILY = "repro.fixed-point-classifier."
+_SUPPORTED_SCHEMAS = (_SCHEMA,)
+
+
+def _as_raw_int(value: Any, what: str) -> int:
+    """Coerce a JSON raw-word field to int, rejecting anything lossy.
+
+    Accepts Python/numpy integers and integral floats (some JSON writers
+    emit ``8.0``); rejects booleans, NaN/inf, fractional floats, and every
+    other type — a corrupted artifact must fail loudly, never truncate.
+    """
+    if isinstance(value, bool):
+        raise DataError(f"{what} must be an integer, got boolean {value!r}")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, float):
+        if not np.isfinite(value) or value != int(value):
+            raise DataError(f"{what} must be an integer, got {value!r}")
+        return int(value)
+    raise DataError(f"{what} must be an integer, got {type(value).__name__}")
 
 
 def classifier_to_dict(classifier: FixedPointLinearClassifier) -> "Dict[str, Any]":
@@ -57,21 +77,42 @@ def classifier_from_dict(payload: "Dict[str, Any]") -> FixedPointLinearClassifie
     outside the declared format's range (a corrupted artifact must never
     silently wrap).
     """
-    if payload.get("schema") != _SCHEMA:
+    if not isinstance(payload, dict):
         raise DataError(
-            f"unsupported schema {payload.get('schema')!r}; expected {_SCHEMA!r}"
+            f"classifier payload must be a JSON object, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema not in _SUPPORTED_SCHEMAS:
+        if isinstance(schema, str) and schema.startswith(_SCHEMA_FAMILY):
+            raise DataError(
+                f"unknown schema version {schema!r}; this build supports "
+                f"{', '.join(_SUPPORTED_SCHEMAS)} — refusing to guess at a "
+                "newer artifact layout"
+            )
+        raise DataError(
+            f"unsupported schema {schema!r}; expected one of {_SUPPORTED_SCHEMAS}"
         )
     try:
+        fmt_payload = payload["format"]
         fmt = QFormat(
-            int(payload["format"]["integer_bits"]),
-            int(payload["format"]["fraction_bits"]),
+            _as_raw_int(fmt_payload["integer_bits"], "format.integer_bits"),
+            _as_raw_int(fmt_payload["fraction_bits"], "format.fraction_bits"),
         )
-        weight_raws = [int(r) for r in payload["weight_raws"]]
-        threshold_raw = int(payload["threshold_raw"])
-        polarity = int(payload.get("polarity", 1))
+        raw_list = payload["weight_raws"]
+        if not isinstance(raw_list, (list, tuple)) or not raw_list:
+            raise DataError("weight_raws must be a non-empty list")
+        weight_raws = [
+            _as_raw_int(r, f"weight_raws[{i}]") for i, r in enumerate(raw_list)
+        ]
+        threshold_raw = _as_raw_int(payload["threshold_raw"], "threshold_raw")
+        polarity = _as_raw_int(payload.get("polarity", 1), "polarity")
         rounding = RoundingMode(payload.get("rounding", "nearest-away"))
-    except (KeyError, TypeError, ValueError) as exc:
+    except DataError:
+        raise
+    except (KeyError, TypeError, ValueError, QFormatError) as exc:
         raise DataError(f"malformed classifier payload: {exc}") from exc
+    if polarity not in (1, -1):
+        raise DataError(f"polarity must be +1 or -1, got {polarity}")
     for raw in weight_raws + [threshold_raw]:
         if raw < fmt.min_raw or raw > fmt.max_raw:
             raise DataError(

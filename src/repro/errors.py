@@ -59,3 +59,11 @@ class DataError(ReproError):
 
 class TrainingError(ReproError):
     """Classifier training failed in a way that yields no usable model."""
+
+
+class ServeError(ReproError):
+    """The :mod:`repro.serve` runtime rejected a request or configuration."""
+
+
+class ModelNotFoundError(ServeError):
+    """A registry lookup (by name or content-hash prefix) matched no model."""

@@ -1,0 +1,49 @@
+"""repro.serve — the inference runtime around trained classifier artifacts.
+
+The training side of this repository produces
+``repro.fixed-point-classifier.v1`` JSON artifacts (see
+:mod:`repro.core.serialize`); this package is the production-shaped layer
+that *serves* them:
+
+- :class:`~repro.serve.engine.BatchInferenceEngine` — vectorized batch
+  inference, bit-exact with the per-sample RTL simulator
+  (:class:`~repro.fixedpoint.datapath.FixedPointDatapath`), with an int64
+  fast path and an unbounded-int fallback.
+- :class:`~repro.serve.registry.ModelRegistry` — validated, content-hashed,
+  hot-reloadable model store.
+- :class:`~repro.serve.batcher.MicroBatcher` — asyncio micro-batching
+  (flush on size or latency deadline).
+- :class:`~repro.serve.server.InferenceServer` — stdlib-only HTTP endpoint
+  (``POST /predict``, ``GET /healthz``, ``GET /metrics``).
+- :class:`~repro.serve.metrics.ServeMetrics` — request/batch/latency and
+  overflow-event counters, exported as Prometheus text and as the
+  ``repro.serve-metrics/v1`` JSON schema.
+
+See ``docs/serving.md`` for the HTTP API and metric schemas, and
+``examples/ecg_monitor.py`` for an end-to-end train → save → serve →
+stream demo.
+"""
+
+from .batcher import BatcherConfig, MicroBatcher
+from .engine import BatchInferenceEngine, BatchResult, int64_path_available
+from .metrics import LatencyStats, ModelMetrics, ServeMetrics
+from .registry import ModelRegistry, RegisteredModel, content_hash
+from .server import InferenceServer, ServeConfig, ServerHandle, start_server_thread
+
+__all__ = [
+    "BatchInferenceEngine",
+    "BatchResult",
+    "int64_path_available",
+    "ModelRegistry",
+    "RegisteredModel",
+    "content_hash",
+    "ServeMetrics",
+    "ModelMetrics",
+    "LatencyStats",
+    "BatcherConfig",
+    "MicroBatcher",
+    "ServeConfig",
+    "InferenceServer",
+    "ServerHandle",
+    "start_server_thread",
+]

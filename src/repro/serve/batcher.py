@@ -1,0 +1,182 @@
+"""Asyncio micro-batching: coalesce requests into engine-sized batches.
+
+The vectorized engine amortizes quantization and accumulation over a whole
+batch, so throughput under concurrent load comes from *not* running one
+engine call per request.  :class:`MicroBatcher` queues incoming feature
+arrays per model and flushes a combined batch when either
+
+- the pending sample count reaches ``max_batch_size``, or
+- ``max_delay`` seconds elapse since the oldest pending request
+  (the latency deadline — a lone request never waits longer than this).
+
+Each awaiting caller receives exactly its slice of the combined
+:class:`~repro.serve.engine.BatchResult`; because the engine is bit-exact
+and stateless per sample, batching is invisible in the results — only in
+the latency/throughput profile and the batch-size metrics.
+
+The engine call itself is synchronous CPU work; flushes run it in the event
+loop's default executor so the server keeps accepting requests while a
+batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServeError
+from .engine import BatchResult
+from .metrics import ServeMetrics
+from .registry import ModelRegistry
+
+__all__ = ["BatcherConfig", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherConfig:
+    """Flush policy of the micro-batching queue.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Flush as soon as this many samples are pending for one model.
+    max_delay:
+        Maximum seconds a request may wait for co-batching before the
+        pending batch is flushed regardless of size.
+    """
+
+    max_batch_size: int = 64
+    max_delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServeError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_delay < 0:
+            raise ServeError(f"max_delay must be >= 0, got {self.max_delay}")
+
+
+class _Pending:
+    """Per-model accumulation state between flushes."""
+
+    def __init__(self) -> None:
+        self.items: "List[Tuple[np.ndarray, asyncio.Future]]" = []
+        self.samples = 0
+        self.timer: "Optional[asyncio.TimerHandle]" = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent predict calls into vectorized engine batches.
+
+    Parameters
+    ----------
+    registry:
+        Model registry; requests are grouped by resolved model name.
+    config:
+        Flush policy.
+    metrics:
+        Optional :class:`~repro.serve.metrics.ServeMetrics` receiving one
+        ``observe_batch`` per flush.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: "BatcherConfig | None" = None,
+        metrics: "ServeMetrics | None" = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or BatcherConfig()
+        self.metrics = metrics
+        self._pending: "dict[str, _Pending]" = {}
+        self._inflight: "set[asyncio.Task]" = set()
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, model_key: "str | None", features: np.ndarray
+    ) -> "Tuple[BatchResult, str]":
+        """Enqueue one request; resolves to (its result slice, model name).
+
+        ``features`` is a ``(k, M)`` array (``k >= 1`` samples from one
+        request).  Raises whatever the engine raises — shape mismatches and
+        overflow-policy errors propagate to the one offending caller, not
+        to batch-mates (the failed flush rejects every member of that batch;
+        callers co-batched with a poisoned request see the same error, which
+        is the standard micro-batching trade-off).
+        """
+        model = self.registry.get(model_key)
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ServeError(
+                f"batcher expects (k, M) feature arrays, got shape {features.shape}"
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        pending = self._pending.setdefault(model.name, _Pending())
+        pending.items.append((features, future))
+        pending.samples += features.shape[0]
+        if pending.samples >= self.config.max_batch_size:
+            self._flush(model.name)
+        elif pending.timer is None:
+            pending.timer = loop.call_later(
+                self.config.max_delay, self._flush, model.name
+            )
+        result, name = await future
+        return result, name
+
+    def _flush(self, model_name: str) -> None:
+        pending = self._pending.pop(model_name, None)
+        if pending is None or not pending.items:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._run_batch(model_name, pending.items))
+        # Keep a strong reference until completion (asyncio only holds weak ones).
+        self._inflight.add(task)
+        task.add_done_callback(self._inflight.discard)
+
+    async def _run_batch(
+        self,
+        model_name: str,
+        items: "List[Tuple[np.ndarray, asyncio.Future]]",
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        stacked = np.concatenate([features for features, _ in items], axis=0)
+        model = self.registry.get(model_name)
+        started = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(None, model.engine.run, stacked)
+        except Exception as exc:  # reject every co-batched caller
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        elapsed = time.perf_counter() - started
+        if self.metrics is not None:
+            self.metrics.observe_batch(
+                model.name, result, elapsed, content_hash=model.content_hash
+            )
+        offset = 0
+        for features, future in items:
+            k = features.shape[0]
+            if not future.done():
+                future.set_result((result.slice(offset, offset + k), model.name))
+            offset += k
+
+    # ------------------------------------------------------------------ #
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight batches.
+
+        Used by server shutdown and tests; new submissions during a drain
+        are not waited for.
+        """
+        for model_name in list(self._pending):
+            self._flush(model_name)
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

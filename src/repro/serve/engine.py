@@ -1,0 +1,278 @@
+"""Vectorized batch inference engine, bit-exact with the RTL simulator.
+
+:class:`~repro.fixedpoint.datapath.FixedPointDatapath` is the reference
+implementation of the paper's Eq. 12 datapath: per-sample Python-int
+arithmetic, exact at any word length, but far too slow to sit behind a
+serving endpoint.  :class:`BatchInferenceEngine` reproduces the same
+wrap/rounding semantics on whole ``(n_samples, n_features)`` integer arrays:
+
+- **int64 fast path** — plain numpy ``int64`` arithmetic with explicit
+  two's-complement reduction.  Selected when every intermediate word fits:
+  the widest value the datapath ever forms is a full-precision product
+  (``2 * (K + F)`` bits) and the deepest un-wrapped sum adds
+  ``ceil(log2(M))`` carry bits, so the path is enabled iff
+  ``2 * (K + F) + ceil(log2(M))`` fits in an int64 (63 magnitude bits).
+- **object fallback** — the same vectorized expressions on ``object``-dtype
+  arrays of unbounded Python ints, used for wide formats.
+
+Both paths share one code body (numpy elementwise operators work on either
+dtype) and are differentially tested against
+:meth:`~repro.fixedpoint.datapath.FixedPointDatapath.project_traced`:
+projection raws, labels, and per-step overflow flags must agree bit for bit,
+including forced-wrap cases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import OverflowModeError
+from ..fixedpoint.overflow import OverflowMode
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.quantize import quantize_raw
+from ..fixedpoint.rounding import RoundingMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..core.classifier import FixedPointLinearClassifier
+
+__all__ = ["BatchResult", "BatchInferenceEngine", "int64_path_available"]
+
+# numpy int64 carries 63 magnitude bits plus sign.
+_INT64_MAGNITUDE_BITS = 63
+
+
+def int64_path_available(fmt: QFormat, num_features: int) -> bool:
+    """True when the int64 fast path is exact for ``fmt`` and ``M`` features.
+
+    The widest intermediate is a full-precision product (``2 * (K + F)``
+    bits); accumulation contributes at most ``ceil(log2(M))`` carry bits
+    before each wrap.  The fast path is safe iff the total fits in int64.
+    """
+    carry_bits = math.ceil(math.log2(max(int(num_features), 2)))
+    return 2 * fmt.word_length + carry_bits <= _INT64_MAGNITUDE_BITS
+
+
+def _shift_right_rounded_array(raws: np.ndarray, shift: int, mode: RoundingMode) -> np.ndarray:
+    """Vectorized exact ``raws / 2**shift`` rounding, dtype-generic.
+
+    Mirrors :func:`repro.fixedpoint.rounding.shift_right_rounded` case by
+    case; uses floor division and remainder (Python semantics on both int64
+    and object dtypes) so one body serves both engine paths.
+    """
+    if shift == 0:
+        return raws
+    div = 1 << shift
+    floor_q = raws // div
+    rem = raws - floor_q * div  # non-negative: floor division rounds to -inf
+    if mode is RoundingMode.FLOOR:
+        return floor_q
+    if mode is RoundingMode.CEIL:
+        return floor_q + (rem != 0)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return floor_q + ((rem != 0) & (raws < 0))
+    half = div >> 1
+    if mode is RoundingMode.NEAREST_AWAY:
+        return floor_q + ((rem > half) | ((rem == half) & (raws >= 0)))
+    if mode is RoundingMode.NEAREST_EVEN:
+        return floor_q + np.where(rem == half, floor_q & 1, rem > half)
+    raise ValueError(f"unsupported mode for exact shift: {mode}")
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batch projection through the engine.
+
+    Attributes
+    ----------
+    projection_raws:
+        Raw words of ``w' x - threshold`` per sample, shape ``(n,)``.
+    labels:
+        Decisions per Eq. 12 with the classifier's polarity applied,
+        shape ``(n,)`` int64 (1 = class A).
+    product_overflowed / accumulator_overflowed:
+        Boolean matrices of shape ``(n, M)`` marking where the exact value
+        fell outside the format before the overflow policy was applied —
+        same semantics as the flags on
+        :class:`~repro.fixedpoint.datapath.DatapathTrace`.
+    """
+
+    projection_raws: np.ndarray
+    labels: np.ndarray
+    product_overflowed: np.ndarray
+    accumulator_overflowed: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the batch."""
+        return int(self.labels.shape[0])
+
+    @property
+    def product_overflow_events(self) -> int:
+        """Total product-overflow events across the batch (for metrics)."""
+        return int(np.count_nonzero(self.product_overflowed))
+
+    @property
+    def accumulator_overflow_events(self) -> int:
+        """Total accumulator-overflow events across the batch (for metrics)."""
+        return int(np.count_nonzero(self.accumulator_overflowed))
+
+    def slice(self, lo: int, hi: int) -> "BatchResult":
+        """The per-request view ``[lo:hi)`` of a micro-batched result."""
+        return BatchResult(
+            projection_raws=self.projection_raws[lo:hi],
+            labels=self.labels[lo:hi],
+            product_overflowed=self.product_overflowed[lo:hi],
+            accumulator_overflowed=self.accumulator_overflowed[lo:hi],
+        )
+
+
+class BatchInferenceEngine:
+    """Bit-exact vectorized inference for one deployed classifier.
+
+    Parameters
+    ----------
+    classifier:
+        The trained :class:`~repro.core.classifier.FixedPointLinearClassifier`
+        (weights/threshold already on the ``QK.F`` grid).
+    overflow:
+        Overflow policy of products and accumulator, as in
+        :class:`~repro.fixedpoint.datapath.DatapathConfig`; ``WRAP`` matches
+        the hardware.
+    force_object:
+        Skip the int64 fast path even when it would be exact (used by the
+        differential tests to cover the fallback on small formats).
+    """
+
+    def __init__(
+        self,
+        classifier: "FixedPointLinearClassifier",
+        overflow: "OverflowMode | str" = OverflowMode.WRAP,
+        force_object: bool = False,
+    ) -> None:
+        fmt = classifier.fmt
+        self.fmt = fmt
+        self.rounding = classifier.rounding
+        self.overflow = OverflowMode.coerce(overflow)
+        self.polarity = int(classifier.polarity)
+        self.weight_raws = np.asarray(fmt.to_raw(classifier.weights), dtype=np.int64)
+        self.threshold_raw = int(fmt.to_raw(classifier.threshold))
+        self.fast_path = (not force_object) and int64_path_available(
+            fmt, self.weight_raws.size
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_features(self) -> int:
+        """Expected feature-vector length ``M``."""
+        return int(self.weight_raws.size)
+
+    def _apply_overflow(self, raws: np.ndarray) -> np.ndarray:
+        fmt = self.fmt
+        if self.overflow is OverflowMode.WRAP:
+            half = fmt.modulus >> 1
+            return (raws + half) % fmt.modulus - half
+        if self.overflow is OverflowMode.SATURATE:
+            return np.where(
+                raws < fmt.min_raw,
+                fmt.min_raw,
+                np.where(raws > fmt.max_raw, fmt.max_raw, raws),
+            )
+        out_of_range = (raws < fmt.min_raw) | (raws > fmt.max_raw)
+        if np.any(out_of_range):
+            offender = int(np.asarray(raws)[out_of_range].flat[0])
+            raise OverflowModeError(fmt.to_real(offender), fmt.min_value, fmt.max_value)
+        return raws
+
+    # ------------------------------------------------------------------ #
+    def run(self, features: np.ndarray) -> BatchResult:
+        """Project and classify a batch, recording overflow flags.
+
+        ``features`` is ``(n, M)`` (or a single length-``M`` vector) of real
+        values; they are quantized to the grid with saturation exactly as
+        :meth:`FixedPointDatapath.project_traced` does.
+        """
+        fmt = self.fmt
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"features must have shape (n, {self.num_features}), got {x.shape}"
+            )
+        x_raws = np.asarray(
+            quantize_raw(
+                x, fmt, rounding=self.rounding, overflow=OverflowMode.SATURATE
+            ),
+            dtype=np.int64,
+        )
+        n, m = x_raws.shape
+        if n == 0:
+            empty = np.zeros((0, m), dtype=bool)
+            return BatchResult(
+                projection_raws=np.zeros(0, dtype=np.int64),
+                labels=np.zeros(0, dtype=np.int64),
+                product_overflowed=empty,
+                accumulator_overflowed=empty.copy(),
+            )
+
+        if self.fast_path:
+            arr = x_raws
+            weights = self.weight_raws
+        else:
+            arr = x_raws.astype(object)
+            weights = self.weight_raws.astype(object)
+
+        # 1. Full-precision products, narrowed back to QK.F with rounding.
+        full = arr * weights[None, :]
+        narrowed = _shift_right_rounded_array(full, fmt.fraction_bits, self.rounding)
+        product_overflowed = np.asarray(
+            (narrowed < fmt.min_raw) | (narrowed > fmt.max_raw), dtype=bool
+        )
+        prods = self._apply_overflow(narrowed)
+
+        # 2. Sequential accumulation in QK.F — the overflow policy applies
+        #    after every addition, exactly as the adder chain does.
+        acc = np.zeros(n, dtype=np.int64 if self.fast_path else object)
+        accumulator_overflowed = np.empty((n, m), dtype=bool)
+        for col in range(m):
+            exact_sum = acc + prods[:, col]
+            accumulator_overflowed[:, col] = np.asarray(
+                (exact_sum < fmt.min_raw) | (exact_sum > fmt.max_raw), dtype=bool
+            )
+            acc = self._apply_overflow(exact_sum)
+
+        # 3. Threshold subtraction and decision.
+        result = self._apply_overflow(acc - self.threshold_raw)
+        projection_raws = (
+            result if self.fast_path else np.asarray(result, dtype=object)
+        )
+        labels = np.asarray(
+            self.polarity * projection_raws >= 0, dtype=bool
+        ).astype(np.int64)
+        return BatchResult(
+            projection_raws=projection_raws,
+            labels=labels,
+            product_overflowed=product_overflowed,
+            accumulator_overflowed=accumulator_overflowed,
+        )
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Labels only (1 = class A), matching ``predict_bitexact``."""
+        return self.run(features).labels
+
+    def projections(self, features: np.ndarray) -> np.ndarray:
+        """Real-valued ``w' x - threshold`` per sample (float64)."""
+        raws = self.run(features).projection_raws
+        return np.asarray(raws, dtype=np.float64) * self.fmt.resolution
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        path = "int64" if self.fast_path else "object"
+        return (
+            f"BatchInferenceEngine(fmt={self.fmt}, M={self.num_features}, "
+            f"path={path}, overflow={self.overflow.value})"
+        )

@@ -1,0 +1,218 @@
+"""Serving metrics: request/batch/latency counters and overflow events.
+
+One :class:`ServeMetrics` instance aggregates everything the runtime
+observes; it exports two views:
+
+- **Prometheus text format** (:meth:`render_prometheus`) for ``GET
+  /metrics`` — plain counters/gauges with ``model`` labels, scrapeable by a
+  stock Prometheus.
+- **JSON** (:meth:`to_dict` / :meth:`to_json`) under the schema
+  ``repro.serve-metrics/v1``, in the style of PR 1's
+  ``repro.solver-trace/v1``: a versioned, auditable snapshot that tests and
+  offline tooling can load without a Prometheus parser.
+
+Overflow accounting reuses the semantics of
+:class:`~repro.fixedpoint.datapath.DatapathTrace`: a *product* event is one
+narrowed product whose exact value fell outside ``QK.F`` before the
+overflow policy was applied, an *accumulator* event likewise for one
+addition.  The engine surfaces both per batch on
+:class:`~repro.serve.engine.BatchResult`, so the counters measure exactly
+what the paper's Eq. 16-18 constraints are meant to keep rare.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["LatencyStats", "ModelMetrics", "ServeMetrics"]
+
+
+@dataclass
+class LatencyStats:
+    """Streaming count/sum/min/max summary of a latency series (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one observation into the summary."""
+        seconds = float(seconds)
+        self.count += 1
+        self.total += seconds
+        self.minimum = min(self.minimum, seconds)
+        self.maximum = max(self.maximum, seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "sum_seconds": self.total,
+            "min_seconds": self.minimum if self.count else 0.0,
+            "max_seconds": self.maximum,
+            "mean_seconds": self.mean,
+        }
+
+
+@dataclass
+class ModelMetrics:
+    """Per-model counters keyed by registry name."""
+
+    content_hash: str = ""
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    product_overflow_events: int = 0
+    accumulator_overflow_events: int = 0
+    batch_latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def to_dict(self) -> dict:
+        """JSON-ready per-model snapshot."""
+        return {
+            "content_hash": self.content_hash,
+            "requests": self.requests,
+            "samples": self.samples,
+            "batches": self.batches,
+            "product_overflow_events": self.product_overflow_events,
+            "accumulator_overflow_events": self.accumulator_overflow_events,
+            "batch_latency": self.batch_latency.to_dict(),
+        }
+
+
+class ServeMetrics:
+    """Thread-safe aggregate of everything the serving runtime observes."""
+
+    SCHEMA = "repro.serve-metrics/v1"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.samples_total = 0
+        self.batches_total = 0
+        self.errors_total = 0
+        self.request_latency = LatencyStats()
+        self.per_model: "Dict[str, ModelMetrics]" = {}
+
+    # ------------------------------------------------------------------ #
+    def _model(self, name: str, content_hash: str = "") -> ModelMetrics:
+        metrics = self.per_model.get(name)
+        if metrics is None:
+            metrics = self.per_model[name] = ModelMetrics(content_hash=content_hash)
+        elif content_hash:
+            metrics.content_hash = content_hash
+        return metrics
+
+    def observe_request(
+        self,
+        model: str,
+        num_samples: int,
+        latency_seconds: float,
+        content_hash: str = "",
+    ) -> None:
+        """Record one completed ``/predict`` (or CLI one-shot) request."""
+        with self._lock:
+            self.requests_total += 1
+            self.samples_total += int(num_samples)
+            self.request_latency.observe(latency_seconds)
+            entry = self._model(model, content_hash)
+            entry.requests += 1
+            entry.samples += int(num_samples)
+
+    def observe_batch(
+        self,
+        model: str,
+        result,
+        latency_seconds: float,
+        content_hash: str = "",
+    ) -> None:
+        """Record one engine batch execution.
+
+        ``result`` is a :class:`~repro.serve.engine.BatchResult`; its
+        overflow event counts feed the per-model overflow counters.
+        """
+        with self._lock:
+            self.batches_total += 1
+            entry = self._model(model, content_hash)
+            entry.batches += 1
+            entry.product_overflow_events += result.product_overflow_events
+            entry.accumulator_overflow_events += result.accumulator_overflow_events
+            entry.batch_latency.observe(latency_seconds)
+
+    def observe_error(self) -> None:
+        """Record one rejected/failed request."""
+        with self._lock:
+            self.errors_total += 1
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Versioned JSON snapshot (schema ``repro.serve-metrics/v1``)."""
+        with self._lock:
+            return {
+                "schema": self.SCHEMA,
+                "requests_total": self.requests_total,
+                "samples_total": self.samples_total,
+                "batches_total": self.batches_total,
+                "errors_total": self.errors_total,
+                "request_latency": self.request_latency.to_dict(),
+                "models": {
+                    name: metrics.to_dict()
+                    for name, metrics in sorted(self.per_model.items())
+                },
+            }
+
+    def to_json(self, indent: "int | None" = None) -> str:
+        """The :meth:`to_dict` snapshot as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every counter and summary."""
+        snap = self.to_dict()
+        lines = [
+            "# HELP repro_serve_requests_total Predict requests answered.",
+            "# TYPE repro_serve_requests_total counter",
+            f"repro_serve_requests_total {snap['requests_total']}",
+            "# HELP repro_serve_samples_total Feature vectors classified.",
+            "# TYPE repro_serve_samples_total counter",
+            f"repro_serve_samples_total {snap['samples_total']}",
+            "# HELP repro_serve_batches_total Engine batches executed.",
+            "# TYPE repro_serve_batches_total counter",
+            f"repro_serve_batches_total {snap['batches_total']}",
+            "# HELP repro_serve_errors_total Rejected or failed requests.",
+            "# TYPE repro_serve_errors_total counter",
+            f"repro_serve_errors_total {snap['errors_total']}",
+            "# HELP repro_serve_request_latency_seconds Request latency summary.",
+            "# TYPE repro_serve_request_latency_seconds summary",
+            f"repro_serve_request_latency_seconds_count {snap['request_latency']['count']}",
+            f"repro_serve_request_latency_seconds_sum {snap['request_latency']['sum_seconds']}",
+        ]
+        model_rows = [
+            ("repro_serve_model_requests_total", "Requests per model", "requests"),
+            ("repro_serve_model_samples_total", "Samples per model", "samples"),
+            ("repro_serve_model_batches_total", "Batches per model", "batches"),
+            (
+                "repro_serve_model_product_overflow_events_total",
+                "Product words whose exact value left QK.F before the overflow policy",
+                "product_overflow_events",
+            ),
+            (
+                "repro_serve_model_accumulator_overflow_events_total",
+                "Accumulator additions whose exact value left QK.F before the overflow policy",
+                "accumulator_overflow_events",
+            ),
+        ]
+        for metric, help_text, key in model_rows:
+            lines.append(f"# HELP {metric} {help_text}.")
+            lines.append(f"# TYPE {metric} counter")
+            for name, entry in snap["models"].items():
+                labels = f'model="{name}",hash="{entry["content_hash"][:12]}"'
+                lines.append(f"{metric}{{{labels}}} {entry[key]}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,214 @@
+"""Model registry: validated artifacts, content addressing, hot reload.
+
+The registry is the serving layer's source of truth for deployed models.
+Each entry pairs a validated ``repro.fixed-point-classifier.v1`` artifact
+(see :mod:`repro.core.serialize` — the registry leans on its hardened
+validation) with a ready-to-run
+:class:`~repro.serve.engine.BatchInferenceEngine` and a **content hash**:
+the SHA-256 of the canonical JSON payload.  Because artifacts store raw
+integer words, the hash identifies the deployed bits exactly — two models
+with the same hash are guaranteed to answer every request identically.
+
+Lookups accept either the registered name or a unique content-hash prefix,
+so clients can pin a request to exact bits (``model: "sha256:1f0a..."``)
+while dashboards use friendly names.  :meth:`ModelRegistry.reload` re-reads
+a file-backed entry and swaps the engine only when the content hash changed,
+which makes hot reload cheap to poll.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.classifier import FixedPointLinearClassifier
+from ..core.serialize import classifier_from_dict, classifier_to_dict
+from ..errors import ModelNotFoundError, ServeError
+from ..fixedpoint.overflow import OverflowMode
+from .engine import BatchInferenceEngine
+
+__all__ = ["RegisteredModel", "ModelRegistry", "content_hash"]
+
+_HASH_PREFIX = "sha256:"
+
+
+def content_hash(classifier: FixedPointLinearClassifier) -> str:
+    """SHA-256 hex digest of the canonical serialized artifact.
+
+    Canonical form: the :func:`~repro.core.serialize.classifier_to_dict`
+    payload as minified JSON with sorted keys — so the hash depends only on
+    the deployed raw words, format, polarity, and rounding mode.
+    """
+    payload = classifier_to_dict(classifier)
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One deployed model: artifact, engine, and identity.
+
+    Attributes
+    ----------
+    name:
+        The registry key chosen at registration time.
+    classifier:
+        The validated classifier rebuilt from the artifact.
+    engine:
+        The vectorized inference engine for this classifier.
+    content_hash:
+        SHA-256 of the canonical artifact JSON (see :func:`content_hash`).
+    path:
+        Source file for file-backed entries (enables hot reload), else None.
+    """
+
+    name: str
+    classifier: FixedPointLinearClassifier
+    engine: BatchInferenceEngine
+    content_hash: str
+    path: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line summary used by ``/healthz`` and the CLI."""
+        return (
+            f"{self.name} [{self.content_hash[:12]}] "
+            f"{self.engine.describe()}"
+        )
+
+
+class ModelRegistry:
+    """Thread-safe name → model map with content addressing.
+
+    Parameters
+    ----------
+    overflow:
+        Overflow policy handed to every engine built by this registry
+        (``WRAP`` matches the hardware; exposed for ablation servers).
+    """
+
+    def __init__(self, overflow: "OverflowMode | str" = OverflowMode.WRAP) -> None:
+        self.overflow = OverflowMode.coerce(overflow)
+        self._models: "Dict[str, RegisteredModel]" = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _build(
+        self,
+        name: str,
+        classifier: FixedPointLinearClassifier,
+        path: "str | None",
+    ) -> RegisteredModel:
+        return RegisteredModel(
+            name=name,
+            classifier=classifier,
+            engine=BatchInferenceEngine(classifier, overflow=self.overflow),
+            content_hash=content_hash(classifier),
+            path=path,
+        )
+
+    def register(
+        self,
+        name: str,
+        classifier: FixedPointLinearClassifier,
+        path: "str | None" = None,
+    ) -> RegisteredModel:
+        """Register (or replace) ``name`` with an in-memory classifier."""
+        if not name or name.startswith(_HASH_PREFIX):
+            raise ServeError(f"invalid model name {name!r}")
+        model = self._build(name, classifier, path)
+        with self._lock:
+            self._models[name] = model
+        return model
+
+    def register_file(self, name: str, path: str) -> RegisteredModel:
+        """Load, validate, and register the artifact at ``path``.
+
+        Validation errors surface as
+        :class:`~repro.errors.DataError` from the hardened loader — a
+        corrupt artifact never becomes servable.
+        """
+        with open(path) as handle:
+            classifier = classifier_from_dict(json.load(handle))
+        return self.register(name, classifier, path=path)
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name``; raises :class:`ModelNotFoundError` if absent."""
+        with self._lock:
+            if name not in self._models:
+                raise ModelNotFoundError(f"no model named {name!r}")
+            del self._models[name]
+
+    # ------------------------------------------------------------------ #
+    def names(self) -> "List[str]":
+        """Registered names in sorted order."""
+        with self._lock:
+            return sorted(self._models)
+
+    def models(self) -> "List[RegisteredModel]":
+        """All registered models, sorted by name."""
+        with self._lock:
+            return [self._models[name] for name in sorted(self._models)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def get(self, key: "str | None" = None) -> RegisteredModel:
+        """Resolve a model by name or unique ``sha256:`` hash prefix.
+
+        ``key=None`` resolves iff exactly one model is registered (the
+        single-model server needs no name in requests).
+        """
+        with self._lock:
+            if key is None:
+                if len(self._models) == 1:
+                    return next(iter(self._models.values()))
+                raise ModelNotFoundError(
+                    f"model key required: registry holds {len(self._models)} models"
+                )
+            if key in self._models:
+                return self._models[key]
+            if key.startswith(_HASH_PREFIX):
+                prefix = key[len(_HASH_PREFIX):]
+                matches = [
+                    m for m in self._models.values()
+                    if m.content_hash.startswith(prefix)
+                ]
+                if len(matches) == 1:
+                    return matches[0]
+                if len(matches) > 1:
+                    raise ModelNotFoundError(
+                        f"hash prefix {prefix!r} is ambiguous "
+                        f"({len(matches)} matches)"
+                    )
+        raise ModelNotFoundError(f"no model named {key!r}")
+
+    # ------------------------------------------------------------------ #
+    def reload(self, name: str) -> bool:
+        """Re-read a file-backed model; True iff the content changed.
+
+        The engine is swapped atomically only when the re-read artifact's
+        content hash differs, so polling reload on unchanged files is free.
+        """
+        model = self.get(name)
+        if model.path is None:
+            raise ServeError(f"model {name!r} is not file-backed; cannot reload")
+        with open(model.path) as handle:
+            classifier = classifier_from_dict(json.load(handle))
+        fresh = self._build(name, classifier, model.path)
+        if fresh.content_hash == model.content_hash:
+            return False
+        with self._lock:
+            self._models[name] = fresh
+        return True
+
+    def reload_all(self) -> "Dict[str, bool]":
+        """Reload every file-backed model; name → changed flag."""
+        return {
+            model.name: self.reload(model.name)
+            for model in self.models()
+            if model.path is not None
+        }

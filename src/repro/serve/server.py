@@ -1,0 +1,319 @@
+"""Stdlib-only HTTP serving endpoint for fixed-point inference.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no web
+framework, no new dependencies — exposing:
+
+- ``POST /predict`` — body ``{"model": <name|sha256:prefix>?, "features":
+  [..] | [[..], ..]}``; features go through the micro-batcher and the
+  bit-exact engine; the response carries labels, real-valued projections,
+  the serving model's name and content hash, and the batch's overflow event
+  counts.  ``model`` may be omitted when exactly one model is registered.
+- ``GET /healthz`` — liveness plus the registry inventory.
+- ``GET /metrics`` — Prometheus text exposition.
+- ``GET /metrics.json`` — the same counters as a versioned
+  ``repro.serve-metrics/v1`` JSON snapshot.
+
+Every connection is single-request (``Connection: close``): the protocol
+surface stays a few dozen lines and trivially auditable, which matters more
+here than keep-alive throughput — the expensive work is batched behind the
+endpoint anyway.
+
+:func:`start_server_thread` runs the whole stack on a daemon-thread event
+loop and returns a handle with the bound port — this is what the tests, the
+CI smoke job, and the ECG example use to serve and query in one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._version import __version__
+from ..errors import ModelNotFoundError, ReproError, ServeError
+from .batcher import BatcherConfig, MicroBatcher
+from .metrics import ServeMetrics
+from .registry import ModelRegistry
+
+__all__ = ["ServeConfig", "InferenceServer", "ServerHandle", "start_server_thread"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_MAX_SAMPLES_PER_REQUEST = 65536
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Bind address and batching policy of one server instance.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`InferenceServer.port` after :meth:`InferenceServer.start`.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batcher: BatcherConfig = field(default_factory=BatcherConfig)
+
+
+def _parse_features(payload: object) -> np.ndarray:
+    """Validate and shape the request's feature payload to ``(k, M)``."""
+    if not isinstance(payload, list) or not payload:
+        raise ServeError("'features' must be a non-empty list")
+    rows = payload if isinstance(payload[0], list) else [payload]
+    if len(rows) > _MAX_SAMPLES_PER_REQUEST:
+        raise ServeError(
+            f"request carries {len(rows)} samples; "
+            f"limit is {_MAX_SAMPLES_PER_REQUEST}"
+        )
+    try:
+        features = np.asarray(rows, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ServeError(f"features are not numeric: {exc}") from exc
+    if features.ndim != 2:
+        raise ServeError(
+            f"features must be one vector or a list of equal-length vectors, "
+            f"got shape {features.shape}"
+        )
+    if not np.all(np.isfinite(features)):
+        raise ServeError("features contain NaN or infinity")
+    return features
+
+
+class InferenceServer:
+    """The asyncio HTTP server wrapping registry, batcher, and metrics."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        config: "ServeConfig | None" = None,
+        metrics: "ServeMetrics | None" = None,
+    ) -> None:
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.metrics = metrics or ServeMetrics()
+        self.batcher = MicroBatcher(
+            registry, config=self.config.batcher, metrics=self.metrics
+        )
+        self._server: "Optional[asyncio.AbstractServer]" = None
+        self.port: "Optional[int]" = None
+
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Bind the listening socket and record the actual port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (starts the socket if needed)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        """Stop accepting, drain in-flight batches, release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._handle_request(reader)
+        except Exception:
+            status, content_type, body = 500, "application/json", json.dumps(
+                {"error": "internal server error"}
+            )
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Server: repro-serve/{__version__}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> "Tuple[int, str, str]":
+        try:
+            request_line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError):
+            return 400, "application/json", json.dumps({"error": "bad request"})
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, "application/json", json.dumps({"error": "bad request line"})
+        method, path = parts[0].upper(), parts[1]
+
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, "application/json", json.dumps(
+                        {"error": "bad Content-Length"}
+                    )
+        if content_length > _MAX_BODY_BYTES:
+            return 413, "application/json", json.dumps({"error": "body too large"})
+        body = await reader.readexactly(content_length) if content_length else b""
+
+        if path == "/healthz" and method == "GET":
+            return 200, "application/json", json.dumps(
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "models": [m.describe() for m in self.registry.models()],
+                }
+            )
+        if path == "/metrics" and method == "GET":
+            return 200, "text/plain; version=0.0.4", self.metrics.render_prometheus()
+        if path == "/metrics.json" and method == "GET":
+            return 200, "application/json", self.metrics.to_json()
+        if path == "/predict":
+            if method != "POST":
+                return 405, "application/json", json.dumps(
+                    {"error": "use POST /predict"}
+                )
+            return await self._predict(body)
+        return 404, "application/json", json.dumps({"error": f"no route {path}"})
+
+    async def _predict(self, body: bytes) -> "Tuple[int, str, str]":
+        started = time.perf_counter()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ServeError("request body must be a JSON object")
+            features = _parse_features(payload.get("features"))
+            model_key = payload.get("model")
+            result, model_name = await self.batcher.submit(model_key, features)
+        except (ServeError, ModelNotFoundError, ValueError) as exc:
+            self.metrics.observe_error()
+            status = 404 if isinstance(exc, ModelNotFoundError) else 400
+            return status, "application/json", json.dumps({"error": str(exc)})
+        except (ReproError, json.JSONDecodeError) as exc:
+            self.metrics.observe_error()
+            return 400, "application/json", json.dumps({"error": str(exc)})
+        model = self.registry.get(model_name)
+        elapsed = time.perf_counter() - started
+        self.metrics.observe_request(
+            model_name,
+            result.num_samples,
+            elapsed,
+            content_hash=model.content_hash,
+        )
+        resolution = model.classifier.fmt.resolution
+        response = {
+            "model": model_name,
+            "content_hash": model.content_hash,
+            "labels": [int(v) for v in result.labels],
+            "projections": [float(int(r) * resolution) for r in result.projection_raws],
+            "overflow": {
+                "product_events": result.product_overflow_events,
+                "accumulator_events": result.accumulator_overflow_events,
+            },
+            "latency_seconds": elapsed,
+        }
+        return 200, "application/json", json.dumps(response)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServerHandle:
+    """A running server on a daemon-thread event loop.
+
+    Attributes
+    ----------
+    port:
+        The bound TCP port (useful with ``ServeConfig(port=0)``).
+    server:
+        The underlying :class:`InferenceServer` (registry/metrics access).
+    """
+
+    def __init__(
+        self, server: InferenceServer, loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self.port = server.port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self.server.config.host}:{self.port}"
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Close the server and join the event-loop thread."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.close(), self._loop)
+        future.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+
+def start_server_thread(
+    registry: ModelRegistry,
+    config: "ServeConfig | None" = None,
+    metrics: "ServeMetrics | None" = None,
+    timeout: float = 5.0,
+) -> ServerHandle:
+    """Start an :class:`InferenceServer` on a background daemon thread.
+
+    Returns once the socket is bound, so :attr:`ServerHandle.port` is ready
+    immediately — the in-process path used by tests and the ECG demo.
+    """
+    server = InferenceServer(registry, config=config, metrics=metrics)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+
+        async def _start() -> None:
+            await server.start()
+            started.set()
+
+        loop.run_until_complete(_start())
+        loop.run_forever()
+        # Drain callbacks scheduled between stop() and loop teardown.
+        loop.run_until_complete(asyncio.sleep(0))
+        loop.close()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=timeout):
+        raise ServeError("server failed to start within the timeout")
+    return ServerHandle(server, loop, thread)

@@ -33,6 +33,7 @@ class TestTopLevel:
             "repro.wordlength",
             "repro.experiments",
             "repro.cli",
+            "repro.serve",
         ],
     )
     def test_subpackage_all_resolves(self, module):

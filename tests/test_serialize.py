@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 import json
+import math
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.classifier import FixedPointLinearClassifier
 from repro.core.serialize import (
@@ -88,3 +92,148 @@ class TestValidation:
         rebuilt = classifier_from_dict(payload)
         assert rebuilt.polarity == 1
         assert rebuilt.rounding is RoundingMode.NEAREST_AWAY
+
+
+class TestHardenedValidation:
+    """The registry depends on corrupt artifacts failing loudly."""
+
+    def test_unknown_schema_version_rejected_with_version_message(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["schema"] = "repro.fixed-point-classifier.v99"
+        with pytest.raises(DataError, match="unknown schema version"):
+            classifier_from_dict(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(DataError, match="JSON object"):
+            classifier_from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("bad", [3.5, float("nan"), float("inf"), "8", True, None])
+    def test_non_integer_raw_word_rejected(self, classifier, bad):
+        payload = classifier_to_dict(classifier)
+        payload["weight_raws"][1] = bad
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_integral_float_raw_word_accepted(self, classifier):
+        # Some JSON writers emit 8.0 for 8; that is lossless and allowed.
+        payload = classifier_to_dict(classifier)
+        payload["threshold_raw"] = float(payload["threshold_raw"])
+        rebuilt = classifier_from_dict(payload)
+        assert rebuilt.threshold == classifier.threshold
+
+    def test_nan_threshold_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["threshold_raw"] = float("nan")
+        with pytest.raises(DataError, match="threshold_raw"):
+            classifier_from_dict(payload)
+
+    def test_empty_weight_list_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["weight_raws"] = []
+        with pytest.raises(DataError, match="non-empty"):
+            classifier_from_dict(payload)
+
+    def test_bad_polarity_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["polarity"] = 2
+        with pytest.raises(DataError, match="polarity"):
+            classifier_from_dict(payload)
+
+    def test_bad_format_rejected_as_data_error(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["format"]["integer_bits"] = 0
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_unknown_rounding_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["rounding"] = "round-half-sideways"
+        with pytest.raises(DataError):
+            classifier_from_dict(payload)
+
+    def test_out_of_range_threshold_rejected(self, classifier):
+        payload = classifier_to_dict(classifier)
+        payload["threshold_raw"] = classifier.fmt.max_raw + 1
+        with pytest.raises(DataError, match="outside the range"):
+            classifier_from_dict(payload)
+
+
+# Deterministic rounding modes only: STOCHASTIC requires an rng at
+# quantization time and is not a deployable datapath configuration.
+_det_rounding = st.sampled_from(
+    [
+        RoundingMode.NEAREST_AWAY,
+        RoundingMode.NEAREST_EVEN,
+        RoundingMode.FLOOR,
+        RoundingMode.CEIL,
+        RoundingMode.TOWARD_ZERO,
+    ]
+)
+
+
+@st.composite
+def _classifiers(draw):
+    """Arbitrary grid-exact classifiers over small and wide formats."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    f = draw(st.integers(min_value=0, max_value=8))
+    fmt = QFormat(k, f)
+    m = draw(st.integers(min_value=1, max_value=6))
+    weight_raws = draw(
+        st.lists(
+            st.integers(min_value=fmt.min_raw, max_value=fmt.max_raw),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    threshold_raw = draw(st.integers(min_value=fmt.min_raw, max_value=fmt.max_raw))
+    polarity = draw(st.sampled_from([1, -1]))
+    rounding = draw(_det_rounding)
+    return FixedPointLinearClassifier(
+        weights=np.array(weight_raws, dtype=np.float64) * fmt.resolution,
+        threshold=threshold_raw * fmt.resolution,
+        fmt=fmt,
+        rounding=rounding,
+        polarity=polarity,
+    )
+
+
+class TestRoundTripProperty:
+    @given(_classifiers(), st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_round_trip_bit_identical(self, classifier, seed):
+        """save → load preserves raw words and predict_bitexact bit for bit."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "clf.json"
+            save_classifier(classifier, str(path))
+            rebuilt = load_classifier(str(path))
+
+        fmt = classifier.fmt
+        assert rebuilt.fmt == fmt
+        assert rebuilt.polarity == classifier.polarity
+        assert rebuilt.rounding is classifier.rounding
+        assert [int(fmt.to_raw(w)) for w in rebuilt.weights] == [
+            int(fmt.to_raw(w)) for w in classifier.weights
+        ]
+        assert int(fmt.to_raw(rebuilt.threshold)) == int(
+            fmt.to_raw(classifier.threshold)
+        )
+
+        rng = np.random.default_rng(seed)
+        span = max(abs(fmt.min_value), fmt.max_value)
+        features = rng.uniform(-2 * span, 2 * span, size=(20, classifier.num_features))
+        assert np.array_equal(
+            rebuilt.predict_bitexact(features), classifier.predict_bitexact(features)
+        )
+
+    @given(_classifiers())
+    @settings(max_examples=60, deadline=None)
+    def test_content_is_valid_json_with_finite_ints(self, classifier):
+        """Every serialized raw word is a plain finite JSON integer."""
+        payload = classifier_to_dict(classifier)
+        text = json.dumps(payload)
+        reread = json.loads(text)
+        assert all(isinstance(r, int) for r in reread["weight_raws"])
+        assert isinstance(reread["threshold_raw"], int)
+        assert math.isfinite(reread["threshold_raw"])
+        rebuilt = classifier_from_dict(reread)
+        assert rebuilt.fmt == classifier.fmt

@@ -1,0 +1,88 @@
+"""Tests for serving metrics: counters, JSON schema, Prometheus rendering."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.qformat import QFormat
+from repro.serve.engine import BatchInferenceEngine
+from repro.serve.metrics import LatencyStats, ServeMetrics
+
+
+def _wrap_heavy_result():
+    """A batch result with guaranteed accumulator overflow events."""
+    fmt = QFormat(3, 0)
+    classifier = FixedPointLinearClassifier(
+        weights=np.array([1.0, 1.0, 1.0]), threshold=0.0, fmt=fmt
+    )
+    return BatchInferenceEngine(classifier).run(np.array([[3.0, 3.0, -4.0]]))
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.to_dict()["min_seconds"] == 0.0
+
+    def test_observations(self):
+        stats = LatencyStats()
+        stats.observe(0.010)
+        stats.observe(0.030)
+        assert stats.count == 2
+        assert abs(stats.mean - 0.020) < 1e-12
+        assert stats.minimum == 0.010
+        assert stats.maximum == 0.030
+
+
+class TestServeMetrics:
+    def test_request_and_batch_counters(self):
+        metrics = ServeMetrics()
+        result = _wrap_heavy_result()
+        metrics.observe_request("m", 3, 0.001, content_hash="abc123")
+        metrics.observe_batch("m", result, 0.0005, content_hash="abc123")
+        metrics.observe_error()
+        snap = metrics.to_dict()
+        assert snap["schema"] == "repro.serve-metrics/v1"
+        assert snap["requests_total"] == 1
+        assert snap["samples_total"] == 3
+        assert snap["batches_total"] == 1
+        assert snap["errors_total"] == 1
+        entry = snap["models"]["m"]
+        assert entry["content_hash"] == "abc123"
+        # 3 + 3 = 6 and -2 + -4 = -6 both leave Q3.0 before wrapping.
+        assert entry["accumulator_overflow_events"] == 2
+        assert entry["product_overflow_events"] == 0
+
+    def test_json_round_trip(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("m", 1, 0.001)
+        payload = json.loads(metrics.to_json())
+        assert payload["schema"] == "repro.serve-metrics/v1"
+        assert payload["models"]["m"]["requests"] == 1
+
+    def test_prometheus_rendering(self):
+        metrics = ServeMetrics()
+        result = _wrap_heavy_result()
+        metrics.observe_request("ecg", 1, 0.002, content_hash="deadbeef0123")
+        metrics.observe_batch("ecg", result, 0.001, content_hash="deadbeef0123")
+        text = metrics.render_prometheus()
+        assert "repro_serve_requests_total 1" in text
+        assert "repro_serve_batches_total 1" in text
+        assert (
+            'repro_serve_model_accumulator_overflow_events_total'
+            '{model="ecg",hash="deadbeef0123"} 2' in text
+        )
+        # Every exposed metric family carries HELP and TYPE headers.
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                family = line.split("{")[0].split(" ")[0]
+                assert f"# TYPE {family.replace('_count', '').replace('_sum', '')}" in text
+
+    def test_multiple_models_sorted(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("zeta", 1, 0.0)
+        metrics.observe_request("alpha", 2, 0.0)
+        assert list(metrics.to_dict()["models"]) == ["alpha", "zeta"]

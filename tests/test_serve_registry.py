@@ -1,0 +1,158 @@
+"""Tests for the serving model registry (content hashing, hot reload)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.core.serialize import save_classifier
+from repro.errors import DataError, ModelNotFoundError, ServeError
+from repro.fixedpoint.qformat import QFormat
+from repro.serve.registry import ModelRegistry, content_hash
+
+
+@pytest.fixture
+def classifier():
+    return FixedPointLinearClassifier(
+        weights=np.array([0.5, -0.25, 1.0]), threshold=0.125, fmt=QFormat(2, 4)
+    )
+
+
+@pytest.fixture
+def other_classifier():
+    return FixedPointLinearClassifier(
+        weights=np.array([0.25, 0.5, -1.0]), threshold=0.0, fmt=QFormat(2, 4)
+    )
+
+
+class TestContentHash:
+    def test_deterministic(self, classifier):
+        assert content_hash(classifier) == content_hash(classifier)
+
+    def test_sensitive_to_weights(self, classifier, other_classifier):
+        assert content_hash(classifier) != content_hash(other_classifier)
+
+    def test_round_trip_stable(self, classifier, tmp_path):
+        """Hash of save -> load equals the hash of the original (raw words)."""
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        registry = ModelRegistry()
+        model = registry.register_file("m", str(path))
+        assert model.content_hash == content_hash(classifier)
+
+
+class TestRegisterAndLookup:
+    def test_register_and_get_by_name(self, classifier):
+        registry = ModelRegistry()
+        model = registry.register("alpha", classifier)
+        assert registry.get("alpha") is model
+        assert registry.names() == ["alpha"]
+        assert len(registry) == 1
+
+    def test_single_model_default_lookup(self, classifier):
+        registry = ModelRegistry()
+        registry.register("only", classifier)
+        assert registry.get(None).name == "only"
+
+    def test_default_lookup_ambiguous_with_two_models(
+        self, classifier, other_classifier
+    ):
+        registry = ModelRegistry()
+        registry.register("a", classifier)
+        registry.register("b", other_classifier)
+        with pytest.raises(ModelNotFoundError):
+            registry.get(None)
+
+    def test_lookup_by_hash_prefix(self, classifier, other_classifier):
+        registry = ModelRegistry()
+        model = registry.register("a", classifier)
+        registry.register("b", other_classifier)
+        assert registry.get(f"sha256:{model.content_hash[:16]}") is model
+
+    def test_ambiguous_hash_prefix_rejected(self, classifier, other_classifier):
+        registry = ModelRegistry()
+        registry.register("a", classifier)
+        registry.register("b", other_classifier)
+        with pytest.raises(ModelNotFoundError, match="ambiguous"):
+            registry.get("sha256:")
+
+    def test_unknown_name_raises(self, classifier):
+        registry = ModelRegistry()
+        registry.register("a", classifier)
+        with pytest.raises(ModelNotFoundError):
+            registry.get("nope")
+
+    def test_invalid_name_rejected(self, classifier):
+        registry = ModelRegistry()
+        with pytest.raises(ServeError):
+            registry.register("", classifier)
+        with pytest.raises(ServeError):
+            registry.register("sha256:abc", classifier)
+
+    def test_unregister(self, classifier):
+        registry = ModelRegistry()
+        registry.register("a", classifier)
+        registry.unregister("a")
+        assert len(registry) == 0
+        with pytest.raises(ModelNotFoundError):
+            registry.unregister("a")
+
+    def test_corrupt_artifact_never_registers(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.fixed-point-classifier.v99"}))
+        registry = ModelRegistry()
+        with pytest.raises(DataError):
+            registry.register_file("bad", str(path))
+        assert len(registry) == 0
+
+
+class TestHotReload:
+    def test_reload_unchanged_is_noop(self, classifier, tmp_path):
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        registry = ModelRegistry()
+        before = registry.register_file("m", str(path))
+        assert registry.reload("m") is False
+        assert registry.get("m") is before
+
+    def test_reload_swaps_on_content_change(
+        self, classifier, other_classifier, tmp_path
+    ):
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        registry = ModelRegistry()
+        before = registry.register_file("m", str(path))
+        save_classifier(other_classifier, str(path))
+        assert registry.reload("m") is True
+        after = registry.get("m")
+        assert after is not before
+        assert after.content_hash == content_hash(other_classifier)
+
+    def test_reload_in_memory_model_rejected(self, classifier):
+        registry = ModelRegistry()
+        registry.register("m", classifier)
+        with pytest.raises(ServeError, match="file-backed"):
+            registry.reload("m")
+
+    def test_reload_all(self, classifier, other_classifier, tmp_path):
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        registry = ModelRegistry()
+        registry.register_file("disk", str(path))
+        registry.register("mem", other_classifier)
+        save_classifier(other_classifier, str(path))
+        changed = registry.reload_all()
+        assert changed == {"disk": True}  # in-memory models are skipped
+
+    def test_reload_corrupt_file_keeps_old_model(self, classifier, tmp_path):
+        path = tmp_path / "clf.json"
+        save_classifier(classifier, str(path))
+        registry = ModelRegistry()
+        before = registry.register_file("m", str(path))
+        path.write_text("{not json")
+        with pytest.raises(Exception):
+            registry.reload("m")
+        assert registry.get("m") is before
