@@ -332,11 +332,26 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         stream = sys.stdin if args.features == "-" else open(args.features)
         try:
             rows = []
-            for line in stream:
+            for lineno, line in enumerate(stream, start=1):
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
-                rows.append([float(tok) for tok in line.replace(",", " ").split()])
+                try:
+                    row = [float(tok) for tok in line.replace(",", " ").split()]
+                except ValueError:
+                    print(
+                        f"error: line {lineno}: features are not numeric: {line!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                if len(row) != engine.num_features:
+                    print(
+                        f"error: line {lineno} has {len(row)} feature(s); "
+                        f"artifact expects {engine.num_features}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                rows.append(row)
         finally:
             if stream is not sys.stdin:
                 stream.close()

@@ -31,7 +31,7 @@ import numpy as np
 from ..errors import ServeError
 from .engine import BatchResult
 from .metrics import ServeMetrics
-from .registry import ModelRegistry
+from .registry import ModelRegistry, RegisteredModel
 
 __all__ = ["BatcherConfig", "MicroBatcher"]
 
@@ -62,9 +62,15 @@ class BatcherConfig:
 
 
 class _Pending:
-    """Per-model accumulation state between flushes."""
+    """Per-model accumulation state between flushes.
 
-    def __init__(self) -> None:
+    Holds the :class:`RegisteredModel` captured at submit time, so the flush
+    runs on exactly the bits each caller resolved — a concurrent hot reload
+    or unregister cannot swap the engine under a queued request.
+    """
+
+    def __init__(self, model: RegisteredModel) -> None:
+        self.model = model
         self.items: "List[Tuple[np.ndarray, asyncio.Future]]" = []
         self.samples = 0
         self.timer: "Optional[asyncio.TimerHandle]" = None
@@ -93,21 +99,25 @@ class MicroBatcher:
         self.registry = registry
         self.config = config or BatcherConfig()
         self.metrics = metrics
-        self._pending: "dict[str, _Pending]" = {}
+        self._pending: "dict[Tuple[str, str], _Pending]" = {}
         self._inflight: "set[asyncio.Task]" = set()
 
     # ------------------------------------------------------------------ #
     async def submit(
         self, model_key: "str | None", features: np.ndarray
-    ) -> "Tuple[BatchResult, str]":
-        """Enqueue one request; resolves to (its result slice, model name).
+    ) -> "Tuple[BatchResult, RegisteredModel]":
+        """Enqueue one request; resolves to (its result slice, serving model).
 
         ``features`` is a ``(k, M)`` array (``k >= 1`` samples from one
-        request).  Raises whatever the engine raises — shape mismatches and
-        overflow-policy errors propagate to the one offending caller, not
-        to batch-mates (the failed flush rejects every member of that batch;
-        callers co-batched with a poisoned request see the same error, which
-        is the standard micro-batching trade-off).
+        request).  Shape and feature-width mismatches are rejected here,
+        before queueing, so a malformed request errors alone instead of
+        poisoning its batch-mates.  The model is resolved and captured at
+        submit time: the flush runs on exactly these bits even if the
+        registry entry is hot-reloaded or unregistered first, and requests
+        queued across a reload land in separate batches (the pending queue
+        is keyed by name *and* content hash).  A flush that still fails
+        (e.g. an overflow-policy error) rejects every member of that batch —
+        the standard micro-batching trade-off.
         """
         model = self.registry.get(model_key)
         features = np.asarray(features, dtype=np.float64)
@@ -115,42 +125,45 @@ class MicroBatcher:
             raise ServeError(
                 f"batcher expects (k, M) feature arrays, got shape {features.shape}"
             )
+        if features.shape[1] != model.engine.num_features:
+            raise ServeError(
+                f"model {model.name!r} expects {model.engine.num_features} "
+                f"features per sample, got {features.shape[1]}"
+            )
         loop = asyncio.get_running_loop()
         future: "asyncio.Future" = loop.create_future()
-        pending = self._pending.setdefault(model.name, _Pending())
+        key = (model.name, model.content_hash)
+        pending = self._pending.setdefault(key, _Pending(model))
         pending.items.append((features, future))
         pending.samples += features.shape[0]
         if pending.samples >= self.config.max_batch_size:
-            self._flush(model.name)
+            self._flush(key)
         elif pending.timer is None:
-            pending.timer = loop.call_later(
-                self.config.max_delay, self._flush, model.name
-            )
-        result, name = await future
-        return result, name
+            pending.timer = loop.call_later(self.config.max_delay, self._flush, key)
+        result = await future
+        return result, model
 
-    def _flush(self, model_name: str) -> None:
-        pending = self._pending.pop(model_name, None)
+    def _flush(self, key: "Tuple[str, str]") -> None:
+        pending = self._pending.pop(key, None)
         if pending is None or not pending.items:
             return
         if pending.timer is not None:
             pending.timer.cancel()
         loop = asyncio.get_running_loop()
-        task = loop.create_task(self._run_batch(model_name, pending.items))
+        task = loop.create_task(self._run_batch(pending.model, pending.items))
         # Keep a strong reference until completion (asyncio only holds weak ones).
         self._inflight.add(task)
         task.add_done_callback(self._inflight.discard)
 
     async def _run_batch(
         self,
-        model_name: str,
+        model: RegisteredModel,
         items: "List[Tuple[np.ndarray, asyncio.Future]]",
     ) -> None:
         loop = asyncio.get_running_loop()
-        stacked = np.concatenate([features for features, _ in items], axis=0)
-        model = self.registry.get(model_name)
         started = time.perf_counter()
         try:
+            stacked = np.concatenate([features for features, _ in items], axis=0)
             result = await loop.run_in_executor(None, model.engine.run, stacked)
         except Exception as exc:  # reject every co-batched caller
             for _, future in items:
@@ -166,7 +179,7 @@ class MicroBatcher:
         for features, future in items:
             k = features.shape[0]
             if not future.done():
-                future.set_result((result.slice(offset, offset + k), model.name))
+                future.set_result(result.slice(offset, offset + k))
             offset += k
 
     # ------------------------------------------------------------------ #

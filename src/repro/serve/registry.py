@@ -33,6 +33,9 @@ from .engine import BatchInferenceEngine
 __all__ = ["RegisteredModel", "ModelRegistry", "content_hash"]
 
 _HASH_PREFIX = "sha256:"
+# A shorter prefix (worst: "sha256:", which startswith-matches everything)
+# is a typo far more often than a deliberate pin.
+_MIN_HASH_PREFIX_CHARS = 4
 
 
 def content_hash(classifier: FixedPointLinearClassifier) -> str:
@@ -159,8 +162,9 @@ class ModelRegistry:
     def get(self, key: "str | None" = None) -> RegisteredModel:
         """Resolve a model by name or unique ``sha256:`` hash prefix.
 
-        ``key=None`` resolves iff exactly one model is registered (the
-        single-model server needs no name in requests).
+        Hash prefixes must carry at least ``_MIN_HASH_PREFIX_CHARS`` hex
+        characters.  ``key=None`` resolves iff exactly one model is
+        registered (the single-model server needs no name in requests).
         """
         with self._lock:
             if key is None:
@@ -173,6 +177,11 @@ class ModelRegistry:
                 return self._models[key]
             if key.startswith(_HASH_PREFIX):
                 prefix = key[len(_HASH_PREFIX):]
+                if len(prefix) < _MIN_HASH_PREFIX_CHARS:
+                    raise ServeError(
+                        f"hash prefix {key!r} is too short; use at least "
+                        f"{_MIN_HASH_PREFIX_CHARS} hex characters"
+                    )
                 matches = [
                     m for m in self._models.values()
                     if m.content_hash.startswith(prefix)

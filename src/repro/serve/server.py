@@ -208,7 +208,10 @@ class InferenceServer:
                 raise ServeError("request body must be a JSON object")
             features = _parse_features(payload.get("features"))
             model_key = payload.get("model")
-            result, model_name = await self.batcher.submit(model_key, features)
+            # The batcher returns the model captured at submit time, so the
+            # reported name/hash always describe the engine that actually
+            # computed the result, even across hot reloads or unregisters.
+            result, model = await self.batcher.submit(model_key, features)
         except (ServeError, ModelNotFoundError, ValueError) as exc:
             self.metrics.observe_error()
             status = 404 if isinstance(exc, ModelNotFoundError) else 400
@@ -216,17 +219,16 @@ class InferenceServer:
         except (ReproError, json.JSONDecodeError) as exc:
             self.metrics.observe_error()
             return 400, "application/json", json.dumps({"error": str(exc)})
-        model = self.registry.get(model_name)
         elapsed = time.perf_counter() - started
         self.metrics.observe_request(
-            model_name,
+            model.name,
             result.num_samples,
             elapsed,
             content_hash=model.content_hash,
         )
         resolution = model.classifier.fmt.resolution
         response = {
-            "model": model_name,
+            "model": model.name,
             "content_hash": model.content_hash,
             "labels": [int(v) for v in result.labels],
             "projections": [float(int(r) * resolution) for r in result.projection_raws],

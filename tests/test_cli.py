@@ -207,3 +207,24 @@ class TestPredictOneShot:
         monkeypatch.setattr("sys.stdin", io.StringIO(""))
         assert main(["predict", "--artifact", path]) == 0
         assert capsys.readouterr().out == ""
+
+    def test_ragged_input_is_a_friendly_error(self, artifact, capsys, monkeypatch):
+        """A wrong-width line exits 2 naming the offending line number."""
+        _, path = artifact
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("# header\n0.5 0.25 1.0\n0.5 0.25\n")
+        )
+        assert main(["predict", "--artifact", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 3" in err
+        assert "expects 3" in err
+
+    def test_non_numeric_input_is_a_friendly_error(
+        self, artifact, capsys, monkeypatch
+    ):
+        _, path = artifact
+        monkeypatch.setattr("sys.stdin", io.StringIO("0.5 oops 1.0\n"))
+        assert main(["predict", "--artifact", path]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err
+        assert "not numeric" in err

@@ -66,8 +66,8 @@ class TestCoalescing:
         chunks, results = asyncio.run(scenario())
         assert metrics.to_dict()["batches_total"] == 1  # all five coalesced
         engine = registry.get("m").engine
-        for chunk, (result, name) in zip(chunks, results):
-            assert name == "m"
+        for chunk, (result, model) in zip(chunks, results):
+            assert model.name == "m"
             assert np.array_equal(result.labels, engine.predict(chunk))
 
     def test_size_triggered_flush(self, registry, rng):
@@ -140,19 +140,67 @@ class TestErrors:
 
         asyncio.run(scenario())
 
-    def test_engine_error_rejects_the_batch(self, registry):
-        """A poisoned batch propagates the engine error to its members."""
+    def test_wrong_feature_count_rejected_before_queueing(self, registry):
+        """A width mismatch errors alone at submit, not at flush time."""
 
         async def scenario():
             batcher = MicroBatcher(
                 registry, config=BatcherConfig(max_batch_size=64, max_delay=0.01)
             )
-            with pytest.raises(ValueError, match="shape"):
-                # Wrong feature count passes the batcher's ndim check but
-                # fails inside the engine at flush time.
+            with pytest.raises(ServeError, match="expects 3 features"):
                 await batcher.submit("m", np.zeros((1, 5)))
 
         asyncio.run(scenario())
+
+    def test_wrong_width_does_not_hang_batch_mates(self, registry, rng):
+        """A malformed request never stalls well-formed co-batched callers."""
+
+        async def scenario():
+            batcher = MicroBatcher(
+                registry, config=BatcherConfig(max_batch_size=64, max_delay=0.02)
+            )
+            good = _features(rng, 2)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("m", good),
+                    batcher.submit("m", np.zeros((2, 5))),
+                    return_exceptions=True,
+                ),
+                timeout=5.0,
+            )
+            return good, results
+
+        good, (ok, bad) = asyncio.run(scenario())
+        result, model = ok
+        assert np.array_equal(result.labels, model.engine.predict(good))
+        assert isinstance(bad, ServeError)
+
+    def test_flush_failure_rejects_every_member(self, registry, rng, monkeypatch):
+        """An engine error at flush time rejects all co-batched callers."""
+        model = registry.get("m")
+        monkeypatch.setattr(
+            model.engine, "run", lambda features: (_ for _ in ()).throw(
+                RuntimeError("engine exploded")
+            )
+        )
+
+        async def scenario():
+            batcher = MicroBatcher(
+                registry, config=BatcherConfig(max_batch_size=64, max_delay=0.01)
+            )
+            return await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("m", _features(rng, 1)),
+                    batcher.submit("m", _features(rng, 2)),
+                    return_exceptions=True,
+                ),
+                timeout=5.0,
+            )
+
+        outcomes = asyncio.run(scenario())
+        assert len(outcomes) == 2
+        for outcome in outcomes:
+            assert isinstance(outcome, RuntimeError)
 
     def test_unknown_model_rejected(self, registry, rng):
         async def scenario():
@@ -163,6 +211,58 @@ class TestErrors:
                 await batcher.submit("ghost", _features(rng, 1))
 
         asyncio.run(scenario())
+
+    def test_unregister_between_submit_and_flush_still_serves(self, registry, rng):
+        """The model captured at submit survives a concurrent unregister."""
+
+        async def scenario():
+            batcher = MicroBatcher(
+                registry, config=BatcherConfig(max_batch_size=64, max_delay=0.02)
+            )
+            features = _features(rng, 2)
+            task = asyncio.ensure_future(batcher.submit("m", features))
+            await asyncio.sleep(0)  # let submit resolve and enqueue
+            registry.unregister("m")
+            result, model = await asyncio.wait_for(task, timeout=5.0)
+            return features, result, model
+
+        features, result, model = asyncio.run(scenario())
+        assert model.name == "m"
+        assert np.array_equal(result.labels, model.engine.predict(features))
+
+
+class TestPinStability:
+    def test_hot_swap_between_submit_and_flush_keeps_pinned_bits(self, rng):
+        """A request resolved at submit is served by those exact bits even
+        if the registry entry is replaced before the flush."""
+        registry = ModelRegistry()
+        first = FixedPointLinearClassifier(
+            weights=np.array([0.5, -0.25, 1.0]), threshold=0.125, fmt=QFormat(2, 4)
+        )
+        second = FixedPointLinearClassifier(
+            weights=np.array([-1.0, 0.75, -0.5]), threshold=-0.25, fmt=QFormat(2, 4)
+        )
+        registry.register("m", first)
+        pinned_hash = registry.get("m").content_hash
+
+        async def scenario():
+            batcher = MicroBatcher(
+                registry, config=BatcherConfig(max_batch_size=64, max_delay=0.02)
+            )
+            features = _features(rng, 2)
+            task = asyncio.ensure_future(
+                batcher.submit(f"sha256:{pinned_hash[:16]}", features)
+            )
+            await asyncio.sleep(0)  # submit resolves the pin, then we swap
+            registry.register("m", second)
+            result, model = await asyncio.wait_for(task, timeout=5.0)
+            return features, result, model
+
+        features, result, model = asyncio.run(scenario())
+        assert model.content_hash == pinned_hash
+        assert np.array_equal(
+            result.labels, first.predict_bitexact(features)
+        )
 
 
 class TestDrain:

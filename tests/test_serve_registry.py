@@ -72,12 +72,22 @@ class TestRegisterAndLookup:
         registry.register("b", other_classifier)
         assert registry.get(f"sha256:{model.content_hash[:16]}") is model
 
-    def test_ambiguous_hash_prefix_rejected(self, classifier, other_classifier):
+    def test_ambiguous_hash_prefix_rejected(self, classifier):
+        # Same bits under two names: any prefix of the shared hash is ambiguous.
         registry = ModelRegistry()
-        registry.register("a", classifier)
-        registry.register("b", other_classifier)
+        model = registry.register("a", classifier)
+        registry.register("b", classifier)
         with pytest.raises(ModelNotFoundError, match="ambiguous"):
-            registry.get("sha256:")
+            registry.get(f"sha256:{model.content_hash[:8]}")
+
+    def test_short_hash_prefix_rejected(self, classifier):
+        # "sha256:" startswith-matches everything; even with a single model
+        # registered, empty or sub-minimum prefixes are invalid keys.
+        registry = ModelRegistry()
+        registry.register("only", classifier)
+        for key in ("sha256:", "sha256:abc"):
+            with pytest.raises(ServeError, match="too short"):
+                registry.get(key)
 
     def test_unknown_name_raises(self, classifier):
         registry = ModelRegistry()
