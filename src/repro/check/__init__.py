@@ -1,0 +1,55 @@
+"""Static analysis for the fixed-point classifier stack.
+
+Two complementary layers (see ``docs/static_checks.md``):
+
+- the **width certifier** (:mod:`repro.check.certifier`) — abstract
+  interpretation over raw words that proves or refutes the paper's
+  datapath invariants (Eq. 16-20) before any sample is run, emitting
+  ``repro.check-report/v1`` certificates (:mod:`repro.check.report`);
+- the **RPC lint rules** (:mod:`repro.check.lint`) — AST checks that keep
+  raw-word handling honest across the codebase.
+
+:mod:`repro.check.selftest` differentially validates the certifier against
+the RTL-equivalent simulator.  The ``repro check`` CLI subcommand fronts
+all three.
+"""
+
+from .certifier import (
+    FeatureBounds,
+    certify_classifier,
+    certify_format,
+    dataset_evidence,
+    make_certifier,
+)
+from .lint import (
+    ALL_RULES,
+    LintFinding,
+    LintRule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from .report import CHECK_REPORT_SCHEMA, CheckReport, Invariant, Verdict
+from .selftest import selftest, verify_report_by_simulation
+
+__all__ = [
+    "CHECK_REPORT_SCHEMA",
+    "CheckReport",
+    "Invariant",
+    "Verdict",
+    "FeatureBounds",
+    "certify_classifier",
+    "certify_format",
+    "dataset_evidence",
+    "make_certifier",
+    "ALL_RULES",
+    "LintFinding",
+    "LintRule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "selftest",
+    "verify_report_by_simulation",
+]

@@ -1,0 +1,263 @@
+"""The ``repro.check-report/v1`` certificate schema.
+
+A certificate is the machine-readable outcome of one static-certification
+run (:mod:`repro.check.certifier`): a list of named invariants, each with a
+verdict, the bounds that establish it, and — when an invariant is VIOLATED
+— a concrete witness input that any bit-exact simulator can replay.
+
+Verdict semantics:
+
+- ``PROVEN`` — the invariant holds for *every* input admitted by the bound
+  source (exact mode), or at the stated confidence level (statistical
+  mode).
+- ``VIOLATED`` — a concrete witness exists; exact-mode violations are
+  replayable against :class:`~repro.fixedpoint.datapath.FixedPointDatapath`.
+- ``UNKNOWN`` — the analysis could not decide (e.g. the final-sum argument
+  is invalidated by a violated product constraint, or a weight-box mode
+  bound fails without an attainable witness).
+
+The overall certificate verdict is the worst individual verdict
+(``VIOLATED`` > ``UNKNOWN`` > ``PROVEN``).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..errors import CheckError
+
+__all__ = ["Verdict", "Invariant", "CheckReport", "CHECK_REPORT_SCHEMA"]
+
+CHECK_REPORT_SCHEMA = "repro.check-report/v1"
+
+
+class Verdict(enum.Enum):
+    """Outcome of one invariant (or of a whole certificate)."""
+
+    PROVEN = "PROVEN"
+    VIOLATED = "VIOLATED"
+    UNKNOWN = "UNKNOWN"
+
+    @property
+    def severity(self) -> int:
+        """Ordering used to aggregate: VIOLATED > UNKNOWN > PROVEN."""
+        return {"PROVEN": 0, "UNKNOWN": 1, "VIOLATED": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One certified property of the datapath.
+
+    Attributes
+    ----------
+    id:
+        Stable machine identifier (e.g. ``"product-range"``).
+    description:
+        Human-readable statement of the property, with the paper equation
+        it encodes where applicable.
+    verdict:
+        :class:`Verdict` for this invariant.
+    mode:
+        ``"exact"`` (worst-case interval propagation over attainable raw
+        words), ``"empirical"`` (exact evaluation over a concrete dataset's
+        samples), ``"statistical"`` (Gaussian bounds at ``confidence``), or
+        ``"structural"`` (a property of the format/engine alone).
+    bounds:
+        The numeric evidence: computed range vs. admissible range, in raw
+        words (exact mode) or real values (statistical mode).
+    witness:
+        For exact VIOLATED verdicts, a replayable counterexample — real
+        feature values on the format grid (and the feature index for
+        per-product violations).
+    confidence:
+        ``rho`` for statistical invariants, ``None`` otherwise.
+    detail:
+        Free-text note (why UNKNOWN, which side overflowed, ...).
+    """
+
+    id: str
+    description: str
+    verdict: Verdict
+    mode: str = "exact"
+    bounds: Optional[Mapping[str, Any]] = None
+    witness: Optional[Mapping[str, Any]] = None
+    confidence: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation of this invariant."""
+        return {
+            "id": self.id,
+            "description": self.description,
+            "verdict": self.verdict.value,
+            "mode": self.mode,
+            "bounds": dict(self.bounds) if self.bounds is not None else None,
+            "witness": dict(self.witness) if self.witness is not None else None,
+            "confidence": self.confidence,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Invariant":
+        """Rebuild an invariant from :meth:`to_dict` output."""
+        try:
+            return cls(
+                id=str(payload["id"]),
+                description=str(payload["description"]),
+                verdict=Verdict(payload["verdict"]),
+                mode=str(payload.get("mode", "exact")),
+                bounds=payload.get("bounds"),
+                witness=payload.get("witness"),
+                confidence=payload.get("confidence"),
+                detail=str(payload.get("detail", "")),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CheckError(f"malformed invariant payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """A full ``repro.check-report/v1`` certificate.
+
+    Attributes
+    ----------
+    format:
+        The ``QK.F`` format string the invariants were evaluated against.
+    num_features:
+        ``M`` — the classifier's feature count.
+    invariants:
+        The certified invariants, in emission order.
+    subject:
+        What was certified: ``"classifier"`` (exact trained weights) or
+        ``"format"`` (weight-box / a-priori format feasibility).
+    bound_source:
+        Where feature bounds came from (``"format-range"``, ``"dataset"``,
+        ``"explicit"``), recorded so a certificate is self-describing.
+    metadata:
+        Additional context (artifact path, dataset name, rho, ...).
+    """
+
+    format: str
+    num_features: int
+    invariants: Tuple[Invariant, ...]
+    subject: str = "classifier"
+    bound_source: str = "format-range"
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def verdict(self) -> Verdict:
+        """Worst individual verdict (VIOLATED > UNKNOWN > PROVEN)."""
+        worst = Verdict.PROVEN
+        for invariant in self.invariants:
+            if invariant.verdict.severity > worst.severity:
+                worst = invariant.verdict
+        return worst
+
+    @property
+    def all_proven(self) -> bool:
+        """True iff every invariant is PROVEN."""
+        return self.verdict is Verdict.PROVEN
+
+    @property
+    def has_violation(self) -> bool:
+        """True iff at least one invariant is VIOLATED."""
+        return any(i.verdict is Verdict.VIOLATED for i in self.invariants)
+
+    def invariant(self, invariant_id: str) -> Invariant:
+        """Look up one invariant by id; raises :class:`CheckError` if absent."""
+        for inv in self.invariants:
+            if inv.id == invariant_id:
+                return inv
+        raise CheckError(f"certificate has no invariant {invariant_id!r}")
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON payload (schema ``repro.check-report/v1``)."""
+        return {
+            "schema": CHECK_REPORT_SCHEMA,
+            "format": self.format,
+            "num_features": self.num_features,
+            "subject": self.subject,
+            "bound_source": self.bound_source,
+            "verdict": self.verdict.value,
+            "invariants": [inv.to_dict() for inv in self.invariants],
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The certificate as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: str) -> None:
+        """Write the certificate JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CheckReport":
+        """Rebuild a certificate from :meth:`to_dict` output.
+
+        The redundant top-level ``verdict`` field is recomputed, not
+        trusted; a payload whose stored verdict disagrees with its
+        invariants raises :class:`CheckError`.
+        """
+        if not isinstance(payload, Mapping):
+            raise CheckError(
+                f"certificate payload must be a JSON object, got {type(payload).__name__}"
+            )
+        schema = payload.get("schema")
+        if schema != CHECK_REPORT_SCHEMA:
+            raise CheckError(
+                f"unsupported certificate schema {schema!r}; "
+                f"expected {CHECK_REPORT_SCHEMA!r}"
+            )
+        try:
+            invariants: Sequence[Invariant] = tuple(
+                Invariant.from_dict(item) for item in payload["invariants"]
+            )
+            report = cls(
+                format=str(payload["format"]),
+                num_features=int(payload["num_features"]),
+                invariants=tuple(invariants),
+                subject=str(payload.get("subject", "classifier")),
+                bound_source=str(payload.get("bound_source", "format-range")),
+                metadata=dict(payload.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckError(f"malformed certificate payload: {exc}") from exc
+        stored = payload.get("verdict")
+        if stored is not None and stored != report.verdict.value:
+            raise CheckError(
+                f"certificate verdict {stored!r} disagrees with its invariants "
+                f"({report.verdict.value})"
+            )
+        return report
+
+    @classmethod
+    def load(cls, path: str) -> "CheckReport":
+        """Read a certificate written by :meth:`save`."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """Multi-line human-readable rendering used by the CLI."""
+        lines = [
+            f"certificate {CHECK_REPORT_SCHEMA} — {self.subject} in {self.format}, "
+            f"M={self.num_features} (bounds: {self.bound_source})"
+        ]
+        for inv in self.invariants:
+            mark = {"PROVEN": "+", "VIOLATED": "!", "UNKNOWN": "?"}[inv.verdict.value]
+            conf = f" @rho={inv.confidence}" if inv.confidence is not None else ""
+            detail = f" — {inv.detail}" if inv.detail else ""
+            lines.append(
+                f"  [{mark}] {inv.id:28s} {inv.verdict.value:8s} "
+                f"({inv.mode}{conf}){detail}"
+            )
+        lines.append(f"overall: {self.verdict.value}")
+        return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Differential validation of the certifier against the bit-exact datapath.
+
+The certifier's verdicts are claims about what
+:class:`~repro.fixedpoint.datapath.FixedPointDatapath` will do; this module
+checks them *by running the datapath*:
+
+- every sampled admissible input must land inside the certified interval
+  bounds (soundness of the abstraction);
+- ``PROVEN`` invariants must hold on corner and random inputs — in
+  particular a PROVEN ``decision-range`` means the wrapping hardware result
+  equals the exact value on every sample (the paper's Section 3 claim);
+- ``VIOLATED`` invariants must come with a witness that actually overflows
+  when replayed through the simulator.
+
+:func:`verify_report_by_simulation` checks one certificate;
+:func:`selftest` sweeps a fixed set of formats/feature counts and raises
+:class:`~repro.errors.CheckError` on the first disagreement.  The CI
+static-checks job runs ``repro check --selftest``; the pytest differential
+suite reuses the same functions over a wider sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.classifier import FixedPointLinearClassifier
+from ..errors import CheckError
+from ..fixedpoint.datapath import DatapathTrace
+from ..fixedpoint.overflow import OverflowMode
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.rounding import RoundingMode, shift_right_rounded
+from .certifier import FeatureBounds, certify_classifier
+from .report import CheckReport, Verdict
+
+__all__ = ["verify_report_by_simulation", "selftest"]
+
+
+def _fail(message: str) -> None:
+    raise CheckError(f"certifier/simulator disagreement: {message}")
+
+
+def _exact_products(
+    weight_raws: Sequence[int],
+    x_raws: Sequence[int],
+    fmt: QFormat,
+    rounding: RoundingMode,
+) -> List[int]:
+    return [
+        shift_right_rounded(w * x, fmt.fraction_bits, rounding)
+        for w, x in zip(weight_raws, x_raws)
+    ]
+
+
+def _sample_vectors(
+    intervals: Sequence["tuple[int, int]"],
+    samples: int,
+    seed: int,
+) -> List[List[int]]:
+    """Corner vectors plus uniform random on-grid vectors, as raw words."""
+    rng = random.Random(seed)
+    vectors = [
+        [lo for lo, _ in intervals],
+        [hi for _, hi in intervals],
+    ]
+    for _ in range(samples):
+        vectors.append([rng.randint(lo, hi) for lo, hi in intervals])
+    return vectors
+
+
+def verify_report_by_simulation(
+    report: CheckReport,
+    classifier: FixedPointLinearClassifier,
+    feature_bounds: Optional[FeatureBounds] = None,
+    samples: int = 64,
+    seed: int = 0,
+) -> None:
+    """Check one classifier certificate against the RTL-equivalent simulator.
+
+    Raises :class:`~repro.errors.CheckError` on the first disagreement;
+    returns ``None`` when every verdict is corroborated.  Only exact-mode
+    invariants are checked (statistical verdicts are confidence statements,
+    not worst-case claims).
+    """
+    fmt = classifier.fmt
+    rounding = classifier.rounding
+    if feature_bounds is None:
+        feature_bounds = FeatureBounds.from_format(fmt, classifier.num_features)
+    intervals = feature_bounds.raw_intervals(fmt, rounding)
+    weight_raws = [
+        int(r) for r in np.atleast_1d(np.asarray(fmt.to_raw(classifier.weights)))
+    ]
+    threshold_raw = int(fmt.to_raw(classifier.threshold))
+    datapath = classifier.datapath(overflow=OverflowMode.WRAP)
+
+    product_inv = report.invariant("product-range")
+    acc_inv = report.invariant("accumulator-range")
+    dec_inv = report.invariant("decision-range")
+    assert product_inv.bounds and acc_inv.bounds and dec_inv.bounds
+
+    def replay(x_raws: Sequence[int]) -> DatapathTrace:
+        features = [float(fmt.to_real(int(x))) for x in x_raws]
+        return datapath.project_traced(features)
+
+    # ---------------- sampled soundness + PROVEN corroboration ---------- #
+    for x_raws in _sample_vectors(intervals, samples, seed):
+        trace = replay(x_raws)
+        products = _exact_products(weight_raws, x_raws, fmt, rounding)
+        exact_sum = sum(products)
+        exact_dec = exact_sum - threshold_raw
+
+        if not (
+            int(product_inv.bounds["lo_raw"])
+            <= min(products)
+            <= max(products)
+            <= int(product_inv.bounds["hi_raw"])
+        ):
+            _fail(f"observed product outside certified bounds for x={x_raws}")
+        if not int(acc_inv.bounds["lo_raw"]) <= exact_sum <= int(acc_inv.bounds["hi_raw"]):
+            _fail(f"observed sum {exact_sum} outside certified bounds")
+        if not int(dec_inv.bounds["lo_raw"]) <= exact_dec <= int(dec_inv.bounds["hi_raw"]):
+            _fail(f"observed decision {exact_dec} outside certified bounds")
+
+        if product_inv.verdict is Verdict.PROVEN and trace.any_product_overflow:
+            _fail(f"product-range PROVEN but simulator overflowed on x={x_raws}")
+        if acc_inv.verdict is Verdict.PROVEN and not (
+            fmt.min_raw <= exact_sum <= fmt.max_raw
+        ):
+            _fail(f"accumulator-range PROVEN but exact sum {exact_sum} overflows")
+        if dec_inv.verdict is Verdict.PROVEN:
+            if not fmt.min_raw <= exact_dec <= fmt.max_raw:
+                _fail(f"decision-range PROVEN but exact value {exact_dec} overflows")
+            if trace.result_raw != exact_dec:
+                _fail(
+                    "decision-range PROVEN but wrapped result "
+                    f"{trace.result_raw} != exact {exact_dec}"
+                )
+
+    # ---------------- witness replay for VIOLATED verdicts --------------- #
+    if product_inv.verdict is Verdict.VIOLATED:
+        assert product_inv.witness is not None
+        index = int(product_inv.witness["feature_index"])
+        x_raws = [lo for lo, _ in intervals]
+        x_raws[index] = int(product_inv.witness["feature_raw"])
+        trace = replay(x_raws)
+        if not trace.product_overflowed[index]:
+            _fail(f"product-range witness at feature {index} does not overflow")
+
+    if acc_inv.verdict is Verdict.VIOLATED:
+        assert acc_inv.witness is not None
+        x_raws = [int(x) for x in acc_inv.witness["feature_raws"]]
+        products = _exact_products(weight_raws, x_raws, fmt, rounding)
+        exact_sum = sum(products)
+        if exact_sum != int(acc_inv.witness["sum_raw"]):
+            _fail(f"accumulator witness sum {exact_sum} != certified value")
+        if fmt.min_raw <= exact_sum <= fmt.max_raw:
+            _fail("accumulator-range witness does not overflow")
+
+    if dec_inv.verdict is Verdict.VIOLATED:
+        assert dec_inv.witness is not None
+        x_raws = [int(x) for x in dec_inv.witness["feature_raws"]]
+        trace = replay(x_raws)
+        products = _exact_products(weight_raws, x_raws, fmt, rounding)
+        exact_dec = sum(products) - threshold_raw
+        if exact_dec != int(dec_inv.witness["decision_raw"]):
+            _fail(f"decision witness value {exact_dec} != certified value")
+        if fmt.min_raw <= exact_dec <= fmt.max_raw:
+            _fail("decision-range witness does not overflow")
+        if trace.result_raw == exact_dec:
+            _fail("decision-range witness wraps onto the exact value")
+
+
+def _random_classifier(
+    fmt: QFormat, num_features: int, rng: random.Random
+) -> FixedPointLinearClassifier:
+    """A grid-exact classifier with uniform random raw weights/threshold."""
+    weight_raws = [rng.randint(fmt.min_raw, fmt.max_raw) for _ in range(num_features)]
+    threshold_raw = rng.randint(fmt.min_raw, fmt.max_raw)
+    weights = np.array([fmt.to_real(w) for w in weight_raws], dtype=np.float64)
+    return FixedPointLinearClassifier(
+        weights=weights,
+        threshold=float(fmt.to_real(threshold_raw)),
+        fmt=fmt,
+    )
+
+
+def _random_bounds(
+    fmt: QFormat, num_features: int, rng: random.Random
+) -> FeatureBounds:
+    """Random per-feature subranges of the format's range."""
+    lo, hi = [], []
+    for _ in range(num_features):
+        a = rng.randint(fmt.min_raw, fmt.max_raw)
+        b = rng.randint(fmt.min_raw, fmt.max_raw)
+        if a > b:
+            a, b = b, a
+        lo.append(float(fmt.to_real(a)))
+        hi.append(float(fmt.to_real(b)))
+    return FeatureBounds(lo=np.array(lo), hi=np.array(hi), source="explicit")
+
+
+def selftest(samples: int = 32, seed: int = 0) -> int:
+    """Differentially validate the certifier over a fixed format sweep.
+
+    Returns the number of certificates checked; raises
+    :class:`~repro.errors.CheckError` on the first certifier/simulator
+    disagreement.  Small formats with full-range weights exercise VIOLATED
+    paths; narrow feature bounds exercise PROVEN paths.
+    """
+    configs = [
+        (QFormat(2, 2), 2),
+        (QFormat(2, 4), 3),
+        (QFormat(3, 3), 4),
+        (QFormat(4, 4), 5),
+        (QFormat(2, 6), 8),
+    ]
+    rng = random.Random(seed)
+    checked = 0
+    for fmt, num_features in configs:
+        for case in range(3):
+            classifier = _random_classifier(fmt, num_features, rng)
+            bounds = (
+                None  # full format range: overflow-prone, exercises VIOLATED
+                if case == 0
+                else _random_bounds(fmt, num_features, rng)
+            )
+            report = certify_classifier(classifier, feature_bounds=bounds)
+            verify_report_by_simulation(
+                report,
+                classifier,
+                feature_bounds=bounds,
+                samples=samples,
+                seed=rng.randint(0, 2**31),
+            )
+            checked += 1
+    return checked

@@ -14,6 +14,13 @@ and deploys trained artifacts (see docs/serving.md)::
     python -m repro report --word-length 6 --save-artifact clf.json
     python -m repro serve --artifact clf.json --port 8400
     echo "0.5 -0.25 1.0" | python -m repro predict --artifact clf.json
+
+and statically certifies artifacts and lints the source tree
+(see docs/static_checks.md)::
+
+    python -m repro check --artifact clf.json --dataset synthetic
+    python -m repro check --format Q2.4 --num-features 8
+    python -m repro check --lint src --selftest
 """
 
 from __future__ import annotations
@@ -125,6 +132,80 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one JSON object per sample (label, projection, overflow) "
         "instead of a bare label",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="static certification and RPC lint (see docs/static_checks.md)",
+    )
+    check.add_argument(
+        "--artifact", metavar="PATH", help="certify a trained classifier artifact"
+    )
+    check.add_argument(
+        "--format",
+        dest="qformat",
+        metavar="QK.F",
+        help="certify a format a priori (weight-box mode, e.g. Q2.4)",
+    )
+    check.add_argument(
+        "--num-features", type=int, help="feature count M for --format mode"
+    )
+    check.add_argument(
+        "--dataset",
+        choices=("synthetic", "ecg"),
+        help="derive feature bounds, statistics, and per-sample evidence "
+        "by replicating the training pipeline's preprocessing",
+    )
+    check.add_argument(
+        "--samples",
+        type=int,
+        default=1500,
+        help="dataset size (samples for synthetic, beats per class for ecg)",
+    )
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--scale-margin",
+        type=float,
+        default=0.45,
+        help="the training pipeline's feature-scaling margin",
+    )
+    check.add_argument(
+        "--margin",
+        type=float,
+        default=0.0,
+        help="widen empirical feature bounds per side by this fraction "
+        "of each feature's range",
+    )
+    check.add_argument(
+        "--rho", type=float, default=0.99, help="statistical confidence (Eq. 16)"
+    )
+    check.add_argument(
+        "--feature-range",
+        nargs=2,
+        type=float,
+        metavar=("LO", "HI"),
+        help="explicit uniform per-feature bounds instead of a dataset",
+    )
+    check.add_argument(
+        "--worst-case",
+        action="store_true",
+        help="in dataset mode, also demand the box-corner exact sum "
+        "invariants (stronger than what statistical training guarantees)",
+    )
+    check.add_argument(
+        "--report", metavar="PATH", help="write the certificate JSON to PATH"
+    )
+    check.add_argument(
+        "--lint",
+        metavar="PATH",
+        action="append",
+        help="run the RPC lint rules over files/directories (repeatable)",
+    )
+    check.add_argument(
+        "--selftest",
+        action="store_true",
+        help="differentially validate the certifier against the bit-exact "
+        "datapath simulator",
     )
 
     ablations = sub.add_parser("ablations", help="run the design-choice ablations")
@@ -320,6 +401,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         except KeyboardInterrupt:
             pass
 
+    elif args.command == "check":
+        return _run_check(args)
+
     elif args.command == "predict":
         import json as _json
 
@@ -381,6 +465,133 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
                     print(int(label))
 
     return 0
+
+
+def _run_check(args) -> int:
+    """``repro check``: certify artifacts/formats, lint, selftest.
+
+    Exit codes: 0 — every requested check passed (certificates all
+    PROVEN, no lint findings); 1 — a check failed; 2 — bad invocation.
+    """
+    import numpy as np
+
+    from .check import (
+        FeatureBounds,
+        certify_classifier,
+        certify_format,
+        dataset_evidence,
+        lint_paths,
+        render_findings,
+        selftest,
+    )
+    from .errors import ReproError
+    from .fixedpoint.qformat import QFormat
+
+    did_something = False
+    failed = False
+    try:
+        if args.selftest:
+            did_something = True
+            checked = selftest()
+            print(f"selftest: {checked} certificates validated against the simulator")
+
+        if args.lint:
+            did_something = True
+            findings = lint_paths(args.lint)
+            print(render_findings(findings))
+            if findings:
+                failed = True
+
+        if args.artifact and args.qformat:
+            print("error: pass either --artifact or --format, not both", file=sys.stderr)
+            return 2
+
+        if args.artifact:
+            did_something = True
+            from .core.serialize import load_classifier
+
+            classifier = load_classifier(args.artifact)
+            metadata = {"artifact": args.artifact}
+            if args.dataset:
+                dataset = _check_dataset(args)
+                bounds, stats, scaled = dataset_evidence(
+                    dataset,
+                    classifier.fmt,
+                    rounding=classifier.rounding,
+                    scale_margin=args.scale_margin,
+                    margin=args.margin,
+                )
+                metadata.update(
+                    dataset=args.dataset, samples=args.samples, seed=args.seed
+                )
+                report = certify_classifier(
+                    classifier,
+                    feature_bounds=bounds,
+                    stats=stats,
+                    rho=args.rho,
+                    samples=scaled,
+                    worst_case=args.worst_case,
+                    metadata=metadata,
+                )
+            else:
+                bounds = None
+                if args.feature_range:
+                    lo, hi = args.feature_range
+                    m = classifier.num_features
+                    bounds = FeatureBounds(lo=np.full(m, lo), hi=np.full(m, hi))
+                report = certify_classifier(
+                    classifier, feature_bounds=bounds, metadata=metadata
+                )
+            print(report.summary())
+            if args.report:
+                report.save(args.report)
+                print(f"certificate written to {args.report}")
+            if not report.all_proven:
+                failed = True
+
+        elif args.qformat:
+            did_something = True
+            if not args.num_features:
+                print("error: --format requires --num-features", file=sys.stderr)
+                return 2
+            fmt = QFormat.from_string(args.qformat)
+            bounds = None
+            if args.feature_range:
+                lo, hi = args.feature_range
+                bounds = FeatureBounds(
+                    lo=np.full(args.num_features, lo),
+                    hi=np.full(args.num_features, hi),
+                )
+            report = certify_format(fmt, args.num_features, feature_bounds=bounds)
+            print(report.summary())
+            if args.report:
+                report.save(args.report)
+                print(f"certificate written to {args.report}")
+            if not report.all_proven:
+                failed = True
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not did_something:
+        print(
+            "error: nothing to do — pass --artifact, --format, --lint, "
+            "or --selftest",
+            file=sys.stderr,
+        )
+        return 2
+    return 1 if failed else 0
+
+
+def _check_dataset(args):
+    """Rebuild the named dataset for ``repro check --dataset``."""
+    if args.dataset == "ecg":
+        from .data.ecg import make_ecg_dataset
+
+        return make_ecg_dataset(args.samples, seed=args.seed)
+    from .data.synthetic import make_synthetic_dataset
+
+    return make_synthetic_dataset(args.samples, seed=args.seed)
 
 
 def _artifact_stem(path: str) -> str:

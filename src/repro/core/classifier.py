@@ -16,7 +16,7 @@ overflow, and the overflow ablation studies where they diverge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

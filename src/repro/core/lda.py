@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import TrainingError
+from ..errors import InputValidationError, TrainingError
 from ..fixedpoint.qformat import QFormat
 from ..fixedpoint.quantize import quantize
 from ..fixedpoint.rounding import RoundingMode
@@ -127,7 +127,7 @@ def quantize_lda(
             weights = weights * gain
             threshold = threshold * gain
     elif weight_scale != "unit":
-        raise ValueError(f"unknown weight_scale {weight_scale!r}")
+        raise InputValidationError(f"unknown weight_scale {weight_scale!r}")
     q_weights = np.asarray(quantize(weights, fmt, rounding=rounding))
     return FixedPointLinearClassifier(
         weights=q_weights,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -50,7 +50,7 @@ from ..optim.trace import SolverTrace
 from ..data.dataset import Dataset
 from ..stats.scatter import estimate_two_class_stats
 from .classifier import FixedPointLinearClassifier
-from .lda import fit_lda, quantize_lda
+from .lda import fit_lda
 from .localsearch import coordinate_descent, scale_sweep_candidates
 from .problem import LdaFpProblem, eta_inf, eta_sup
 

@@ -19,8 +19,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from ..errors import TrainingError
 from ..fixedpoint.qformat import QFormat
 from ..data.dataset import Dataset

@@ -21,7 +21,7 @@ two linear rows (``w mu + beta |w| sigma`` is the max of two lines in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

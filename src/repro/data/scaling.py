@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, InputValidationError
 from ..fixedpoint.qformat import QFormat
 from .dataset import Dataset
 
@@ -41,7 +41,7 @@ class FeatureScaler:
 
     def __post_init__(self) -> None:
         if self.limit <= 0:
-            raise ValueError(f"limit must be > 0, got {self.limit}")
+            raise InputValidationError(f"limit must be > 0, got {self.limit}")
         self._offset: "np.ndarray | None" = None
         self._gain: "np.ndarray | None" = None
 
@@ -49,7 +49,7 @@ class FeatureScaler:
     def for_format(cls, fmt: QFormat, margin: float = 0.9, center: bool = True) -> "FeatureScaler":
         """Scaler targeting ``margin`` of the format's positive range."""
         if not 0.0 < margin <= 1.0:
-            raise ValueError(f"margin must be in (0, 1], got {margin}")
+            raise InputValidationError(f"margin must be in (0, 1], got {margin}")
         return cls(limit=float(2.0 ** (fmt.integer_bits - 1)) * margin, center=center)
 
     # ------------------------------------------------------------------ #

@@ -53,6 +53,25 @@ class SolverBudgetExceeded(OptimizationError):
     """
 
 
+class InputValidationError(ReproError, ValueError):
+    """Invalid argument values passed to a public :mod:`repro` API.
+
+    Derives from :class:`ValueError` as well, so callers that predate the
+    library's exception hierarchy (``except ValueError``) keep working while
+    new code can catch :class:`ReproError` uniformly.  The RPC004 lint rule
+    (:mod:`repro.check.lint`) requires public functions to raise this (or
+    another :mod:`repro.errors` type) instead of a bare ``ValueError``.
+    """
+
+
+class CheckError(ReproError):
+    """A :mod:`repro.check` static-analysis run failed (not: found findings)."""
+
+
+class LintError(CheckError):
+    """The custom lint engine could not analyze a file (syntax error, I/O)."""
+
+
 class DataError(ReproError):
     """A dataset is malformed (wrong shapes, missing classes, NaNs, ...)."""
 
@@ -67,3 +86,12 @@ class ServeError(ReproError):
 
 class ModelNotFoundError(ServeError):
     """A registry lookup (by name or content-hash prefix) matched no model."""
+
+
+class CertificationError(ServeError):
+    """An artifact's static certificate has a VIOLATED invariant.
+
+    Raised by :class:`~repro.serve.registry.ModelRegistry` when it is
+    configured with a certifier and asked to register a model whose
+    certificate contains at least one VIOLATED invariant.
+    """

@@ -21,14 +21,13 @@ largest:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
 from ..core.ldafp import LdaFpConfig, train_lda_fp
 from ..core.lda import fit_lda, quantize_lda
-from ..core.pipeline import PipelineConfig, TrainingPipeline
 from ..data.scaling import FeatureScaler
 from ..data.synthetic import make_synthetic_dataset
 from ..fixedpoint.overflow import OverflowMode

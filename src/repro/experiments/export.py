@@ -13,6 +13,7 @@ import json
 from typing import Sequence
 
 from .runner import ComparisonRow
+from ..errors import InputValidationError
 
 __all__ = ["rows_to_csv", "rows_to_json", "write_rows"]
 
@@ -55,6 +56,6 @@ def write_rows(rows: Sequence[ComparisonRow], path: str) -> None:
     elif path.endswith(".json"):
         text = rows_to_json(rows)
     else:
-        raise ValueError(f"unsupported extension in {path!r} (use .csv or .json)")
+        raise InputValidationError(f"unsupported extension in {path!r} (use .csv or .json)")
     with open(path, "w") as handle:
         handle.write(text)

@@ -8,8 +8,8 @@ to match — see EXPERIMENTS.md — but the shape should).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 __all__ = ["ComparisonRow", "format_table"]
 

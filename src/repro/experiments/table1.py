@@ -12,8 +12,8 @@ Published values (paper Table 1) are embedded for comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..core.ldafp import LdaFpConfig
 from ..core.pipeline import PipelineConfig, TrainingPipeline

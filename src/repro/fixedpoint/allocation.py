@@ -23,6 +23,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..errors import InputValidationError
 from .qformat import QFormat
 from .quantize import quantize
 
@@ -96,7 +97,7 @@ def greedy_wordlength_allocation(
     """
     w = np.asarray(weights, dtype=np.float64)
     if w.ndim != 1 or w.size == 0:
-        raise ValueError("weights must be a non-empty 1-D sequence")
+        raise InputValidationError("weights must be a non-empty 1-D sequence")
     formats = [start_format] * w.size
 
     def quantize_all(fmts: "list[QFormat]") -> np.ndarray:

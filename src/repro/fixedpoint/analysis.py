@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import InputValidationError
 from .qformat import QFormat
 from .quantize import quantize
 
@@ -55,7 +56,7 @@ def analyze_quantization(signal: np.ndarray, fmt: QFormat, **quantize_kwargs) ->
     """Quantize ``signal`` and report the resulting error statistics."""
     x = np.asarray(signal, dtype=np.float64).ravel()
     if x.size == 0:
-        raise ValueError("cannot analyze an empty signal")
+        raise InputValidationError("cannot analyze an empty signal")
     q = np.asarray(quantize(x, fmt, **quantize_kwargs))
     err = q - x
     signal_power = float(np.mean(x**2))
@@ -98,6 +99,6 @@ def theoretical_sqnr_db(fmt: QFormat, signal_rms: float) -> float:
     when the signal exercises many quantization levels without clipping.
     """
     if signal_rms <= 0:
-        raise ValueError(f"signal_rms must be > 0, got {signal_rms}")
+        raise InputValidationError(f"signal_rms must be > 0, got {signal_rms}")
     noise_rms = fmt.resolution / math.sqrt(12.0)
     return 20.0 * math.log10(signal_rms / noise_rms)

@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..errors import InputValidationError
 from .overflow import OverflowMode, apply_overflow_raw
 from .qformat import QFormat
 from .quantize import quantize_raw
@@ -149,7 +150,7 @@ class FixedPointDatapath:
             overflow=OverflowMode.SATURATE,
         )
         if x_raws.shape != self.weight_raws.shape:
-            raise ValueError(
+            raise InputValidationError(
                 f"feature length {x_raws.shape} does not match weight length "
                 f"{self.weight_raws.shape}"
             )

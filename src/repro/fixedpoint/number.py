@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Union
 
+from ..errors import InputValidationError
 from .overflow import OverflowMode, apply_overflow_raw
 from .qformat import QFormat
 from .rounding import RoundingMode, round_to_int, shift_right_rounded
@@ -119,7 +120,7 @@ class Fx:
     def _coerce_operand(self, other: "Fx | Number") -> "Fx":
         if isinstance(other, Fx):
             if other._fmt != self._fmt:
-                raise ValueError(
+                raise InputValidationError(
                     f"mixed formats {self._fmt} and {other._fmt}; convert first"
                 )
             return other

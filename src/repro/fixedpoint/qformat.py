@@ -213,9 +213,11 @@ class QFormat:
         checking (use :func:`repro.fixedpoint.quantize.quantize` for checked
         conversion).
         """
+        from .rounding import float_to_int_exact
+
         scaled = np.multiply(value, 1 << self.fraction_bits)
         if isinstance(value, np.ndarray):
-            return np.rint(scaled).astype(np.int64)
+            return float_to_int_exact(np.rint(scaled))
         return int(round(float(scaled)))
 
     def wrap_raw(self, raw: "int | np.ndarray") -> "int | np.ndarray":
@@ -228,7 +230,7 @@ class QFormat:
         half = modulus >> 1
         if isinstance(raw, np.ndarray):
             wrapped = np.mod(raw.astype(object) + half, modulus) - half
-            return wrapped.astype(np.int64)
+            return np.asarray(wrapped).astype(np.int64)
         return int((int(raw) + half) % modulus - half)
 
     # ------------------------------------------------------------------ #

@@ -13,6 +13,8 @@ from typing import Union
 
 import numpy as np
 
+from ..errors import InputValidationError
+
 from .overflow import OverflowMode, apply_overflow_raw
 from .qformat import QFormat
 from .rounding import RoundingMode, round_to_int
@@ -43,7 +45,7 @@ def quantize_raw(
     """
     arr = np.asarray(value, dtype=np.float64)
     if not np.all(np.isfinite(arr)):
-        raise ValueError("cannot quantize non-finite values")
+        raise InputValidationError("cannot quantize non-finite values")
     scaled = arr * (1 << fmt.fraction_bits)
     raw = round_to_int(scaled, mode=rounding, rng=rng)
     return np.asarray(apply_overflow_raw(raw, fmt, mode=overflow))
@@ -90,7 +92,7 @@ def nearest_grid_neighbors(value: float, fmt: QFormat, radius: int = 1) -> np.nd
     format's range and sorted in increasing order.
     """
     if radius < 0:
-        raise ValueError(f"radius must be >= 0, got {radius}")
+        raise InputValidationError(f"radius must be >= 0, got {radius}")
     center = int(quantize_raw(float(value), fmt))
     raws = np.arange(center - radius, center + radius + 1, dtype=np.int64)
     raws = raws[(raws >= fmt.min_raw) & (raws <= fmt.max_raw)]

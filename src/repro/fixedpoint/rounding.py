@@ -17,7 +17,21 @@ from typing import Callable, Union
 
 import numpy as np
 
-__all__ = ["RoundingMode", "round_to_int", "shift_right_rounded", "ROUNDERS"]
+from ..errors import InputValidationError
+
+__all__ = [
+    "RoundingMode",
+    "round_to_int",
+    "shift_right_rounded",
+    "float_to_int_exact",
+    "ROUNDERS",
+]
+
+# Largest magnitude that survives a float64 -> int64 cast unharmed.  Beyond
+# it the cast is undefined behaviour in numpy (it used to wrap to the
+# opposite end of the range, so a saturating quantization of +huge landed on
+# *min_raw*); see float_to_int_exact.
+_INT64_SAFE = float(1 << 63)
 
 ArrayLike = Union[float, np.ndarray]
 
@@ -83,6 +97,29 @@ ROUNDERS: "dict[RoundingMode, Callable[[ArrayLike], np.ndarray]]" = {
 }
 
 
+def float_to_int_exact(values: ArrayLike) -> np.ndarray:
+    """Cast already-integral float(s) to integer words without overflow.
+
+    ``float64 -> int64`` casts are only defined for magnitudes below
+    ``2**63``; larger values used to wrap around to the opposite sign, so a
+    *saturating* quantization of an out-of-range input could land on the
+    wrong end of the range (min_raw instead of max_raw) for formats wider
+    than ~62 bits.  This helper keeps the fast int64 cast whenever it is
+    safe and otherwise converts element-wise through Python's unbounded
+    ints (object dtype), which every downstream overflow policy accepts.
+
+    Raises :class:`~repro.errors.InputValidationError` on non-finite input —
+    there is no integer word for ``inf``.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise InputValidationError("cannot convert non-finite values to raw words")
+    if np.all(np.abs(arr) < _INT64_SAFE):
+        return arr.astype(np.int64)
+    flat = np.array([int(v) for v in arr.ravel()], dtype=object)
+    return flat.reshape(arr.shape)
+
+
 def round_to_int(
     scaled: ArrayLike,
     mode: "RoundingMode | str" = RoundingMode.NEAREST_AWAY,
@@ -101,20 +138,22 @@ def round_to_int(
 
     Returns
     -------
-    numpy.ndarray of int64 (0-d for scalar input).
+    numpy.ndarray of int64 (0-d for scalar input); object dtype holding
+    Python ints when the rounded magnitudes exceed the int64 range (wide
+    formats), so the caller's overflow policy sees the true value.
     """
     mode = RoundingMode.coerce(mode)
     arr = np.asarray(scaled, dtype=np.float64)
     if mode is RoundingMode.STOCHASTIC:
         if rng is None:
-            raise ValueError("stochastic rounding requires an explicit rng")
+            raise InputValidationError("stochastic rounding requires an explicit rng")
         low = np.floor(arr)
         frac = arr - low
         bump = (rng.random(size=arr.shape) < frac).astype(np.float64)
         result = low + bump
     else:
         result = ROUNDERS[mode](arr)
-    return result.astype(np.int64)
+    return float_to_int_exact(result)
 
 
 def shift_right_rounded(
@@ -129,7 +168,7 @@ def shift_right_rounded(
     """
     mode = RoundingMode.coerce(mode)
     if shift < 0:
-        raise ValueError(f"shift must be >= 0, got {shift}")
+        raise InputValidationError(f"shift must be >= 0, got {shift}")
     if shift == 0:
         return int(raw)
     raw = int(raw)
@@ -154,4 +193,4 @@ def shift_right_rounded(
         if rem < half:
             return floor_q
         return floor_q + (floor_q & 1)
-    raise ValueError(f"unsupported mode for exact shift: {mode}")
+    raise InputValidationError(f"unsupported mode for exact shift: {mode}")

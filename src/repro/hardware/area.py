@@ -12,6 +12,7 @@ next to classification error.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import InputValidationError
 
 __all__ = ["GateCounts", "adder_gates", "multiplier_gates", "register_gates", "mac_datapath_gates"]
 
@@ -37,14 +38,14 @@ class GateCounts:
 def adder_gates(width: int) -> int:
     """Ripple-carry adder of ``width`` bits: one full adder per bit."""
     if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+        raise InputValidationError(f"width must be >= 1, got {width}")
     return FULL_ADDER_GATES * width
 
 
 def multiplier_gates(width: int) -> int:
     """``width x width`` array multiplier: AND array + (width-1) adder rows."""
     if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+        raise InputValidationError(f"width must be >= 1, got {width}")
     partial_products = AND_GATE * width * width
     adder_rows = FULL_ADDER_GATES * width * max(width - 1, 0)
     return partial_products + adder_rows
@@ -53,7 +54,7 @@ def multiplier_gates(width: int) -> int:
 def register_gates(width: int) -> int:
     """One ``width``-bit register."""
     if width < 1:
-        raise ValueError(f"width must be >= 1, got {width}")
+        raise InputValidationError(f"width must be >= 1, got {width}")
     return REGISTER_BIT_GATES * width
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .area import mac_datapath_gates
+from ..errors import InputValidationError
 
 __all__ = ["EnergyModel", "EnergyEstimate"]
 
@@ -41,12 +42,12 @@ class EnergyModel:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.activity <= 1.0:
-            raise ValueError(f"activity must be in (0, 1], got {self.activity}")
+            raise InputValidationError(f"activity must be in (0, 1], got {self.activity}")
 
     def per_classification(self, word_length: int, num_features: int) -> EnergyEstimate:
         """Energy of one ``M``-feature classification at ``word_length`` bits."""
         if num_features < 1:
-            raise ValueError(f"num_features must be >= 1, got {num_features}")
+            raise InputValidationError(f"num_features must be >= 1, got {num_features}")
         gates = mac_datapath_gates(word_length)
         per_mac = self.activity * gates.total
         return EnergyEstimate(

@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 
 from ..errors import DataError
-from .area import mac_datapath_gates, multiplier_gates
+from .area import multiplier_gates
 
 __all__ = ["LatencyEstimate", "estimate_latency", "meets_sample_rate"]
 

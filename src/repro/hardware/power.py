@@ -12,6 +12,7 @@ quadratic-plus-linear model for the ablation benches.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import InputValidationError
 
 __all__ = ["PowerModel", "power_ratio", "paper_power_model"]
 
@@ -30,14 +31,14 @@ class PowerModel:
 
     def __post_init__(self) -> None:
         if self.quadratic < 0 or self.linear < 0 or self.static < 0:
-            raise ValueError("power model coefficients must be non-negative")
+            raise InputValidationError("power model coefficients must be non-negative")
         if self.quadratic == 0 and self.linear == 0 and self.static == 0:
-            raise ValueError("power model is identically zero")
+            raise InputValidationError("power model is identically zero")
 
     def power(self, word_length: int) -> float:
         """Power at a given word length (arbitrary units)."""
         if word_length < 1:
-            raise ValueError(f"word length must be >= 1, got {word_length}")
+            raise InputValidationError(f"word length must be >= 1, got {word_length}")
         wl = float(word_length)
         return self.quadratic * wl * wl + self.linear * wl + self.static
 

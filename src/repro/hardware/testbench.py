@@ -17,6 +17,7 @@ import numpy as np
 from ..core.classifier import FixedPointLinearClassifier
 from ..fixedpoint.overflow import OverflowMode
 from ..fixedpoint.quantize import quantize_raw
+from ..errors import InputValidationError
 
 __all__ = ["TestbenchBundle", "generate_testbench"]
 
@@ -69,7 +70,7 @@ def generate_testbench(
     fmt = classifier.fmt
     x = np.atleast_2d(np.asarray(samples, dtype=np.float64))
     if x.shape[1] != classifier.num_features:
-        raise ValueError(
+        raise InputValidationError(
             f"samples have {x.shape[1]} features, classifier expects "
             f"{classifier.num_features}"
         )
@@ -91,7 +92,7 @@ def generate_testbench(
     tb: "list[str]" = []
     emit = tb.append
     emit("// Auto-generated testbench — do not edit.")
-    emit(f"// Golden outputs computed by repro's bit-exact datapath model.")
+    emit("// Golden outputs computed by repro's bit-exact datapath model.")
     emit("`timescale 1ns/1ps")
     emit(f"module {module_name}_tb;")
     emit(f"    localparam WIDTH = {width};")

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, InputValidationError
 from .psd import symmetrize
 
 __all__ = ["ShrinkageResult", "shrink_covariance", "ledoit_wolf_gamma"]
@@ -38,7 +38,7 @@ def shrink_covariance(sample_cov: np.ndarray, gamma: float) -> ShrinkageResult:
     """Shrink ``sample_cov`` toward ``(tr(S)/M) * I`` with intensity ``gamma``."""
     s = symmetrize(sample_cov)
     if not 0.0 <= gamma <= 1.0:
-        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        raise InputValidationError(f"gamma must be in [0, 1], got {gamma}")
     m = s.shape[0]
     target_scale = float(np.trace(s)) / m
     shrunk = (1.0 - gamma) * s + gamma * target_scale * np.eye(m)

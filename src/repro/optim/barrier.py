@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from ..errors import InfeasibleProblemError, OptimizationError
+from ..errors import InfeasibleProblemError
 from ..linalg.cholesky import cholesky
 from ..linalg.triangular import solve_lower, solve_upper
 from .cone import ConeProgram

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from ..errors import InputValidationError
 
 __all__ = ["Box"]
 
@@ -34,11 +35,11 @@ class Box:
         hi = np.asarray(self.hi, dtype=np.float64)
         steps = np.asarray(self.steps, dtype=np.float64)
         if lo.shape != hi.shape or lo.shape != steps.shape:
-            raise ValueError(
+            raise InputValidationError(
                 f"shape mismatch: lo {lo.shape}, hi {hi.shape}, steps {steps.shape}"
             )
         if np.any(hi < lo):
-            raise ValueError("box has hi < lo")
+            raise InputValidationError("box has hi < lo")
         object.__setattr__(self, "lo", lo)
         object.__setattr__(self, "hi", hi)
         object.__setattr__(self, "steps", steps)
@@ -78,7 +79,7 @@ class Box:
         """Number of grid points of dimension ``dim`` inside the box."""
         step = self.steps[dim]
         if step <= 0:
-            raise ValueError(f"dimension {dim} is continuous")
+            raise InputValidationError(f"dimension {dim} is continuous")
         first = np.ceil(self.lo[dim] / step - 1e-9)
         last = np.floor(self.hi[dim] / step + 1e-9)
         return max(0, int(last - first) + 1)
@@ -87,7 +88,7 @@ class Box:
         """The grid points of dimension ``dim`` inside the box, ascending."""
         step = self.steps[dim]
         if step <= 0:
-            raise ValueError(f"dimension {dim} is continuous")
+            raise InputValidationError(f"dimension {dim} is continuous")
         first = int(np.ceil(self.lo[dim] / step - 1e-9))
         last = int(np.floor(self.hi[dim] / step + 1e-9))
         if last < first:
@@ -119,7 +120,7 @@ class Box:
         """
         lo, hi, step = self.lo[dim], self.hi[dim], self.steps[dim]
         if hi <= lo:
-            raise ValueError(f"cannot split zero-width dimension {dim}")
+            raise InputValidationError(f"cannot split zero-width dimension {dim}")
         if step > 0:
             values = self.grid_values(dim)
             if values.size >= 2:

@@ -18,7 +18,6 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from ..errors import OptimizationError
 from .cone import ConeProgram
 
 __all__ = ["SlsqpResult", "solve_with_slsqp"]

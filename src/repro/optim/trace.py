@@ -37,6 +37,7 @@ import json
 import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional
+from ..errors import InputValidationError
 
 __all__ = ["EVENT_KINDS", "TraceEvent", "TraceProgress", "SolverTrace"]
 
@@ -137,7 +138,7 @@ class SolverTrace:
         detail: str = "",
     ) -> None:
         if kind not in EVENT_KINDS:
-            raise ValueError(f"unknown trace event kind {kind!r}")
+            raise InputValidationError(f"unknown trace event kind {kind!r}")
         if self._t0 is None:
             self.begin()
         self.events.append(
@@ -243,7 +244,7 @@ class SolverTrace:
         payload = json.loads(text)
         schema = payload.get("schema")
         if schema != cls.SCHEMA:
-            raise ValueError(f"unsupported trace schema {schema!r}")
+            raise InputValidationError(f"unsupported trace schema {schema!r}")
         trace = cls()
         trace._t0 = 0.0
         trace.stats = payload.get("stats")

@@ -30,7 +30,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import OverflowModeError
+from ..errors import InputValidationError, OverflowModeError
 from ..fixedpoint.overflow import OverflowMode
 from ..fixedpoint.qformat import QFormat
 from ..fixedpoint.quantize import quantize_raw
@@ -200,7 +200,7 @@ class BatchInferenceEngine:
         if x.ndim == 1:
             x = x[None, :]
         if x.ndim != 2 or x.shape[1] != self.num_features:
-            raise ValueError(
+            raise InputValidationError(
                 f"features must have shape (n, {self.num_features}), got {x.shape}"
             )
         x_raws = np.asarray(

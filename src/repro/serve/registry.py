@@ -22,13 +22,16 @@ import hashlib
 import json
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..core.classifier import FixedPointLinearClassifier
 from ..core.serialize import classifier_from_dict, classifier_to_dict
-from ..errors import ModelNotFoundError, ServeError
+from ..errors import CertificationError, ModelNotFoundError, ServeError
 from ..fixedpoint.overflow import OverflowMode
 from .engine import BatchInferenceEngine
+
+if TYPE_CHECKING:  # avoid a runtime serve -> check import cycle
+    from ..check.report import CheckReport
 
 __all__ = ["RegisteredModel", "ModelRegistry", "content_hash"]
 
@@ -66,6 +69,10 @@ class RegisteredModel:
         SHA-256 of the canonical artifact JSON (see :func:`content_hash`).
     path:
         Source file for file-backed entries (enables hot reload), else None.
+    certificate:
+        The ``repro.check-report/v1`` certificate produced by the
+        registry's certifier at registration time, or None when the
+        registry runs without one.
     """
 
     name: str
@@ -73,12 +80,18 @@ class RegisteredModel:
     engine: BatchInferenceEngine
     content_hash: str
     path: Optional[str] = None
+    certificate: "Optional[CheckReport]" = None
 
     def describe(self) -> str:
         """One-line summary used by ``/healthz`` and the CLI."""
+        cert = (
+            f" cert={self.certificate.verdict.value}"
+            if self.certificate is not None
+            else ""
+        )
         return (
             f"{self.name} [{self.content_hash[:12]}] "
-            f"{self.engine.describe()}"
+            f"{self.engine.describe()}{cert}"
         )
 
 
@@ -90,10 +103,23 @@ class ModelRegistry:
     overflow:
         Overflow policy handed to every engine built by this registry
         (``WRAP`` matches the hardware; exposed for ablation servers).
+    certifier:
+        Optional callable mapping a classifier to a
+        ``repro.check-report/v1`` certificate (see
+        :func:`repro.check.make_certifier`).  When set, every registration
+        is certified and a certificate with a VIOLATED invariant raises
+        :class:`~repro.errors.CertificationError` — the model never becomes
+        servable.  UNKNOWN invariants are admitted (the certificate is kept
+        on the entry for inspection).
     """
 
-    def __init__(self, overflow: "OverflowMode | str" = OverflowMode.WRAP) -> None:
+    def __init__(
+        self,
+        overflow: "OverflowMode | str" = OverflowMode.WRAP,
+        certifier: "Optional[Callable[[FixedPointLinearClassifier], CheckReport]]" = None,
+    ) -> None:
         self.overflow = OverflowMode.coerce(overflow)
+        self.certifier = certifier
         self._models: "Dict[str, RegisteredModel]" = {}
         self._lock = threading.Lock()
 
@@ -104,12 +130,26 @@ class ModelRegistry:
         classifier: FixedPointLinearClassifier,
         path: "str | None",
     ) -> RegisteredModel:
+        certificate: "Optional[CheckReport]" = None
+        if self.certifier is not None:
+            certificate = self.certifier(classifier)
+            if certificate.has_violation:
+                violated = [
+                    inv.id
+                    for inv in certificate.invariants
+                    if inv.verdict.value == "VIOLATED"
+                ]
+                raise CertificationError(
+                    f"model {name!r} refused: certificate violates "
+                    f"{', '.join(violated)}"
+                )
         return RegisteredModel(
             name=name,
             classifier=classifier,
             engine=BatchInferenceEngine(classifier, overflow=self.overflow),
             content_hash=content_hash(classifier),
             path=path,
+            certificate=certificate,
         )
 
     def register(

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..fixedpoint.qformat import QFormat
 from .normal import confidence_beta
+from ..errors import InputValidationError
 
 __all__ = [
     "Interval",
@@ -36,7 +37,7 @@ class Interval:
 
     def __post_init__(self) -> None:
         if self.hi < self.lo:
-            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+            raise InputValidationError(f"empty interval [{self.lo}, {self.hi}]")
 
     @property
     def width(self) -> float:
@@ -52,9 +53,9 @@ def product_interval(weight: float, mean: float, std: float, beta: float) -> Int
     ``[w mu - beta |w| sigma,  w mu + beta |w| sigma]``.
     """
     if std < 0:
-        raise ValueError(f"std must be >= 0, got {std}")
+        raise InputValidationError(f"std must be >= 0, got {std}")
     if beta < 0:
-        raise ValueError(f"beta must be >= 0, got {beta}")
+        raise InputValidationError(f"beta must be >= 0, got {beta}")
     center = weight * mean
     half = beta * abs(weight) * std
     return Interval(center - half, center + half)

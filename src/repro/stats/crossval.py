@@ -12,7 +12,7 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, InputValidationError
 
 __all__ = ["KFold", "StratifiedKFold", "LeaveOneOut", "train_test_split"]
 
@@ -48,7 +48,7 @@ class KFold:
         y = _as_labels(labels)
         n = y.size
         if self.n_splits < 2:
-            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+            raise InputValidationError(f"n_splits must be >= 2, got {self.n_splits}")
         if self.n_splits > n:
             raise DataError(f"cannot make {self.n_splits} folds from {n} samples")
         indices = np.arange(n)
@@ -76,7 +76,7 @@ class StratifiedKFold:
         y = _as_labels(labels)
         classes = np.unique(y)
         if self.n_splits < 2:
-            raise ValueError(f"n_splits must be >= 2, got {self.n_splits}")
+            raise InputValidationError(f"n_splits must be >= 2, got {self.n_splits}")
         rng = np.random.default_rng(self.seed)
         per_class_folds: "list[list[np.ndarray]]" = []
         for cls in classes:
@@ -113,7 +113,7 @@ def train_test_split(
     """One random (optionally stratified) train/test split over a label array."""
     y = _as_labels(labels)
     if not 0.0 < test_fraction < 1.0:
-        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        raise InputValidationError(f"test_fraction must be in (0, 1), got {test_fraction}")
     rng = np.random.default_rng(seed)
     if stratify:
         test_parts = []

@@ -18,6 +18,7 @@ import math
 from typing import Union
 
 import numpy as np
+from ..errors import InputValidationError
 
 __all__ = ["norm_pdf", "norm_cdf", "norm_ppf", "confidence_beta"]
 
@@ -124,5 +125,5 @@ def confidence_beta(rho: float) -> float:
     ``mean +- beta * sigma``); must satisfy ``0 <= rho < 1``.
     """
     if not 0.0 <= rho < 1.0:
-        raise ValueError(f"confidence level rho must be in [0, 1), got {rho}")
+        raise InputValidationError(f"confidence level rho must be in [0, 1), got {rho}")
     return float(_ppf_scalar(0.5 + 0.5 * rho))

@@ -1,0 +1,7 @@
+"""RPC001 fixture: float literals and true division on raw words."""
+
+
+def scale(word_raw, fmt):
+    halved = word_raw / 2  # true division drops bit-exactness
+    shifted = word_raw * 0.5  # float literal on a raw word
+    return halved + shifted

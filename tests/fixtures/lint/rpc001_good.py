@@ -1,0 +1,15 @@
+"""RPC001 fixture: clean raw-word arithmetic plus sanctioned conversions."""
+
+
+def narrow(word_raw, fmt):
+    doubled = word_raw * 2  # integer arithmetic is fine
+    return doubled >> fmt.fraction_bits
+
+
+def to_real(word_raw, fmt):
+    # Sanctioned helper: the raw <-> real boundary lives here.
+    return word_raw / (1 << fmt.fraction_bits)
+
+
+def plain_math(value):
+    return value / 2.0  # no raw word involved

@@ -1,0 +1,7 @@
+"""RPC002 fixture: wrap/mask sites using bare width constants."""
+
+
+def wrap(word_raw):
+    wrapped = word_raw % 256  # width must come from the QFormat
+    masked = word_raw & 255
+    return wrapped, masked

@@ -1,0 +1,7 @@
+"""RPC002 fixture: widths derived from the QFormat."""
+
+
+def wrap(word_raw, fmt):
+    wrapped = word_raw % fmt.modulus
+    masked = word_raw & (fmt.modulus - 1)
+    return wrapped, masked

@@ -1,0 +1,9 @@
+"""RPC003 fixture: silent float promotion of raw-word arrays."""
+
+import numpy as np
+
+
+def promote(word_raws):
+    as_float = word_raws.astype(np.float64)  # 53-bit mantissa corruption
+    copied = np.asarray(word_raws, dtype=float)
+    return as_float, copied

@@ -1,0 +1,16 @@
+"""RPC003 fixture: integer dtypes and sanctioned conversions only."""
+
+import numpy as np
+
+
+def widen(word_raws):
+    return word_raws.astype(np.int64)
+
+
+def dequantize_raw(word_raws, fmt):
+    # Sanctioned helper: conversion to real values is its whole job.
+    return np.asarray(word_raws, dtype=np.float64) * fmt.resolution
+
+
+def unrelated(values):
+    return np.asarray(values, dtype=np.float64)  # not a raw-word array

@@ -1,0 +1,7 @@
+"""RPC004 fixture: public function raising a bare builtin."""
+
+
+def validate(count):
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return count

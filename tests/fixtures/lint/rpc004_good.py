@@ -1,0 +1,17 @@
+"""RPC004 fixture: repro error types in public code, bare builtins in private."""
+
+
+class InputValidationError(ValueError):
+    pass
+
+
+def validate(count):
+    if count < 0:
+        raise InputValidationError(f"count must be >= 0, got {count}")
+    return _clamp(count)
+
+
+def _clamp(count):
+    if count > 100:
+        raise ValueError("private helpers may use builtins")  # noqa deliberate
+    return count

@@ -1,0 +1,9 @@
+"""Suppression fixture: inline noqa markers silence specific rules."""
+
+
+def scale(word_raw):
+    a = word_raw / 2  # repro: noqa-RPC001
+    b = word_raw % 256  # repro: noqa-RPC002
+    c = word_raw / 4  # repro: noqa
+    d = word_raw / 8  # repro: noqa-RPC002  (wrong rule: RPC001 still fires)
+    return a, b, c, d

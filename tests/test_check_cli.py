@@ -1,0 +1,151 @@
+"""The ``repro check`` CLI: exit codes, certificates on disk, lint, selftest."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.check.report import CHECK_REPORT_SCHEMA, CheckReport
+from repro.cli import build_parser, main
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.core.serialize import save_classifier
+from repro.fixedpoint.qformat import QFormat
+
+
+def write_artifact(tmp_path, fmt, weight_raws, threshold_raw=0, name="clf.json"):
+    classifier = FixedPointLinearClassifier(
+        weights=np.array([fmt.to_real(int(w)) for w in weight_raws]),
+        threshold=float(fmt.to_real(int(threshold_raw))),
+        fmt=fmt,
+    )
+    path = tmp_path / name
+    save_classifier(classifier, str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_check_options(self):
+        args = build_parser().parse_args(
+            [
+                "check",
+                "--artifact", "clf.json",
+                "--dataset", "synthetic",
+                "--samples", "200",
+                "--report", "cert.json",
+                "--worst-case",
+            ]
+        )
+        assert args.command == "check"
+        assert args.artifact == "clf.json"
+        assert args.dataset == "synthetic"
+        assert args.samples == 200
+        assert args.worst_case
+
+    def test_lint_paths_accumulate(self):
+        args = build_parser().parse_args(["check", "--lint", "src", "--lint", "x.py"])
+        assert args.lint == ["src", "x.py"]
+
+
+class TestArtifactMode:
+    def test_proven_artifact_exits_zero_and_writes_certificate(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, QFormat(2, 6), [1, -2, 3], threshold_raw=4)
+        report_path = tmp_path / "cert.json"
+        code = main(["check", "--artifact", path, "--report", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall: PROVEN" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == CHECK_REPORT_SCHEMA
+        assert CheckReport.load(str(report_path)).all_proven
+
+    def test_violating_artifact_exits_one(self, tmp_path, capsys):
+        fmt = QFormat(2, 2)
+        path = write_artifact(
+            tmp_path, fmt, [fmt.max_raw, fmt.max_raw], threshold_raw=fmt.min_raw
+        )
+        code = main(["check", "--artifact", path])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_dataset_mode_certifies_trained_guarantees(self, tmp_path, capsys):
+        # Small weights stay provable against the synthetic dataset's
+        # empirical + statistical evidence (the dataset-mode default).
+        path = write_artifact(tmp_path, QFormat(2, 6), [2, -1, 1], name="small.json")
+        code = main(
+            [
+                "check",
+                "--artifact", path,
+                "--dataset", "synthetic",
+                "--samples", "120",
+                "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "accumulator-range-empirical" in out
+        assert "product-range-statistical" in out
+
+    def test_feature_range_narrows_the_bounds(self, tmp_path):
+        fmt = QFormat(2, 3)
+        path = write_artifact(tmp_path, fmt, [fmt.max_raw, fmt.max_raw])
+        # Full-range bounds overflow; a narrow window proves the invariants.
+        assert main(["check", "--artifact", path]) == 1
+        assert (
+            main(["check", "--artifact", path, "--feature-range", "-0.25", "0.25"])
+            == 0
+        )
+
+    def test_missing_artifact_is_usage_error(self, tmp_path, capsys):
+        code = main(["check", "--artifact", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert capsys.readouterr().err != ""
+
+
+class TestFormatMode:
+    def test_format_mode_requires_num_features(self, capsys):
+        assert main(["check", "--format", "Q2.4"]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_format_and_artifact_are_mutually_exclusive(self, tmp_path, capsys):
+        path = write_artifact(tmp_path, QFormat(2, 4), [1])
+        code = main(
+            ["check", "--artifact", path, "--format", "Q2.4", "--num-features", "1"]
+        )
+        assert code == 2
+
+    def test_format_box_mode_reports_unknown(self, capsys):
+        code = main(["check", "--format", "Q2.4", "--num-features", "3"])
+        # Full-range boxes cannot be proven overflow-free: UNKNOWN, exit 1.
+        assert code == 1
+        assert "UNKNOWN" in capsys.readouterr().out
+
+    def test_bad_format_string_is_usage_error(self, capsys):
+        assert main(["check", "--format", "nonsense", "--num-features", "2"]) == 2
+
+
+class TestLintAndSelftest:
+    def test_lint_clean_tree_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "repro" / "fixedpoint"
+        clean.mkdir(parents=True)
+        (clean / "ok.py").write_text("def narrow(word_raw, fmt):\n"
+                                     "    return word_raw >> fmt.fraction_bits\n")
+        assert main(["check", "--lint", str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_lint_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "repro" / "fixedpoint"
+        dirty.mkdir(parents=True)
+        (dirty / "bad.py").write_text("def halve(word_raw):\n"
+                                      "    return word_raw / 2\n")
+        assert main(["check", "--lint", str(tmp_path)]) == 1
+        assert "RPC001" in capsys.readouterr().out
+
+    def test_selftest_reports_certificate_count(self, capsys):
+        assert main(["check", "--selftest"]) == 0
+        assert "15" in capsys.readouterr().out
+
+    def test_no_action_requested_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert capsys.readouterr().err != ""

@@ -1,0 +1,184 @@
+"""Certifier vs bit-exact simulator: every verdict is checked by running
+the datapath.
+
+The certifier claims are decidable by brute force on small formats:
+PROVEN means no admissible input overflows (so exhaustive/random
+simulation must agree), VIOLATED comes with a witness that must overflow
+when replayed.  ``verify_report_by_simulation`` encodes exactly that
+contract; this suite drives it over a wider sweep than the CI
+``repro check --selftest`` run, plus a brute-force cross-check on a
+format small enough to enumerate completely.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    FeatureBounds,
+    Verdict,
+    certify_classifier,
+    selftest,
+    verify_report_by_simulation,
+)
+from repro.check.selftest import _random_bounds, _random_classifier
+from repro.errors import CheckError
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode, shift_right_rounded
+
+
+SWEEP = [
+    (QFormat(2, 2), 2),
+    (QFormat(2, 3), 3),
+    (QFormat(3, 3), 4),
+    (QFormat(2, 5), 5),
+    (QFormat(4, 4), 6),
+]
+
+
+class TestSweep:
+    @pytest.mark.parametrize("fmt,num_features", SWEEP)
+    def test_full_range_bounds(self, fmt, num_features):
+        rng = random.Random(hash((fmt.integer_bits, fmt.fraction_bits)) & 0xFFFF)
+        for _ in range(3):
+            classifier = _random_classifier(fmt, num_features, rng)
+            report = certify_classifier(classifier)
+            verify_report_by_simulation(
+                report, classifier, samples=48, seed=rng.randint(0, 2**31)
+            )
+
+    @pytest.mark.parametrize("fmt,num_features", SWEEP)
+    def test_random_subrange_bounds(self, fmt, num_features):
+        rng = random.Random(hash((fmt.fraction_bits, num_features)) & 0xFFFF)
+        for _ in range(3):
+            classifier = _random_classifier(fmt, num_features, rng)
+            bounds = _random_bounds(fmt, num_features, rng)
+            report = certify_classifier(classifier, feature_bounds=bounds)
+            verify_report_by_simulation(
+                report,
+                classifier,
+                feature_bounds=bounds,
+                samples=48,
+                seed=rng.randint(0, 2**31),
+            )
+
+    def test_selftest_entry_point(self):
+        assert selftest(samples=16, seed=7) == 15
+
+
+class TestBruteForce:
+    """Q2.2, two features: small enough to enumerate every input exactly."""
+
+    FMT = QFormat(2, 2)
+
+    def enumerate_decisions(self, classifier):
+        fmt = self.FMT
+        weight_raws = [int(fmt.to_raw(w)) for w in classifier.weights]
+        threshold_raw = int(fmt.to_raw(classifier.threshold))
+        grid = range(fmt.min_raw, fmt.max_raw + 1)
+        for x_raws in itertools.product(grid, repeat=len(weight_raws)):
+            total = sum(
+                shift_right_rounded(w * x, fmt.fraction_bits, classifier.rounding)
+                for w, x in zip(weight_raws, x_raws)
+            )
+            yield x_raws, total, total - threshold_raw
+
+    def test_proven_matches_exhaustive_enumeration(self):
+        rng = random.Random(11)
+        proven_seen = violated_seen = 0
+        for _ in range(40):
+            classifier = _random_classifier(self.FMT, 2, rng)
+            report = certify_classifier(classifier)
+            decisions = [dec for _, _, dec in self.enumerate_decisions(classifier)]
+            overflow_free = all(
+                self.FMT.min_raw <= dec <= self.FMT.max_raw for dec in decisions
+            )
+            verdict = report.invariant("decision-range").verdict
+            # PROVEN <=> no enumerable input overflows the decision register.
+            assert (verdict is Verdict.PROVEN) == overflow_free
+            if verdict is Verdict.PROVEN:
+                proven_seen += 1
+            else:
+                violated_seen += 1
+        # The sweep must exercise both outcomes to mean anything.
+        assert proven_seen > 0 and violated_seen > 0
+
+    def test_certified_bounds_are_tight(self):
+        rng = random.Random(13)
+        classifier = _random_classifier(self.FMT, 2, rng)
+        report = certify_classifier(classifier)
+        acc = report.invariant("accumulator-range")
+        totals = [total for _, total, _ in self.enumerate_decisions(classifier)]
+        assert acc.bounds["lo_raw"] == min(totals)
+        assert acc.bounds["hi_raw"] == max(totals)
+
+
+class TestDisagreementDetection:
+    """verify_report_by_simulation must actually catch bad certificates."""
+
+    def test_forged_proven_verdict_is_caught(self):
+        fmt = QFormat(2, 2)
+        weights = np.array([fmt.max_value, fmt.max_value])
+        from repro.core.classifier import FixedPointLinearClassifier
+
+        classifier = FixedPointLinearClassifier(
+            weights=weights, threshold=0.0, fmt=fmt
+        )
+        report = certify_classifier(classifier)
+        dec = report.invariant("decision-range")
+        assert dec.verdict is Verdict.VIOLATED
+        forged = dec.to_dict()
+        forged["verdict"] = "PROVEN"
+        from repro.check.report import CheckReport, Invariant
+
+        doctored = CheckReport(
+            format=report.format,
+            num_features=report.num_features,
+            invariants=tuple(
+                Invariant.from_dict(forged) if inv.id == "decision-range" else inv
+                for inv in report.invariants
+            ),
+        )
+        with pytest.raises(CheckError):
+            verify_report_by_simulation(doctored, classifier, samples=64, seed=3)
+
+    def test_forged_narrow_bounds_are_caught(self):
+        fmt = QFormat(2, 3)
+        rng = random.Random(5)
+        classifier = _random_classifier(fmt, 3, rng)
+        report = certify_classifier(classifier)
+        acc = report.invariant("accumulator-range")
+        doctored_payload = acc.to_dict()
+        doctored_payload["bounds"] = dict(
+            doctored_payload["bounds"], lo_raw=0, hi_raw=0
+        )
+        from repro.check.report import CheckReport, Invariant
+
+        doctored = CheckReport(
+            format=report.format,
+            num_features=report.num_features,
+            invariants=tuple(
+                Invariant.from_dict(doctored_payload)
+                if inv.id == "accumulator-range"
+                else inv
+                for inv in report.invariants
+            ),
+        )
+        with pytest.raises(CheckError):
+            verify_report_by_simulation(doctored, classifier, samples=64, seed=5)
+
+    def test_narrow_bounds_yield_proven_decisions(self):
+        # With inputs confined near zero the decision node provably cannot
+        # overflow, and the simulator corroborates exactness sample by sample.
+        fmt = QFormat(2, 4)
+        classifier = _random_classifier(fmt, 3, random.Random(21))
+        bounds = FeatureBounds(lo=np.full(3, -0.125), hi=np.full(3, 0.125))
+        report = certify_classifier(classifier, feature_bounds=bounds)
+        assert report.invariant("product-range").verdict is Verdict.PROVEN
+        verify_report_by_simulation(
+            report, classifier, feature_bounds=bounds, samples=64, seed=9
+        )

@@ -1,0 +1,94 @@
+"""Regressions for the RPC003 bug class: float64 promotion of raw words.
+
+float64 carries 53 mantissa bits, so casting raw words of formats wider
+than ~53 bits through float silently corrupts them — and ``float64 ->
+int64`` casts of magnitudes >= 2**63 are undefined (they used to wrap to
+the opposite sign, so a saturating quantization could land on *min_raw*
+instead of *max_raw*).  These tests pin the fixed behaviour end to end:
+``float_to_int_exact``, saturating quantization of wide formats, and
+bit-exact wide-format inference through the serving engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.errors import InputValidationError
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize_raw
+from repro.fixedpoint.rounding import float_to_int_exact
+from repro.serve.engine import BatchInferenceEngine, int64_path_available
+
+WIDE = QFormat(4, 59)  # 63-bit words: raw range exceeds float64 exactness
+
+
+class TestFloatToIntExact:
+    def test_small_values_stay_int64(self):
+        out = float_to_int_exact(np.array([1.0, -2.0, 3.0]))
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, -2, 3])
+
+    def test_large_values_fall_back_to_exact_object_words(self):
+        out = float_to_int_exact(np.array([2.0**63, -(2.0**63)]))
+        assert out.dtype == object
+        assert out[0] == 2**63
+        assert out[1] == -(2**63)
+
+    def test_shape_preserved_on_fallback(self):
+        out = float_to_int_exact(np.full((2, 2), 2.0**64))
+        assert out.shape == (2, 2)
+        assert all(v == 2**64 for v in out.ravel())
+
+    def test_non_finite_raises_input_validation_error(self):
+        for bad in (np.inf, -np.inf, np.nan):
+            with pytest.raises(InputValidationError):
+                float_to_int_exact(np.array([bad]))
+
+    def test_error_is_a_value_error(self):
+        # InputValidationError subclasses ValueError so legacy callers and
+        # tests that catch ValueError keep working.
+        with pytest.raises(ValueError):
+            float_to_int_exact(np.array([np.nan]))
+
+
+class TestWideFormatSaturation:
+    def test_positive_overflow_saturates_to_max_raw(self):
+        # The historical bug: 100.0 * 2**59 rounds above 2**63, the float ->
+        # int64 cast wrapped negative, and saturation clamped to min_raw.
+        assert int(quantize_raw(100.0, WIDE)) == WIDE.max_raw
+
+    def test_negative_overflow_saturates_to_min_raw(self):
+        assert int(quantize_raw(-100.0, WIDE)) == WIDE.min_raw
+
+    def test_in_range_values_unaffected(self):
+        assert int(quantize_raw(1.0, WIDE)) == 1 << WIDE.fraction_bits
+
+    def test_quantizing_the_format_extremes_stays_in_range(self):
+        # float64 cannot represent max_value exactly for 63-bit words (it
+        # rounds up to 2**(K-1)); saturation must still land inside the
+        # format instead of wrapping to the opposite end.
+        extremes = np.array([WIDE.min_value, WIDE.max_value])
+        raws = [int(r) for r in np.atleast_1d(quantize_raw(extremes, WIDE))]
+        assert raws == [WIDE.min_raw, WIDE.max_raw]
+
+
+class TestWideFormatEngine:
+    def test_wide_format_falls_off_the_fast_path(self):
+        assert not int64_path_available(WIDE, 2)
+
+    def test_engine_matches_bitexact_reference_on_wide_words(self):
+        fmt = QFormat(4, 40)  # wide enough to force the object path
+        assert not int64_path_available(fmt, 3)
+        weights = np.array([1.5, -2.25, 0.5])
+        classifier = FixedPointLinearClassifier(
+            weights=weights, threshold=0.25, fmt=fmt
+        )
+        engine = BatchInferenceEngine(classifier)
+        rng = np.random.default_rng(3)
+        features = rng.uniform(-4.0, 4.0, size=(16, 3))
+        np.testing.assert_array_equal(
+            engine.predict(features),
+            classifier.predict_bitexact(features),
+        )

@@ -199,3 +199,43 @@ class TestWordLengthAllocationExtension:
         assert result.total_bits <= fmt.word_length * model.weights.size
         # Budget is relative to the starting (uniformly quantized) allocation.
         assert result.objective <= objective(base_quantized) + 0.02 + 1e-9
+
+
+class TestTrainCertifyServe:
+    """Train -> statically certify -> admit into the serving registry.
+
+    The certificate covers exactly what the LDA-FP solver guarantees
+    (per-sample empirical exactness plus its own statistical constraint
+    set), so a freshly trained artifact must come out all-PROVEN and the
+    certification-gated registry must accept it.
+    """
+
+    def test_synthetic_artifact_is_provable_and_servable(self):
+        from repro.check import certify_classifier, dataset_evidence, make_certifier
+        from repro.serve import ModelRegistry
+
+        train = make_synthetic_dataset(1500, seed=0)
+        pipe = TrainingPipeline(
+            PipelineConfig(ldafp=LdaFpConfig(max_nodes=50, time_limit=10))
+        )
+        result = pipe.run(train, train, word_length=6)
+        classifier = result.classifier
+
+        bounds, stats, scaled = dataset_evidence(train, classifier.fmt)
+        report = certify_classifier(
+            classifier,
+            feature_bounds=bounds,
+            stats=stats,
+            samples=scaled,
+            worst_case=False,
+        )
+        assert report.all_proven, report.summary()
+
+        registry = ModelRegistry(
+            certifier=make_certifier(
+                feature_bounds=bounds, stats=stats, samples=scaled, worst_case=False
+            )
+        )
+        model = registry.register("clf", classifier)
+        assert model.certificate is not None and model.certificate.all_proven
+        assert "cert=PROVEN" in model.describe()

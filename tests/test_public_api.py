@@ -34,6 +34,7 @@ class TestTopLevel:
             "repro.experiments",
             "repro.cli",
             "repro.serve",
+            "repro.check",
         ],
     )
     def test_subpackage_all_resolves(self, module):
