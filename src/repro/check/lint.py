@@ -344,7 +344,14 @@ class RPC003SilentFloatPromotion(LintRule):
 
 
 class RPC004BareBuiltinRaise(LintRule):
-    """Public functions raise repro.errors types, not bare ValueError."""
+    """Public functions raise repro.errors types, not bare ValueError.
+
+    Dunder methods (``__init__``, ``__post_init__``, ...) count as public:
+    they validate the arguments of public classes, so a bare ``ValueError``
+    there leaks into callers exactly like one raised from a public function
+    (the PR-3 conversion missed ``__post_init__`` validators for this
+    reason).  Only single-underscore-prefixed helpers stay exempt.
+    """
 
     id = "RPC004"
     description = "public function raises bare ValueError"
@@ -355,13 +362,19 @@ class RPC004BareBuiltinRaise(LintRule):
         normalized = path.replace(os.sep, "/")
         return "repro/" in normalized and normalized.endswith(".py")
 
+    @staticmethod
+    def _is_private(name: str) -> bool:
+        return name.startswith("_") and not (
+            name.startswith("__") and name.endswith("__")
+        )
+
     def check(self, tree: ast.Module, ctx: _FileContext) -> Iterator[LintFinding]:
         stacks = _enclosing_function_names(tree)
         for node in ast.walk(tree):
             if not isinstance(node, ast.Raise) or node.exc is None:
                 continue
             stack = stacks.get(node, ())
-            if not stack or stack[-1].startswith("_"):
+            if not stack or self._is_private(stack[-1]):
                 continue  # module level or private helper
             name = self._raised_name(node.exc)
             if name in self._BANNED:

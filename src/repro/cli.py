@@ -15,6 +15,12 @@ and deploys trained artifacts (see docs/serving.md)::
     python -m repro serve --artifact clf.json --port 8400
     echo "0.5 -0.25 1.0" | python -m repro predict --artifact clf.json
 
+and explores the word-length/power trade-off with the warm-started sweep
+engine (see docs/wordlength_sweep.md)::
+
+    python -m repro sweep --word-lengths 4 5 6 7 8 --seed-incumbents
+    python -m repro sweep --dataset ecg --sweep-workers 2 --sweep-trace t.json
+
 and statically certifies artifacts and lints the source tree
 (see docs/static_checks.md)::
 
@@ -86,6 +92,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-artifact",
         metavar="PATH",
         help="write the trained classifier as a JSON deployment artifact",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="word-length sweep with the warm-started, seeded engine",
+    )
+    sweep.add_argument(
+        "--dataset", choices=("synthetic", "ecg"), default="synthetic"
+    )
+    sweep.add_argument(
+        "--samples",
+        type=int,
+        default=600,
+        help="dataset size (samples per class for both generators)",
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--word-lengths",
+        type=int,
+        nargs="+",
+        default=[4, 5, 6, 7, 8],
+        help="total word lengths to evaluate, in sweep order",
+    )
+    sweep.add_argument("--method", choices=("lda", "lda-fp"), default="lda-fp")
+    sweep.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds",
+    )
+    sweep.add_argument("--max-nodes", type=int, default=20_000)
+    sweep.add_argument(
+        "--sweep-workers",
+        type=int,
+        default=1,
+        help="contiguous word-length chunks solved in parallel processes",
+    )
+    sweep.add_argument(
+        "--seed-incumbents",
+        action="store_true",
+        help="seed each point's incumbent from the adjacent solved point",
+    )
+    sweep.add_argument(
+        "--sweep-trace",
+        metavar="PATH",
+        help="write the repro.sweep-trace/v1 telemetry JSON to PATH",
+    )
+    sweep.add_argument(
+        "--target-error",
+        type=float,
+        default=None,
+        help="also report the minimum word length meeting this test error",
     )
 
     serve = sub.add_parser(
@@ -365,6 +423,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             save_classifier(result.classifier, args.save_artifact)
             print(f"artifact written to {args.save_artifact}")
 
+    elif args.command == "sweep":
+        return _run_sweep(args)
+
     elif args.command == "serve":
         import asyncio
 
@@ -464,6 +525,83 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
                 for label in result.labels:
                     print(int(label))
 
+    return 0
+
+
+def _run_sweep(args) -> int:
+    """``repro sweep``: run the word-length sweep engine and print a table."""
+    from .core.ldafp import LdaFpConfig
+    from .core.pipeline import PipelineConfig
+    from .errors import ReproError
+    from .wordlength import (
+        SweepConfig,
+        SweepTrace,
+        minimum_wordlength,
+        pareto_front,
+        run_sweep,
+    )
+
+    if args.dataset == "ecg":
+        from .data.ecg import make_ecg_dataset
+
+        train = make_ecg_dataset(args.samples, seed=args.seed)
+        test = make_ecg_dataset(args.samples, seed=args.seed + 1)
+    else:
+        from .data.synthetic import make_synthetic_dataset
+
+        train = make_synthetic_dataset(args.samples, seed=args.seed)
+        test = make_synthetic_dataset(args.samples, seed=args.seed + 1)
+
+    pipeline_config = PipelineConfig(
+        method=args.method,
+        ldafp=LdaFpConfig(max_nodes=args.max_nodes),
+    )
+    sweep_config = SweepConfig(
+        workers=args.sweep_workers,
+        seed_incumbents=args.seed_incumbents,
+        point_time_limit=args.time_limit,
+    )
+    trace = SweepTrace() if args.sweep_trace else None
+    try:
+        points = run_sweep(
+            train,
+            test,
+            args.word_lengths,
+            pipeline_config=pipeline_config,
+            sweep_config=sweep_config,
+            sweep_trace=trace,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    front = {id(p) for p in pareto_front(points)}
+    print(f"{args.dataset} sweep ({args.method}, {train.num_samples} train samples)")
+    print("  WL   error%     power   seconds  stop        optimal  pareto")
+    for point in points:
+        stop = point.stop_reason or "-"
+        optimal = "-" if point.proven_optimal is None else str(point.proven_optimal)
+        star = "*" if id(point) in front else ""
+        print(
+            f"  {point.word_length:2d}  {100 * point.test_error:7.2f}  "
+            f"{point.power:8.3f}  {point.train_seconds:8.2f}  {stop:10s}  "
+            f"{optimal:7s}  {star}"
+        )
+    if args.target_error is not None:
+        best = minimum_wordlength(points, target_error=args.target_error)
+        if best is None:
+            print(f"no evaluated word length meets error <= {args.target_error}")
+        else:
+            print(
+                f"minimum word length for error <= {args.target_error}: "
+                f"{best.word_length} ({100 * best.test_error:.2f}%)"
+            )
+    if trace is not None:
+        trace.save(args.sweep_trace)
+        print(
+            f"sweep trace ({len(trace.records)} points) written to "
+            f"{args.sweep_trace}"
+        )
     return 0
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import TrainingError
+from ..errors import DataError, TrainingError
 from ..fixedpoint.datapath import DatapathConfig, FixedPointDatapath
 from ..fixedpoint.overflow import OverflowMode
 from ..fixedpoint.qformat import QFormat
@@ -99,11 +99,19 @@ class FixedPointLinearClassifier:
         xq = np.asarray(
             quantize(x, self.fmt, rounding=self.rounding, overflow=OverflowMode.SATURATE)
         )
-        return xq @ self.weights - self.threshold
+        out = xq @ self.weights
+        out -= self.threshold
+        return out
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Labels (1 = class A) from the float fast path (Eq. 12)."""
-        return (self.polarity * self.decision_values(features) >= 0.0).astype(np.int64)
+        values = self.decision_values(features)
+        # Fold the +/-1 polarity into the comparison direction instead of
+        # multiplying it through the whole batch (0 ties stay class A
+        # either way: -1 * 0 >= 0 and 0 <= 0 are both true).
+        if self.polarity >= 0:
+            return (values >= 0.0).astype(np.int64)
+        return (values <= 0.0).astype(np.int64)
 
     def datapath(
         self, overflow: OverflowMode = OverflowMode.WRAP
@@ -129,12 +137,17 @@ class FixedPointLinearClassifier:
     # ------------------------------------------------------------------ #
     def error_on(self, dataset: Dataset, bitexact: bool = False) -> float:
         """Classification error on a labeled dataset."""
-        predictions = (
-            self.predict_bitexact(dataset.features)
-            if bitexact
-            else self.predict(dataset.features)
-        )
-        return classification_error(dataset.labels, predictions)
+        if bitexact:
+            predictions = self.predict_bitexact(dataset.features)
+            return classification_error(dataset.labels, predictions)
+        if dataset.labels.size == 0:
+            raise DataError("empty label arrays")
+        # Same mismatch fraction as classification_error(labels, predict()),
+        # staying in the bool domain: the sweep scores every word length on
+        # the full test set, so the int64 label round-trip is measurable.
+        values = self.decision_values(dataset.features)
+        predicted_a = values >= 0.0 if self.polarity >= 0 else values <= 0.0
+        return float(np.mean(predicted_a != (dataset.labels != 0)))
 
     def describe(self) -> str:
         """One-line human-readable summary."""

@@ -31,7 +31,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import InfeasibleProblemError, TrainingError
+from ..errors import InfeasibleProblemError, InputValidationError, TrainingError
 from ..fixedpoint.qformat import QFormat
 from ..fixedpoint.quantize import quantize
 from ..fixedpoint.rounding import RoundingMode
@@ -126,9 +126,9 @@ class LdaFpConfig:
 
     def __post_init__(self) -> None:
         if self.backend not in ("barrier", "slsqp", "auto"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+            raise InputValidationError(f"unknown backend {self.backend!r}")
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise InputValidationError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass
@@ -146,6 +146,9 @@ class LdaFpReport:
     relaxations_solved: int
     backend_fallbacks: int
     stop_reason: str = "exhausted"
+    seeds_injected: int = 0
+    seeds_rejected: int = 0
+    seeds_adopted: int = 0
 
 
 class LdaFpNodeProblem:
@@ -353,37 +356,57 @@ class LdaFpNodeProblem:
 
 
 def _warm_start_candidate(
-    dataset: Dataset, problem: LdaFpProblem, config: LdaFpConfig
+    dataset: Dataset,
+    problem: LdaFpProblem,
+    config: LdaFpConfig,
+    direction: "np.ndarray | None" = None,
 ) -> "Candidate | None":
     """Rounded conventional LDA (several scales) as the initial incumbent.
 
-    The direction is computed from the problem's own (quantized, possibly
-    shrunk) statistics so the warm start targets the exact objective the
-    branch-and-bound will optimize.
+    The primary direction is computed from the problem's own (quantized,
+    PQN-floored, possibly shrunk) statistics so the warm start targets the
+    exact objective the branch-and-bound will optimize — this is what lets
+    the early exit fire at large word lengths.  A sweep engine that trains
+    many word lengths on the same scaled data can pass a precomputed
+    ``direction`` (the float-LDA fit on pre-quantization data, which is
+    word-length-invariant) as an *additional* try: both directions go
+    through the scale sweep and the better rounded candidate wins, so the
+    hint can only tighten the incumbent.
     """
     from ..linalg.cholesky import solve_spd
 
+    directions: "List[np.ndarray]" = []
+    if direction is not None:
+        direction = np.asarray(direction, dtype=np.float64)
+        if direction.shape != (problem.num_features,):
+            raise InputValidationError(
+                f"warm-start direction has shape {direction.shape}, "
+                f"expected ({problem.num_features},)"
+            )
+        directions.append(direction)
     try:
-        direction = solve_spd(
-            problem.stats.within_scatter, problem.stats.mean_difference, jitter=1e-10
+        directions.append(
+            solve_spd(
+                problem.stats.within_scatter, problem.stats.mean_difference, jitter=1e-10
+            )
         )
     except Exception:
         try:
             model = fit_lda(dataset, shrinkage=max(config.shrinkage, 1e-3))
-            direction = model.weights
+            directions.append(model.weights)
         except TrainingError:
-            return None
-    norm = float(np.linalg.norm(direction))
-    if norm == 0.0 or not np.isfinite(norm):
-        return None
-    direction = direction / norm
+            pass
     best: "Candidate | None" = None
-    for candidate in scale_sweep_candidates(problem, direction):
-        if problem.constraint_violation(candidate) > _FEAS_TOL:
+    for raw in directions:
+        norm = float(np.linalg.norm(raw))
+        if norm == 0.0 or not np.isfinite(norm):
             continue
-        cost = problem.cost(candidate)
-        if np.isfinite(cost) and (best is None or cost < best.cost):
-            best = Candidate(x=candidate, cost=cost)
+        for candidate in scale_sweep_candidates(problem, raw / norm):
+            if problem.constraint_violation(candidate) > _FEAS_TOL:
+                continue
+            cost = problem.cost(candidate)
+            if np.isfinite(cost) and (best is None or cost < best.cost):
+                best = Candidate(x=candidate, cost=cost)
     if best is not None and config.local_search:
         polished = coordinate_descent(
             problem, best.x, radius=config.local_search_radius
@@ -391,6 +414,42 @@ def _warm_start_candidate(
         if polished.cost < best.cost:
             best = Candidate(x=polished.weights, cost=polished.cost)
     return best
+
+
+def _requantize_seeds(
+    problem: LdaFpProblem,
+    config: LdaFpConfig,
+    seeds: "Sequence[np.ndarray]",
+) -> "tuple[List[Candidate], int]":
+    """Requantize cross-word-length seeds onto this grid and validate them.
+
+    Each seed (typically the solved ``w`` of an adjacent word length) is
+    rounded onto this problem's ``QK.F`` grid and checked against the exact
+    Eq. 18 + Eq. 20 overflow constraints *before* it can reach the solver;
+    a requantized seed that violates them, collapses to zero, or has a
+    non-finite Fisher cost is rejected — never silently used — and counted.
+    Returns the surviving candidates (true cost attached) and the number of
+    rejected seeds.
+    """
+    valid: "List[Candidate]" = []
+    rejected = 0
+    for seed in seeds:
+        w = np.asarray(seed, dtype=np.float64)
+        if w.shape != (problem.num_features,):
+            raise InputValidationError(
+                f"incumbent seed has shape {w.shape}, "
+                f"expected ({problem.num_features},)"
+            )
+        w = np.asarray(quantize(w, problem.fmt, rounding=config.rounding))
+        if not np.any(w) or problem.constraint_violation(w) > _FEAS_TOL:
+            rejected += 1
+            continue
+        cost = problem.cost(w)
+        if not np.isfinite(cost):
+            rejected += 1
+            continue
+        valid.append(Candidate(x=w, cost=cost))
+    return valid, rejected
 
 
 def _maximize_scale(problem: LdaFpProblem, weights: np.ndarray) -> np.ndarray:
@@ -446,6 +505,8 @@ def train_lda_fp(
     fmt: QFormat,
     config: "LdaFpConfig | None" = None,
     trace: "SolverTrace | None" = None,
+    warm_start_direction: "np.ndarray | None" = None,
+    incumbent_seeds: "Sequence[np.ndarray] | None" = None,
 ) -> "tuple[FixedPointLinearClassifier, LdaFpReport]":
     """Train an LDA-FP classifier (Algorithm 1 end to end).
 
@@ -458,6 +519,16 @@ def train_lda_fp(
     event stream (the warm-start early exit emits a minimal start/stop
     trace so the export is well-formed either way).
 
+    ``warm_start_direction`` optionally supplies the float-LDA direction
+    the warm start rounds from (hoisted by a word-length sweep, which fits
+    it once on the shared scaled data).  ``incumbent_seeds`` are weight
+    vectors solved at adjacent word lengths: each is requantized onto this
+    grid, validated against the exact overflow constraints (violating
+    seeds are rejected and counted in the report), and handed to the
+    branch-and-bound as a seed candidate that only replaces the warm-start
+    incumbent when strictly better.  Seeds tighten the initial upper bound
+    — they never loosen it — so a seeded search prunes at least as hard.
+
     Returns the classifier and a :class:`LdaFpReport`.  The report's
     ``proven_optimal`` is True only when the search closed the gap within
     its budgets.
@@ -469,20 +540,30 @@ def train_lda_fp(
     quantized = dataset.map_features(
         lambda x: np.asarray(quantize(x, fmt, rounding=config.rounding))
     )
-    stats = estimate_two_class_stats(quantized.class_a, quantized.class_b)
+    stats = estimate_two_class_stats(*quantized.class_arrays())
     stats = _adjust_stats(stats, fmt, config)
 
     problem = LdaFpProblem(stats=stats, fmt=fmt, rho=config.rho, beta=config.beta)
     node_problem = LdaFpNodeProblem(problem, config)
-    incumbent = _warm_start_candidate(quantized, problem, config) if config.warm_start else None
+    incumbent = (
+        _warm_start_candidate(quantized, problem, config, direction=warm_start_direction)
+        if config.warm_start
+        else None
+    )
     if incumbent is not None:
         node_problem._best_cost = incumbent.cost
+    seed_candidates, seeds_rejected = (
+        _requantize_seeds(problem, config, incumbent_seeds)
+        if incumbent_seeds
+        else ([], 0)
+    )
 
     # Early exit on the global continuous bound (paper Table 1: at large
     # word lengths the rounded conventional solution is already optimal and
     # LDA-FP's runtime collapses to milliseconds): if the warm start meets
     # the continuous Fisher optimum to within the gap tolerances, the search
-    # cannot improve it.
+    # cannot improve it.  Seeds are deliberately not consulted here: the
+    # early exit must fire (and return) exactly as it would unseeded.
     cost_star = node_problem._cost_star
     if (
         incumbent is not None
@@ -515,7 +596,12 @@ def train_lda_fp(
                 workers=config.workers,
             )
         )
-        result = solver.solve(node_problem, initial_incumbent=incumbent, trace=trace)
+        result = solver.solve(
+            node_problem,
+            initial_incumbent=incumbent,
+            trace=trace,
+            seed_candidates=seed_candidates,
+        )
         if cost_star > result.lower_bound:
             result = BranchAndBoundResult(
                 x=result.x,
@@ -550,5 +636,8 @@ def train_lda_fp(
         relaxations_solved=node_problem.relaxations_solved,
         backend_fallbacks=node_problem.backend_fallbacks,
         stop_reason=result.stats.stop_reason,
+        seeds_injected=len(seed_candidates),
+        seeds_rejected=seeds_rejected,
+        seeds_adopted=result.stats.seeds_adopted,
     )
     return classifier, report

@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import TrainingError
+from ..errors import InputValidationError, TrainingError
 from ..fixedpoint.qformat import QFormat
 from ..data.dataset import Dataset
 from ..data.scaling import FeatureScaler
@@ -60,9 +60,11 @@ class PipelineConfig:
 
     def __post_init__(self) -> None:
         if self.method not in ("lda", "lda-fp"):
-            raise ValueError(f"unknown method {self.method!r}")
+            raise InputValidationError(f"unknown method {self.method!r}")
         if not 0.0 < self.scale_margin <= 1.0:
-            raise ValueError(f"scale_margin must be in (0, 1], got {self.scale_margin}")
+            raise InputValidationError(
+                f"scale_margin must be in (0, 1], got {self.scale_margin}"
+            )
 
 
 @dataclass
@@ -96,6 +98,18 @@ class TrainingPipeline:
             )
         return QFormat(k, word_length - k)
 
+    def scaler_for(self, word_length: int) -> FeatureScaler:
+        """The (unfitted) feature scaler :meth:`run` would build.
+
+        The target limit depends only on ``K`` and ``scale_margin`` — not on
+        the total word length — which is why a sweep over word lengths can
+        fit one scaler and reuse it at every point.
+        """
+        fmt = self.format_for(word_length)
+        return FeatureScaler(
+            limit=self.config.scale_margin * (2.0 ** (fmt.integer_bits - 1))
+        )
+
     def run(
         self,
         train: Dataset,
@@ -103,22 +117,57 @@ class TrainingPipeline:
         word_length: int,
         bitexact_eval: bool = False,
         trace=None,
+        scaler: "FeatureScaler | None" = None,
+        warm_start_direction=None,
+        incumbent_seeds=None,
+        pre_scaled: bool = False,
     ) -> PipelineResult:
         """Scale, quantize, train, and score one configuration.
 
         ``trace`` is an optional :class:`~repro.optim.trace.SolverTrace`
         recording the LDA-FP solver's event stream (ignored for
         ``method="lda"``, which has no solver).
+
+        ``scaler`` optionally supplies an already-fitted
+        :class:`~repro.data.scaling.FeatureScaler` (its ``limit`` must
+        match this config's target — the scaler is word-length-invariant
+        for a fixed ``K``, so a sweep fits it once).  With
+        ``pre_scaled=True``, ``train`` and ``test`` are taken as *already
+        transformed* by that scaler and the per-point transform is skipped
+        entirely (the scaled datasets are word-length-invariant too, so a
+        sweep transforms them once); the fitted ``scaler`` is still
+        required, to validate its limit against this config.
+        ``warm_start_direction`` and ``incumbent_seeds`` are forwarded to
+        :func:`~repro.core.ldafp.train_lda_fp` (ignored for
+        ``method="lda"``).
         """
         config = self.config
         fmt = self.format_for(word_length)
 
-        scaler = FeatureScaler(
-            limit=config.scale_margin * (2.0 ** (fmt.integer_bits - 1))
-        )
-        scaler.fit(train.features)
-        train_scaled = train.map_features(scaler.transform)
-        test_scaled = test.map_features(scaler.transform)
+        expected_limit = config.scale_margin * (2.0 ** (fmt.integer_bits - 1))
+        if scaler is None:
+            if pre_scaled:
+                raise InputValidationError(
+                    "pre_scaled=True requires the fitted scaler that "
+                    "produced the data"
+                )
+            scaler = FeatureScaler(limit=expected_limit)
+            scaler.fit(train.features)
+        else:
+            if not scaler.is_fitted:
+                raise InputValidationError(
+                    "a precomputed scaler must already be fitted"
+                )
+            if abs(scaler.limit - expected_limit) > 1e-12 * max(1.0, expected_limit):
+                raise InputValidationError(
+                    f"precomputed scaler limit {scaler.limit} does not match "
+                    f"the config's target {expected_limit}"
+                )
+        if pre_scaled:
+            train_scaled, test_scaled = train, test
+        else:
+            train_scaled = train.map_features(scaler.transform)
+            test_scaled = test.map_features(scaler.transform)
 
         start = time.perf_counter()
         ldafp_report: Optional[LdaFpReport] = None
@@ -129,7 +178,12 @@ class TrainingPipeline:
             )
         else:
             classifier, ldafp_report = train_lda_fp(
-                train_scaled, fmt, config.ldafp, trace=trace
+                train_scaled,
+                fmt,
+                config.ldafp,
+                trace=trace,
+                warm_start_direction=warm_start_direction,
+                incumbent_seeds=incumbent_seeds,
             )
         train_seconds = time.perf_counter() - start
 

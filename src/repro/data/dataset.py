@@ -46,11 +46,12 @@ class Dataset:
             raise DataError(
                 f"labels shape {y.shape} does not match {x.shape[0]} samples"
             )
-        if not np.all(np.isfinite(x)):
+        if x.size and not (np.isfinite(x.min()) and np.isfinite(x.max())):
             raise DataError("features contain non-finite values")
-        extra = set(np.unique(y)) - {LABEL_A, LABEL_B}
-        if extra:
-            raise DataError(f"labels must be 0/1, found {sorted(extra)}")
+        bad = (y != LABEL_A) & (y != LABEL_B)
+        if bad.any():
+            extra = sorted(set(np.unique(y[bad]).tolist()))
+            raise DataError(f"labels must be 0/1, found {extra}")
         object.__setattr__(self, "features", x)
         object.__setattr__(self, "labels", y)
 
@@ -73,6 +74,11 @@ class Dataset:
         """Rows belonging to class B (label 0)."""
         return self.features[self.labels == LABEL_B]
 
+    def class_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(class A rows, class B rows)`` from a single label-mask pass."""
+        mask = self.labels == LABEL_A
+        return self.features[mask], self.features[~mask]
+
     def class_counts(self) -> "tuple[int, int]":
         """``(N_A, N_B)``."""
         return int(np.sum(self.labels == LABEL_A)), int(np.sum(self.labels == LABEL_B))
@@ -88,10 +94,15 @@ class Dataset:
         )
 
     def map_features(self, transform, name: "str | None" = None) -> "Dataset":
-        """Apply ``transform`` to the feature matrix (e.g. scaling, quantizing)."""
+        """Apply ``transform`` to the feature matrix (e.g. scaling, quantizing).
+
+        The label array is shared with the source dataset, not copied:
+        ``Dataset`` is frozen and nothing in the library mutates labels in
+        place, so the copy would only add a per-sweep-point allocation.
+        """
         return Dataset(
             features=np.asarray(transform(self.features), dtype=np.float64),
-            labels=self.labels.copy(),
+            labels=self.labels,
             name=name or self.name,
         )
 

@@ -61,7 +61,9 @@ def apply_overflow_raw(
         if mode is OverflowMode.SATURATE:
             # np.clip collapses 0-d object arrays (wide-format raws) to a
             # plain int; normalize back to an ndarray before the cast.
-            return np.asarray(np.clip(raw, fmt.min_raw, fmt.max_raw)).astype(np.int64)
+            return np.asarray(np.clip(raw, fmt.min_raw, fmt.max_raw)).astype(
+                np.int64, copy=False
+            )
         bad = (raw < fmt.min_raw) | (raw > fmt.max_raw)
         if np.any(bad):
             offender = int(np.asarray(raw)[bad].flat[0])

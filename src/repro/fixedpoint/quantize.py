@@ -17,7 +17,7 @@ from ..errors import InputValidationError
 
 from .overflow import OverflowMode, apply_overflow_raw
 from .qformat import QFormat
-from .rounding import RoundingMode, round_to_int
+from .rounding import ROUNDERS, RoundingMode, round_to_int
 
 __all__ = [
     "quantize",
@@ -44,7 +44,7 @@ def quantize_raw(
     NaN propagation through int casts is a classic source of garbage runs.
     """
     arr = np.asarray(value, dtype=np.float64)
-    if not np.all(np.isfinite(arr)):
+    if arr.size and not (np.isfinite(arr.min()) and np.isfinite(arr.max())):
         raise InputValidationError("cannot quantize non-finite values")
     scaled = arr * (1 << fmt.fraction_bits)
     raw = round_to_int(scaled, mode=rounding, rng=rng)
@@ -54,6 +54,12 @@ def quantize_raw(
 def dequantize_raw(raw: "int | np.ndarray", fmt: QFormat) -> np.ndarray:
     """Convert raw word(s) back to real value(s)."""
     return np.asarray(raw, dtype=np.float64) * fmt.resolution
+
+
+# Raw magnitudes below 2**52 are exactly representable integral floats, so
+# rounding, saturation, and the resolution rescale can all stay in the float
+# domain with bit-identical results to the int64 round-trip.
+_FLOAT_EXACT_WORD_BITS = 52
 
 
 def quantize(
@@ -69,8 +75,35 @@ def quantize(
     (so ``quantize(quantize(x)) == quantize(x)`` — idempotence is covered by
     a hypothesis property test).
     """
-    raw = quantize_raw(value, fmt, rounding=rounding, overflow=overflow, rng=rng)
-    out = dequantize_raw(raw, fmt)
+    mode = RoundingMode.coerce(rounding)
+    omode = OverflowMode.coerce(overflow)
+    if (
+        omode is OverflowMode.SATURATE
+        and mode is not RoundingMode.STOCHASTIC
+        and fmt.word_length <= _FLOAT_EXACT_WORD_BITS
+    ):
+        # Fast path for the library default (saturating, deterministic
+        # rounding, narrow format): every training sample crosses this at
+        # every sweep point, so we round and clamp in the float domain and
+        # skip the int64 round-trip entirely.  Bit-identical to the slow
+        # path because raw words of narrow formats are exact in float64.
+        arr = np.asarray(value, dtype=np.float64)
+        out = ROUNDERS[mode](arr * float(1 << fmt.fraction_bits))
+        if out.size:
+            lo, hi = out.min(), out.max()
+            if not (np.isfinite(lo) and np.isfinite(hi)):
+                if not (np.isfinite(arr.min()) and np.isfinite(arr.max())):
+                    raise InputValidationError("cannot quantize non-finite values")
+                raise InputValidationError(
+                    "cannot convert non-finite values to raw words"
+                )
+        out = np.asarray(out)
+        np.clip(out, float(fmt.min_raw), float(fmt.max_raw), out=out)
+        out *= fmt.resolution
+        out += 0.0  # normalize -0.0 to +0.0, matching the int round-trip
+    else:
+        raw = quantize_raw(value, fmt, rounding=rounding, overflow=overflow, rng=rng)
+        out = dequantize_raw(raw, fmt)
     if np.isscalar(value) or np.asarray(value).ndim == 0:
         return np.float64(out)
     return out

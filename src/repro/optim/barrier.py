@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import minimize
 
-from ..errors import InfeasibleProblemError
+from ..errors import InfeasibleProblemError, InputValidationError
 from ..linalg.cholesky import cholesky
 from ..linalg.triangular import solve_lower, solve_upper
 from .cone import ConeProgram
@@ -149,7 +149,7 @@ class BarrierSolver:
         max_outer: int = 60,
     ) -> None:
         if mu <= 1.0:
-            raise ValueError(f"mu must exceed 1, got {mu}")
+            raise InputValidationError(f"mu must exceed 1, got {mu}")
         self.t0 = float(t0)
         self.mu = float(mu)
         self.gap_tol = float(gap_tol)

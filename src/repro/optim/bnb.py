@@ -39,7 +39,7 @@ from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SolverBudgetExceeded
+from ..errors import InputValidationError, SolverBudgetExceeded
 from .boxes import Box
 from .trace import SolverTrace
 
@@ -171,11 +171,11 @@ class BranchAndBoundConfig:
 
     def __post_init__(self) -> None:
         if self.strategy not in ("best-first", "depth-first"):
-            raise ValueError(f"unknown strategy {self.strategy!r}")
+            raise InputValidationError(f"unknown strategy {self.strategy!r}")
         if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+            raise InputValidationError(f"workers must be >= 1, got {self.workers}")
         if self.executor not in ("auto", "thread", "process"):
-            raise ValueError(f"unknown executor {self.executor!r}")
+            raise InputValidationError(f"unknown executor {self.executor!r}")
 
 
 @dataclass
@@ -196,6 +196,7 @@ class BranchAndBoundStats:
     nodes_infeasible: int = 0
     terminal_nodes: int = 0
     incumbent_updates: int = 0
+    seeds_adopted: int = 0
     rounds: int = 0
     wall_time: float = 0.0
     stop_reason: str = "exhausted"
@@ -344,6 +345,7 @@ class BranchAndBoundSolver:
         problem: BranchAndBoundProblem,
         initial_incumbent: "Candidate | None" = None,
         trace: "SolverTrace | None" = None,
+        seed_candidates: "Sequence[Candidate] | None" = None,
     ) -> BranchAndBoundResult:
         """Run the search.
 
@@ -358,6 +360,14 @@ class BranchAndBoundSolver:
         trace:
             Optional :class:`SolverTrace` receiving typed events, the
             periodic progress callback, and the final stats.
+        seed_candidates:
+            Extra pre-validated feasible points (e.g. a requantized solution
+            from an adjacent word length).  A seed replaces the starting
+            incumbent only when its cost is *strictly* better, so a run with
+            redundant seeds returns exactly what the unseeded run returns;
+            ``stats.seeds_adopted`` counts the replacements.  The caller is
+            responsible for feasibility — the driver only rejects non-finite
+            costs.
 
         Raises
         ------
@@ -367,14 +377,23 @@ class BranchAndBoundSolver:
         config = self.config
         stats = BranchAndBoundStats()
         start_time = time.perf_counter()
+        incumbent = initial_incumbent
+        for seed in seed_candidates or ():
+            if not np.isfinite(seed.cost):
+                raise InputValidationError(
+                    f"seed candidate has non-finite cost {seed.cost!r}"
+                )
+            if incumbent is None or seed.cost < incumbent.cost:
+                incumbent = seed
+                stats.seeds_adopted += 1
         if trace is not None:
             trace.begin(start_time)
             trace.record(
                 "start",
-                incumbent=None if initial_incumbent is None else initial_incumbent.cost,
+                incumbent=None if incumbent is None else incumbent.cost,
             )
 
-        state = _SearchState(problem, config, stats, trace, start_time, initial_incumbent)
+        state = _SearchState(problem, config, stats, trace, start_time, incumbent)
         root = problem.initial_box()
         root_relax = problem.relax(root)
         if root_relax.feasible:

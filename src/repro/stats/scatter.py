@@ -91,7 +91,9 @@ def estimate_class_stats(samples: np.ndarray, ddof: int = 0) -> ClassStats:
         raise DataError("need at least one sample")
     if n - ddof < 1:
         raise DataError(f"need more than ddof={ddof} samples, got {n}")
-    if not np.all(np.isfinite(x)):
+    # Two reductions instead of an isfinite temporary (NaN propagates
+    # through min/max): this runs on every class at every sweep point.
+    if x.size and not (np.isfinite(x.min()) and np.isfinite(x.max())):
         raise DataError("samples contain non-finite values")
     mean = x.mean(axis=0)
     centered = x - mean

@@ -17,7 +17,9 @@ from .range_analysis import (
     interval_ranges,
     statistical_ranges,
 )
+from .engine import SweepConfig, run_sweep
 from .search import SweepPoint, minimum_wordlength, pareto_front, wordlength_sweep
+from .sweeptrace import SweepPointRecord, SweepTrace
 
 __all__ = [
     "PrecisionPoint",
@@ -29,7 +31,11 @@ __all__ = [
     "interval_ranges",
     "statistical_ranges",
     "SweepPoint",
+    "SweepConfig",
+    "SweepPointRecord",
+    "SweepTrace",
     "minimum_wordlength",
     "pareto_front",
+    "run_sweep",
     "wordlength_sweep",
 ]

@@ -1,0 +1,380 @@
+"""Warm-started, parallel word-length sweep engine.
+
+The naive sweep retrains every ``QK.F`` point from scratch: it refits the
+feature scaler, refits the conventional-LDA warm start, and hands
+branch-and-bound an incumbent that knows nothing about the adjacent word
+length's solution.  This engine removes all three redundancies:
+
+1. **Hoisting** — the :class:`~repro.data.scaling.FeatureScaler` depends
+   only on ``K`` (via ``scale_margin * 2^(K-1)``), which makes the *scaled
+   train and test datasets* word-length-invariant too, and the float-LDA
+   direction used by the warm start depends only on that scaled,
+   pre-quantization data.  All three are computed once per sweep and
+   threaded into every :meth:`~repro.core.pipeline.TrainingPipeline.run`
+   call (``pre_scaled=True``), leaving only the genuinely grid-dependent
+   work — quantization, statistics, and the solve — per point.
+2. **Cross-word-length incumbent seeding** — each point (after the first in
+   its chunk) passes the previous point's solved ``w`` to
+   :func:`~repro.core.ldafp.train_lda_fp`, which requantizes it onto the
+   new grid, validates it against the exact overflow constraints (invalid
+   seeds are rejected and counted, never silently used), and injects it as
+   a branch-and-bound seed candidate.  A seed replaces the warm-start
+   incumbent only when strictly better, so seeding tightens the initial
+   upper bound — making the search prune harder — without loosening
+   anything.  Sweeping a descending ``word_lengths`` list seeds each point
+   from the *next* (wider) word length's solution, as the chain simply
+   follows the order given.
+3. **Process-parallel chunks with a deterministic merge** — the word-length
+   list is split into ``workers`` contiguous chunks; chunks run in separate
+   processes (or threads), seeds flow only *within* a chunk (so the
+   schedule is a deterministic function of the inputs, never of timing),
+   and results are merged back in input order.
+
+Telemetry: pass a :class:`~repro.wordlength.sweeptrace.SweepTrace` to
+record one ``repro.sweep-trace/v1`` point record per word length, each
+optionally embedding that point's full ``repro.solver-trace/v1`` stream.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.pipeline import PipelineConfig, TrainingPipeline
+from ..data.dataset import Dataset
+from ..data.scaling import FeatureScaler
+from ..errors import DataError, InputValidationError
+from ..hardware.power import paper_power_model
+from ..optim.trace import SolverTrace
+from ..stats.scatter import estimate_two_class_stats
+from .search import SweepPoint
+from .sweeptrace import SweepPointRecord, SweepTrace
+
+__all__ = ["SweepConfig", "run_sweep", "float_warm_direction"]
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Engine knobs.
+
+    Attributes
+    ----------
+    workers:
+        Number of contiguous word-length chunks solved concurrently
+        (``1`` = the serial reference sweep).
+    seed_incumbents:
+        Seed each point's branch-and-bound incumbent with the previous
+        point's solved weights, requantized onto the new grid (lda-fp
+        only; seeds never cross chunk boundaries).
+    point_time_limit:
+        Per-point wall-clock budget in seconds: clamps (never extends) the
+        ``LdaFpConfig.time_limit`` of every sweep point.  Either a single
+        float applied to every point, or a ``{word_length: seconds}``
+        mapping budgeting individual points (word lengths absent from the
+        mapping run uncapped) — the knob that lets one sweep mix fully
+        certified points with tightly budgeted exploratory ones.
+    executor:
+        ``"process"`` (default; true CPU parallelism, falls back to
+        threads when the payload cannot be pickled) or ``"thread"``.
+    """
+
+    workers: int = 1
+    seed_incumbents: bool = True
+    point_time_limit: "float | dict[int, float] | None" = None
+    executor: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise InputValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in ("process", "thread"):
+            raise InputValidationError(f"unknown executor {self.executor!r}")
+        if isinstance(self.point_time_limit, dict):
+            for wl, budget in self.point_time_limit.items():
+                if budget <= 0:
+                    raise InputValidationError(
+                        f"point_time_limit for word length {wl} must be > 0, "
+                        f"got {budget}"
+                    )
+        elif self.point_time_limit is not None and self.point_time_limit <= 0:
+            raise InputValidationError(
+                f"point_time_limit must be > 0, got {self.point_time_limit}"
+            )
+
+
+def float_warm_direction(train_scaled: Dataset) -> "np.ndarray | None":
+    """The word-length-invariant float-LDA direction for the warm start.
+
+    Fisher's direction ``S_W^-1 (mu_A - mu_B)`` computed from the *scaled,
+    pre-quantization* statistics — the only inputs of the conventional-LDA
+    fit that do not depend on the grid, which is what makes this hoistable.
+    Returns ``None`` (caller falls back to the per-word-length fit) when
+    the scatter is too singular to solve.
+    """
+    from ..linalg.cholesky import solve_spd
+
+    stats = estimate_two_class_stats(train_scaled.class_a, train_scaled.class_b)
+    try:
+        direction = solve_spd(stats.within_scatter, stats.mean_difference, jitter=1e-10)
+    except Exception:
+        return None
+    norm = float(np.linalg.norm(direction))
+    if norm == 0.0 or not np.isfinite(norm):
+        return None
+    return direction / norm
+
+
+# --------------------------------------------------------------------- #
+# Chunk execution.  One chunk = a contiguous run of word lengths solved
+# serially in one process, with the incumbent-seed chain flowing through
+# it.  The function is module-level so process pools can pickle it.
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _PointOutcome:
+    """Picklable result of one sweep point (power attached at merge time)."""
+
+    word_length: int
+    test_error: float
+    train_seconds: float
+    proven_optimal: Optional[bool]
+    stop_reason: Optional[str]
+    cost: Optional[float]
+    weights: "tuple[float, ...]"
+    seeded: bool
+    seeds_injected: int
+    seeds_rejected: int
+    seeds_adopted: int
+    solver_trace: Optional[SolverTrace]
+
+
+def _budget_for(
+    point_time_limit: "float | dict[int, float] | None", word_length: int
+) -> "float | None":
+    """Resolve the configured budget for one word length (None = uncapped)."""
+    if isinstance(point_time_limit, dict):
+        return point_time_limit.get(word_length)
+    return point_time_limit
+
+
+def _point_pipeline_config(
+    pipeline_config: PipelineConfig, point_time_limit: "float | None"
+) -> PipelineConfig:
+    """Clamp the per-point solver time budget (never extend it)."""
+    if point_time_limit is None or pipeline_config.method != "lda-fp":
+        return pipeline_config
+    current = pipeline_config.ldafp.time_limit
+    effective = (
+        point_time_limit if current is None else min(current, point_time_limit)
+    )
+    if effective == current:
+        return pipeline_config
+    return replace(
+        pipeline_config, ldafp=replace(pipeline_config.ldafp, time_limit=effective)
+    )
+
+
+def _solve_chunk(
+    train_scaled: Dataset,
+    test_scaled: Dataset,
+    word_lengths: Sequence[int],
+    pipeline_config: PipelineConfig,
+    scaler: FeatureScaler,
+    warm_direction: "np.ndarray | None",
+    seed_incumbents: bool,
+    collect_traces: bool,
+    point_time_limit: "float | dict[int, float] | None" = None,
+    trace_factory: "Callable[[int], object] | None" = None,
+) -> "List[_PointOutcome]":
+    is_ldafp = pipeline_config.method == "lda-fp"
+    outcomes: "List[_PointOutcome]" = []
+    prev_weights: "np.ndarray | None" = None
+    for wl in word_lengths:
+        pipeline = TrainingPipeline(
+            _point_pipeline_config(pipeline_config, _budget_for(point_time_limit, wl))
+        )
+        if trace_factory is not None:
+            trace = trace_factory(wl)
+        elif collect_traces and is_ldafp:
+            trace = SolverTrace()
+        else:
+            trace = None
+        seeds = (
+            [prev_weights]
+            if seed_incumbents and is_ldafp and prev_weights is not None
+            else None
+        )
+        result = pipeline.run(
+            train_scaled,
+            test_scaled,
+            wl,
+            trace=trace,
+            scaler=scaler,
+            warm_start_direction=warm_direction if is_ldafp else None,
+            incumbent_seeds=seeds,
+            pre_scaled=True,
+        )
+        report = result.ldafp_report
+        outcomes.append(
+            _PointOutcome(
+                word_length=wl,
+                test_error=result.test_error,
+                train_seconds=result.train_seconds,
+                proven_optimal=None if report is None else report.proven_optimal,
+                stop_reason=None if report is None else report.stop_reason,
+                cost=None if report is None else report.cost,
+                weights=tuple(float(w) for w in result.classifier.weights),
+                seeded=bool(seeds),
+                seeds_injected=0 if report is None else report.seeds_injected,
+                seeds_rejected=0 if report is None else report.seeds_rejected,
+                seeds_adopted=0 if report is None else report.seeds_adopted,
+                solver_trace=trace if isinstance(trace, SolverTrace) else None,
+            )
+        )
+        prev_weights = np.asarray(result.classifier.weights, dtype=np.float64)
+    return outcomes
+
+
+def _chunk_word_lengths(
+    word_lengths: Sequence[int], workers: int
+) -> "List[List[int]]":
+    """Contiguous, balanced chunks preserving the given sweep order."""
+    count = max(1, min(workers, len(word_lengths)))
+    base, extra = divmod(len(word_lengths), count)
+    chunks: "List[List[int]]" = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(word_lengths[start : start + size]))
+        start += size
+    return chunks
+
+
+def run_sweep(
+    train: Dataset,
+    test: Dataset,
+    word_lengths: Sequence[int],
+    pipeline_config: "PipelineConfig | None" = None,
+    sweep_config: "SweepConfig | None" = None,
+    sweep_trace: "SweepTrace | None" = None,
+    trace_factory: "Callable[[int], object] | None" = None,
+) -> "List[SweepPoint]":
+    """Run the sweep engine; returns one :class:`SweepPoint` per word length.
+
+    The returned list follows the order of ``word_lengths`` regardless of
+    how many workers solved it (deterministic merge).  ``sweep_trace``
+    collects ``repro.sweep-trace/v1`` telemetry; ``trace_factory`` is the
+    legacy per-word-length :class:`SolverTrace` hook and is only supported
+    serially (callables generally do not cross process boundaries).
+    """
+    if not word_lengths:
+        raise DataError("no word lengths given")
+    pipeline_config = pipeline_config or PipelineConfig()
+    sweep_config = sweep_config or SweepConfig()
+    if trace_factory is not None and sweep_config.workers > 1:
+        raise InputValidationError(
+            "trace_factory is only supported with workers=1; "
+            "use a SweepTrace to collect parallel telemetry"
+        )
+    # Hoisted, word-length-invariant work: one scaler fit, one transform of
+    # each dataset, one float warm-start fit.
+    pipeline = TrainingPipeline(pipeline_config)
+    scaler = pipeline.scaler_for(max(word_lengths))
+    scaler.fit(train.features)
+    train_scaled = train.map_features(scaler.transform)
+    test_scaled = test.map_features(scaler.transform)
+    warm_direction = None
+    if pipeline_config.method == "lda-fp" and pipeline_config.ldafp.warm_start:
+        warm_direction = float_warm_direction(train_scaled)
+
+    chunks = _chunk_word_lengths(word_lengths, sweep_config.workers)
+    collect_traces = sweep_trace is not None
+    chunk_args = [
+        (
+            train_scaled,
+            test_scaled,
+            chunk,
+            pipeline_config,
+            scaler,
+            warm_direction,
+            sweep_config.seed_incumbents,
+            collect_traces,
+            sweep_config.point_time_limit,
+        )
+        for chunk in chunks
+    ]
+
+    if len(chunks) == 1 or sweep_config.workers == 1:
+        chunk_outcomes = [
+            _solve_chunk(*chunk_args[0], trace_factory=trace_factory)
+        ]
+    else:
+        chunk_outcomes = _run_chunks_parallel(chunk_args, sweep_config)
+
+    model = paper_power_model()
+    points: "List[SweepPoint]" = []
+    for chunk_index, outcomes in enumerate(chunk_outcomes):
+        for index_in_chunk, outcome in enumerate(outcomes):
+            point = SweepPoint(
+                word_length=outcome.word_length,
+                test_error=outcome.test_error,
+                power=model.power(outcome.word_length),
+                train_seconds=outcome.train_seconds,
+                proven_optimal=outcome.proven_optimal,
+                stop_reason=outcome.stop_reason,
+                cost=outcome.cost,
+                weights=outcome.weights,
+            )
+            points.append(point)
+            if sweep_trace is not None:
+                sweep_trace.add_point(
+                    SweepPointRecord(
+                        word_length=outcome.word_length,
+                        chunk=chunk_index,
+                        index_in_chunk=index_in_chunk,
+                        seeded=outcome.seeded,
+                        seeds_injected=outcome.seeds_injected,
+                        seeds_rejected=outcome.seeds_rejected,
+                        seeds_adopted=outcome.seeds_adopted,
+                        cost=outcome.cost,
+                        test_error=outcome.test_error,
+                        train_seconds=outcome.train_seconds,
+                        proven_optimal=outcome.proven_optimal,
+                        stop_reason=outcome.stop_reason,
+                    ),
+                    solver_trace=outcome.solver_trace,
+                )
+    if sweep_trace is not None:
+        sweep_trace.meta = {
+            "word_lengths": [int(wl) for wl in word_lengths],
+            "method": pipeline_config.method,
+            "workers": sweep_config.workers,
+            "chunks": [list(chunk) for chunk in chunks],
+            "seed_incumbents": sweep_config.seed_incumbents,
+            "executor": sweep_config.executor,
+            "point_time_limit": (
+                {str(wl): limit for wl, limit in sweep_config.point_time_limit.items()}
+                if isinstance(sweep_config.point_time_limit, dict)
+                else sweep_config.point_time_limit
+            ),
+            "warm_direction_hoisted": warm_direction is not None,
+        }
+    return points
+
+
+def _run_chunks_parallel(chunk_args, sweep_config: SweepConfig):
+    """Solve chunks concurrently; results come back in chunk order."""
+    workers = len(chunk_args)
+    if sweep_config.executor == "process":
+        try:
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_solve_chunk, *args) for args in chunk_args]
+                return [future.result() for future in futures]
+        except (OSError, concurrent.futures.process.BrokenProcessPool):
+            pass  # no process support (or worker died): thread fallback
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_solve_chunk, *args) for args in chunk_args]
+        return [future.result() for future in futures]

@@ -1,0 +1,12 @@
+"""RPC004 fixture: dunder methods are public API, not private helpers."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Config:
+    limit: int
+
+    def __post_init__(self):
+        if self.limit < 0:
+            raise ValueError(f"limit must be >= 0, got {self.limit}")

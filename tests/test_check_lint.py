@@ -76,6 +76,15 @@ class TestRPC004:
     def test_good_fixture_is_clean(self):
         assert lint_source(fixture_source("rpc004_good.py"), rules=self.RULES) == []
 
+    def test_dunder_methods_are_public(self):
+        # Regression: __post_init__ starts with "_" and was treated as a
+        # private helper, exempting every dataclass validator from the rule.
+        findings = lint_source(
+            fixture_source("rpc004_dunder_bad.py"), rules=self.RULES
+        )
+        assert rule_ids(findings) == ["RPC004"]
+        assert "__post_init__" in findings[0].message
+
 
 class TestSuppression:
     def test_noqa_markers(self):

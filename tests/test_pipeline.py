@@ -20,6 +20,16 @@ class TestConfig:
         with pytest.raises(ValueError):
             PipelineConfig(scale_margin=0.0)
 
+    def test_validation_raises_repro_error_types(self):
+        # Regression: these raised bare ValueError, which callers catching
+        # repro.errors.ReproError (the CLI, the serve layer) let escape.
+        from repro.errors import InputValidationError, ReproError
+
+        with pytest.raises(InputValidationError):
+            PipelineConfig(method="svm")
+        with pytest.raises(ReproError):
+            PipelineConfig(scale_margin=-1.0)
+
     def test_format_for(self):
         pipe = TrainingPipeline(PipelineConfig(integer_bits=2))
         assert pipe.format_for(8) == QFormat(2, 6)

@@ -229,6 +229,31 @@ class TestSearch:
                     continue
                 assert not (b.power <= a.power and b.test_error < a.test_error)
 
+    def test_pareto_front_dedupes_ties_and_sorts(self):
+        from repro.wordlength.search import SweepPoint
+
+        def point(wl, error, power):
+            return SweepPoint(
+                word_length=wl,
+                test_error=error,
+                power=power,
+                train_seconds=0.0,
+                proven_optimal=None,
+            )
+
+        # Two exact (power, error) ties: only the first-evaluated survives,
+        # and the front comes back stably sorted on (power, word_length).
+        tie_first = point(6, 0.10, 2.0)
+        tie_second = point(7, 0.10, 2.0)
+        cheap = point(4, 0.30, 1.0)
+        dominated = point(8, 0.30, 3.0)
+        front = pareto_front([tie_second, tie_first, cheap, dominated])
+        assert front == [cheap, tie_second]
+        # Order of presentation decides which tie survives.
+        front2 = pareto_front([tie_first, tie_second, cheap, dominated])
+        assert front2 == [cheap, tie_first]
+        assert [p.power for p in front] == sorted(p.power for p in front)
+
     def test_empty_sweep_rejected(self):
         train = make_synthetic_dataset(100, seed=0)
         with pytest.raises(DataError):
