@@ -1,0 +1,64 @@
+"""Enforce the per-package coverage floors recorded in pyproject.toml.
+
+Reads ``coverage.json`` (produced by ``pytest --cov=repro
+--cov-report=json``) and the ``[tool.repro.coverage]`` table, aggregates
+line coverage per package prefix, and exits 1 when any floor is missed.
+
+Kept as a standalone stdlib-only script (tomllib needs Python >= 3.11,
+which the CI job pins) so the gate needs no extra dependency beyond
+pytest-cov itself and the floors live next to the rest of the project
+configuration instead of inside a workflow file.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tomllib
+
+
+def main(coverage_path: str = "coverage.json", pyproject_path: str = "pyproject.toml") -> int:
+    with open(pyproject_path, "rb") as handle:
+        pyproject = tomllib.load(handle)
+    floors = (
+        pyproject.get("tool", {}).get("repro", {}).get("coverage", {})
+    )
+    if not floors:
+        print("error: no [tool.repro.coverage] floors in pyproject.toml", file=sys.stderr)
+        return 2
+    with open(coverage_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    files = report.get("files", {})
+    if not files:
+        print(f"error: {coverage_path} has no per-file data", file=sys.stderr)
+        return 2
+
+    failed = False
+    for prefix, floor in sorted(floors.items()):
+        statements = 0
+        covered = 0
+        for path, entry in files.items():
+            normalized = path.replace("\\", "/")
+            # coverage.json paths look like src/repro/fixedpoint/qformat.py
+            if f"/{prefix}/" not in f"/{normalized}":
+                continue
+            summary = entry["summary"]
+            statements += summary["num_statements"]
+            covered += summary["covered_lines"]
+        if statements == 0:
+            print(f"FAIL {prefix}: no measured files (floor {floor}%)")
+            failed = True
+            continue
+        percent = 100.0 * covered / statements
+        verdict = "ok  " if percent >= floor else "FAIL"
+        if percent < floor:
+            failed = True
+        print(
+            f"{verdict} {prefix}: {percent:.1f}% line coverage "
+            f"({covered}/{statements}, floor {floor}%)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -128,6 +128,26 @@ class FeatureBounds:
         slack = margin * (hi - lo)
         return cls(lo=lo - slack, hi=hi + slack, source="dataset")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (conformance-witness hook): floats stay exact
+        through a JSON round-trip, so the rebuilt bounds are bit-identical."""
+        return {
+            "lo": [float(v) for v in self.lo],
+            "hi": [float(v) for v in self.hi],
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FeatureBounds":
+        """Rebuild bounds serialized by :meth:`to_dict`."""
+        if not isinstance(payload, dict) or "lo" not in payload or "hi" not in payload:
+            raise DataError("feature-bounds payload must have 'lo' and 'hi' lists")
+        return cls(
+            lo=np.asarray(payload["lo"], dtype=np.float64),
+            hi=np.asarray(payload["hi"], dtype=np.float64),
+            source=str(payload.get("source", "explicit")),
+        )
+
     def raw_intervals(
         self, fmt: QFormat, rounding: "RoundingMode | str"
     ) -> List[Tuple[int, int]]:

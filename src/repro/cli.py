@@ -27,6 +27,13 @@ and statically certifies artifacts and lints the source tree
     python -m repro check --artifact clf.json --dataset synthetic
     python -m repro check --format Q2.4 --num-features 8
     python -m repro check --lint src --selftest
+
+and runs the conformance harness (see docs/testing.md)::
+
+    python -m repro fuzz --budget 60s
+    python -m repro fuzz --replay fuzz_witness.json
+    python -m repro fuzz --selftest
+    python -m repro golden verify
 """
 
 from __future__ import annotations
@@ -266,6 +273,73 @@ def build_parser() -> argparse.ArgumentParser:
         "datapath simulator",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing across datapath/serve/solver/sweep/check "
+        "(see docs/testing.md)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="example-stream seed (deterministic)"
+    )
+    fuzz.add_argument(
+        "--budget",
+        metavar="DURATION",
+        help='wall-clock budget, e.g. "60s", "5m" (late oracles drain fast)',
+    )
+    fuzz.add_argument(
+        "--examples",
+        type=int,
+        help="override every oracle's per-run example count",
+    )
+    fuzz.add_argument(
+        "--oracle",
+        metavar="NAME",
+        action="append",
+        help="restrict to the named oracle(s) (repeatable; see --list)",
+    )
+    fuzz.add_argument(
+        "--witness",
+        metavar="PATH",
+        default="fuzz_witness.json",
+        help="where to write the shrunk witness on failure",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="PATH",
+        help="re-run a recorded repro.fuzz-witness/v1 file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--selftest",
+        action="store_true",
+        help="prove detection: inject a datapath off-by-one and require the "
+        "harness to catch, witness, and replay it",
+    )
+    fuzz.add_argument(
+        "--list", action="store_true", dest="list_oracles",
+        help="list the registered oracles and exit",
+    )
+
+    golden = sub.add_parser(
+        "golden",
+        help="record/verify bit-exact golden vectors (see docs/testing.md)",
+    )
+    golden.add_argument(
+        "action",
+        choices=("record", "verify"),
+        help="record: (re)write vectors; verify: recompute and diff",
+    )
+    golden.add_argument(
+        "--dir",
+        default="tests/golden",
+        help="golden-vector directory (default: tests/golden)",
+    )
+    golden.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        help="restrict to the named vector(s) (repeatable)",
+    )
+
     ablations = sub.add_parser("ablations", help="run the design-choice ablations")
     ablations.add_argument(
         "--which",
@@ -464,6 +538,12 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
 
     elif args.command == "check":
         return _run_check(args)
+
+    elif args.command == "fuzz":
+        return _run_fuzz(args)
+
+    elif args.command == "golden":
+        return _run_golden(args)
 
     elif args.command == "predict":
         import json as _json
@@ -719,6 +799,75 @@ def _run_check(args) -> int:
         )
         return 2
     return 1 if failed else 0
+
+
+def _run_fuzz(args) -> int:
+    """``repro fuzz``: differential fuzzing over the oracle registry.
+
+    Exit codes mirror ``repro check``: 0 — all oracles agree (or a
+    replayed witness no longer reproduces); 1 — a discrepancy was found
+    (witness written) or a replayed witness still reproduces; 2 — bad
+    invocation.
+    """
+    from .conformance import fuzzer
+    from .errors import ReproError
+
+    try:
+        if args.list_oracles:
+            for line in fuzzer.describe_oracles():
+                print(line)
+            return 0
+
+        if args.selftest:
+            return fuzzer.run_selftest(seed=args.seed)
+
+        if args.replay:
+            code, _ = fuzzer.replay_witness(args.replay)
+            return code
+
+        budget = fuzzer.parse_budget(args.budget) if args.budget else None
+        code, failure = fuzzer.run_fuzz(
+            oracle_names=args.oracle,
+            seed=args.seed,
+            examples=args.examples,
+            budget_seconds=budget,
+        )
+        if failure is not None:
+            fuzzer.write_witness(args.witness, failure, args.seed)
+            print(f"witness written to {args.witness}")
+        return code
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_golden(args) -> int:
+    """``repro golden record|verify``: pin / re-check the golden vectors.
+
+    Exit codes: 0 — recorded, or every vector verified bit-identical;
+    1 — verification found drift or missing vectors; 2 — bad invocation.
+    """
+    from .conformance import golden
+    from .errors import ReproError
+
+    try:
+        if args.action == "record":
+            names = golden.record_goldens(args.dir, only=args.only)
+            for name in names:
+                print(f"recorded {golden.golden_path(args.dir, name)}")
+            return 0
+
+        problems = golden.verify_goldens(args.dir, only=args.only)
+        if problems:
+            for problem in problems:
+                print(f"golden mismatch: {problem}")
+            return 1
+        checked = args.only if args.only else sorted(golden.RECORDERS)
+        print(f"golden: {len(checked)} vector(s) verified bit-identical")
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _check_dataset(args):

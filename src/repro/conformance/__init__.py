@@ -1,0 +1,51 @@
+"""Conformance harness: shared strategies, differential oracles, fuzzing,
+and golden vectors.
+
+The repo's four implementations of the bit-exact ``QK.F`` semantics (the
+reference datapath, the vectorized serve engine, the abstract-interpretation
+certifier, and the parallel solver/sweep engines) are kept honest here:
+
+- :mod:`~repro.conformance.strategies` — the single home of hypothesis
+  strategies and seeded builders used by tests and the fuzzer alike;
+- :mod:`~repro.conformance.oracles` — the registry of cross-implementation
+  checks (raises :class:`OracleDiscrepancy` on the first bit of divergence);
+- :mod:`~repro.conformance.fuzzer` — ``repro fuzz``: seeded/budgeted
+  fuzzing, shrunk ``repro.fuzz-witness/v1`` witnesses, ``--replay``, and
+  the mutation selftest that proves the harness can actually detect bugs;
+- :mod:`~repro.conformance.golden` — ``repro golden record|verify``:
+  pinned-seed bit-exact vectors under ``tests/golden/`` that catch all
+  implementations drifting together.
+
+See ``docs/testing.md`` for the workflow.
+"""
+
+from .fuzzer import (
+    WITNESS_SCHEMA,
+    injected_datapath_mutation,
+    load_witness,
+    replay_witness,
+    run_fuzz,
+    run_selftest,
+    write_witness,
+)
+from .golden import GOLDEN_SCHEMA, RECORDERS, record_goldens, verify_goldens
+from .oracles import ALL_ORACLES, ORACLES, Oracle, OracleDiscrepancy, get_oracle
+
+__all__ = [
+    "ALL_ORACLES",
+    "ORACLES",
+    "Oracle",
+    "OracleDiscrepancy",
+    "get_oracle",
+    "WITNESS_SCHEMA",
+    "GOLDEN_SCHEMA",
+    "RECORDERS",
+    "run_fuzz",
+    "run_selftest",
+    "replay_witness",
+    "load_witness",
+    "write_witness",
+    "injected_datapath_mutation",
+    "record_goldens",
+    "verify_goldens",
+]

@@ -1,0 +1,300 @@
+"""Differential fuzz driver behind ``repro fuzz``.
+
+Drives the :mod:`repro.conformance.oracles` registry with hypothesis:
+each oracle's strategy generates JSON-able cases, ``check`` replays them
+through both implementations, and any :class:`OracleDiscrepancy` is
+shrunk by hypothesis before it reaches us — the exception that finally
+escapes carries the *minimal* failing case.  That case is written as a
+``repro.fuzz-witness/v1`` file which ``repro fuzz --replay`` re-executes
+without hypothesis, so a CI failure reproduces locally from one JSON
+blob.
+
+Exit-code convention (same as ``repro check``): 0 all oracles agree,
+1 a discrepancy was found (or a replayed witness still fails),
+2 the invocation itself was invalid.
+
+Determinism: for a fixed ``--seed`` the example stream is fixed, and the
+default report prints only oracle names and verdicts (no counts, no
+timings), so two identical clean runs produce byte-identical output even
+when a wall-clock budget truncates late oracles mid-stream.
+
+The module also hosts the **mutation selftest** (``repro fuzz
+--selftest``): it patches a deliberate off-by-one into the reference
+datapath, asserts the engine-vs-datapath oracle catches it and yields a
+witness, asserts ``--replay`` reproduces the discrepancy under the
+mutation, and asserts the same witness passes on the unmutated tree.
+A fuzzer that cannot detect a seeded bug is worse than no fuzzer — this
+proves detection end to end on every CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from hypothesis import HealthCheck, Phase, Verbosity, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings as hypothesis_settings
+
+from ..errors import DataError, InputValidationError
+from .oracles import ALL_ORACLES, Oracle, OracleDiscrepancy, get_oracle
+
+__all__ = [
+    "WITNESS_SCHEMA",
+    "parse_budget",
+    "fuzz_oracle",
+    "run_fuzz",
+    "write_witness",
+    "load_witness",
+    "replay_witness",
+    "injected_datapath_mutation",
+    "run_selftest",
+]
+
+WITNESS_SCHEMA = "repro.fuzz-witness/v1"
+
+
+def parse_budget(text: str) -> float:
+    """Parse a wall-clock budget like ``"60s"``, ``"5m"``, or ``"90"``."""
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("ms"):
+        raw, scale = raw[:-2], 1e-3
+    elif raw.endswith("s"):
+        raw = raw[:-1]
+    elif raw.endswith("m"):
+        raw, scale = raw[:-1], 60.0
+    elif raw.endswith("h"):
+        raw, scale = raw[:-1], 3600.0
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise InputValidationError(
+            f"cannot parse budget {text!r}; use e.g. 60s, 5m, 1h"
+        ) from None
+    if seconds <= 0:
+        raise InputValidationError(f"budget must be positive, got {text!r}")
+    return seconds
+
+
+def fuzz_oracle(
+    oracle: Oracle,
+    seed: int,
+    max_examples: int,
+    stop_after: Optional[float] = None,
+) -> Optional[OracleDiscrepancy]:
+    """Fuzz one oracle; return the shrunk discrepancy, or None if it held.
+
+    ``stop_after`` is a ``time.monotonic()`` deadline: once passed, the
+    remaining examples become no-ops so hypothesis drains quickly without
+    reporting spurious passes as failures.
+    """
+
+    @hypothesis_seed(seed)
+    @hypothesis_settings(
+        max_examples=max_examples,
+        deadline=None,
+        database=None,
+        derandomize=False,
+        report_multiple_bugs=False,
+        print_blob=False,
+        verbosity=Verbosity.quiet,
+        suppress_health_check=list(HealthCheck),
+        phases=(Phase.generate, Phase.shrink),
+    )
+    @given(oracle.strategy())
+    def drive(case: dict) -> None:
+        if stop_after is not None and time.monotonic() > stop_after:
+            return
+        oracle.check(case)
+
+    try:
+        drive()
+    except OracleDiscrepancy as exc:
+        return exc
+    return None
+
+
+def run_fuzz(
+    oracle_names: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    examples: Optional[int] = None,
+    budget_seconds: Optional[float] = None,
+    emit: Callable[[str], None] = print,
+) -> Tuple[int, Optional[OracleDiscrepancy]]:
+    """Fuzz the selected oracles; returns ``(exit_code, first_failure)``.
+
+    Stops at the first discrepancy (depth-first shrinking beats breadth
+    once anything fails).  The report is deterministic for a fixed seed on
+    a clean tree: one ``ok`` line per oracle plus a one-line summary.
+    """
+    if oracle_names:
+        oracles = [get_oracle(name) for name in oracle_names]
+    else:
+        oracles = list(ALL_ORACLES)
+    stop_after = (
+        time.monotonic() + budget_seconds if budget_seconds is not None else None
+    )
+    for oracle in oracles:
+        failure = fuzz_oracle(
+            oracle,
+            seed=seed,
+            max_examples=examples if examples is not None else oracle.default_examples,
+            stop_after=stop_after,
+        )
+        if failure is not None:
+            emit(f"oracle {oracle.name}: FAIL")
+            emit(f"  {failure.detail}")
+            return 1, failure
+        emit(f"oracle {oracle.name}: ok")
+    emit(f"fuzz: {len(oracles)} oracle(s) ok")
+    return 0, None
+
+
+# --------------------------------------------------------------------- #
+# Witness files
+# --------------------------------------------------------------------- #
+def write_witness(path: str, failure: OracleDiscrepancy, seed: int) -> None:
+    """Serialize a shrunk discrepancy as a replayable witness file."""
+    payload = {
+        "schema": WITNESS_SCHEMA,
+        "oracle": failure.oracle,
+        "seed": int(seed),
+        "message": failure.detail,
+        "case": failure.case,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_witness(path: str) -> dict:
+    """Load and schema-check a witness file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DataError(f"cannot read witness {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != WITNESS_SCHEMA:
+        raise DataError(
+            f"witness {path!r} is not a {WITNESS_SCHEMA} file "
+            f"(schema={payload.get('schema') if isinstance(payload, dict) else None!r})"
+        )
+    if "oracle" not in payload or "case" not in payload:
+        raise DataError(f"witness {path!r} is missing 'oracle' or 'case'")
+    return payload
+
+
+def replay_witness(
+    path: str, emit: Callable[[str], None] = print
+) -> Tuple[int, Optional[OracleDiscrepancy]]:
+    """Re-run a witness case without hypothesis.
+
+    Exit 1 when the discrepancy still reproduces (the bug is live), 0 when
+    the implementations now agree (the bug is fixed), 2 on a bad file.
+    """
+    payload = load_witness(path)
+    oracle = get_oracle(str(payload["oracle"]))
+    try:
+        oracle.check(payload["case"])
+    except OracleDiscrepancy as exc:
+        emit(f"witness {path}: REPRODUCED on oracle {oracle.name}")
+        emit(f"  {exc.detail}")
+        return 1, exc
+    emit(f"witness {path}: no longer reproduces (oracle {oracle.name} agrees)")
+    return 0, None
+
+
+# --------------------------------------------------------------------- #
+# Mutation selftest
+# --------------------------------------------------------------------- #
+@contextmanager
+def injected_datapath_mutation() -> Iterator[None]:
+    """Deliberately break the reference datapath (off-by-one on the result).
+
+    Patches :meth:`FixedPointDatapath.project_traced` to wrap ``+1`` onto
+    the final raw word — exactly the class of silent bit-level bug the
+    conformance harness exists to catch.  Selftest use only.
+    """
+    from ..fixedpoint.datapath import FixedPointDatapath
+
+    original = FixedPointDatapath.project_traced
+
+    def mutated(self, features):  # type: ignore[no-untyped-def]
+        trace = original(self, features)
+        fmt = self.config.fmt
+        trace.result_raw = int(fmt.wrap_raw(trace.result_raw + 1))
+        return trace
+
+    FixedPointDatapath.project_traced = mutated  # type: ignore[method-assign]
+    try:
+        yield
+    finally:
+        FixedPointDatapath.project_traced = original  # type: ignore[method-assign]
+
+
+def run_selftest(
+    seed: int = 0,
+    witness_path: Optional[str] = None,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Prove end-to-end bug detection with an injected datapath mutation.
+
+    Steps: (1) under the mutation, the engine-vs-datapath oracle must find
+    a discrepancy; (2) the witness it writes must reproduce under the
+    mutation via the replay path; (3) the same witness must pass on the
+    clean tree.  Returns 0 only when all three hold.
+    """
+    oracle = get_oracle("engine-datapath")
+    cleanup = witness_path is None
+    if witness_path is None:
+        fd, witness_path = tempfile.mkstemp(
+            prefix="repro-fuzz-selftest-", suffix=".json"
+        )
+        os.close(fd)
+    try:
+        with injected_datapath_mutation():
+            failure = fuzz_oracle(oracle, seed=seed, max_examples=40)
+        if failure is None:
+            emit("selftest: FAIL — injected datapath mutation went undetected")
+            return 1
+        write_witness(witness_path, failure, seed)
+        emit(f"selftest: mutation detected ({failure.detail})")
+
+        with injected_datapath_mutation():
+            code, _ = replay_witness(witness_path, emit=lambda _msg: None)
+        if code != 1:
+            emit("selftest: FAIL — witness does not reproduce under the mutation")
+            return 1
+        emit("selftest: witness reproduces under the mutation")
+
+        code, _ = replay_witness(witness_path, emit=lambda _msg: None)
+        if code != 0:
+            emit(
+                "selftest: FAIL — witness still fails on the clean tree "
+                "(the harness found a real discrepancy, not the injected one)"
+            )
+            return 1
+        emit("selftest: witness passes on the clean tree")
+        emit("selftest: ok")
+        return 0
+    finally:
+        if cleanup:
+            try:
+                os.unlink(witness_path)
+            except OSError:
+                pass
+
+
+def describe_oracles() -> List[str]:
+    """One formatted line per registered oracle (``repro fuzz --list``)."""
+    width = max(len(oracle.name) for oracle in ALL_ORACLES)
+    return [
+        f"{oracle.name:<{width}}  [{oracle.default_examples:>3} examples]  "
+        f"{oracle.description}"
+        for oracle in ALL_ORACLES
+    ]

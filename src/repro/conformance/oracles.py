@@ -1,0 +1,358 @@
+"""Cross-implementation conformance oracles.
+
+The repo carries four independent implementations of the same bit-exact
+semantics: the per-sample reference datapath
+(:class:`~repro.fixedpoint.datapath.FixedPointDatapath`), the vectorized
+serving engine (int64 fast path and object fallback), the ``repro.check``
+abstract-interpretation certifier, and the parallel solver/sweep engines
+with their serial baselines.  Each *pair* is differentially tested
+somewhere in ``tests/``, but those checks were written ad hoc per PR.  An
+**oracle** packages one such cross-check as an object the fuzz driver can
+enumerate: a hypothesis strategy producing JSON-able cases, and a ``check``
+that replays a case through both implementations and raises
+:class:`OracleDiscrepancy` on the first observable difference.
+
+Because cases are plain JSON, a failing (hypothesis-shrunk) example
+serializes directly into a ``repro.fuzz-witness/v1`` file and replays with
+``repro fuzz --replay`` — no pickling, no environment capture.
+
+Registry: :data:`ALL_ORACLES` (ordered cheap-to-expensive) and
+:func:`get_oracle`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from ..errors import CheckError, InputValidationError
+from . import strategies as cst
+
+__all__ = [
+    "Oracle",
+    "OracleDiscrepancy",
+    "ALL_ORACLES",
+    "ORACLES",
+    "get_oracle",
+]
+
+
+class OracleDiscrepancy(CheckError):
+    """Two implementations of the same semantics disagreed on a case.
+
+    Carries the JSON-able ``case`` so the fuzz driver can serialize the
+    (shrunk) example as a replayable witness.
+    """
+
+    def __init__(self, oracle: str, message: str, case: dict) -> None:
+        super().__init__(f"[{oracle}] {message}")
+        self.oracle = oracle
+        self.detail = message
+        self.case = case
+
+
+class Oracle:
+    """One cross-implementation check; subclasses fill in the pair."""
+
+    #: registry key, used in CLI ``--oracle`` filters and witness files
+    name: str = ""
+    #: one-line human description (``repro fuzz --list``)
+    description: str = ""
+    #: examples per default fuzz run — heavy oracles get small budgets
+    default_examples: int = 50
+
+    def strategy(self) -> st.SearchStrategy:
+        """Hypothesis strategy of JSON-able case dicts."""
+        raise NotImplementedError
+
+    def check(self, case: dict) -> None:
+        """Replay ``case`` through both implementations; raise on mismatch."""
+        raise NotImplementedError
+
+    def fail(self, message: str, case: dict) -> None:
+        raise OracleDiscrepancy(self.name, message, case)
+
+
+# --------------------------------------------------------------------- #
+# 1. Serving engine (fast + object + raw hook) vs per-sample datapath
+# --------------------------------------------------------------------- #
+class EngineDatapathOracle(Oracle):
+    """Four-way bit-identity: engine int64 path, engine object fallback,
+    the :meth:`run_raw` hook, and the scalar reference datapath — raws,
+    labels, and per-step overflow flags, including forced-wrap inputs."""
+
+    name = "engine-datapath"
+    description = (
+        "serve.BatchInferenceEngine (fast/object/run_raw) vs "
+        "fixedpoint.FixedPointDatapath.project_traced, bit for bit"
+    )
+    default_examples = 60
+
+    def strategy(self) -> st.SearchStrategy:
+        return cst.classifier_cases(
+            max_integer_bits=4, max_fraction_bits=5, max_features=6, max_samples=6
+        )
+
+    def check(self, case: dict) -> None:
+        from ..serve.engine import BatchInferenceEngine
+
+        classifier = cst.case_classifier(case)
+        features = cst.case_features(case)
+        datapath = classifier.datapath()
+        results = {
+            "fast": BatchInferenceEngine(classifier, force_object=False).run(features),
+            "object": BatchInferenceEngine(classifier, force_object=True).run(features),
+            "run_raw": BatchInferenceEngine(classifier).run_raw(
+                np.asarray(case["feature_raws"], dtype=object)
+            ),
+        }
+        expected_labels = classifier.predict_bitexact(features)
+        for i, row in enumerate(np.atleast_2d(features)):
+            trace = datapath.project_traced(row)
+            for path, result in results.items():
+                if int(result.projection_raws[i]) != trace.result_raw:
+                    self.fail(
+                        f"sample {i}: {path} projection raw "
+                        f"{int(result.projection_raws[i])} != datapath "
+                        f"{trace.result_raw}",
+                        case,
+                    )
+                if list(result.product_overflowed[i]) != trace.product_overflowed:
+                    self.fail(f"sample {i}: {path} product flags diverge", case)
+                if (
+                    list(result.accumulator_overflowed[i])
+                    != trace.accumulator_overflowed
+                ):
+                    self.fail(f"sample {i}: {path} accumulator flags diverge", case)
+                if int(result.labels[i]) != int(expected_labels[i]):
+                    self.fail(
+                        f"sample {i}: {path} label {int(result.labels[i])} != "
+                        f"predict_bitexact {int(expected_labels[i])}",
+                        case,
+                    )
+
+
+# --------------------------------------------------------------------- #
+# 2. Serialize round-trip
+# --------------------------------------------------------------------- #
+class SerializeRoundtripOracle(Oracle):
+    """``classifier_from_dict`` then ``classifier_to_dict`` must reproduce
+    a fully-populated artifact payload verbatim (and be idempotent)."""
+
+    name = "serialize-roundtrip"
+    description = "core.serialize artifact dict -> classifier -> dict identity"
+    default_examples = 60
+
+    def strategy(self) -> st.SearchStrategy:
+        return cst.artifact_payloads()
+
+    def check(self, case: dict) -> None:
+        from ..core.serialize import classifier_from_dict, classifier_to_dict
+
+        first = classifier_to_dict(classifier_from_dict(case))
+        if first != case:
+            self.fail(f"round-trip changed the payload: {first} != {case}", case)
+        second = classifier_to_dict(classifier_from_dict(first))
+        if second != first:
+            self.fail("round-trip is not idempotent", case)
+
+
+# --------------------------------------------------------------------- #
+# 3. Certifier verdicts vs empirical replay through the simulator
+# --------------------------------------------------------------------- #
+class CertifierReplayOracle(Oracle):
+    """Every certificate verdict must survive empirical replay: PROVEN
+    bounds contain all sampled behaviour, VIOLATED witnesses overflow."""
+
+    name = "certifier-replay"
+    description = (
+        "check.certify_classifier verdicts vs bit-exact simulation "
+        "(check.selftest.verify_report_by_simulation)"
+    )
+    default_examples = 20
+
+    def strategy(self) -> st.SearchStrategy:
+        @st.composite
+        def cases(draw) -> dict:
+            base = draw(
+                cst.classifier_cases(
+                    max_integer_bits=3,
+                    max_fraction_bits=4,
+                    max_features=4,
+                    max_samples=1,
+                )
+            )
+            case = {k: v for k, v in base.items() if k != "feature_raws"}
+            case["seed"] = draw(st.integers(min_value=0, max_value=2**31 - 1))
+            if draw(st.booleans()):
+                from ..fixedpoint.qformat import QFormat
+
+                fmt = QFormat(case["integer_bits"], case["fraction_bits"])
+                m = len(case["weight_raws"])
+                pairs = [
+                    sorted(draw(cst.raw_word_lists(fmt, 2))) for _ in range(m)
+                ]
+                case["bounds_lo_raws"] = [p[0] for p in pairs]
+                case["bounds_hi_raws"] = [p[1] for p in pairs]
+            return case
+
+        return cases()
+
+    def check(self, case: dict) -> None:
+        from ..check.certifier import FeatureBounds, certify_classifier
+        from ..check.selftest import verify_report_by_simulation
+
+        classifier = cst.case_classifier(case)
+        bounds = None
+        if "bounds_lo_raws" in case:
+            fmt = classifier.fmt
+            bounds = FeatureBounds(
+                lo=np.array(
+                    [fmt.to_real(int(r)) for r in case["bounds_lo_raws"]],
+                    dtype=np.float64,
+                ),
+                hi=np.array(
+                    [fmt.to_real(int(r)) for r in case["bounds_hi_raws"]],
+                    dtype=np.float64,
+                ),
+                source="explicit",
+            )
+        report = certify_classifier(classifier, feature_bounds=bounds)
+        try:
+            verify_report_by_simulation(
+                report,
+                classifier,
+                feature_bounds=bounds,
+                samples=24,
+                seed=int(case["seed"]),
+            )
+        except CheckError as exc:
+            self.fail(str(exc), case)
+
+
+# --------------------------------------------------------------------- #
+# 4. Parallel branch-and-bound vs the serial driver
+# --------------------------------------------------------------------- #
+def _solver_instance(seed: int):
+    """A small deterministic LDA-FP instance (dataset, format) from a seed."""
+    from ..data.dataset import Dataset
+    from ..fixedpoint.qformat import QFormat
+
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(2, 4))
+    mean = rng.uniform(-0.6, 0.6, size=m)
+    scale = rng.uniform(0.2, 0.5)
+    a = rng.standard_normal((60, m)) * scale + mean
+    b = rng.standard_normal((60, m)) * scale - mean
+    return Dataset.from_class_arrays(a, b), QFormat(2, int(rng.integers(1, 4)))
+
+
+class SolverParallelOracle(Oracle):
+    """The parallel frontier merge must reproduce the serial solver's
+    result exactly: weights, cost, lower bound, proof status, stop reason."""
+
+    name = "solver-parallel-serial"
+    description = "optim.bnb workers>1 vs workers=1 on random LDA-FP instances"
+    default_examples = 2
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.fixed_dictionaries(
+            {"seed": st.integers(min_value=0, max_value=10**6)}
+        )
+
+    def check(self, case: dict) -> None:
+        from ..core.ldafp import LdaFpConfig, train_lda_fp
+
+        dataset, fmt = _solver_instance(int(case["seed"]))
+        results = {}
+        for workers in (1, 2):
+            config = LdaFpConfig(max_nodes=400, time_limit=None, workers=workers)
+            classifier, report = train_lda_fp(dataset, fmt, config)
+            results[workers] = (classifier, report)
+        (c1, r1), (c2, r2) = results[1], results[2]
+        if not np.array_equal(c1.weights, c2.weights) or c1.threshold != c2.threshold:
+            self.fail(
+                f"parallel solution diverges: {c2.weights}/{c2.threshold} != "
+                f"{c1.weights}/{c1.threshold}",
+                case,
+            )
+        for field in ("cost", "lower_bound", "proven_optimal", "stop_reason"):
+            if getattr(r1, field) != getattr(r2, field):
+                self.fail(
+                    f"report field {field!r}: parallel {getattr(r2, field)} != "
+                    f"serial {getattr(r1, field)}",
+                    case,
+                )
+
+
+# --------------------------------------------------------------------- #
+# 5. Warm-started sweep engine vs the naive per-point sweep
+# --------------------------------------------------------------------- #
+class SweepNaiveOracle(Oracle):
+    """Incumbent seeding must be result-neutral: the seeded engine's points
+    are canonically identical to the unseeded serial reference sweep."""
+
+    name = "sweep-naive"
+    description = (
+        "wordlength.engine.run_sweep (seeded) vs wordlength_sweep baseline"
+    )
+    default_examples = 1
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.fixed_dictionaries(
+            {"seed": st.integers(min_value=0, max_value=10**6)}
+        )
+
+    def check(self, case: dict) -> None:
+        from ..core.ldafp import LdaFpConfig
+        from ..core.pipeline import PipelineConfig
+        from ..data.synthetic import make_synthetic_dataset
+        from ..wordlength import SweepConfig, run_sweep, wordlength_sweep
+
+        seed = int(case["seed"])
+        train = make_synthetic_dataset(30, seed=seed)
+        test = make_synthetic_dataset(60, seed=seed + 1)
+        # relative_gap=0 closes every gap exactly, so seeding cannot legally
+        # stop at a different (equally gap-certified) incumbent; no time
+        # limit keeps the node schedule deterministic.
+        config = PipelineConfig(
+            method="lda-fp",
+            ldafp=LdaFpConfig(max_nodes=120, time_limit=None, relative_gap=0.0),
+        )
+        word_lengths = (4, 5)
+        reference = wordlength_sweep(train, test, word_lengths, pipeline_config=config)
+        seeded = run_sweep(
+            train,
+            test,
+            word_lengths,
+            pipeline_config=config,
+            sweep_config=SweepConfig(workers=1, seed_incumbents=True),
+        )
+        for ref, got in zip(reference, seeded):
+            if ref.canonical() != got.canonical():
+                self.fail(
+                    f"word length {ref.word_length}: seeded point "
+                    f"{got.canonical()} != reference {ref.canonical()}",
+                    case,
+                )
+
+
+ALL_ORACLES = (
+    EngineDatapathOracle(),
+    SerializeRoundtripOracle(),
+    CertifierReplayOracle(),
+    SolverParallelOracle(),
+    SweepNaiveOracle(),
+)
+
+ORACLES = {oracle.name: oracle for oracle in ALL_ORACLES}
+
+
+def get_oracle(name: str) -> Oracle:
+    """Look up an oracle by registry name."""
+    oracle = ORACLES.get(name)
+    if oracle is None:
+        raise InputValidationError(
+            f"unknown oracle {name!r}; available: {', '.join(sorted(ORACLES))}"
+        )
+    return oracle

@@ -1,0 +1,246 @@
+"""Shared hypothesis strategies for the fixed-point conformance suite.
+
+Before this module existed, every property-test file grew its own ad-hoc
+copies of the same generators — a ``QFormat`` builder here, a rounding-mode
+list there, a seeded random-classifier helper in a third place — and the
+copies drifted (different bit ranges, different saturation habits).  This
+module is the single source of those generators; the test suite and the
+:mod:`repro.conformance.fuzzer` draw from the same distributions, so a case
+the fuzzer minimizes is always expressible as a test input and vice versa.
+
+Two kinds of exports:
+
+- **hypothesis strategies** (:func:`qformats`, :func:`rounding_modes`,
+  :func:`raw_words`, :func:`raw_word_lists`, :func:`weight_grids`,
+  :func:`classifiers`, :func:`classifier_cases`, :func:`artifact_payloads`)
+  for ``@given`` property tests and the fuzz driver;
+- **seeded builders** (:func:`random_classifier`, :func:`case_classifier`,
+  :func:`case_features`) shared by tests that drive ``numpy`` RNGs and by
+  the witness replayer, which must rebuild the exact objects a serialized
+  case describes.
+
+Every strategy that feeds an oracle produces a plain-JSON ``dict`` (ints,
+floats, strings, lists) so a failing example serializes directly into a
+``repro.fuzz-witness/v1`` file with no custom encoding step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from ..core.classifier import FixedPointLinearClassifier
+from ..fixedpoint.overflow import OverflowMode
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.rounding import RoundingMode
+
+__all__ = [
+    "DETERMINISTIC_ROUNDING_MODES",
+    "OVERFLOW_MODES",
+    "qformats",
+    "rounding_modes",
+    "finite_floats",
+    "raw_words",
+    "raw_word_lists",
+    "weight_grids",
+    "classifiers",
+    "classifier_cases",
+    "artifact_payloads",
+    "random_classifier",
+    "case_classifier",
+    "case_features",
+]
+
+# The rounding modes with a deterministic narrowing rule (everything except
+# stochastic) — the set every differential/property suite iterates over.
+DETERMINISTIC_ROUNDING_MODES = (
+    RoundingMode.NEAREST_AWAY,
+    RoundingMode.NEAREST_EVEN,
+    RoundingMode.FLOOR,
+    RoundingMode.CEIL,
+    RoundingMode.TOWARD_ZERO,
+)
+
+# The overflow policies a hardware datapath can implement (RAISE is a
+# debugging aid, not a silicon behaviour, so the matrix tests skip it).
+OVERFLOW_MODES = (OverflowMode.WRAP, OverflowMode.SATURATE)
+
+
+def qformats(
+    min_integer_bits: int = 1,
+    max_integer_bits: int = 6,
+    min_fraction_bits: int = 0,
+    max_fraction_bits: int = 8,
+) -> st.SearchStrategy:
+    """``QFormat`` values with bit widths in the given (inclusive) ranges."""
+    return st.builds(
+        QFormat,
+        integer_bits=st.integers(min_value=min_integer_bits, max_value=max_integer_bits),
+        fraction_bits=st.integers(min_value=min_fraction_bits, max_value=max_fraction_bits),
+    )
+
+
+def rounding_modes() -> st.SearchStrategy:
+    """One of the deterministic rounding modes."""
+    return st.sampled_from(DETERMINISTIC_ROUNDING_MODES)
+
+
+def finite_floats(bound: float = 100.0) -> st.SearchStrategy:
+    """Finite floats in ``[-bound, bound]`` (no NaN/inf by construction)."""
+    return st.floats(min_value=-bound, max_value=bound)
+
+
+def raw_words(fmt: QFormat, beyond: int = 0) -> st.SearchStrategy:
+    """Raw integer words of ``fmt``; ``beyond`` widens each side by that
+    many multiples of the range so saturation/wrap paths get exercised."""
+    span = fmt.max_raw - fmt.min_raw + 1
+    return st.integers(
+        min_value=fmt.min_raw - beyond * span, max_value=fmt.max_raw + beyond * span
+    )
+
+
+def raw_word_lists(
+    fmt: QFormat, length: int, beyond: int = 0
+) -> st.SearchStrategy:
+    """Fixed-length lists of raw words (see :func:`raw_words`)."""
+    return st.lists(raw_words(fmt, beyond=beyond), min_size=length, max_size=length)
+
+
+def weight_grids(fmt: QFormat, length: int) -> st.SearchStrategy:
+    """Grid-exact weight vectors of ``fmt`` as float lists.
+
+    Raw words capped at 52 total bits convert to float64 exactly, and every
+    ``qformats()`` default stays far below that, so the values are exact.
+    """
+    return raw_word_lists(fmt, length).map(
+        lambda raws: [float(fmt.to_real(int(r))) for r in raws]
+    )
+
+
+@st.composite
+def classifiers(
+    draw,
+    max_integer_bits: int = 5,
+    max_fraction_bits: int = 5,
+    max_features: int = 8,
+) -> FixedPointLinearClassifier:
+    """Grid-exact classifiers over small formats (both polarities)."""
+    fmt = draw(
+        qformats(max_integer_bits=max_integer_bits, max_fraction_bits=max_fraction_bits)
+    )
+    m = draw(st.integers(min_value=1, max_value=max_features))
+    weights = np.asarray(draw(weight_grids(fmt, m)), dtype=np.float64)
+    threshold_raw = draw(raw_words(fmt))
+    return FixedPointLinearClassifier(
+        weights=weights,
+        threshold=float(fmt.to_real(int(threshold_raw))),
+        fmt=fmt,
+        rounding=draw(rounding_modes()),
+        polarity=draw(st.sampled_from([1, -1])),
+    )
+
+
+@st.composite
+def classifier_cases(
+    draw,
+    max_integer_bits: int = 5,
+    max_fraction_bits: int = 5,
+    max_features: int = 6,
+    max_samples: int = 8,
+    feature_beyond: int = 1,
+) -> dict:
+    """JSON-able cases: a classifier plus a feature batch, all raw words.
+
+    ``feature_raws`` may exceed the format range by up to ``feature_beyond``
+    range-widths, so input saturation and the product/accumulator wrap paths
+    are exercised (conversion back to reals is exact — see
+    :func:`weight_grids`).
+    """
+    k = draw(st.integers(min_value=1, max_value=max_integer_bits))
+    f = draw(st.integers(min_value=0, max_value=max_fraction_bits))
+    fmt = QFormat(k, f)
+    m = draw(st.integers(min_value=1, max_value=max_features))
+    n = draw(st.integers(min_value=1, max_value=max_samples))
+    return {
+        "integer_bits": k,
+        "fraction_bits": f,
+        "rounding": draw(rounding_modes()).value,
+        "polarity": draw(st.sampled_from([1, -1])),
+        "weight_raws": draw(raw_word_lists(fmt, m)),
+        "threshold_raw": draw(raw_words(fmt)),
+        "feature_raws": draw(
+            st.lists(
+                raw_word_lists(fmt, m, beyond=feature_beyond),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+    }
+
+
+@st.composite
+def artifact_payloads(
+    draw, max_integer_bits: int = 6, max_fraction_bits: int = 8
+) -> dict:
+    """Valid ``repro.fixed-point-classifier.v1`` payload dicts.
+
+    Every field is populated explicitly (no reliance on loader defaults) so
+    a serialize round-trip must reproduce the payload verbatim.
+    """
+    k = draw(st.integers(min_value=1, max_value=max_integer_bits))
+    f = draw(st.integers(min_value=0, max_value=max_fraction_bits))
+    fmt = QFormat(k, f)
+    m = draw(st.integers(min_value=1, max_value=8))
+    return {
+        "schema": "repro.fixed-point-classifier.v1",
+        "format": {"integer_bits": k, "fraction_bits": f},
+        "weight_raws": draw(raw_word_lists(fmt, m)),
+        "threshold_raw": draw(raw_words(fmt)),
+        "polarity": draw(st.sampled_from([1, -1])),
+        "rounding": draw(rounding_modes()).value,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Seeded builders (shared by rng-driven tests and the witness replayer)
+# --------------------------------------------------------------------- #
+def random_classifier(
+    rng: np.random.Generator,
+    integer_bits: int,
+    fraction_bits: int,
+    num_features: int,
+    rounding: RoundingMode = RoundingMode.NEAREST_AWAY,
+    polarity: int = 1,
+) -> FixedPointLinearClassifier:
+    """A grid-exact classifier with uniform random raw weights/threshold."""
+    fmt = QFormat(integer_bits, fraction_bits)
+    weight_raws = rng.integers(fmt.min_raw, fmt.max_raw + 1, size=num_features)
+    threshold_raw = int(rng.integers(fmt.min_raw, fmt.max_raw + 1))
+    return FixedPointLinearClassifier(
+        weights=np.array([fmt.to_real(int(r)) for r in weight_raws], dtype=np.float64),
+        threshold=float(fmt.to_real(threshold_raw)),
+        fmt=fmt,
+        rounding=rounding,
+        polarity=polarity,
+    )
+
+
+def case_classifier(case: dict) -> FixedPointLinearClassifier:
+    """Rebuild the classifier a :func:`classifier_cases` dict describes."""
+    fmt = QFormat(int(case["integer_bits"]), int(case["fraction_bits"]))
+    return FixedPointLinearClassifier(
+        weights=np.array(
+            [fmt.to_real(int(r)) for r in case["weight_raws"]], dtype=np.float64
+        ),
+        threshold=float(fmt.to_real(int(case["threshold_raw"]))),
+        fmt=fmt,
+        rounding=RoundingMode(case.get("rounding", "nearest-away")),
+        polarity=int(case.get("polarity", 1)),
+    )
+
+
+def case_features(case: dict) -> np.ndarray:
+    """The real-valued ``(n, M)`` feature batch of a case (exact floats)."""
+    fmt = QFormat(int(case["integer_bits"]), int(case["fraction_bits"]))
+    raws = np.asarray(case["feature_raws"], dtype=np.float64)
+    return raws * fmt.resolution

@@ -209,6 +209,42 @@ class BatchInferenceEngine:
             ),
             dtype=np.int64,
         )
+        return self._run_raws(x_raws)
+
+    def run_raw(self, x_raws: np.ndarray) -> BatchResult:
+        """Raw-word entry point: project a batch of already-quantized words.
+
+        Conformance-oracle hook: differential fuzzing drives *exact raw
+        words* through every implementation, and for wide formats the
+        float round-trip of :meth:`run` could not represent them.  Words
+        outside the format's range are saturated, mirroring what input
+        quantization does in :meth:`run`; non-integer inputs are rejected.
+        """
+        fmt = self.fmt
+        arr = np.asarray(x_raws)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.num_features:
+            raise InputValidationError(
+                f"raw words must have shape (n, {self.num_features}), got {arr.shape}"
+            )
+        if arr.dtype.kind not in "iu":
+            if arr.dtype != object or any(
+                not isinstance(v, (int, np.integer)) for v in arr.flat
+            ):
+                raise InputValidationError(
+                    f"raw words must be integers, got dtype {arr.dtype}"
+                )
+        clipped = np.where(
+            arr < fmt.min_raw, fmt.min_raw, np.where(arr > fmt.max_raw, fmt.max_raw, arr)
+        )
+        if self.fast_path:
+            clipped = np.asarray(clipped, dtype=np.int64)
+        return self._run_raws(clipped)
+
+    def _run_raws(self, x_raws: np.ndarray) -> BatchResult:
+        """Shared body: in-range raw words through the vectorized datapath."""
+        fmt = self.fmt
         n, m = x_raws.shape
         if n == 0:
             empty = np.zeros((0, m), dtype=bool)

@@ -1,0 +1,109 @@
+"""Tests for repro.conformance.strategies — the shared generator package."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.conformance.strategies import (
+    DETERMINISTIC_ROUNDING_MODES,
+    OVERFLOW_MODES,
+    artifact_payloads,
+    case_classifier,
+    case_features,
+    classifier_cases,
+    classifiers,
+    qformats,
+    random_classifier,
+    raw_word_lists,
+    weight_grids,
+)
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.overflow import OverflowMode
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+
+
+class TestConstants:
+    def test_deterministic_modes_exclude_stochastic(self):
+        assert RoundingMode.STOCHASTIC not in DETERMINISTIC_ROUNDING_MODES
+        assert len(DETERMINISTIC_ROUNDING_MODES) == len(RoundingMode) - 1
+
+    def test_overflow_modes_exclude_raise(self):
+        assert OverflowMode.RAISE not in OVERFLOW_MODES
+        assert set(OVERFLOW_MODES) == {OverflowMode.WRAP, OverflowMode.SATURATE}
+
+
+class TestStrategies:
+    @given(qformats())
+    @settings(max_examples=30, deadline=None)
+    def test_qformats_within_default_bounds(self, fmt):
+        assert isinstance(fmt, QFormat)
+        assert 1 <= fmt.integer_bits <= 6
+        assert 0 <= fmt.fraction_bits <= 8
+
+    @given(classifiers())
+    @settings(max_examples=30, deadline=None)
+    def test_classifiers_are_grid_exact(self, classifier):
+        fmt = classifier.fmt
+        for w in classifier.weights:
+            assert float(fmt.to_real(int(fmt.to_raw(w)))) == w
+        assert classifier.polarity in (1, -1)
+
+    @given(classifier_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_cases_are_json_roundtrippable(self, case):
+        assert case == json.loads(json.dumps(case))
+        rebuilt = case_classifier(case)
+        assert isinstance(rebuilt, FixedPointLinearClassifier)
+        features = case_features(case)
+        assert features.shape == (
+            len(case["feature_raws"]),
+            len(case["weight_raws"]),
+        )
+
+    @given(classifier_cases(feature_beyond=1))
+    @settings(max_examples=30, deadline=None)
+    def test_case_features_are_exact_raw_multiples(self, case):
+        fmt = QFormat(case["integer_bits"], case["fraction_bits"])
+        features = case_features(case)
+        # The float features divide back to the exact raw words, even the
+        # out-of-range ones used to force saturation/wrap.
+        back = features / fmt.resolution
+        assert np.array_equal(back, np.asarray(case["feature_raws"], dtype=np.float64))
+
+    @given(artifact_payloads())
+    @settings(max_examples=30, deadline=None)
+    def test_artifact_payloads_are_loadable(self, payload):
+        from repro.core.serialize import classifier_from_dict
+
+        classifier = classifier_from_dict(payload)
+        assert classifier.num_features == len(payload["weight_raws"])
+
+
+class TestSeededBuilders:
+    def test_random_classifier_is_deterministic(self):
+        a = random_classifier(np.random.default_rng(7), 3, 2, 4)
+        b = random_classifier(np.random.default_rng(7), 3, 2, 4)
+        assert np.array_equal(a.weights, b.weights)
+        assert a.threshold == b.threshold
+
+    @given(qformats(max_integer_bits=4, max_fraction_bits=4).flatmap(
+        lambda fmt: weight_grids(fmt, 3).map(lambda ws: (fmt, ws))
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_weight_grids_on_grid(self, fmt_and_weights):
+        fmt, weights = fmt_and_weights
+        for w in weights:
+            assert float(fmt.to_real(int(fmt.to_raw(w)))) == w
+
+    @given(qformats(max_integer_bits=3, max_fraction_bits=3).flatmap(
+        lambda fmt: raw_word_lists(fmt, 4).map(lambda raws: (fmt, raws))
+    ))
+    @settings(max_examples=20, deadline=None)
+    def test_raw_word_lists_in_range_without_beyond(self, fmt_and_raws):
+        fmt, raws = fmt_and_raws
+        for raw in raws:
+            assert fmt.min_raw <= raw <= fmt.max_raw

@@ -4,8 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
+from repro.conformance.strategies import (
+    case_classifier,
+    case_features,
+    classifier_cases,
+)
 from repro.fixedpoint.datapath import DatapathConfig, FixedPointDatapath
 from repro.fixedpoint.overflow import OverflowMode
 from repro.fixedpoint.qformat import QFormat
@@ -79,18 +84,11 @@ class TestBasicProjection:
 
 
 class TestBatchAgreesWithTraced:
-    @given(
-        st.integers(min_value=1, max_value=5),
-        st.integers(min_value=0, max_value=10**6),
-    )
+    @given(classifier_cases(max_integer_bits=4, max_fraction_bits=5, max_features=5))
     @settings(max_examples=60, deadline=None)
-    def test_batch_matches_scalar_path(self, num_features, seed):
-        rng = np.random.default_rng(seed)
-        fmt = QFormat(int(rng.integers(2, 4)), int(rng.integers(0, 5)))
-        weights = rng.uniform(fmt.min_value, fmt.max_value, size=num_features)
-        threshold = float(rng.uniform(fmt.min_value, fmt.max_value))
-        dp = make_datapath(weights, threshold, fmt)
-        features = rng.uniform(fmt.min_value * 1.2, fmt.max_value * 1.2, size=(8, num_features))
+    def test_batch_matches_scalar_path(self, case):
+        dp = case_classifier(case).datapath()
+        features = case_features(case)
         batch = dp.project_batch(features)
         for row, expected in zip(features, batch):
             assert dp.project(row) == expected

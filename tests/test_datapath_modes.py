@@ -7,26 +7,17 @@ the scalar Fx reference semantics.
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.conformance.strategies import (
+    DETERMINISTIC_ROUNDING_MODES as DETERMINISTIC_MODES,
+    OVERFLOW_MODES as OVERFLOWS,
+)
 from repro.fixedpoint.datapath import DatapathConfig, FixedPointDatapath
 from repro.fixedpoint.number import Fx
-from repro.fixedpoint.overflow import OverflowMode
 from repro.fixedpoint.qformat import QFormat
-from repro.fixedpoint.rounding import RoundingMode
-
-DETERMINISTIC_MODES = (
-    RoundingMode.NEAREST_AWAY,
-    RoundingMode.NEAREST_EVEN,
-    RoundingMode.FLOOR,
-    RoundingMode.CEIL,
-    RoundingMode.TOWARD_ZERO,
-)
-OVERFLOWS = (OverflowMode.WRAP, OverflowMode.SATURATE)
 
 
 class TestModeMatrix:

@@ -1,0 +1,164 @@
+"""Tests for repro.conformance.golden and the committed golden vectors.
+
+The committed files under ``tests/golden/`` are part of the test contract:
+``verify`` against them must pass on a clean tree, and byte-identical
+re-recording proves the recorders are deterministic.  The heavyweight
+``ecg_wl8`` vector (a full solver run) is exercised once via the CLI-level
+verify test rather than per-recorder to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.conformance.golden import (
+    GOLDEN_SCHEMA,
+    RECORDERS,
+    golden_path,
+    record_goldens,
+    verify_goldens,
+)
+from repro.errors import InputValidationError
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+# Everything except the solver-heavy end-to-end vector (covered separately).
+FAST_VECTORS = [name for name in RECORDERS if name != "ecg_wl8"]
+
+
+class TestRegistry:
+    def test_expected_vectors_registered(self):
+        assert set(RECORDERS) == {
+            "quantize",
+            "datapath",
+            "serve_engine",
+            "certifier",
+            "pareto",
+            "serve_metrics",
+            "ecg_wl8",
+        }
+
+    def test_unknown_selection_rejected(self, tmp_path):
+        with pytest.raises(InputValidationError):
+            record_goldens(str(tmp_path), only=["nonesuch"])
+
+
+class TestCommittedVectors:
+    def test_fast_vectors_verify_bit_identical(self):
+        assert verify_goldens(GOLDEN_DIR, only=FAST_VECTORS) == []
+
+    def test_all_files_carry_the_schema(self):
+        for name in RECORDERS:
+            with open(golden_path(GOLDEN_DIR, name), encoding="utf-8") as handle:
+                payload = json.load(handle)
+            assert payload["schema"] == GOLDEN_SCHEMA
+            assert payload["name"] == name
+
+    def test_rerecord_is_byte_identical(self, tmp_path):
+        record_goldens(str(tmp_path), only=["quantize", "pareto", "serve_metrics"])
+        for name in ("quantize", "pareto", "serve_metrics"):
+            with open(golden_path(GOLDEN_DIR, name), "rb") as committed:
+                with open(golden_path(str(tmp_path), name), "rb") as fresh:
+                    assert committed.read() == fresh.read()
+
+
+class TestTamperDetection:
+    def test_bit_flip_is_caught(self, tmp_path):
+        record_goldens(str(tmp_path), only=["quantize"])
+        path = golden_path(str(tmp_path), "quantize")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        first_fmt = sorted(payload["data"])[0]
+        payload["data"][first_fmt]["values"][0] += 1.0
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        problems = verify_goldens(str(tmp_path), only=["quantize"])
+        assert len(problems) == 1
+        assert "drift at" in problems[0] and "values[0]" in problems[0]
+
+    def test_missing_file_is_reported(self, tmp_path):
+        problems = verify_goldens(str(tmp_path), only=["pareto"])
+        assert len(problems) == 1 and "missing golden file" in problems[0]
+
+
+class TestPinnedBehaviours:
+    """Satellite: the pareto_front contract and the /metrics schema are
+    pinned against the committed vectors, not just re-derived in code."""
+
+    def test_pareto_front_pin(self):
+        with open(golden_path(GOLDEN_DIR, "pareto"), encoding="utf-8") as handle:
+            data = json.load(handle)["data"]
+        front = data["front"]
+        # Stable (power, word_length) order and exact-tie dedup from PR 4.
+        assert [(p["power"], p["word_length"]) for p in front] == sorted(
+            (p["power"], p["word_length"]) for p in front
+        )
+        powers_errors = [(p["power"], p["test_error"]) for p in front]
+        assert len(powers_errors) == len(set(powers_errors)), "tie not deduped"
+        # The (4, 0.18, 25.0) point ties (5, 0.18, 25.0): only one survives,
+        # and it is the first occurrence from the input order (wl=5).
+        tied = [p for p in front if p["power"] == 25.0]
+        assert [p["word_length"] for p in tied] == [5]
+
+    def test_serve_metrics_schema_pin(self):
+        with open(
+            golden_path(GOLDEN_DIR, "serve_metrics"), encoding="utf-8"
+        ) as handle:
+            data = json.load(handle)["data"]
+        assert set(data) == {
+            "schema",
+            "requests_total",
+            "samples_total",
+            "batches_total",
+            "errors_total",
+            "request_latency",
+            "models",
+        }
+        assert set(data["request_latency"]) == {
+            "count",
+            "sum_seconds",
+            "min_seconds",
+            "max_seconds",
+            "mean_seconds",
+        }
+        model = data["models"]["ecg"]
+        assert set(model) == {
+            "content_hash",
+            "requests",
+            "samples",
+            "batches",
+            "product_overflow_events",
+            "accumulator_overflow_events",
+            "batch_latency",
+        }
+
+
+class TestCli:
+    def test_verify_fast_vectors(self, capsys):
+        args = ["golden", "verify", "--dir", GOLDEN_DIR]
+        for name in FAST_VECTORS:
+            args += ["--only", name]
+        assert main(args) == 0
+        assert "verified bit-identical" in capsys.readouterr().out
+
+    def test_verify_reports_drift_with_exit_1(self, tmp_path, capsys):
+        record_goldens(str(tmp_path), only=["pareto"])
+        path = golden_path(str(tmp_path), "pareto")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["data"]["front"][0]["power"] = -1.0
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        assert main(["golden", "verify", "--dir", str(tmp_path), "--only", "pareto"]) == 1
+        assert "golden mismatch" in capsys.readouterr().out
+
+    def test_record_then_verify_round_trip(self, tmp_path, capsys):
+        assert main(["golden", "record", "--dir", str(tmp_path), "--only", "datapath"]) == 0
+        assert main(["golden", "verify", "--dir", str(tmp_path), "--only", "datapath"]) == 0
+
+    def test_unknown_vector_is_bad_invocation(self, tmp_path):
+        assert main(["golden", "verify", "--dir", str(tmp_path), "--only", "zzz"]) == 2

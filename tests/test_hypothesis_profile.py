@@ -1,0 +1,75 @@
+"""Guard the CI hypothesis profile: derandomized, registered, and loadable.
+
+CI runs the property suites with ``HYPOTHESIS_PROFILE=ci`` so every failure
+is reproducible from the log.  A conftest regression that drops the profile
+(or its ``derandomize`` flag) would silently restore nondeterministic CI —
+these tests make that a hard failure instead.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from hypothesis import settings as hypothesis_settings
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestCiProfileRegistration:
+    def test_ci_profile_is_registered_and_derandomized(self):
+        # conftest import has already run by the time tests execute, so the
+        # profile must exist regardless of which profile is active now.
+        profile = hypothesis_settings.get_profile("ci")
+        assert profile.derandomize is True
+        assert profile.deadline is None
+        assert profile.print_blob is True
+
+    def test_env_var_loads_the_ci_profile(self):
+        """In a fresh interpreter, HYPOTHESIS_PROFILE=ci must take effect."""
+        env = dict(os.environ)
+        env["HYPOTHESIS_PROFILE"] = "ci"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [REPO_ROOT, os.path.join(REPO_ROOT, "src")]
+        )
+        code = (
+            "import tests.conftest; "
+            "from hypothesis import settings; "
+            "assert settings.default.derandomize is True, settings.default; "
+            "print('ci profile active')"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "ci profile active" in proc.stdout
+
+    def test_default_profile_stays_randomized(self):
+        """Without the env var a fresh interpreter keeps exploring."""
+        env = dict(os.environ)
+        env.pop("HYPOTHESIS_PROFILE", None)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [REPO_ROOT, os.path.join(REPO_ROOT, "src")]
+        )
+        code = (
+            "import tests.conftest; "
+            "from hypothesis import settings; "
+            "assert settings.default.derandomize is False, settings.default; "
+            "print('default profile active')"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "default profile active" in proc.stdout

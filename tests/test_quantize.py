@@ -6,8 +6,8 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.conformance.strategies import finite_floats, qformats
 from repro.fixedpoint.overflow import OverflowMode
-from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.quantize import (
     dequantize_raw,
     nearest_grid_neighbors,
@@ -17,12 +17,8 @@ from repro.fixedpoint.quantize import (
 )
 from repro.fixedpoint.rounding import RoundingMode
 
-formats = st.builds(
-    QFormat,
-    integer_bits=st.integers(min_value=1, max_value=6),
-    fraction_bits=st.integers(min_value=0, max_value=8),
-)
-finite_floats = st.floats(min_value=-100.0, max_value=100.0)
+formats = qformats()
+finite_floats = finite_floats()
 
 
 class TestQuantize:

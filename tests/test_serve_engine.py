@@ -13,6 +13,10 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.conformance.strategies import (
+    DETERMINISTIC_ROUNDING_MODES as _DET_MODES,
+    random_classifier as _random_classifier,
+)
 from repro.core.classifier import FixedPointLinearClassifier
 from repro.errors import OverflowModeError
 from repro.fixedpoint.overflow import OverflowMode
@@ -20,27 +24,6 @@ from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.quantize import quantize
 from repro.fixedpoint.rounding import RoundingMode
 from repro.serve.engine import BatchInferenceEngine, BatchResult, int64_path_available
-
-_DET_MODES = [
-    RoundingMode.NEAREST_AWAY,
-    RoundingMode.NEAREST_EVEN,
-    RoundingMode.FLOOR,
-    RoundingMode.CEIL,
-    RoundingMode.TOWARD_ZERO,
-]
-
-
-def _random_classifier(rng, k, f, m, mode, polarity=1):
-    fmt = QFormat(k, f)
-    weights = np.asarray(
-        quantize(rng.uniform(fmt.min_value, fmt.max_value, size=m), fmt, rounding=mode)
-    )
-    threshold = float(
-        quantize(rng.uniform(fmt.min_value, fmt.max_value), fmt, rounding=mode)
-    )
-    return FixedPointLinearClassifier(
-        weights=weights, threshold=threshold, fmt=fmt, rounding=mode, polarity=polarity
-    )
 
 
 def _assert_engine_matches_datapath(classifier, features, force_object):
