@@ -13,6 +13,7 @@ and deploys trained artifacts (see docs/serving.md)::
 
     python -m repro report --word-length 6 --save-artifact clf.json
     python -m repro serve --artifact clf.json --port 8400
+    python -m repro serve --artifact clf.json --backend native
     echo "0.5 -0.25 1.0" | python -m repro predict --artifact clf.json
 
 and explores the word-length/power trade-off with the warm-started sweep
@@ -180,11 +181,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=5.0,
         help="maximum milliseconds a request waits for co-batching",
     )
+    serve.add_argument(
+        "--backend",
+        choices=("auto", "fast", "object", "native"),
+        default="auto",
+        help="engine backend; 'native' compiles each artifact's C kernel "
+        "(falls back to auto with a printed reason if it cannot)",
+    )
+    serve.add_argument(
+        "--native-cache",
+        metavar="DIR",
+        help="build-cache directory for native kernels "
+        "(default: $REPRO_NATIVE_CACHE or ~/.cache/repro/native)",
+    )
 
     predict = sub.add_parser(
         "predict", help="one-shot bit-exact prediction from an artifact"
     )
     predict.add_argument("--artifact", metavar="PATH", required=True)
+    predict.add_argument(
+        "--backend",
+        choices=("auto", "fast", "object", "native"),
+        default="auto",
+        help="engine backend (as for 'serve'); 'native' uses the compiled "
+        "C kernel when available",
+    )
     predict.add_argument(
         "--features",
         metavar="FILE",
@@ -505,13 +526,21 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
 
         from .serve import BatcherConfig, InferenceServer, ModelRegistry, ServeConfig
 
-        registry = ModelRegistry()
+        registry = ModelRegistry(
+            backend=args.backend, native_cache=args.native_cache
+        )
         for spec in args.artifact:
             name, sep, path = spec.partition("=")
             if not sep:
                 name, path = _artifact_stem(spec), spec
             model = registry.register_file(name, path)
             print(f"registered {model.describe()}")
+            if model.engine.native_fallback_reason:
+                print(
+                    f"  native backend unavailable for {name!r}, using "
+                    f"{model.engine.backend}: "
+                    f"{model.engine.native_fallback_reason}"
+                )
         config = ServeConfig(
             host=args.host,
             port=args.port,
@@ -553,7 +582,15 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         from .core.serialize import load_classifier
         from .serve.engine import BatchInferenceEngine
 
-        engine = BatchInferenceEngine(load_classifier(args.artifact))
+        engine = BatchInferenceEngine(
+            load_classifier(args.artifact), backend=args.backend
+        )
+        if engine.native_fallback_reason:
+            print(
+                f"native backend unavailable, using {engine.backend}: "
+                f"{engine.native_fallback_reason}",
+                file=sys.stderr,
+            )
         stream = sys.stdin if args.features == "-" else open(args.features)
         try:
             rows = []

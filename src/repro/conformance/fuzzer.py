@@ -20,7 +20,8 @@ when a wall-clock budget truncates late oracles mid-stream.
 
 The module also hosts the **mutation selftest** (``repro fuzz
 --selftest``): it patches a deliberate off-by-one into the reference
-datapath, asserts the engine-vs-datapath oracle catches it and yields a
+datapath (and, where a C compiler exists, into the *emitted C* of the
+native backend), asserts the matching oracle catches it and yields a
 witness, asserts ``--replay`` reproduces the discrepancy under the
 mutation, and asserts the same witness passes on the unmutated tree.
 A fuzzer that cannot detect a seeded bug is worse than no fuzzer — this
@@ -52,6 +53,7 @@ __all__ = [
     "load_witness",
     "replay_witness",
     "injected_datapath_mutation",
+    "injected_cgen_mutation",
     "run_selftest",
 ]
 
@@ -237,19 +239,52 @@ def injected_datapath_mutation() -> Iterator[None]:
         FixedPointDatapath.project_traced = original  # type: ignore[method-assign]
 
 
-def run_selftest(
-    seed: int = 0,
-    witness_path: Optional[str] = None,
-    emit: Callable[[str], None] = print,
-) -> int:
-    """Prove end-to-end bug detection with an injected datapath mutation.
+@contextmanager
+def injected_cgen_mutation() -> Iterator[None]:
+    """Deliberately break the *emitted C* (off-by-one on the threshold).
 
-    Steps: (1) under the mutation, the engine-vs-datapath oracle must find
-    a discrepancy; (2) the witness it writes must reproduce under the
-    mutation via the replay path; (3) the same witness must pass on the
-    clean tree.  Returns 0 only when all three hold.
+    Patches :func:`repro.hardware.cgen.generate_batch_kernel_c` so every
+    generated kernel subtracts ``THRESHOLD - 1`` instead of ``THRESHOLD``.
+    The mutated translation unit hashes to a fresh build-cache key, so it
+    really compiles and really runs — proving the ``native_vs_fast`` oracle
+    catches bit-level bugs in the code generator itself, not just in the
+    Python wrappers.  Selftest use only.
     """
-    oracle = get_oracle("engine-datapath")
+    from ..hardware import cgen
+
+    original = cgen.generate_batch_kernel_c
+
+    def mutated(classifier, overflow="wrap"):  # type: ignore[no-untyped-def]
+        source = original(classifier, overflow=overflow)
+        target = "int64_t result = wrap_q(acc - THRESHOLD);"
+        assert target in source, "cgen mutation anchor missing"
+        return source.replace(
+            target, "int64_t result = wrap_q(acc - THRESHOLD + 1);"
+        )
+
+    cgen.generate_batch_kernel_c = mutated  # type: ignore[assignment]
+    try:
+        yield
+    finally:
+        cgen.generate_batch_kernel_c = original  # type: ignore[assignment]
+
+
+def _selftest_round(
+    label: str,
+    oracle_name: str,
+    mutation: Callable[[], "object"],
+    seed: int,
+    witness_path: Optional[str],
+    emit: Callable[[str], None],
+    max_examples: int = 40,
+) -> int:
+    """One detect → replay-under-mutation → pass-clean cycle; 0 on success.
+
+    Steps: (1) under the mutation, the oracle must find a discrepancy;
+    (2) the witness it writes must reproduce under the mutation via the
+    replay path; (3) the same witness must pass on the clean tree.
+    """
+    oracle = get_oracle(oracle_name)
     cleanup = witness_path is None
     if witness_path is None:
         fd, witness_path = tempfile.mkstemp(
@@ -257,30 +292,33 @@ def run_selftest(
         )
         os.close(fd)
     try:
-        with injected_datapath_mutation():
-            failure = fuzz_oracle(oracle, seed=seed, max_examples=40)
+        with mutation():
+            failure = fuzz_oracle(oracle, seed=seed, max_examples=max_examples)
         if failure is None:
-            emit("selftest: FAIL — injected datapath mutation went undetected")
+            emit(f"selftest: FAIL — injected {label} mutation went undetected")
             return 1
         write_witness(witness_path, failure, seed)
-        emit(f"selftest: mutation detected ({failure.detail})")
+        emit(f"selftest: {label} mutation detected ({failure.detail})")
 
-        with injected_datapath_mutation():
+        with mutation():
             code, _ = replay_witness(witness_path, emit=lambda _msg: None)
         if code != 1:
-            emit("selftest: FAIL — witness does not reproduce under the mutation")
+            emit(
+                f"selftest: FAIL — {label} witness does not reproduce "
+                "under the mutation"
+            )
             return 1
-        emit("selftest: witness reproduces under the mutation")
+        emit(f"selftest: {label} witness reproduces under the mutation")
 
         code, _ = replay_witness(witness_path, emit=lambda _msg: None)
         if code != 0:
             emit(
-                "selftest: FAIL — witness still fails on the clean tree "
-                "(the harness found a real discrepancy, not the injected one)"
+                f"selftest: FAIL — {label} witness still fails on the clean "
+                "tree (the harness found a real discrepancy, not the "
+                "injected one)"
             )
             return 1
-        emit("selftest: witness passes on the clean tree")
-        emit("selftest: ok")
+        emit(f"selftest: {label} witness passes on the clean tree")
         return 0
     finally:
         if cleanup:
@@ -288,6 +326,53 @@ def run_selftest(
                 os.unlink(witness_path)
             except OSError:
                 pass
+
+
+def run_selftest(
+    seed: int = 0,
+    witness_path: Optional[str] = None,
+    emit: Callable[[str], None] = print,
+) -> int:
+    """Prove end-to-end bug detection with injected mutations.
+
+    Two rounds, each detect → replay → clean-pass (see
+    :func:`_selftest_round`): an off-by-one patched into the reference
+    *datapath* (caught by ``engine-datapath``), and an off-by-one patched
+    into the *emitted C* (caught by ``native_vs_fast``).  The C round is
+    skipped — with a notice — on hosts without a C compiler, where the
+    native backend cannot exist.  Returns 0 only when every round holds.
+    """
+    code = _selftest_round(
+        "datapath",
+        "engine-datapath",
+        injected_datapath_mutation,
+        seed,
+        witness_path,
+        emit,
+    )
+    if code != 0:
+        return code
+
+    from ..hardware.native import native_backend_available
+
+    if native_backend_available():
+        code = _selftest_round(
+            "cgen",
+            "native_vs_fast",
+            injected_cgen_mutation,
+            seed,
+            # The datapath round already consumed any caller-supplied path;
+            # the C round always uses its own temp file.
+            None,
+            emit,
+            max_examples=25,
+        )
+        if code != 0:
+            return code
+    else:
+        emit("selftest: no C compiler — skipping the cgen-mutation round")
+    emit("selftest: ok")
+    return 0
 
 
 def describe_oracles() -> List[str]:

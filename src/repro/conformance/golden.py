@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -252,16 +253,24 @@ def _record_serve_metrics() -> dict:
     metrics = ServeMetrics()
     metrics.observe_request("ecg", result.num_samples, 0.004, content_hash="abc123")
     metrics.observe_request("ecg", 2, 0.002, content_hash="abc123")
-    metrics.observe_batch("ecg", result, 0.003, content_hash="abc123")
+    metrics.observe_batch(
+        "ecg", result, 0.003, content_hash="abc123", backend=engine.backend
+    )
     metrics.observe_error()
     return metrics.to_dict()
 
 
-def _record_ecg_wl8() -> dict:
-    """End-to-end pin: the ECG pipeline at word length 8, bit for bit."""
+@lru_cache(maxsize=1)
+def _ecg_wl8_pipeline():
+    """Train the pinned ECG word-length-8 model once per process.
+
+    Shared by the ``ecg_wl8`` and ``native_engine`` recorders — training is
+    by far the most expensive step of a golden run, and both vectors must
+    describe the *same* bits, so caching is correctness-neutral (the
+    pipeline is a pure function of the pinned seeds).
+    """
     from ..core.ldafp import LdaFpConfig
     from ..core.pipeline import PipelineConfig, TrainingPipeline
-    from ..core.serialize import classifier_to_dict
     from ..data.ecg import make_ecg_dataset
 
     train = make_ecg_dataset(120, seed=_SEED)
@@ -272,6 +281,14 @@ def _record_ecg_wl8() -> dict:
         )
     )
     result = pipeline.run(train, test, word_length=8, bitexact_eval=True)
+    return pipeline, result, train, test
+
+
+def _record_ecg_wl8() -> dict:
+    """End-to-end pin: the ECG pipeline at word length 8, bit for bit."""
+    from ..core.serialize import classifier_to_dict
+
+    pipeline, result, train, test = _ecg_wl8_pipeline()
     scaler = pipeline.scaler_for(8)
     scaler.fit(train.features)
     head = test.features[:40]
@@ -291,6 +308,67 @@ def _record_ecg_wl8() -> dict:
     }
 
 
+def _record_native_engine() -> dict:
+    """Backend-agreement pin for the deployed ECG wl=8 artifact.
+
+    Records the *fast-path* outputs on a pinned raw-word batch, plus
+    agreement booleans for the object fallback and the compiled native
+    backend.  ``native_agrees`` is true when the native kernel matched bit
+    for bit *or* when no C compiler exists on this host (the backend
+    cannot be built there, and the fallback path is the fast path already
+    pinned here) — so record and verify produce identical payloads on any
+    machine, while a reachable native divergence still fails verification.
+    """
+    from ..serve.engine import BatchInferenceEngine
+    from ..serve.registry import content_hash
+
+    _pipeline, result, _train, _test = _ecg_wl8_pipeline()
+    classifier = result.classifier
+    fmt = classifier.fmt
+    rng = np.random.default_rng(_SEED + 2)
+    span = fmt.max_raw - fmt.min_raw + 1
+    # One extra range-width each side pins the input-saturation and the
+    # product/accumulator wrap paths, not just in-range behaviour.
+    raws = rng.integers(
+        fmt.min_raw - span,
+        fmt.max_raw + span + 1,
+        size=(32, classifier.num_features),
+    )
+    raw_batch = np.asarray([[int(v) for v in row] for row in raws], dtype=object)
+
+    fast = BatchInferenceEngine(classifier).run_raw(raw_batch)
+
+    def _agrees(engine: "BatchInferenceEngine") -> bool:
+        got = engine.run_raw(raw_batch)
+        return all(
+            np.array_equal(
+                np.asarray(getattr(got, field)), np.asarray(getattr(fast, field))
+            )
+            for field in (
+                "projection_raws",
+                "labels",
+                "product_overflowed",
+                "accumulator_overflowed",
+            )
+        )
+
+    object_agrees = _agrees(BatchInferenceEngine(classifier, force_object=True))
+    native = BatchInferenceEngine(classifier, backend="native")
+    native_agrees = native.backend != "native" or _agrees(native)
+    return {
+        "artifact_hash": content_hash(classifier),
+        "feature_raws": [[int(v) for v in row] for row in raws],
+        "fast": {
+            "projection_raws": [int(r) for r in fast.projection_raws],
+            "labels": [int(b) for b in fast.labels],
+            "product_overflow_events": int(fast.product_overflow_events),
+            "accumulator_overflow_events": int(fast.accumulator_overflow_events),
+        },
+        "object_agrees": bool(object_agrees),
+        "native_agrees": bool(native_agrees),
+    }
+
+
 RECORDERS: Dict[str, Callable[[], dict]] = {
     "quantize": _record_quantize,
     "datapath": _record_datapath,
@@ -299,6 +377,7 @@ RECORDERS: Dict[str, Callable[[], dict]] = {
     "pareto": _record_pareto,
     "serve_metrics": _record_serve_metrics,
     "ecg_wl8": _record_ecg_wl8,
+    "native_engine": _record_native_engine,
 }
 
 

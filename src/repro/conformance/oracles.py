@@ -133,7 +133,114 @@ class EngineDatapathOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
-# 2. Serialize round-trip
+# 2. Compiled native kernel vs numpy fast path vs reference datapath
+# --------------------------------------------------------------------- #
+class NativeVsFastOracle(Oracle):
+    """Three-way bit-identity for the compiled C backend: the native
+    kernel's raws/labels/overflow flags must match the numpy fast path on
+    the same raw words *and* the per-sample reference datapath on the same
+    real features — including forced-wrap inputs and both silicon overflow
+    policies.  On hosts without a C compiler the check passes vacuously
+    (the native backend cannot exist there); CI's native-smoke job runs it
+    where a compiler is guaranteed."""
+
+    name = "native_vs_fast"
+    description = (
+        "hardware.native compiled kernel vs serve.BatchInferenceEngine "
+        "fast path vs fixedpoint.FixedPointDatapath.project_traced"
+    )
+    default_examples = 25
+
+    def strategy(self) -> st.SearchStrategy:
+        @st.composite
+        def cases(draw) -> dict:
+            # Small formats keep every case on the int64 fast path
+            # (2*(K+F) + ceil(log2 M) <= 21 bits), so a native fallback
+            # inside check() is always a failure, never an admission gap.
+            case = draw(
+                cst.classifier_cases(
+                    max_integer_bits=4,
+                    max_fraction_bits=5,
+                    max_features=6,
+                    max_samples=6,
+                )
+            )
+            case["overflow"] = draw(
+                st.sampled_from([mode.value for mode in cst.OVERFLOW_MODES])
+            )
+            return case
+
+        return cases()
+
+    def check(self, case: dict) -> None:
+        from ..fixedpoint.overflow import OverflowMode
+        from ..hardware.native import native_backend_available
+        from ..serve.engine import BatchInferenceEngine
+
+        if not native_backend_available():
+            return
+        overflow = OverflowMode(case.get("overflow", "wrap"))
+        classifier = cst.case_classifier(case)
+        native = BatchInferenceEngine(classifier, overflow=overflow, backend="native")
+        if native.backend != "native":
+            self.fail(
+                f"native backend fell back to {native.backend}: "
+                f"{native.native_fallback_reason}",
+                case,
+            )
+        fast = BatchInferenceEngine(classifier, overflow=overflow)
+
+        # 1. Same raw words through both engine paths, bit for bit.
+        raws = np.asarray(case["feature_raws"], dtype=object)
+        got = native.run_raw(raws)
+        want = fast.run_raw(raws)
+        for field in (
+            "projection_raws",
+            "labels",
+            "product_overflowed",
+            "accumulator_overflowed",
+        ):
+            native_arr = np.asarray(getattr(got, field))
+            fast_arr = np.asarray(getattr(want, field))
+            if not np.array_equal(native_arr, fast_arr):
+                self.fail(
+                    f"run_raw {field}: native {native_arr.tolist()} != "
+                    f"fast {fast_arr.tolist()}",
+                    case,
+                )
+
+        # 2. Real features through the native engine vs the per-sample
+        #    reference simulator (covers the quantization front end too).
+        features = cst.case_features(case)
+        result = native.run(features)
+        datapath = classifier.datapath(overflow=overflow)
+        expected_labels = classifier.predict_bitexact(features, overflow=overflow)
+        for i, row in enumerate(np.atleast_2d(features)):
+            trace = datapath.project_traced(row)
+            if int(result.projection_raws[i]) != trace.result_raw:
+                self.fail(
+                    f"sample {i}: native projection raw "
+                    f"{int(result.projection_raws[i])} != datapath "
+                    f"{trace.result_raw}",
+                    case,
+                )
+            if list(result.product_overflowed[i]) != trace.product_overflowed:
+                self.fail(f"sample {i}: native product flags diverge", case)
+            if (
+                list(result.accumulator_overflowed[i])
+                != trace.accumulator_overflowed
+            ):
+                self.fail(f"sample {i}: native accumulator flags diverge", case)
+            if int(result.labels[i]) != int(expected_labels[i]):
+                self.fail(
+                    f"sample {i}: native label {int(result.labels[i])} != "
+                    f"predict_bitexact {int(expected_labels[i])}",
+                    case,
+                )
+
+
+# --------------------------------------------------------------------- #
+# 3. Serialize round-trip
 # --------------------------------------------------------------------- #
 class SerializeRoundtripOracle(Oracle):
     """``classifier_from_dict`` then ``classifier_to_dict`` must reproduce
@@ -158,7 +265,7 @@ class SerializeRoundtripOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
-# 3. Certifier verdicts vs empirical replay through the simulator
+# 4. Certifier verdicts vs empirical replay through the simulator
 # --------------------------------------------------------------------- #
 class CertifierReplayOracle(Oracle):
     """Every certificate verdict must survive empirical replay: PROVEN
@@ -231,7 +338,7 @@ class CertifierReplayOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
-# 4. Parallel branch-and-bound vs the serial driver
+# 5. Parallel branch-and-bound vs the serial driver
 # --------------------------------------------------------------------- #
 def _solver_instance(seed: int):
     """A small deterministic LDA-FP instance (dataset, format) from a seed."""
@@ -286,7 +393,7 @@ class SolverParallelOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
-# 5. Warm-started sweep engine vs the naive per-point sweep
+# 6. Warm-started sweep engine vs the naive per-point sweep
 # --------------------------------------------------------------------- #
 class SweepNaiveOracle(Oracle):
     """Incumbent seeding must be result-neutral: the seeded engine's points
@@ -339,6 +446,7 @@ class SweepNaiveOracle(Oracle):
 
 ALL_ORACLES = (
     EngineDatapathOracle(),
+    NativeVsFastOracle(),
     SerializeRoundtripOracle(),
     CertifierReplayOracle(),
     SolverParallelOracle(),

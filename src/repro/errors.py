@@ -80,6 +80,17 @@ class TrainingError(ReproError):
     """Classifier training failed in a way that yields no usable model."""
 
 
+class NativeBackendError(ReproError):
+    """The compiled native datapath backend is unavailable or failed to build.
+
+    Raised by :mod:`repro.hardware.native` when a kernel cannot be produced
+    (no C compiler on PATH, compile failure, unloadable cache entry, or a
+    classifier outside the int64 fast path).  The serving engine catches it
+    and falls back to the numpy paths; callers that *require* the native
+    backend (the conformance oracle, the benchmark) let it propagate.
+    """
+
+
 class ServeError(ReproError):
     """The :mod:`repro.serve` runtime rejected a request or configuration."""
 

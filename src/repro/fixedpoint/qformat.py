@@ -167,6 +167,23 @@ class QFormat:
         """Size of the raw-word ring, ``2**(K+F)`` — used by wrapping arithmetic."""
         return 1 << self.word_length
 
+    @property
+    def wrap_mask(self) -> int:
+        """Bit mask ``2**(K+F) - 1`` selecting the word's two's-complement bits.
+
+        These are the shared wrap-semantics constants: :meth:`wrap_raw`, the
+        vectorized serving engine, and the generated C/Verilog all reduce a
+        wide value into the ring as ``(v & wrap_mask)`` re-signed at
+        :attr:`sign_bit` — keeping them here guarantees every backend wraps
+        identically.
+        """
+        return self.modulus - 1
+
+    @property
+    def sign_bit(self) -> int:
+        """The sign-bit mask ``2**(K+F-1)`` of the two's-complement word."""
+        return 1 << (self.word_length - 1)
+
     # ------------------------------------------------------------------ #
     # Membership / enumeration
     # ------------------------------------------------------------------ #

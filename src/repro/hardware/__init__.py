@@ -8,8 +8,10 @@ from .area import (
     multiplier_gates,
     register_gates,
 )
-from .cgen import generate_classifier_c
+from .cgen import BATCH_KERNEL_SYMBOL, generate_batch_kernel_c, generate_classifier_c
+from .compile import compile_shared_library, default_cache_dir, find_compiler
 from .energy import EnergyEstimate, EnergyModel
+from .native import NativeKernel, load_native_kernel, native_backend_available
 from .latency import LatencyEstimate, estimate_latency, meets_sample_rate
 from .power import PowerModel, paper_power_model, power_ratio
 from .report import ImplementationReport, build_report
@@ -25,6 +27,14 @@ __all__ = [
     "register_gates",
     "mac_datapath_gates",
     "generate_classifier_c",
+    "generate_batch_kernel_c",
+    "BATCH_KERNEL_SYMBOL",
+    "compile_shared_library",
+    "default_cache_dir",
+    "find_compiler",
+    "NativeKernel",
+    "load_native_kernel",
+    "native_backend_available",
     "EnergyEstimate",
     "EnergyModel",
     "LatencyEstimate",

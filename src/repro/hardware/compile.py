@@ -1,0 +1,172 @@
+"""Content-hash-keyed build cache for generated C kernels.
+
+:func:`compile_shared_library` turns a generated translation unit (see
+:func:`repro.hardware.cgen.generate_batch_kernel_c`) into a shared library
+the :mod:`repro.hardware.native` loader can ``ctypes.CDLL``.  The cache is
+keyed by the SHA-256 of the *source text* (plus a cache-schema tag), so:
+
+- identical artifacts reuse one compiled library across processes — the
+  generator is deterministic (byte-identical C for identical classifiers),
+  so the key is stable;
+- any change to the emitted C — a different artifact, a codegen fix, an
+  injected mutation from the fuzz selftest — lands on a fresh key and
+  triggers a rebuild; a *stale* entry for the new source cannot exist by
+  construction;
+- a corrupted entry (truncated/garbage ``.so``) is detected at load time by
+  the caller, evicted with :func:`evict_cache_entry`, and rebuilt once.
+
+Layout: ``<cache_dir>/<digest16>.c`` (the exact compiled source, kept for
+debuggability) and ``<cache_dir>/<digest16>.so``.  ``cache_dir`` defaults
+to ``$REPRO_NATIVE_CACHE`` or ``~/.cache/repro/native``.  Writes are
+atomic (temp file + ``os.replace``) so concurrent builders race benignly.
+
+No compiler is a *supported* configuration: :func:`find_compiler` returns
+``None`` and every consumer degrades to the numpy engine paths (see
+docs/native_backend.md for the fallback semantics).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional
+
+from ..errors import NativeBackendError
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "default_cache_dir",
+    "find_compiler",
+    "source_digest",
+    "cache_paths",
+    "compile_shared_library",
+    "evict_cache_entry",
+]
+
+# Folded into every source digest; bump when the cache layout or the
+# compile command changes so old entries can never be mistaken for new.
+CACHE_SCHEMA = "repro.native-cache/v1"
+
+# Candidate drivers probed in order when $CC is unset.
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+_COMPILE_FLAGS = ["-O2", "-shared", "-fPIC", "-fvisibility=default"]
+
+
+def default_cache_dir() -> str:
+    """The build-cache directory: ``$REPRO_NATIVE_CACHE`` or ``~/.cache``."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "native")
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the C compiler to use, or None when there is none.
+
+    ``$CC`` wins when set (and resolvable on PATH — a bogus ``$CC`` means
+    "no compiler", it does not silently fall back to ``cc``, so CI can force
+    the fallback paths deterministically); otherwise the first of ``cc``,
+    ``gcc``, ``clang`` found on PATH.
+    """
+    env = os.environ.get("CC")
+    if env:
+        return shutil.which(env)
+    for name in _COMPILER_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 hex digest keying one generated translation unit."""
+    blob = f"{CACHE_SCHEMA}\n{source}".encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def cache_paths(source: str, cache_dir: Optional[str] = None) -> "tuple[str, str]":
+    """The ``(c_path, so_path)`` cache locations for ``source``."""
+    digest = source_digest(source)[:16]
+    directory = cache_dir or default_cache_dir()
+    return (
+        os.path.join(directory, f"{digest}.c"),
+        os.path.join(directory, f"{digest}.so"),
+    )
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".part")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def compile_shared_library(
+    source: str,
+    cache_dir: Optional[str] = None,
+    compiler: Optional[str] = None,
+) -> str:
+    """Compile ``source`` (or reuse the cached build); return the ``.so`` path.
+
+    Raises :class:`~repro.errors.NativeBackendError` when no compiler is
+    available or the compile fails — the error message carries the
+    compiler's stderr so a codegen bug is diagnosable from the exception.
+    """
+    c_path, so_path = cache_paths(source, cache_dir)
+    if os.path.exists(so_path):
+        return so_path
+
+    cc = compiler or find_compiler()
+    if cc is None:
+        raise NativeBackendError(
+            "no C compiler found (checked $CC, cc, gcc, clang); "
+            "the native backend is unavailable on this host"
+        )
+
+    directory = os.path.dirname(so_path)
+    os.makedirs(directory, exist_ok=True)
+    _atomic_write(c_path, source.encode("utf-8"))
+
+    fd, tmp_so = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".so")
+    os.close(fd)
+    command: "List[str]" = [cc, *_COMPILE_FLAGS, "-o", tmp_so, c_path]
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=120
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        _silent_unlink(tmp_so)
+        raise NativeBackendError(f"compiler invocation failed: {exc}") from exc
+    if proc.returncode != 0:
+        _silent_unlink(tmp_so)
+        raise NativeBackendError(
+            f"C kernel compile failed (exit {proc.returncode}) with "
+            f"{' '.join(command)}:\n{proc.stderr.strip()}"
+        )
+    os.replace(tmp_so, so_path)
+    return so_path
+
+
+def evict_cache_entry(source: str, cache_dir: Optional[str] = None) -> None:
+    """Delete the cached build of ``source`` (corrupted-entry recovery)."""
+    for path in cache_paths(source, cache_dir):
+        _silent_unlink(path)
+
+
+def _silent_unlink(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

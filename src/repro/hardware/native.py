@@ -1,0 +1,155 @@
+"""ctypes loader turning generated C kernels into an execution backend.
+
+:func:`load_native_kernel` is the artifact-load-time entry point: generate
+the batch kernel C for a classifier (:mod:`repro.hardware.cgen`), compile
+it through the content-hash build cache (:mod:`repro.hardware.compile`),
+``ctypes.CDLL`` the result, and wrap it as a :class:`NativeKernel` whose
+:meth:`NativeKernel.run_raws` consumes/produces exactly the arrays the
+numpy fast path does — so :class:`repro.serve.engine.BatchInferenceEngine`
+can swap it in as a third engine path with no semantic seam.
+
+Every failure mode (no compiler, unsupported format/overflow, compile
+error, corrupted cache entry that also fails after one evict-and-rebuild)
+raises :class:`~repro.errors.NativeBackendError`; the engine catches it and
+falls back to the numpy paths, recording the reason.  Bit-exactness of the
+loaded kernel is enforced continuously by the ``native_vs_fast``
+conformance oracle and the ``native_engine`` golden vectors.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from ..errors import InputValidationError, NativeBackendError
+from ..fixedpoint.overflow import OverflowMode
+from . import cgen
+from .compile import compile_shared_library, evict_cache_entry, find_compiler
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..core.classifier import FixedPointLinearClassifier
+
+__all__ = ["NativeKernel", "load_native_kernel", "native_backend_available"]
+
+_I64_P = ctypes.POINTER(ctypes.c_int64)
+_I8_P = ctypes.POINTER(ctypes.c_int8)
+_U8_P = ctypes.POINTER(ctypes.c_uint8)
+
+
+def native_backend_available() -> bool:
+    """True when a C compiler is on this host (kernels may still fail)."""
+    return find_compiler() is not None
+
+
+class NativeKernel:
+    """One compiled batch kernel bound to one classifier's constants.
+
+    Attributes
+    ----------
+    library_path:
+        The cached shared library backing this kernel.
+    source:
+        The exact C translation unit that was compiled (its content hash is
+        the cache key).
+    num_features:
+        Expected feature-vector width ``M``.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        library_path: str,
+        num_features: int,
+    ) -> None:
+        self.source = source
+        self.library_path = library_path
+        self.num_features = int(num_features)
+        try:
+            library = ctypes.CDLL(library_path)
+            fn = getattr(library, cgen.BATCH_KERNEL_SYMBOL)
+        except (OSError, AttributeError) as exc:
+            raise NativeBackendError(
+                f"cannot load native kernel {library_path!r}: {exc}"
+            ) from exc
+        fn.restype = None
+        fn.argtypes = [_I64_P, ctypes.c_int64, _I64_P, _I8_P, _U8_P, _U8_P]
+        self._library = library  # keep the dlopen handle alive
+        self._fn = fn
+
+    def run_raws(
+        self, x_raws: np.ndarray
+    ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+        """Project a batch of in-range int64 raw words through the kernel.
+
+        Returns ``(projection_raws, labels, product_overflowed,
+        accumulator_overflowed)`` with the same dtypes/shapes the engine's
+        numpy fast path produces.  The caller guarantees quantization and
+        range clipping already happened (as for the numpy paths).
+        """
+        x = np.ascontiguousarray(x_raws, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise NativeBackendError(
+                f"kernel expects (n, {self.num_features}) raw words, "
+                f"got shape {x.shape}"
+            )
+        n, m = x.shape
+        projection_raws = np.empty(n, dtype=np.int64)
+        labels8 = np.empty(n, dtype=np.int8)
+        # The kernel stores strict 0/1 bytes, which are valid numpy bool_
+        # representations — writing the flags straight into bool arrays
+        # avoids two full-batch astype copies on the hot path.
+        product_overflowed = np.empty((n, m), dtype=np.bool_)
+        accumulator_overflowed = np.empty((n, m), dtype=np.bool_)
+        self._fn(
+            x.ctypes.data_as(_I64_P),
+            ctypes.c_int64(n),
+            projection_raws.ctypes.data_as(_I64_P),
+            labels8.ctypes.data_as(_I8_P),
+            product_overflowed.ctypes.data_as(_U8_P),
+            accumulator_overflowed.ctypes.data_as(_U8_P),
+        )
+        return (
+            projection_raws,
+            labels8.astype(np.int64),
+            product_overflowed,
+            accumulator_overflowed,
+        )
+
+    def describe(self) -> str:
+        """One-line summary (library path tail + width)."""
+        return f"NativeKernel(M={self.num_features}, lib={self.library_path})"
+
+
+def load_native_kernel(
+    classifier: "FixedPointLinearClassifier",
+    overflow: "OverflowMode | str" = OverflowMode.WRAP,
+    cache_dir: Optional[str] = None,
+    compiler: Optional[str] = None,
+) -> NativeKernel:
+    """Generate, compile (or reuse from cache), and load a batch kernel.
+
+    A cache entry that exists but cannot be ``dlopen``-ed (corruption,
+    truncated write from a killed process) is evicted and rebuilt exactly
+    once; a second failure propagates as
+    :class:`~repro.errors.NativeBackendError`.
+    """
+    try:
+        source = cgen.generate_batch_kernel_c(classifier, overflow=overflow)
+    except InputValidationError as exc:
+        # Normalize "this classifier is not generable" into the one error
+        # type the engine's fallback logic handles.
+        raise NativeBackendError(str(exc)) from exc
+    library_path = compile_shared_library(
+        source, cache_dir=cache_dir, compiler=compiler
+    )
+    try:
+        return NativeKernel(source, library_path, classifier.num_features)
+    except NativeBackendError:
+        # Corrupted cache entry: evict, rebuild once, then give up.
+        evict_cache_entry(source, cache_dir)
+        library_path = compile_shared_library(
+            source, cache_dir=cache_dir, compiler=compiler
+        )
+        return NativeKernel(source, library_path, classifier.num_features)

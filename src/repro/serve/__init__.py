@@ -8,7 +8,8 @@ that *serves* them:
 - :class:`~repro.serve.engine.BatchInferenceEngine` — vectorized batch
   inference, bit-exact with the per-sample RTL simulator
   (:class:`~repro.fixedpoint.datapath.FixedPointDatapath`), with an int64
-  fast path and an unbounded-int fallback.
+  fast path, an unbounded-int fallback, and an optional compiled native
+  backend (``backend="native"``, see docs/native_backend.md).
 - :class:`~repro.serve.registry.ModelRegistry` — validated, content-hashed,
   hot-reloadable model store.
 - :class:`~repro.serve.batcher.MicroBatcher` — asyncio micro-batching
@@ -25,7 +26,12 @@ stream demo.
 """
 
 from .batcher import BatcherConfig, MicroBatcher
-from .engine import BatchInferenceEngine, BatchResult, int64_path_available
+from .engine import (
+    ENGINE_BACKENDS,
+    BatchInferenceEngine,
+    BatchResult,
+    int64_path_available,
+)
 from .metrics import LatencyStats, ModelMetrics, ServeMetrics
 from .registry import ModelRegistry, RegisteredModel, content_hash
 from .server import InferenceServer, ServeConfig, ServerHandle, start_server_thread
@@ -34,6 +40,7 @@ __all__ = [
     "BatchInferenceEngine",
     "BatchResult",
     "int64_path_available",
+    "ENGINE_BACKENDS",
     "ModelRegistry",
     "RegisteredModel",
     "content_hash",

@@ -173,7 +173,11 @@ class MicroBatcher:
         elapsed = time.perf_counter() - started
         if self.metrics is not None:
             self.metrics.observe_batch(
-                model.name, result, elapsed, content_hash=model.content_hash
+                model.name,
+                result,
+                elapsed,
+                content_hash=model.content_hash,
+                backend=model.engine.backend,
             )
         offset = 0
         for features, future in items:

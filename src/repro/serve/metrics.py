@@ -68,6 +68,7 @@ class ModelMetrics:
     """Per-model counters keyed by registry name."""
 
     content_hash: str = ""
+    backend: str = ""
     requests: int = 0
     samples: int = 0
     batches: int = 0
@@ -79,6 +80,7 @@ class ModelMetrics:
         """JSON-ready per-model snapshot."""
         return {
             "content_hash": self.content_hash,
+            "backend": self.backend,
             "requests": self.requests,
             "samples": self.samples,
             "batches": self.batches,
@@ -103,12 +105,19 @@ class ServeMetrics:
         self.per_model: "Dict[str, ModelMetrics]" = {}
 
     # ------------------------------------------------------------------ #
-    def _model(self, name: str, content_hash: str = "") -> ModelMetrics:
+    def _model(
+        self, name: str, content_hash: str = "", backend: str = ""
+    ) -> ModelMetrics:
         metrics = self.per_model.get(name)
         if metrics is None:
-            metrics = self.per_model[name] = ModelMetrics(content_hash=content_hash)
-        elif content_hash:
-            metrics.content_hash = content_hash
+            metrics = self.per_model[name] = ModelMetrics(
+                content_hash=content_hash, backend=backend
+            )
+        else:
+            if content_hash:
+                metrics.content_hash = content_hash
+            if backend:
+                metrics.backend = backend
         return metrics
 
     def observe_request(
@@ -133,15 +142,18 @@ class ServeMetrics:
         result,
         latency_seconds: float,
         content_hash: str = "",
+        backend: str = "",
     ) -> None:
         """Record one engine batch execution.
 
         ``result`` is a :class:`~repro.serve.engine.BatchResult`; its
         overflow event counts feed the per-model overflow counters.
+        ``backend`` is the engine path that served the batch ("native",
+        "fast", or "object") and becomes a per-model label.
         """
         with self._lock:
             self.batches_total += 1
-            entry = self._model(model, content_hash)
+            entry = self._model(model, content_hash, backend)
             entry.batches += 1
             entry.product_overflow_events += result.product_overflow_events
             entry.accumulator_overflow_events += result.accumulator_overflow_events
@@ -213,6 +225,9 @@ class ServeMetrics:
             lines.append(f"# HELP {metric} {help_text}.")
             lines.append(f"# TYPE {metric} counter")
             for name, entry in snap["models"].items():
-                labels = f'model="{name}",hash="{entry["content_hash"][:12]}"'
+                labels = (
+                    f'model="{name}",hash="{entry["content_hash"][:12]}",'
+                    f'backend="{entry["backend"]}"'
+                )
                 lines.append(f"{metric}{{{labels}}} {entry[key]}")
         return "\n".join(lines) + "\n"

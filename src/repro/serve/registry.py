@@ -111,15 +111,27 @@ class ModelRegistry:
         :class:`~repro.errors.CertificationError` — the model never becomes
         servable.  UNKNOWN invariants are admitted (the certificate is kept
         on the entry for inspection).
+    backend:
+        Engine backend for every model built by this registry — one of
+        :data:`~repro.serve.engine.ENGINE_BACKENDS`.  ``"native"`` asks each
+        engine to compile/load the generated C kernel, falling back per
+        model (with the reason on ``engine.native_fallback_reason``) when
+        the kernel cannot be built.
+    native_cache:
+        Build-cache directory override forwarded to the engines.
     """
 
     def __init__(
         self,
         overflow: "OverflowMode | str" = OverflowMode.WRAP,
         certifier: "Optional[Callable[[FixedPointLinearClassifier], CheckReport]]" = None,
+        backend: str = "auto",
+        native_cache: "str | None" = None,
     ) -> None:
         self.overflow = OverflowMode.coerce(overflow)
         self.certifier = certifier
+        self.backend = backend
+        self.native_cache = native_cache
         self._models: "Dict[str, RegisteredModel]" = {}
         self._lock = threading.Lock()
 
@@ -146,7 +158,12 @@ class ModelRegistry:
         return RegisteredModel(
             name=name,
             classifier=classifier,
-            engine=BatchInferenceEngine(classifier, overflow=self.overflow),
+            engine=BatchInferenceEngine(
+                classifier,
+                overflow=self.overflow,
+                backend=self.backend,
+                native_cache=self.native_cache,
+            ),
             content_hash=content_hash(classifier),
             path=path,
             certificate=certificate,

@@ -6,8 +6,9 @@ framework, no new dependencies — exposing:
 - ``POST /predict`` — body ``{"model": <name|sha256:prefix>?, "features":
   [..] | [[..], ..]}``; features go through the micro-batcher and the
   bit-exact engine; the response carries labels, real-valued projections,
-  the serving model's name and content hash, and the batch's overflow event
-  counts.  ``model`` may be omitted when exactly one model is registered.
+  the serving model's name, content hash and engine backend, and the
+  batch's overflow event counts.  ``model`` may be omitted when exactly one
+  model is registered.
 - ``GET /healthz`` — liveness plus the registry inventory.
 - ``GET /metrics`` — Prometheus text exposition.
 - ``GET /metrics.json`` — the same counters as a versioned
@@ -230,6 +231,7 @@ class InferenceServer:
         response = {
             "model": model.name,
             "content_hash": model.content_hash,
+            "backend": model.engine.backend,
             "labels": [int(v) for v in result.labels],
             "projections": [float(int(r) * resolution) for r in result.projection_raws],
             "overflow": {

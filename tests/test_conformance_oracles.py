@@ -13,6 +13,7 @@ class TestRegistry:
     def test_expected_oracles_registered(self):
         assert set(ORACLES) == {
             "engine-datapath",
+            "native_vs_fast",
             "serialize-roundtrip",
             "certifier-replay",
             "solver-parallel-serial",

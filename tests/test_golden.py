@@ -26,8 +26,12 @@ from repro.errors import InputValidationError
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 
-# Everything except the solver-heavy end-to-end vector (covered separately).
-FAST_VECTORS = [name for name in RECORDERS if name != "ecg_wl8"]
+# Everything except the solver-heavy end-to-end vectors (covered separately;
+# native_engine shares ecg_wl8's cached training run and the CI native-smoke
+# job verifies it with a compiler guaranteed present).
+FAST_VECTORS = [
+    name for name in RECORDERS if name not in ("ecg_wl8", "native_engine")
+]
 
 
 class TestRegistry:
@@ -40,6 +44,7 @@ class TestRegistry:
             "pareto",
             "serve_metrics",
             "ecg_wl8",
+            "native_engine",
         }
 
     def test_unknown_selection_rejected(self, tmp_path):
@@ -128,6 +133,7 @@ class TestPinnedBehaviours:
         model = data["models"]["ecg"]
         assert set(model) == {
             "content_hash",
+            "backend",
             "requests",
             "samples",
             "batches",

@@ -67,13 +67,15 @@ class TestServeMetrics:
         metrics = ServeMetrics()
         result = _wrap_heavy_result()
         metrics.observe_request("ecg", 1, 0.002, content_hash="deadbeef0123")
-        metrics.observe_batch("ecg", result, 0.001, content_hash="deadbeef0123")
+        metrics.observe_batch(
+            "ecg", result, 0.001, content_hash="deadbeef0123", backend="fast"
+        )
         text = metrics.render_prometheus()
         assert "repro_serve_requests_total 1" in text
         assert "repro_serve_batches_total 1" in text
         assert (
             'repro_serve_model_accumulator_overflow_events_total'
-            '{model="ecg",hash="deadbeef0123"} 2' in text
+            '{model="ecg",hash="deadbeef0123",backend="fast"} 2' in text
         )
         # Every exposed metric family carries HELP and TYPE headers.
         for line in text.splitlines():
