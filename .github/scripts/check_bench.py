@@ -1,0 +1,49 @@
+"""Validate the machine-readable benchmark emissions CI archives.
+
+Every benchmark that claims to record a ``results/BENCH_*.json`` file must
+actually have produced it, it must parse, and it must carry a ``schema``
+stamp — a benchmark that silently skipped its emission would otherwise
+upload stale or missing numbers while the job stays green.
+
+Usage:
+    python .github/scripts/check_bench.py BENCH_serve.json [BENCH_native.json ...]
+
+Names are resolved under ``results/``.  Exits non-zero on the first
+missing, unparseable, or unstamped file; prints a one-line summary per
+file otherwise (the job's upload step archives the same paths).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent.parent / "results"
+
+
+def check(name: str) -> str:
+    path = RESULTS_DIR / name
+    if not path.exists():
+        raise SystemExit(f"check_bench: {path} was never emitted")
+    try:
+        record = json.loads(path.read_text())
+    except ValueError as exc:
+        raise SystemExit(f"check_bench: {path} is not valid JSON: {exc}")
+    if not isinstance(record, dict) or not str(record.get("schema", "")):
+        raise SystemExit(f"check_bench: {path} carries no schema stamp")
+    sections = ", ".join(sorted(k for k in record if k != "schema"))
+    return f"{name}: schema={record['schema']} sections=[{sections}]"
+
+
+def main(names: list) -> int:
+    if not names:
+        raise SystemExit("check_bench: pass at least one BENCH_*.json name")
+    for name in names:
+        print(check(name))
+    print(f"check_bench: {len(names)} emission(s) present and parseable")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

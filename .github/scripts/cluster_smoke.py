@@ -1,0 +1,198 @@
+"""CI smoke test for the pre-fork serving cluster.
+
+Boots the real ``repro serve`` CLI twice against one artifact:
+
+1. single-process, to capture reference answers over both protocols
+   (JSON HTTP and the ``repro.serve-wire/v1`` binary framing) and to
+   verify the graceful SIGTERM path ("draining ..." then exit 0);
+2. ``--workers 2`` cluster mode, asserting both protocols answer
+   bit-identically to the single process, the supervisor's control plane
+   reports two live workers and aggregates their metrics, a SIGKILL'd
+   worker is restarted (new pid, restart counter up, data port still
+   answering), and SIGTERM drains the fleet to a clean exit.
+
+Usage: PYTHONPATH=src python .github/scripts/cluster_smoke.py ARTIFACT.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.core.serialize import load_classifier
+from repro.serve import wire
+
+FEATURES = [
+    [0.5, -0.25, 1.0, 0.125, -0.5, 0.75],
+    [-1.0, 0.5, -0.125, 0.25, 1.0, -0.75],
+    [0.25, 0.25, -0.25, 0.5, -1.0, 0.125],
+]
+
+
+def _boot(extra_args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc
+
+
+def _read_ports(proc, cluster):
+    """Parse the announced data port (and control port in cluster mode)."""
+    data_port = control_port = None
+    pattern = re.compile(r"http://[\d.]+:(\d+)")
+    for line in proc.stdout:
+        print("server:", line.rstrip())
+        match = pattern.search(line)
+        if match is None:
+            continue
+        if cluster and "control plane" in line:
+            control_port = int(match.group(1))
+            break
+        if data_port is None and ("serving" in line or "shard" in line):
+            data_port = int(match.group(1))
+            if not cluster:
+                break
+    if data_port is None or (cluster and control_port is None):
+        raise SystemExit("server exited before announcing its ports")
+    return data_port, control_port
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _predict_both_protocols(port, features):
+    """(JSON labels, wire labels, wire projection raws) from one port."""
+    body = json.dumps({"features": features}).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/predict",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        payload = json.loads(response.read())
+    with wire.WireClient("127.0.0.1", port) as client:
+        reply = client.request(np.asarray(features))
+    if not isinstance(reply, wire.WireResponse):
+        raise SystemExit(f"wire predict failed: {reply}")
+    return payload["labels"], [int(v) for v in reply.labels], [
+        int(v) for v in reply.projection_raws
+    ]
+
+
+def _graceful_stop(proc, what):
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    print(f"{what} shutdown output:", out.rstrip() or "(none)")
+    if proc.returncode != 0:
+        raise SystemExit(f"{what} exited {proc.returncode} on SIGTERM")
+    if "draining" not in out:
+        raise SystemExit(f"{what} SIGTERM path skipped the drain: {out!r}")
+
+
+def main() -> int:
+    artifact = sys.argv[1]
+    classifier = load_classifier(artifact)
+    width = classifier.weights.shape[0]
+    features = [row[:width] + [0.0] * (width - len(row)) for row in FEATURES]
+    expected = [int(v) for v in classifier.predict_bitexact(np.array(features))]
+
+    # ---- Phase 1: single-process reference + graceful SIGTERM ---------- #
+    single = _boot(["--artifact", artifact, "--port", "0"])
+    try:
+        port, _ = _read_ports(single, cluster=False)
+        json_labels, wire_labels, wire_raws = _predict_both_protocols(
+            port, features
+        )
+        if json_labels != expected or wire_labels != expected:
+            raise SystemExit(
+                f"single-process labels diverged: json={json_labels} "
+                f"wire={wire_labels} expected={expected}"
+            )
+    except BaseException:
+        single.kill()
+        raise
+    _graceful_stop(single, "single-process server")
+    print("single-process: both protocols bit-identical, SIGTERM drained")
+
+    # ---- Phase 2: 2-worker cluster ------------------------------------ #
+    cluster = _boot(
+        ["--artifact", artifact, "--port", "0", "--workers", "2"]
+    )
+    try:
+        data_port, control_port = _read_ports(cluster, cluster=True)
+        c_json, c_wire, c_raws = _predict_both_protocols(data_port, features)
+        if c_json != expected or c_wire != expected or c_raws != wire_raws:
+            raise SystemExit(
+                "cluster answers diverged from single-process: "
+                f"json={c_json} wire={c_wire} raws={c_raws}"
+            )
+        print("cluster: both protocols bit-identical to single-process")
+
+        health = _get_json(f"http://127.0.0.1:{control_port}/healthz")
+        workers = health["workers"]
+        if len(workers) != 2 or not all(w["alive"] for w in workers):
+            raise SystemExit(f"expected 2 live workers, got {workers}")
+        metrics = _get_json(f"http://127.0.0.1:{control_port}/metrics.json")
+        if metrics["schema"] != "repro.serve-cluster-metrics/v1":
+            raise SystemExit(f"bad cluster metrics schema: {metrics['schema']}")
+        if metrics["aggregate"]["requests_total"] < 1:
+            raise SystemExit("aggregate request counter never moved")
+        print(
+            f"control plane ok: {len(metrics['workers'])} worker snapshot(s), "
+            f"aggregate requests_total="
+            f"{metrics['aggregate']['requests_total']}"
+        )
+
+        # Crash one worker; the supervisor must restart it in place.
+        victim = workers[0]
+        os.kill(victim["pid"], signal.SIGKILL)
+        print(f"killed worker {victim['worker']} (pid {victim['pid']})")
+        deadline = time.monotonic() + 30.0
+        restarted = None
+        while time.monotonic() < deadline:
+            health = _get_json(f"http://127.0.0.1:{control_port}/healthz")
+            state = next(
+                w for w in health["workers"] if w["worker"] == victim["worker"]
+            )
+            if state["alive"] and state["pid"] != victim["pid"]:
+                restarted = state
+                break
+            time.sleep(0.25)
+        if restarted is None:
+            raise SystemExit(f"worker {victim['worker']} never restarted")
+        if restarted["restarts"] < 1:
+            raise SystemExit(f"restart not counted: {restarted}")
+        print(
+            f"worker {restarted['worker']} restarted "
+            f"(pid {victim['pid']} -> {restarted['pid']})"
+        )
+
+        # The shared port keeps answering correct bits after the restart.
+        for _ in range(4):
+            _, again, _ = _predict_both_protocols(data_port, features)
+            if again != expected:
+                raise SystemExit(f"post-restart labels diverged: {again}")
+        print("data port serves bit-identical answers after restart")
+    except BaseException:
+        cluster.kill()
+        raise
+    _graceful_stop(cluster, "cluster supervisor")
+    print("cluster smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

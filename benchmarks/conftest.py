@@ -8,6 +8,7 @@ EXPERIMENTS.md (tens of minutes).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -29,6 +30,32 @@ def save_result():
         (RESULTS_DIR / f"{name}.txt").write_text(text)
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def merge_bench():
+    """Read-modify-write merge into a ``results/BENCH_*.json`` record.
+
+    Several benchmarks contribute sections to one machine-readable file
+    (e.g. the serve-engine baseline and the cluster saturation run both
+    land in ``BENCH_serve.json``); merging by top-level key lets them run
+    in any order or alone without clobbering each other's sections.
+    """
+
+    def _merge(filename: str, updates: dict) -> dict:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / filename
+        record = {}
+        if path.exists():
+            try:
+                record = json.loads(path.read_text())
+            except ValueError:
+                record = {}  # a corrupt record is rewritten, not fatal
+        record.update(updates)
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return record
+
+    return _merge
 
 
 def pytest_addoption(parser):

@@ -14,6 +14,7 @@ and deploys trained artifacts (see docs/serving.md)::
     python -m repro report --word-length 6 --save-artifact clf.json
     python -m repro serve --artifact clf.json --port 8400
     python -m repro serve --artifact clf.json --backend native
+    python -m repro serve --artifact clf.json --workers 4 --max-pending 4096
     echo "0.5 -0.25 1.0" | python -m repro predict --artifact clf.json
 
 and explores the word-length/power trade-off with the warm-started sweep
@@ -193,6 +194,42 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="build-cache directory for native kernels "
         "(default: $REPRO_NATIVE_CACHE or ~/.cache/repro/native)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="cluster mode: pre-fork this many SO_REUSEPORT worker processes "
+        "per shard (0 = classic single-process server)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="cluster mode: partition models into this many content-hash "
+        "routed shards, each on its own port",
+    )
+    serve.add_argument(
+        "--control-port",
+        type=int,
+        default=0,
+        help="cluster mode: supervisor control-plane port for /healthz and "
+        "aggregate /metrics (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=0,
+        help="admission-control bound: shed requests (structured 503) once "
+        "this many samples are queued or in flight per process "
+        "(0 = unbounded)",
+    )
+    serve.add_argument(
+        "--wire",
+        choices=("on", "off"),
+        default="on",
+        help="serve the repro.serve-wire/v1 binary protocol alongside HTTP "
+        "on the same port(s)",
     )
 
     predict = sub.add_parser(
@@ -522,48 +559,7 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _run_sweep(args)
 
     elif args.command == "serve":
-        import asyncio
-
-        from .serve import BatcherConfig, InferenceServer, ModelRegistry, ServeConfig
-
-        registry = ModelRegistry(
-            backend=args.backend, native_cache=args.native_cache
-        )
-        for spec in args.artifact:
-            name, sep, path = spec.partition("=")
-            if not sep:
-                name, path = _artifact_stem(spec), spec
-            model = registry.register_file(name, path)
-            print(f"registered {model.describe()}")
-            if model.engine.native_fallback_reason:
-                print(
-                    f"  native backend unavailable for {name!r}, using "
-                    f"{model.engine.backend}: "
-                    f"{model.engine.native_fallback_reason}"
-                )
-        config = ServeConfig(
-            host=args.host,
-            port=args.port,
-            batcher=BatcherConfig(
-                max_batch_size=args.max_batch,
-                max_delay=args.max_delay_ms / 1000.0,
-            ),
-        )
-        server = InferenceServer(registry, config=config)
-
-        async def _serve() -> None:
-            await server.start()
-            print(
-                f"serving on http://{args.host}:{server.port} "
-                "(POST /predict, GET /healthz, GET /metrics)",
-                flush=True,
-            )
-            await server.serve_forever()
-
-        try:
-            asyncio.run(_serve())
-        except KeyboardInterrupt:
-            pass
+        return _run_serve(args)
 
     elif args.command == "check":
         return _run_check(args)
@@ -923,6 +919,122 @@ def _artifact_stem(path: str) -> str:
     from pathlib import Path
 
     return Path(path).stem
+
+
+def _parse_artifact_specs(specs: "list[str]") -> "list[tuple[str, str]]":
+    """Expand repeated ``[NAME=]PATH`` arguments to (name, path) pairs."""
+    pairs = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep:
+            name, path = _artifact_stem(spec), spec
+        pairs.append((name, path))
+    return pairs
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: single-process server or pre-fork cluster.
+
+    Both paths shut down gracefully on SIGTERM as well as Ctrl-C: the
+    single process stops accepting, finishes accepted requests, and drains
+    the batcher before exiting; the supervisor SIGTERMs every worker and
+    waits for their drains.
+    """
+    import signal
+    import threading
+
+    artifacts = _parse_artifact_specs(args.artifact)
+    wire_enabled = args.wire == "on"
+
+    from .serve import BatcherConfig
+
+    batcher = BatcherConfig(
+        max_batch_size=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_pending_samples=args.max_pending,
+    )
+
+    if args.workers > 0:
+        from .serve import ClusterConfig, ClusterSupervisor
+
+        supervisor = ClusterSupervisor(
+            ClusterConfig(
+                artifacts=tuple(artifacts),
+                workers=args.workers,
+                shards=args.shards,
+                host=args.host,
+                port=args.port,
+                control_port=args.control_port,
+                batcher=batcher,
+                backend=args.backend,
+                native_cache=args.native_cache,
+                wire=wire_enabled,
+            )
+        )
+        supervisor.start()
+        for shard, port in sorted(supervisor.shard_ports.items()):
+            models = sorted(
+                name for name, (_, s) in supervisor.routing.items() if s == shard
+            )
+            print(
+                f"shard {shard}: {args.workers} worker(s) on "
+                f"http://{args.host}:{port} serving {', '.join(models)}",
+                flush=True,
+            )
+        print(
+            f"control plane on http://{args.host}:{supervisor.control_port} "
+            "(GET /healthz, aggregate /metrics, /metrics.json)",
+            flush=True,
+        )
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        try:
+            stop.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            print("draining cluster ...", flush=True)
+            supervisor.stop()
+        return 0
+
+    import asyncio
+
+    from .serve import InferenceServer, ModelRegistry, ServeConfig
+
+    registry = ModelRegistry(backend=args.backend, native_cache=args.native_cache)
+    for name, path in artifacts:
+        model = registry.register_file(name, path)
+        print(f"registered {model.describe()}")
+        if model.engine.native_fallback_reason:
+            print(
+                f"  native backend unavailable for {name!r}, using "
+                f"{model.engine.backend}: "
+                f"{model.engine.native_fallback_reason}"
+            )
+    config = ServeConfig(
+        host=args.host, port=args.port, batcher=batcher, wire=wire_enabled
+    )
+    server = InferenceServer(registry, config=config)
+
+    async def _serve() -> None:
+        await server.start()
+        protocols = "HTTP" + (" + wire" if wire_enabled else "")
+        print(
+            f"serving on http://{args.host}:{server.port} "
+            f"({protocols}: POST /predict, GET /healthz, GET /metrics)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+        await stop.wait()
+        # Graceful: no new connections, finish accepted work, drain batches.
+        print("draining ...", flush=True)
+        await server.close()
+
+    asyncio.run(_serve())
+    return 0
 
 
 if __name__ == "__main__":

@@ -257,7 +257,69 @@ def _record_serve_metrics() -> dict:
         "ecg", result, 0.003, content_hash="abc123", backend=engine.backend
     )
     metrics.observe_error()
+    metrics.observe_shed("overloaded")
+    metrics.observe_shed("overloaded")
+    metrics.observe_shed("deadline")
     return metrics.to_dict()
+
+
+def _record_serve_wire() -> dict:
+    """Pin ``repro.serve-wire/v1`` frame bytes for the shared trace cases.
+
+    Both lanes are pinned: even-indexed cases travel as float64 reals
+    (served via ``run``), odd ones as int64 raw words (``run_raw``).  The
+    request and response frames are recorded as hex alongside the decoded
+    engine outputs, so any byte-level codec drift — header layout, payload
+    endianness, trailer order — fails verification even if encode/decode
+    still round-trip each other.
+    """
+    from ..serve import wire
+    from ..serve.engine import BatchInferenceEngine
+    from .strategies import case_classifier, case_features
+
+    frames = []
+    for i, case in enumerate(_trace_cases()):
+        classifier = case_classifier(case)
+        engine = BatchInferenceEngine(classifier)
+        raw = i % 2 == 1
+        if raw:
+            features = np.asarray(case["feature_raws"], dtype=np.int64)
+            result = engine.run_raw(features)
+        else:
+            features = case_features(case)
+            result = engine.run(features)
+        request = wire.encode_request(
+            features, raw=raw, model=f"m{i}", deadline_ms=25 * i
+        )
+        decoded, consumed = wire.decode_frame(request)
+        assert consumed == len(request) and isinstance(decoded, wire.WireRequest)
+        response = wire.encode_response(
+            "deadbeef" * 8,
+            result.projection_raws,
+            result.labels,
+            result.product_overflow_events,
+            result.accumulator_overflow_events,
+        )
+        frames.append(
+            {
+                "case": case,
+                "raw": raw,
+                "request_hex": request.hex(),
+                "response_hex": response.hex(),
+                "projection_raws": [int(r) for r in result.projection_raws],
+                "labels": [int(b) for b in result.labels],
+                "product_overflow_events": int(result.product_overflow_events),
+                "accumulator_overflow_events": int(
+                    result.accumulator_overflow_events
+                ),
+            }
+        )
+    shed = wire.encode_error(503, "admission control: queue full", shed=True)
+    return {
+        "wire_schema": wire.WIRE_SCHEMA,
+        "frames": frames,
+        "shed_error_hex": shed.hex(),
+    }
 
 
 @lru_cache(maxsize=1)
@@ -376,6 +438,7 @@ RECORDERS: Dict[str, Callable[[], dict]] = {
     "certifier": _record_certifier,
     "pareto": _record_pareto,
     "serve_metrics": _record_serve_metrics,
+    "serve_wire": _record_serve_wire,
     "ecg_wl8": _record_ecg_wl8,
     "native_engine": _record_native_engine,
 }

@@ -444,13 +444,235 @@ class SweepNaiveOracle(Oracle):
                 )
 
 
+# --------------------------------------------------------------------- #
+# 7. Binary wire codec vs the direct engine path
+# --------------------------------------------------------------------- #
+class WireRoundtripOracle(Oracle):
+    """The ``repro.serve-wire/v1`` codec must be bit-transparent: a request
+    encoded, decoded, and served must produce exactly the bits of serving
+    the original array directly (both the float and raw-word lanes), and
+    the response codec must round-trip every result field.  Adversarial
+    frames (truncation, bit flips, ragged lengths, header corruption) must
+    produce a clean ``DataError`` — never another exception and never a
+    partially decoded frame."""
+
+    name = "wire_roundtrip"
+    description = (
+        "serve.wire encode/decode round-trip vs direct "
+        "serve.BatchInferenceEngine, bit for bit, plus malformed-frame "
+        "robustness (clean DataError only)"
+    )
+    default_examples = 60
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.one_of(cst.wire_cases(), cst.wire_frame_mutations())
+
+    def check(self, case: dict) -> None:
+        from ..errors import DataError
+        from ..serve import wire
+
+        if "frame_hex" in case:
+            try:
+                wire.decode_frame(bytes.fromhex(case["frame_hex"]))
+            except DataError:
+                return  # the contract: malformed input -> clean DataError
+            except Exception as exc:  # noqa: BLE001 - the property under test
+                self.fail(
+                    f"mutation {case['op']!r} raised {type(exc).__name__} "
+                    f"instead of DataError: {exc}",
+                    case,
+                )
+            return  # a mutation may still decode cleanly (e.g. payload flip)
+
+        from ..serve.engine import BatchInferenceEngine
+
+        classifier = cst.case_classifier(case)
+        engine = BatchInferenceEngine(classifier)
+        frame = cst.case_wire_frame(case)
+        decoded, consumed = wire.decode_frame(frame)
+        if consumed != len(frame):
+            self.fail(f"decoder consumed {consumed} of {len(frame)} bytes", case)
+        if not isinstance(decoded, wire.WireRequest):
+            self.fail(f"request decoded as {type(decoded).__name__}", case)
+        if decoded.raw != bool(case["raw"]) or decoded.model != case.get("model"):
+            self.fail(
+                f"header fields changed: raw={decoded.raw} model={decoded.model}",
+                case,
+            )
+        if decoded.deadline_ms != int(case["deadline_ms"]):
+            self.fail(f"deadline changed: {decoded.deadline_ms}", case)
+
+        if case["raw"]:
+            direct = np.asarray(case["feature_raws"], dtype=np.int64)
+            want = engine.run_raw(direct)
+            got = engine.run_raw(decoded.features)
+        else:
+            direct = cst.case_features(case)
+            want = engine.run(direct)
+            got = engine.run(decoded.features)
+        for field in (
+            "projection_raws",
+            "labels",
+            "product_overflowed",
+            "accumulator_overflowed",
+        ):
+            want_arr = np.asarray(getattr(want, field))
+            got_arr = np.asarray(getattr(got, field))
+            if not np.array_equal(want_arr, got_arr):
+                self.fail(
+                    f"wire-decoded batch diverges on {field}: "
+                    f"{got_arr.tolist()} != {want_arr.tolist()}",
+                    case,
+                )
+
+        response = wire.encode_response(
+            "f" * 64,
+            want.projection_raws,
+            want.labels,
+            want.product_overflow_events,
+            want.accumulator_overflow_events,
+        )
+        answer, _ = wire.decode_frame(response)
+        if not isinstance(answer, wire.WireResponse):
+            self.fail(f"response decoded as {type(answer).__name__}", case)
+        if list(answer.projection_raws) != [int(r) for r in want.projection_raws]:
+            self.fail("response projection raws changed in transit", case)
+        if list(answer.labels) != [int(v) for v in want.labels]:
+            self.fail("response labels changed in transit", case)
+        if (
+            answer.product_overflow_events != want.product_overflow_events
+            or answer.accumulator_overflow_events != want.accumulator_overflow_events
+        ):
+            self.fail("response overflow counters changed in transit", case)
+
+
+# --------------------------------------------------------------------- #
+# 8. Cluster serving plane vs the single-process server
+# --------------------------------------------------------------------- #
+class ClusterVsSingleOracle(Oracle):
+    """A 2-worker ``SO_REUSEPORT`` cluster must answer byte-for-byte like
+    the single-process server and like the direct engine on the same
+    artifact — over the binary wire protocol and HTTP JSON alike.  Boots
+    real worker processes, so the default budget is one (seeded) case."""
+
+    name = "cluster_vs_single"
+    description = (
+        "serve.cluster 2-worker plane vs single-process InferenceServer "
+        "vs direct engine, wire + JSON, bit for bit"
+    )
+    default_examples = 1
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.fixed_dictionaries(
+            {"seed": st.integers(min_value=0, max_value=10**6)}
+        )
+
+    def check(self, case: dict) -> None:
+        import json
+        import tempfile
+        import urllib.request
+        from pathlib import Path
+
+        from ..core.serialize import save_classifier
+        from ..serve import (
+            BatcherConfig,
+            ClusterConfig,
+            ClusterSupervisor,
+            ModelRegistry,
+            ServeConfig,
+            WireClient,
+            WireResponse,
+            start_server_thread,
+        )
+
+        seed = int(case["seed"])
+        rng = np.random.default_rng(seed)
+        classifier = cst.random_classifier(rng, 3, 5, 8)
+        features = rng.uniform(-6.0, 6.0, size=(16, 8))
+        raws = rng.integers(
+            classifier.fmt.min_raw, classifier.fmt.max_raw + 1, size=(16, 8)
+        ).astype(np.int64)
+
+        registry = ModelRegistry()
+        registry.register("m", classifier)
+        engine = registry.get("m").engine
+        want_real = engine.run(features)
+        want_raw = engine.run_raw(raws)
+
+        def _query(port: int) -> dict:
+            out = {}
+            with WireClient("127.0.0.1", port) as client:
+                real = client.request(features, model="m")
+                raw = client.request(raws, raw=True, model="m")
+            for label, reply in (("real", real), ("raw", raw)):
+                if not isinstance(reply, WireResponse):
+                    self.fail(f"{label} wire reply was {reply!r}", case)
+                out[label] = reply
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/predict",
+                data=json.dumps(
+                    {"model": "m", "features": features.tolist()}
+                ).encode("utf-8"),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                out["json"] = json.loads(response.read())
+            return out
+
+        with tempfile.TemporaryDirectory() as tmp:
+            artifact = str(Path(tmp) / "m.json")
+            save_classifier(classifier, artifact)
+            single = start_server_thread(registry, ServeConfig(port=0))
+            try:
+                supervisor = ClusterSupervisor(
+                    ClusterConfig(
+                        artifacts=(("m", artifact),),
+                        workers=2,
+                        batcher=BatcherConfig(max_delay=0.002),
+                    )
+                )
+                supervisor.start()
+                try:
+                    answers = {
+                        "single": _query(single.port),
+                        "cluster": _query(supervisor.shard_ports[0]),
+                    }
+                finally:
+                    supervisor.stop()
+            finally:
+                single.stop()
+
+        for side, got in answers.items():
+            if list(got["real"].projection_raws) != [
+                int(r) for r in want_real.projection_raws
+            ]:
+                self.fail(f"{side} real-lane projection raws diverge", case)
+            if list(got["real"].labels) != [int(v) for v in want_real.labels]:
+                self.fail(f"{side} real-lane labels diverge", case)
+            if list(got["raw"].projection_raws) != [
+                int(r) for r in want_raw.projection_raws
+            ]:
+                self.fail(f"{side} raw-lane projection raws diverge", case)
+            if list(got["raw"].labels) != [int(v) for v in want_raw.labels]:
+                self.fail(f"{side} raw-lane labels diverge", case)
+            if got["json"]["labels"] != [int(v) for v in want_real.labels]:
+                self.fail(f"{side} JSON labels diverge", case)
+        if answers["single"]["json"]["content_hash"] != answers["cluster"][
+            "json"
+        ]["content_hash"]:
+            self.fail("single and cluster served different content hashes", case)
+
+
 ALL_ORACLES = (
     EngineDatapathOracle(),
     NativeVsFastOracle(),
     SerializeRoundtripOracle(),
+    WireRoundtripOracle(),
     CertifierReplayOracle(),
     SolverParallelOracle(),
     SweepNaiveOracle(),
+    ClusterVsSingleOracle(),
 )
 
 ORACLES = {oracle.name: oracle for oracle in ALL_ORACLES}

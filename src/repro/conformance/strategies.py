@@ -49,6 +49,9 @@ __all__ = [
     "random_classifier",
     "case_classifier",
     "case_features",
+    "wire_cases",
+    "wire_frame_mutations",
+    "case_wire_frame",
 ]
 
 # The rounding modes with a deterministic narrowing rule (everything except
@@ -199,6 +202,110 @@ def artifact_payloads(
         "polarity": draw(st.sampled_from([1, -1])),
         "rounding": draw(rounding_modes()).value,
     }
+
+
+@st.composite
+def wire_cases(
+    draw,
+    max_integer_bits: int = 4,
+    max_fraction_bits: int = 5,
+    max_features: int = 6,
+    max_samples: int = 6,
+) -> dict:
+    """:func:`classifier_cases` extended with wire-protocol request fields.
+
+    ``raw`` selects the payload lane (int64 raw words served via
+    ``run_raw`` vs float64 reals served via ``run``), ``model`` the
+    addressed registry key (None = default-model frames), ``deadline_ms``
+    the soft deadline carried in the frame header.
+    """
+    case = draw(
+        classifier_cases(
+            max_integer_bits=max_integer_bits,
+            max_fraction_bits=max_fraction_bits,
+            max_features=max_features,
+            max_samples=max_samples,
+        )
+    )
+    case["raw"] = draw(st.booleans())
+    case["deadline_ms"] = draw(st.integers(min_value=0, max_value=60_000))
+    case["model"] = draw(
+        st.one_of(st.none(), st.sampled_from(["ecg", "clf", "m0", "bci-8"]))
+    )
+    return case
+
+
+def case_wire_frame(case: dict) -> bytes:
+    """Encode the request frame a :func:`wire_cases` dict describes."""
+    from ..fixedpoint.qformat import QFormat
+    from ..serve import wire
+
+    if case["raw"]:
+        features = np.asarray(case["feature_raws"], dtype=np.int64)
+    else:
+        fmt = QFormat(int(case["integer_bits"]), int(case["fraction_bits"]))
+        features = np.asarray(case["feature_raws"], dtype=np.float64) * fmt.resolution
+    return wire.encode_request(
+        features,
+        raw=bool(case["raw"]),
+        model=case.get("model"),
+        deadline_ms=int(case["deadline_ms"]),
+    )
+
+
+@st.composite
+def wire_frame_mutations(draw) -> dict:
+    """Adversarial wire frames: a valid request frame, then one corruption.
+
+    The contract under test (see the ``wire_roundtrip`` oracle and
+    ``tests/test_serve_wire.py``): the decoder answers *any* byte string
+    with either a clean :class:`~repro.errors.DataError` or a fully decoded
+    frame — never another exception type, never a hang, never partially
+    decoded output.  Cases are JSON-able (the frame travels as hex) so
+    shrunk examples replay from a witness file.
+    """
+    frame = bytearray(case_wire_frame(draw(wire_cases(max_samples=3))))
+    op = draw(
+        st.sampled_from(
+            [
+                "truncate",
+                "flip",
+                "magic",
+                "length_up",
+                "length_huge",
+                "kind",
+                "dtype",
+                "reserved",
+                "shape",
+                "random",
+            ]
+        )
+    )
+    if op == "truncate":
+        frame = frame[: draw(st.integers(min_value=0, max_value=len(frame) - 1))]
+    elif op == "flip":
+        pos = draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        frame[pos] ^= draw(st.integers(min_value=1, max_value=255))
+    elif op == "magic":
+        frame[0:4] = draw(st.binary(min_size=4, max_size=4))
+    elif op == "length_up":
+        declared = int.from_bytes(frame[4:8], "little")
+        bumped = min(declared + draw(st.integers(1, 9999)), 0xFFFFFFFF)
+        frame[4:8] = bumped.to_bytes(4, "little")
+    elif op == "length_huge":
+        frame[4:8] = draw(st.integers(2**24, 2**32 - 1)).to_bytes(4, "little")
+    elif op == "kind":
+        frame[8] = draw(st.integers(min_value=0, max_value=255))
+    elif op == "dtype":
+        frame[9] = draw(st.integers(min_value=2, max_value=255))
+    elif op == "reserved":
+        frame[10:12] = draw(st.integers(1, 0xFFFF)).to_bytes(2, "little")
+    elif op == "shape":
+        # n_samples field of the request header (magic+len+BBHIH = offset 18).
+        frame[18:22] = draw(st.integers(0, 2**31)).to_bytes(4, "little")
+    elif op == "random":
+        frame = bytearray(draw(st.binary(min_size=0, max_size=200)))
+    return {"frame_hex": bytes(frame).hex(), "op": op}
 
 
 # --------------------------------------------------------------------- #

@@ -99,6 +99,25 @@ class ModelNotFoundError(ServeError):
     """A registry lookup (by name or content-hash prefix) matched no model."""
 
 
+class OverloadedError(ServeError):
+    """Admission control rejected a request: the pending queue is full.
+
+    Maps to a structured 503 (``overloaded``) on both the HTTP and binary
+    wire paths and increments the ``requests_shed_total`` counter.  The
+    request was never enqueued, so shedding can never change the bits of
+    any answer that *is* returned.
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired while it waited in the batcher queue.
+
+    Maps to a structured 503 (``deadline``); the batcher drops the request
+    at flush time instead of burning an engine slot on an answer the
+    client has already given up on.
+    """
+
+
 class CertificationError(ServeError):
     """An artifact's static certificate has a VIOLATED invariant.
 

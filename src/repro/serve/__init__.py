@@ -13,28 +13,51 @@ that *serves* them:
 - :class:`~repro.serve.registry.ModelRegistry` — validated, content-hashed,
   hot-reloadable model store.
 - :class:`~repro.serve.batcher.MicroBatcher` — asyncio micro-batching
-  (flush on size or latency deadline).
-- :class:`~repro.serve.server.InferenceServer` — stdlib-only HTTP endpoint
-  (``POST /predict``, ``GET /healthz``, ``GET /metrics``).
-- :class:`~repro.serve.metrics.ServeMetrics` — request/batch/latency and
-  overflow-event counters, exported as Prometheus text and as the
-  ``repro.serve-metrics/v1`` JSON schema.
+  (flush on size or latency deadline) with admission control and
+  deadline-aware load shedding.
+- :class:`~repro.serve.server.InferenceServer` — stdlib-only endpoint
+  speaking both HTTP (``POST /predict``, ``GET /healthz``, ``GET
+  /metrics``) and the ``repro.serve-wire/v1`` binary protocol
+  (:mod:`repro.serve.wire`) on one port.
+- :class:`~repro.serve.cluster.ClusterSupervisor` — the pre-fork
+  ``SO_REUSEPORT`` multi-worker serving plane with content-hash shard
+  routing, crash restarts, graceful SIGTERM drain, and an aggregate
+  metrics control plane (see docs/serving.md, "Cluster mode").
+- :class:`~repro.serve.metrics.ServeMetrics` — request/batch/latency,
+  overflow-event, and load-shedding counters, exported as Prometheus text
+  and as the ``repro.serve-metrics/v2`` JSON schema.
 
-See ``docs/serving.md`` for the HTTP API and metric schemas, and
-``examples/ecg_monitor.py`` for an end-to-end train → save → serve →
-stream demo.
+See ``docs/serving.md`` for the HTTP API, wire format, and metric
+schemas, and ``examples/ecg_monitor.py`` for an end-to-end train → save →
+serve → stream demo.
 """
 
 from .batcher import BatcherConfig, MicroBatcher
+from .cluster import ClusterConfig, ClusterSupervisor, WorkerState, shard_of
 from .engine import (
     ENGINE_BACKENDS,
     BatchInferenceEngine,
     BatchResult,
     int64_path_available,
 )
-from .metrics import LatencyStats, ModelMetrics, ServeMetrics
+from .metrics import (
+    LatencyStats,
+    ModelMetrics,
+    ServeMetrics,
+    merge_snapshots,
+)
 from .registry import ModelRegistry, RegisteredModel, content_hash
 from .server import InferenceServer, ServeConfig, ServerHandle, start_server_thread
+from .wire import (
+    WIRE_SCHEMA,
+    WireClient,
+    WireError,
+    WireRequest,
+    WireResponse,
+    decode_frame,
+    encode_request,
+    encode_response,
+)
 
 __all__ = [
     "BatchInferenceEngine",
@@ -47,10 +70,23 @@ __all__ = [
     "ServeMetrics",
     "ModelMetrics",
     "LatencyStats",
+    "merge_snapshots",
     "BatcherConfig",
     "MicroBatcher",
     "ServeConfig",
     "InferenceServer",
     "ServerHandle",
     "start_server_thread",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "WorkerState",
+    "shard_of",
+    "WIRE_SCHEMA",
+    "WireClient",
+    "WireRequest",
+    "WireResponse",
+    "WireError",
+    "encode_request",
+    "encode_response",
+    "decode_frame",
 ]

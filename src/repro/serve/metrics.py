@@ -7,9 +7,19 @@ observes; it exports two views:
   /metrics`` — plain counters/gauges with ``model`` labels, scrapeable by a
   stock Prometheus.
 - **JSON** (:meth:`to_dict` / :meth:`to_json`) under the schema
-  ``repro.serve-metrics/v1``, in the style of PR 1's
+  ``repro.serve-metrics/v2``, in the style of PR 1's
   ``repro.solver-trace/v1``: a versioned, auditable snapshot that tests and
   offline tooling can load without a Prometheus parser.
+
+v2 adds two things the cluster plane needs: a ``worker`` identity (empty
+in single-process mode; a non-empty worker stamps every Prometheus line
+with a ``worker`` label so multi-worker scrapes never silently mix
+processes) and load-shedding counters (``requests_shed_total`` plus a
+per-reason breakdown) that keep admission-control rejections separate
+from genuine errors.  :func:`merge_snapshots` folds per-worker snapshots
+into one aggregate — that is what the supervisor's scrape endpoint
+serves, so cluster totals are computed once, centrally, instead of by
+every dashboard.
 
 Overflow accounting reuses the semantics of
 :class:`~repro.fixedpoint.datapath.DatapathTrace`: a *product* event is one
@@ -27,7 +37,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
-__all__ = ["LatencyStats", "ModelMetrics", "ServeMetrics"]
+__all__ = ["LatencyStats", "ModelMetrics", "ServeMetrics", "merge_snapshots"]
 
 
 @dataclass
@@ -91,16 +101,24 @@ class ModelMetrics:
 
 
 class ServeMetrics:
-    """Thread-safe aggregate of everything the serving runtime observes."""
+    """Thread-safe aggregate of everything the serving runtime observes.
 
-    SCHEMA = "repro.serve-metrics/v1"
+    ``worker`` is the process identity in cluster mode (e.g. ``"w0"``);
+    leave it empty for the single-process server — an empty worker keeps
+    every global Prometheus line unlabeled, exactly as in v1.
+    """
 
-    def __init__(self) -> None:
+    SCHEMA = "repro.serve-metrics/v2"
+
+    def __init__(self, worker: str = "") -> None:
         self._lock = threading.Lock()
+        self.worker = worker
         self.requests_total = 0
         self.samples_total = 0
         self.batches_total = 0
         self.errors_total = 0
+        self.requests_shed_total = 0
+        self.shed_by_reason: "Dict[str, int]" = {}
         self.request_latency = LatencyStats()
         self.per_model: "Dict[str, ModelMetrics]" = {}
 
@@ -164,16 +182,32 @@ class ServeMetrics:
         with self._lock:
             self.errors_total += 1
 
+    def observe_shed(self, reason: str) -> None:
+        """Record one load-shed request (admission control / deadline).
+
+        Shed requests are counted apart from ``errors_total``: an error is
+        a malformed or unserveable request, a shed is a well-formed request
+        the plane chose not to serve under overload.  ``reason`` is a short
+        stable token (``"overloaded"``, ``"deadline"``) that becomes a
+        Prometheus label.
+        """
+        with self._lock:
+            self.requests_shed_total += 1
+            self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """Versioned JSON snapshot (schema ``repro.serve-metrics/v1``)."""
+        """Versioned JSON snapshot (schema ``repro.serve-metrics/v2``)."""
         with self._lock:
             return {
                 "schema": self.SCHEMA,
+                "worker": self.worker,
                 "requests_total": self.requests_total,
                 "samples_total": self.samples_total,
                 "batches_total": self.batches_total,
                 "errors_total": self.errors_total,
+                "requests_shed_total": self.requests_shed_total,
+                "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
                 "request_latency": self.request_latency.to_dict(),
                 "models": {
                     name: metrics.to_dict()
@@ -187,47 +221,184 @@ class ServeMetrics:
 
     def render_prometheus(self) -> str:
         """Prometheus text exposition of every counter and summary."""
-        snap = self.to_dict()
-        lines = [
-            "# HELP repro_serve_requests_total Predict requests answered.",
-            "# TYPE repro_serve_requests_total counter",
-            f"repro_serve_requests_total {snap['requests_total']}",
-            "# HELP repro_serve_samples_total Feature vectors classified.",
-            "# TYPE repro_serve_samples_total counter",
-            f"repro_serve_samples_total {snap['samples_total']}",
-            "# HELP repro_serve_batches_total Engine batches executed.",
-            "# TYPE repro_serve_batches_total counter",
-            f"repro_serve_batches_total {snap['batches_total']}",
-            "# HELP repro_serve_errors_total Rejected or failed requests.",
-            "# TYPE repro_serve_errors_total counter",
-            f"repro_serve_errors_total {snap['errors_total']}",
-            "# HELP repro_serve_request_latency_seconds Request latency summary.",
-            "# TYPE repro_serve_request_latency_seconds summary",
-            f"repro_serve_request_latency_seconds_count {snap['request_latency']['count']}",
-            f"repro_serve_request_latency_seconds_sum {snap['request_latency']['sum_seconds']}",
-        ]
-        model_rows = [
-            ("repro_serve_model_requests_total", "Requests per model", "requests"),
-            ("repro_serve_model_samples_total", "Samples per model", "samples"),
-            ("repro_serve_model_batches_total", "Batches per model", "batches"),
-            (
-                "repro_serve_model_product_overflow_events_total",
-                "Product words whose exact value left QK.F before the overflow policy",
+        return render_prometheus_snapshot(self.to_dict())
+
+
+# --------------------------------------------------------------------- #
+# Snapshot-level helpers (used by the cluster supervisor's aggregate
+# scrape endpoint, which works from per-worker JSON snapshots rather than
+# live ServeMetrics objects).
+# --------------------------------------------------------------------- #
+def _merge_latency(into: dict, snap: dict) -> None:
+    into["count"] += snap["count"]
+    into["sum_seconds"] += snap["sum_seconds"]
+    if snap["count"]:
+        into["min_seconds"] = (
+            snap["min_seconds"]
+            if not into.get("_seen")
+            else min(into["min_seconds"], snap["min_seconds"])
+        )
+        into["_seen"] = True
+    into["max_seconds"] = max(into["max_seconds"], snap["max_seconds"])
+    into["mean_seconds"] = (
+        into["sum_seconds"] / into["count"] if into["count"] else 0.0
+    )
+
+
+def merge_snapshots(snapshots: "list[dict]", worker: str = "") -> dict:
+    """Fold per-worker :meth:`ServeMetrics.to_dict` snapshots into one.
+
+    Counters sum, latency summaries combine exactly (count/sum/min/max;
+    the mean is recomputed), per-model entries merge by registry name, and
+    shed reasons accumulate.  The result carries ``worker=worker`` (empty
+    for the cluster-wide aggregate) and the v2 schema tag, so it renders
+    through :func:`render_prometheus_snapshot` like any live snapshot.
+    """
+    out: dict = {
+        "schema": ServeMetrics.SCHEMA,
+        "worker": worker,
+        "requests_total": 0,
+        "samples_total": 0,
+        "batches_total": 0,
+        "errors_total": 0,
+        "requests_shed_total": 0,
+        "shed_by_reason": {},
+        "request_latency": {
+            "count": 0,
+            "sum_seconds": 0.0,
+            "min_seconds": 0.0,
+            "max_seconds": 0.0,
+            "mean_seconds": 0.0,
+        },
+        "models": {},
+    }
+    for snap in snapshots:
+        for key in (
+            "requests_total",
+            "samples_total",
+            "batches_total",
+            "errors_total",
+            "requests_shed_total",
+        ):
+            out[key] += snap.get(key, 0)
+        for reason, count in snap.get("shed_by_reason", {}).items():
+            out["shed_by_reason"][reason] = (
+                out["shed_by_reason"].get(reason, 0) + count
+            )
+        _merge_latency(out["request_latency"], snap["request_latency"])
+        for name, entry in snap.get("models", {}).items():
+            into = out["models"].setdefault(
+                name,
+                {
+                    "content_hash": entry["content_hash"],
+                    "backend": entry["backend"],
+                    "requests": 0,
+                    "samples": 0,
+                    "batches": 0,
+                    "product_overflow_events": 0,
+                    "accumulator_overflow_events": 0,
+                    "batch_latency": {
+                        "count": 0,
+                        "sum_seconds": 0.0,
+                        "min_seconds": 0.0,
+                        "max_seconds": 0.0,
+                        "mean_seconds": 0.0,
+                    },
+                },
+            )
+            for key in (
+                "requests",
+                "samples",
+                "batches",
                 "product_overflow_events",
-            ),
-            (
-                "repro_serve_model_accumulator_overflow_events_total",
-                "Accumulator additions whose exact value left QK.F before the overflow policy",
                 "accumulator_overflow_events",
-            ),
-        ]
-        for metric, help_text, key in model_rows:
-            lines.append(f"# HELP {metric} {help_text}.")
-            lines.append(f"# TYPE {metric} counter")
-            for name, entry in snap["models"].items():
-                labels = (
-                    f'model="{name}",hash="{entry["content_hash"][:12]}",'
-                    f'backend="{entry["backend"]}"'
-                )
-                lines.append(f"{metric}{{{labels}}} {entry[key]}")
-        return "\n".join(lines) + "\n"
+            ):
+                into[key] += entry[key]
+            _merge_latency(into["batch_latency"], entry["batch_latency"])
+    out["request_latency"].pop("_seen", None)
+    for entry in out["models"].values():
+        entry["batch_latency"].pop("_seen", None)
+    out["shed_by_reason"] = dict(sorted(out["shed_by_reason"].items()))
+    out["models"] = dict(sorted(out["models"].items()))
+    return out
+
+
+def render_prometheus_snapshot(snap: dict) -> str:
+    """Prometheus text exposition of one :meth:`ServeMetrics.to_dict` snapshot.
+
+    A non-empty ``worker`` in the snapshot labels every line with
+    ``worker="..."``; the single-process server (empty worker) keeps the
+    unlabeled v1 output byte-compatible for existing scrapers.
+    """
+    worker = snap.get("worker", "")
+    glabel = f'{{worker="{worker}"}}' if worker else ""
+
+    def wlabels(extra: str) -> str:
+        if worker:
+            return f'{{worker="{worker}",{extra}}}'
+        return f"{{{extra}}}"
+
+    lines = [
+        "# HELP repro_serve_requests_total Predict requests answered.",
+        "# TYPE repro_serve_requests_total counter",
+        f"repro_serve_requests_total{glabel} {snap['requests_total']}",
+        "# HELP repro_serve_samples_total Feature vectors classified.",
+        "# TYPE repro_serve_samples_total counter",
+        f"repro_serve_samples_total{glabel} {snap['samples_total']}",
+        "# HELP repro_serve_batches_total Engine batches executed.",
+        "# TYPE repro_serve_batches_total counter",
+        f"repro_serve_batches_total{glabel} {snap['batches_total']}",
+        "# HELP repro_serve_errors_total Rejected or failed requests.",
+        "# TYPE repro_serve_errors_total counter",
+        f"repro_serve_errors_total{glabel} {snap['errors_total']}",
+        "# HELP repro_serve_requests_shed_total Requests rejected by load shedding.",
+        "# TYPE repro_serve_requests_shed_total counter",
+        f"repro_serve_requests_shed_total{glabel} "
+        f"{snap.get('requests_shed_total', 0)}",
+    ]
+    shed_reasons = snap.get("shed_by_reason", {})
+    if shed_reasons:
+        lines.append(
+            "# HELP repro_serve_requests_shed_reason_total "
+            "Shed requests by rejection reason."
+        )
+        lines.append("# TYPE repro_serve_requests_shed_reason_total counter")
+        for reason, count in shed_reasons.items():
+            reason_label = f'reason="{reason}"'
+            lines.append(
+                f"repro_serve_requests_shed_reason_total{wlabels(reason_label)} "
+                f"{count}"
+            )
+    lines += [
+        "# HELP repro_serve_request_latency_seconds Request latency summary.",
+        "# TYPE repro_serve_request_latency_seconds summary",
+        f"repro_serve_request_latency_seconds_count{glabel} "
+        f"{snap['request_latency']['count']}",
+        f"repro_serve_request_latency_seconds_sum{glabel} "
+        f"{snap['request_latency']['sum_seconds']}",
+    ]
+    model_rows = [
+        ("repro_serve_model_requests_total", "Requests per model", "requests"),
+        ("repro_serve_model_samples_total", "Samples per model", "samples"),
+        ("repro_serve_model_batches_total", "Batches per model", "batches"),
+        (
+            "repro_serve_model_product_overflow_events_total",
+            "Product words whose exact value left QK.F before the overflow policy",
+            "product_overflow_events",
+        ),
+        (
+            "repro_serve_model_accumulator_overflow_events_total",
+            "Accumulator additions whose exact value left QK.F before the overflow policy",
+            "accumulator_overflow_events",
+        ),
+    ]
+    for metric, help_text, key in model_rows:
+        lines.append(f"# HELP {metric} {help_text}.")
+        lines.append(f"# TYPE {metric} counter")
+        for name, entry in snap["models"].items():
+            labels = (
+                f'model="{name}",hash="{entry["content_hash"][:12]}",'
+                f'backend="{entry["backend"]}"'
+            )
+            lines.append(f"{metric}{wlabels(labels)} {entry[key]}")
+    return "\n".join(lines) + "\n"

@@ -212,6 +212,19 @@ class ModelRegistry:
         with self._lock:
             return [self._models[name] for name in sorted(self._models)]
 
+    def inventory(self) -> "Dict[str, str]":
+        """Name → content hash for every registered model (sorted by name).
+
+        The cluster supervisor builds its hash → shard routing map from
+        this, and ``/healthz`` surfaces it so clients can see exactly which
+        bits every name resolves to.
+        """
+        with self._lock:
+            return {
+                name: self._models[name].content_hash
+                for name in sorted(self._models)
+            }
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._models)

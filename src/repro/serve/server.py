@@ -1,33 +1,49 @@
-"""Stdlib-only HTTP serving endpoint for fixed-point inference.
+"""Stdlib-only serving endpoint: HTTP/1.1 plus the binary wire protocol.
 
-A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no web
-framework, no new dependencies — exposing:
+A deliberately small server on ``asyncio.start_server`` — no web framework,
+no new dependencies — exposing:
 
 - ``POST /predict`` — body ``{"model": <name|sha256:prefix>?, "features":
-  [..] | [[..], ..]}``; features go through the micro-batcher and the
-  bit-exact engine; the response carries labels, real-valued projections,
-  the serving model's name, content hash and engine backend, and the
-  batch's overflow event counts.  ``model`` may be omitted when exactly one
-  model is registered.
+  [..] | [[..], ..], "deadline_ms": <int>?}``; features go through the
+  micro-batcher and the bit-exact engine; the response carries labels,
+  real-valued projections, the serving model's name, content hash and
+  engine backend, and the batch's overflow event counts.  ``model`` may be
+  omitted when exactly one model is registered.
 - ``GET /healthz`` — liveness plus the registry inventory.
 - ``GET /metrics`` — Prometheus text exposition.
 - ``GET /metrics.json`` — the same counters as a versioned
-  ``repro.serve-metrics/v1`` JSON snapshot.
+  ``repro.serve-metrics/v2`` JSON snapshot.
+- **binary wire connections** — any connection whose first four bytes are
+  the ``repro.serve-wire/v1`` magic (:mod:`repro.serve.wire`) speaks the
+  length-prefixed frame protocol instead of HTTP; no HTTP method starts
+  with those bytes, so one listening port serves both.  Wire connections
+  are persistent (many frames per connection) and their payloads decode
+  vectorized straight into the batcher with zero per-sample JSON work.
 
-Every connection is single-request (``Connection: close``): the protocol
-surface stays a few dozen lines and trivially auditable, which matters more
-here than keep-alive throughput — the expensive work is batched behind the
-endpoint anyway.
+HTTP connections stay single-request (``Connection: close``): that
+protocol surface stays a few dozen lines and trivially auditable, and the
+throughput-critical path is the wire protocol anyway.
+
+Overload produces *structured* 503s on both protocols: admission-control
+rejections (:class:`~repro.errors.OverloadedError`) and queue-deadline
+expiries (:class:`~repro.errors.DeadlineExceededError`) are counted on the
+``requests_shed_total`` metric, separate from errors, and shed requests
+are never partially served — an accepted request is always answered with
+exactly the per-sample datapath's bits.
 
 :func:`start_server_thread` runs the whole stack on a daemon-thread event
 loop and returns a handle with the bound port — this is what the tests, the
-CI smoke job, and the ECG example use to serve and query in one process.
+CI smoke jobs, and the ECG example use to serve and query in one process.
+Cluster workers (:mod:`repro.serve.cluster`) run the same server with
+``ServeConfig(reuse_port=True)`` so the kernel balances connections across
+the worker pool.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import struct
 import threading
 import time
 from dataclasses import dataclass, field
@@ -36,7 +52,15 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .._version import __version__
-from ..errors import ModelNotFoundError, ReproError, ServeError
+from ..errors import (
+    DataError,
+    DeadlineExceededError,
+    ModelNotFoundError,
+    OverloadedError,
+    ReproError,
+    ServeError,
+)
+from . import wire
 from .batcher import BatcherConfig, MicroBatcher
 from .metrics import ServeMetrics
 from .registry import ModelRegistry
@@ -49,15 +73,23 @@ _MAX_SAMPLES_PER_REQUEST = 65536
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Bind address and batching policy of one server instance.
+    """Bind address, batching policy, and protocol options of one server.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     :attr:`InferenceServer.port` after :meth:`InferenceServer.start`.
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so several worker
+    processes can share one port (cluster mode).  ``wire=False`` turns the
+    binary protocol off, leaving a pure HTTP endpoint.  ``drain_timeout``
+    bounds how long :meth:`InferenceServer.close` waits for open
+    connections to finish before dropping idle ones.
     """
 
     host: str = "127.0.0.1"
     port: int = 0
     batcher: BatcherConfig = field(default_factory=BatcherConfig)
+    reuse_port: bool = False
+    wire: bool = True
+    drain_timeout: float = 5.0
 
 
 def _parse_features(payload: object) -> np.ndarray:
@@ -84,8 +116,19 @@ def _parse_features(payload: object) -> np.ndarray:
     return features
 
 
+def _parse_deadline(payload: dict) -> int:
+    deadline = payload.get("deadline_ms", 0)
+    if deadline is None:
+        return 0
+    if not isinstance(deadline, int) or isinstance(deadline, bool) or deadline < 0:
+        raise ServeError(
+            f"'deadline_ms' must be a non-negative integer, got {deadline!r}"
+        )
+    return deadline
+
+
 class InferenceServer:
-    """The asyncio HTTP server wrapping registry, batcher, and metrics."""
+    """The asyncio server wrapping registry, batcher, metrics, and protocols."""
 
     def __init__(
         self,
@@ -100,13 +143,18 @@ class InferenceServer:
             registry, config=self.config.batcher, metrics=self.metrics
         )
         self._server: "Optional[asyncio.AbstractServer]" = None
+        self._connections: "set[asyncio.Task]" = set()
+        self._closing = False
         self.port: "Optional[int]" = None
 
     # ------------------------------------------------------------------ #
     async def start(self) -> None:
         """Bind the listening socket and record the actual port."""
         self._server = await asyncio.start_server(
-            self._handle_connection, host=self.config.host, port=self.config.port
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            reuse_port=self.config.reuse_port or None,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -119,19 +167,60 @@ class InferenceServer:
             await self._server.serve_forever()
 
     async def close(self) -> None:
-        """Stop accepting, drain in-flight batches, release the socket."""
+        """Graceful shutdown: stop accepting, finish work, release the socket.
+
+        The drain order matters: close the listener first (no new
+        connections), give open connections ``drain_timeout`` seconds to
+        finish their accepted requests, cancel whatever is still open
+        (idle persistent wire connections waiting for a frame that will
+        never come), and only then drain the batcher so every accepted
+        request's batch completes.
+        """
+        self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._connections:
+            done, live = await asyncio.wait(
+                list(self._connections), timeout=self.config.drain_timeout
+            )
+            for task in live:
+                task.cancel()
+            if live:
+                await asyncio.gather(*live, return_exceptions=True)
         await self.batcher.drain()
 
     # ------------------------------------------------------------------ #
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
         try:
-            status, content_type, body = await self._handle_request(reader)
+            try:
+                prefix = await reader.readexactly(4)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if self.config.wire and prefix == wire.WIRE_MAGIC:
+                await self._handle_wire_connection(reader, writer)
+            else:
+                await self._handle_http_connection(prefix, reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+
+    # ------------------------------------------------------------------ #
+    # HTTP
+    # ------------------------------------------------------------------ #
+    async def _handle_http_connection(
+        self, prefix: bytes, reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, content_type, body = await self._handle_request(prefix, reader)
         except Exception:
             status, content_type, body = 500, "application/json", json.dumps(
                 {"error": "internal server error"}
@@ -149,14 +238,12 @@ class InferenceServer:
             await writer.drain()
         except ConnectionError:
             pass
-        finally:
-            writer.close()
 
     async def _handle_request(
-        self, reader: asyncio.StreamReader
+        self, prefix: bytes, reader: asyncio.StreamReader
     ) -> "Tuple[int, str, str]":
         try:
-            request_line = await reader.readline()
+            request_line = prefix + await reader.readline()
         except (ConnectionError, asyncio.LimitOverrunError):
             return 400, "application/json", json.dumps({"error": "bad request"})
         parts = request_line.decode("latin-1").split()
@@ -186,6 +273,7 @@ class InferenceServer:
                 {
                     "status": "ok",
                     "version": __version__,
+                    "worker": self.metrics.worker,
                     "models": [m.describe() for m in self.registry.models()],
                 }
             )
@@ -209,10 +297,23 @@ class InferenceServer:
                 raise ServeError("request body must be a JSON object")
             features = _parse_features(payload.get("features"))
             model_key = payload.get("model")
+            deadline_ms = _parse_deadline(payload)
             # The batcher returns the model captured at submit time, so the
             # reported name/hash always describe the engine that actually
             # computed the result, even across hot reloads or unregisters.
-            result, model = await self.batcher.submit(model_key, features)
+            result, model = await self.batcher.submit(
+                model_key, features, deadline_ms=deadline_ms
+            )
+        except OverloadedError as exc:
+            self.metrics.observe_shed("overloaded")
+            return 503, "application/json", json.dumps(
+                {"error": str(exc), "shed": True, "reason": "overloaded"}
+            )
+        except DeadlineExceededError as exc:
+            self.metrics.observe_shed("deadline")
+            return 503, "application/json", json.dumps(
+                {"error": str(exc), "shed": True, "reason": "deadline"}
+            )
         except (ServeError, ModelNotFoundError, ValueError) as exc:
             self.metrics.observe_error()
             status = 404 if isinstance(exc, ModelNotFoundError) else 400
@@ -242,6 +343,117 @@ class InferenceServer:
         }
         return 200, "application/json", json.dumps(response)
 
+    # ------------------------------------------------------------------ #
+    # Binary wire protocol
+    # ------------------------------------------------------------------ #
+    async def _handle_wire_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve frames until the peer hangs up or sends garbage.
+
+        On entry the four magic bytes of the first frame are already
+        consumed.  Protocol-level malformations (bad magic, oversized or
+        undecodable frames) answer with an error frame and close — there is
+        no reliable way to resynchronize a corrupt length-prefixed stream.
+        Request-level failures (unknown model, shed, wrong feature count)
+        answer with an error frame and keep the connection open: the frame
+        boundary was sound, so the stream is still in sync.
+        """
+        first = True
+        try:
+            while not self._closing:
+                if not first:
+                    try:
+                        magic = await reader.readexactly(4)
+                    except (asyncio.IncompleteReadError, ConnectionError):
+                        return  # clean EOF between frames
+                    if magic != wire.WIRE_MAGIC:
+                        await self._send_frame(
+                            writer,
+                            wire.encode_error(400, "bad frame magic"),
+                        )
+                        return
+                first = False
+                try:
+                    length_bytes = await reader.readexactly(4)
+                    (body_len,) = struct.unpack("<I", length_bytes)
+                    if body_len > wire.MAX_BODY_BYTES:
+                        raise DataError(
+                            f"wire frame declares {body_len} body bytes; "
+                            f"limit is {wire.MAX_BODY_BYTES}"
+                        )
+                    body = await reader.readexactly(body_len)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # peer vanished mid-frame; nothing to answer
+                except DataError as exc:
+                    await self._send_frame(writer, wire.encode_error(400, str(exc)))
+                    return
+                try:
+                    request = wire.decode_body(body)
+                except DataError as exc:
+                    await self._send_frame(writer, wire.encode_error(400, str(exc)))
+                    return
+                if not isinstance(request, wire.WireRequest):
+                    await self._send_frame(
+                        writer,
+                        wire.encode_error(
+                            400, "only request frames (kind=1) are accepted"
+                        ),
+                    )
+                    return
+                frame = await self._predict_wire(request)
+                if not await self._send_frame(writer, frame):
+                    return
+        except asyncio.CancelledError:
+            # Shutdown drain cancelled an idle connection; exit quietly.
+            pass
+
+    async def _send_frame(
+        self, writer: asyncio.StreamWriter, frame: bytes
+    ) -> bool:
+        try:
+            writer.write(frame)
+            await writer.drain()
+            return True
+        except ConnectionError:
+            return False
+
+    async def _predict_wire(self, request: wire.WireRequest) -> bytes:
+        started = time.perf_counter()
+        try:
+            result, model = await self.batcher.submit(
+                request.model,
+                request.features,
+                raw=request.raw,
+                deadline_ms=request.deadline_ms,
+            )
+        except OverloadedError as exc:
+            self.metrics.observe_shed("overloaded")
+            return wire.encode_error(503, str(exc), shed=True)
+        except DeadlineExceededError as exc:
+            self.metrics.observe_shed("deadline")
+            return wire.encode_error(503, str(exc), shed=True)
+        except ModelNotFoundError as exc:
+            self.metrics.observe_error()
+            return wire.encode_error(404, str(exc))
+        except ReproError as exc:
+            self.metrics.observe_error()
+            return wire.encode_error(400, str(exc))
+        elapsed = time.perf_counter() - started
+        self.metrics.observe_request(
+            model.name,
+            result.num_samples,
+            elapsed,
+            content_hash=model.content_hash,
+        )
+        return wire.encode_response(
+            model.content_hash,
+            result.projection_raws,
+            result.labels,
+            result.product_overflow_events,
+            result.accumulator_overflow_events,
+        )
+
 
 _REASONS = {
     200: "OK",
@@ -250,6 +462,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -279,7 +492,7 @@ class ServerHandle:
         return f"http://{self.server.config.host}:{self.port}"
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Close the server and join the event-loop thread."""
+        """Close the server (graceful drain) and join the event-loop thread."""
         if not self._thread.is_alive():
             return
         future = asyncio.run_coroutine_threadsafe(self.server.close(), self._loop)

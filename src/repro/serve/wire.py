@@ -1,0 +1,485 @@
+"""``repro.serve-wire/v1`` — the compact binary predict protocol.
+
+JSON keeps the single-request path auditable, but it is the wrong hot
+path for a saturated serving plane: every sample costs a float parse, a
+list build, and a dict allocation.  This codec replaces all of that with
+one length-prefixed frame whose payload is a raw little-endian array —
+``np.frombuffer`` decodes a whole batch into the engine's ``(n, M)``
+int64/float64 layout with **zero per-sample Python work**, which is what
+lets one worker push the native/int64 batch path at wire speed.
+
+Frame layout (all integers little-endian)::
+
+    magic     4 bytes   b"RPW1"
+    body_len  uint32    length of everything after this field
+    body      body_len bytes
+
+Because every HTTP/1.1 request starts with an ASCII method token and no
+method starts with ``RPW1``, the serving socket can carry both protocols:
+the server sniffs the first four bytes of each connection and dispatches.
+Binary connections are persistent (many frames per connection); the HTTP
+side keeps its one-request ``Connection: close`` discipline.
+
+Request body (``kind=1``)::
+
+    kind        uint8    1
+    dtype       uint8    0 = float64 features, 1 = int64 raw words
+    reserved    uint16   must be 0
+    deadline_ms uint32   soft deadline for this request (0 = none)
+    key_len     uint16   model-key byte length (0 = default model)
+    n_samples   uint32
+    n_features  uint32
+    model_key   key_len bytes, UTF-8
+    payload     8 * n_samples * n_features bytes, row-major
+
+``dtype=1`` carries already-quantized raw words and is served through
+:meth:`~repro.serve.engine.BatchInferenceEngine.run_raw` (words outside
+the model's format saturate, exactly like input quantization); ``dtype=0``
+carries real-valued float64 features and is served through ``run`` — the
+same entry point the JSON path uses, so the two protocols are bit-identical
+by construction (enforced by the ``wire_roundtrip`` and cluster oracles).
+
+Response body (``kind=2``)::
+
+    kind        uint8    2
+    reserved    uint8    0
+    status      uint16   200
+    hash_len    uint16   content-hash byte length
+    n_samples   uint32
+    content_hash  hash_len bytes, ASCII hex
+    projection_raws  8 * n_samples bytes, int64
+    labels      n_samples bytes, uint8
+    product_overflow_events      uint32
+    accumulator_overflow_events  uint32
+
+Error body (``kind=3``)::
+
+    kind        uint8    3
+    shed        uint8    1 when the request was load-shed, else 0
+    status      uint16   400 / 404 / 503 / 500
+    msg_len     uint16
+    message     msg_len bytes, UTF-8
+
+Every malformed input — bad magic, truncated frame, ragged ``n*m`` vs
+payload length, NaN/inf features, oversized frames — raises
+:class:`~repro.errors.DataError` from the decoder; the server maps that to
+a clean 400 error frame.  The decoder never blocks and never reads past
+``body_len``, so a hostile peer cannot hang a worker with a crafted frame.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DataError, ServeError
+
+__all__ = [
+    "WireClient",
+    "WIRE_SCHEMA",
+    "WIRE_MAGIC",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "DTYPE_FLOAT64",
+    "DTYPE_RAW_INT64",
+    "MAX_BODY_BYTES",
+    "MAX_SAMPLES_PER_FRAME",
+    "MAX_MODEL_KEY_BYTES",
+    "WireRequest",
+    "WireResponse",
+    "WireError",
+    "encode_request",
+    "encode_response",
+    "encode_error",
+    "decode_body",
+    "decode_frame",
+    "split_frames",
+]
+
+WIRE_SCHEMA = "repro.serve-wire/v1"
+WIRE_MAGIC = b"RPW1"
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+
+DTYPE_FLOAT64 = 0
+DTYPE_RAW_INT64 = 1
+
+#: Hard cap on one frame body — matches the HTTP path's 8 MiB body limit.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Matches the HTTP path's per-request sample cap.
+MAX_SAMPLES_PER_FRAME = 65536
+MAX_MODEL_KEY_BYTES = 256
+
+_REQUEST_HEAD = struct.Struct("<BBHIHII")  # kind dtype reserved deadline key n m
+_RESPONSE_HEAD = struct.Struct("<BBHHI")  # kind reserved status hash_len n
+_ERROR_HEAD = struct.Struct("<BBHH")  # kind shed status msg_len
+_TRAILER = struct.Struct("<II")  # product / accumulator overflow events
+
+
+@dataclass(frozen=True)
+class WireRequest:
+    """One decoded predict request.
+
+    ``features`` is the ``(n_samples, n_features)`` payload array —
+    ``float64`` real values when ``raw`` is False, ``int64`` raw words when
+    True.  ``model`` is None when the frame addressed the default model.
+    """
+
+    features: np.ndarray
+    raw: bool
+    model: Optional[str] = None
+    deadline_ms: int = 0
+
+
+@dataclass(frozen=True)
+class WireResponse:
+    """One decoded predict response (see the module docstring for layout)."""
+
+    status: int
+    content_hash: str
+    projection_raws: np.ndarray
+    labels: np.ndarray
+    product_overflow_events: int
+    accumulator_overflow_events: int
+
+
+@dataclass(frozen=True)
+class WireError:
+    """One decoded error frame; ``shed`` marks admission-control rejections."""
+
+    status: int
+    message: str
+    shed: bool = False
+
+
+def _frame(body: bytes) -> bytes:
+    return WIRE_MAGIC + struct.pack("<I", len(body)) + body
+
+
+# --------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------- #
+def encode_request(
+    features: np.ndarray,
+    raw: bool = False,
+    model: Optional[str] = None,
+    deadline_ms: int = 0,
+) -> bytes:
+    """Encode an ``(n, M)`` batch (or one length-``M`` vector) as a frame.
+
+    ``raw=True`` sends int64 raw words (served via ``run_raw``); otherwise
+    float64 real features.  The sample/key/body caps are enforced here too,
+    so a client cannot even build a frame its server would reject.
+    """
+    arr = np.ascontiguousarray(
+        np.asarray(features, dtype=np.int64 if raw else np.float64)
+    )
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] == 0:
+        raise DataError(
+            f"wire request needs a (n, M) batch with M >= 1, got shape {arr.shape}"
+        )
+    if not raw and not np.all(np.isfinite(arr)):
+        raise DataError("wire request features contain NaN or infinity")
+    n, m = arr.shape
+    if n > MAX_SAMPLES_PER_FRAME:
+        raise DataError(
+            f"wire request carries {n} samples; limit is {MAX_SAMPLES_PER_FRAME}"
+        )
+    key = (model or "").encode("utf-8")
+    if len(key) > MAX_MODEL_KEY_BYTES:
+        raise DataError(
+            f"model key is {len(key)} bytes; limit is {MAX_MODEL_KEY_BYTES}"
+        )
+    if deadline_ms < 0 or deadline_ms > 0xFFFFFFFF:
+        raise DataError(f"deadline_ms {deadline_ms} outside [0, 2**32)")
+    head = _REQUEST_HEAD.pack(
+        KIND_REQUEST,
+        DTYPE_RAW_INT64 if raw else DTYPE_FLOAT64,
+        0,
+        int(deadline_ms),
+        len(key),
+        n,
+        m,
+    )
+    body = head + key + arr.astype("<i8" if raw else "<f8", copy=False).tobytes()
+    if len(body) > MAX_BODY_BYTES:
+        raise DataError(
+            f"wire request body is {len(body)} bytes; limit is {MAX_BODY_BYTES}"
+        )
+    return _frame(body)
+
+
+def encode_response(
+    content_hash: str,
+    projection_raws: np.ndarray,
+    labels: np.ndarray,
+    product_overflow_events: int,
+    accumulator_overflow_events: int,
+    status: int = 200,
+) -> bytes:
+    """Encode one predict result as a response frame."""
+    raws = np.ascontiguousarray(np.asarray(projection_raws, dtype=np.int64))
+    labs = np.ascontiguousarray(np.asarray(labels, dtype=np.uint8))
+    if raws.ndim != 1 or labs.shape != raws.shape:
+        raise DataError(
+            f"response arrays must be matching 1-d, got {raws.shape}/{labs.shape}"
+        )
+    digest = content_hash.encode("ascii")
+    body = (
+        _RESPONSE_HEAD.pack(KIND_RESPONSE, 0, int(status), len(digest), raws.size)
+        + digest
+        + raws.astype("<i8", copy=False).tobytes()
+        + labs.tobytes()
+        + _TRAILER.pack(
+            int(product_overflow_events), int(accumulator_overflow_events)
+        )
+    )
+    return _frame(body)
+
+
+def encode_error(status: int, message: str, shed: bool = False) -> bytes:
+    """Encode an error frame; ``shed=True`` marks load-shedding 503s."""
+    msg = message.encode("utf-8")[:1024]
+    body = _ERROR_HEAD.pack(KIND_ERROR, 1 if shed else 0, int(status), len(msg)) + msg
+    return _frame(body)
+
+
+# --------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------- #
+def _need(body: bytes, count: int, what: str) -> None:
+    if len(body) < count:
+        raise DataError(
+            f"truncated wire frame: {what} needs {count} bytes, body has {len(body)}"
+        )
+
+
+def decode_body(body: bytes) -> "WireRequest | WireResponse | WireError":
+    """Decode one frame body (everything after magic + length prefix).
+
+    Raises :class:`~repro.errors.DataError` on any malformation; never
+    returns partially-decoded data.
+    """
+    if len(body) > MAX_BODY_BYTES:
+        raise DataError(
+            f"wire frame body is {len(body)} bytes; limit is {MAX_BODY_BYTES}"
+        )
+    _need(body, 1, "kind byte")
+    kind = body[0]
+    if kind == KIND_REQUEST:
+        return _decode_request(body)
+    if kind == KIND_RESPONSE:
+        return _decode_response(body)
+    if kind == KIND_ERROR:
+        return _decode_error(body)
+    raise DataError(f"unknown wire frame kind {kind}")
+
+
+def _decode_request(body: bytes) -> WireRequest:
+    _need(body, _REQUEST_HEAD.size, "request header")
+    kind, dtype, reserved, deadline_ms, key_len, n, m = _REQUEST_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"request reserved field must be 0, got {reserved}")
+    if dtype not in (DTYPE_FLOAT64, DTYPE_RAW_INT64):
+        raise DataError(f"unknown request payload dtype {dtype}")
+    if key_len > MAX_MODEL_KEY_BYTES:
+        raise DataError(
+            f"model key is {key_len} bytes; limit is {MAX_MODEL_KEY_BYTES}"
+        )
+    if n < 1 or m < 1:
+        raise DataError(f"request declares an empty batch ({n} x {m})")
+    if n > MAX_SAMPLES_PER_FRAME:
+        raise DataError(
+            f"request carries {n} samples; limit is {MAX_SAMPLES_PER_FRAME}"
+        )
+    expected = _REQUEST_HEAD.size + key_len + 8 * n * m
+    if len(body) != expected:
+        raise DataError(
+            f"ragged request frame: {n} x {m} samples with a {key_len}-byte key "
+            f"needs a {expected}-byte body, got {len(body)}"
+        )
+    key_end = _REQUEST_HEAD.size + key_len
+    try:
+        model = body[_REQUEST_HEAD.size:key_end].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"model key is not valid UTF-8: {exc}") from exc
+    raw = dtype == DTYPE_RAW_INT64
+    features = np.frombuffer(
+        body, dtype="<i8" if raw else "<f8", count=n * m, offset=key_end
+    ).reshape(n, m)
+    if not raw and not np.all(np.isfinite(features)):
+        raise DataError("request features contain NaN or infinity")
+    return WireRequest(
+        features=features,
+        raw=raw,
+        model=model or None,
+        deadline_ms=int(deadline_ms),
+    )
+
+
+def _decode_response(body: bytes) -> WireResponse:
+    _need(body, _RESPONSE_HEAD.size, "response header")
+    _kind, reserved, status, hash_len, n = _RESPONSE_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"response reserved field must be 0, got {reserved}")
+    expected = _RESPONSE_HEAD.size + hash_len + 9 * n + _TRAILER.size
+    if len(body) != expected:
+        raise DataError(
+            f"ragged response frame: {n} samples with a {hash_len}-byte hash "
+            f"needs a {expected}-byte body, got {len(body)}"
+        )
+    hash_end = _RESPONSE_HEAD.size + hash_len
+    try:
+        digest = body[_RESPONSE_HEAD.size:hash_end].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"content hash is not ASCII: {exc}") from exc
+    raws = np.frombuffer(body, dtype="<i8", count=n, offset=hash_end)
+    labels = np.frombuffer(body, dtype=np.uint8, count=n, offset=hash_end + 8 * n)
+    product, accumulator = _TRAILER.unpack_from(body, hash_end + 9 * n)
+    return WireResponse(
+        status=int(status),
+        content_hash=digest,
+        projection_raws=raws,
+        labels=labels,
+        product_overflow_events=int(product),
+        accumulator_overflow_events=int(accumulator),
+    )
+
+
+def _decode_error(body: bytes) -> WireError:
+    _need(body, _ERROR_HEAD.size, "error header")
+    _kind, shed, status, msg_len = _ERROR_HEAD.unpack_from(body)
+    expected = _ERROR_HEAD.size + msg_len
+    if len(body) != expected:
+        raise DataError(
+            f"ragged error frame: needs a {expected}-byte body, got {len(body)}"
+        )
+    try:
+        message = body[_ERROR_HEAD.size:expected].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"error message is not valid UTF-8: {exc}") from exc
+    return WireError(status=int(status), message=message, shed=bool(shed))
+
+
+def decode_frame(data: bytes) -> Tuple["WireRequest | WireResponse | WireError", int]:
+    """Decode the first complete frame in ``data``.
+
+    Returns ``(decoded, consumed_bytes)``.  Raises
+    :class:`~repro.errors.DataError` when ``data`` does not start with a
+    complete, well-formed frame — including truncation, so stream callers
+    should buffer until the declared length is available (see
+    :func:`split_frames`).
+    """
+    _need(data, 8, "frame header")
+    if data[:4] != WIRE_MAGIC:
+        raise DataError(
+            f"not a {WIRE_SCHEMA} frame (magic {data[:4]!r} != {WIRE_MAGIC!r})"
+        )
+    (body_len,) = struct.unpack_from("<I", data, 4)
+    if body_len > MAX_BODY_BYTES:
+        raise DataError(
+            f"wire frame declares {body_len} body bytes; limit is {MAX_BODY_BYTES}"
+        )
+    _need(data, 8 + body_len, "frame body")
+    return decode_body(data[8:8 + body_len]), 8 + body_len
+
+
+class WireClient:
+    """Blocking client for one persistent wire connection.
+
+    Used by the tests, the conformance oracles, the saturation benchmark,
+    and the CI smoke script — anything that wants to speak the binary
+    protocol without hand-rolling socket code.  One client = one
+    connection = frames answered in order.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _read_frame(self) -> "WireResponse | WireError":
+        while True:
+            frames, self._buffer = split_frames(self._buffer)
+            if frames:
+                decoded = frames[0]
+                if isinstance(decoded, WireRequest):
+                    raise DataError("server sent a request frame to a client")
+                return decoded
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServeError("connection closed before a full response frame")
+            self._buffer += chunk
+
+    def request(
+        self,
+        features: np.ndarray,
+        raw: bool = False,
+        model: Optional[str] = None,
+        deadline_ms: int = 0,
+    ) -> "WireResponse | WireError":
+        """Send one predict frame and block for its answer.
+
+        Returns the decoded :class:`WireResponse` on success or the
+        :class:`WireError` the server answered with (sheds, unknown
+        models, malformed batches) — the caller distinguishes by type.
+        """
+        self._sock.sendall(
+            encode_request(features, raw=raw, model=model, deadline_ms=deadline_ms)
+        )
+        return self._read_frame()
+
+    def send_bytes(self, payload: bytes) -> "WireResponse | WireError":
+        """Send arbitrary bytes and read one frame back (fuzzing hook)."""
+        self._sock.sendall(payload)
+        return self._read_frame()
+
+
+def split_frames(data: bytes) -> Tuple[list, bytes]:
+    """Decode every complete frame in ``data``; returns ``(frames, rest)``.
+
+    ``rest`` is the trailing bytes of an incomplete frame (empty when the
+    buffer ended exactly on a frame boundary).  A malformed complete frame
+    still raises :class:`~repro.errors.DataError`.
+    """
+    frames = []
+    offset = 0
+    view = memoryview(data)
+    while len(data) - offset >= 8:
+        chunk = bytes(view[offset:offset + 8])
+        if chunk[:4] != WIRE_MAGIC:
+            raise DataError(
+                f"not a {WIRE_SCHEMA} frame (magic {chunk[:4]!r} != {WIRE_MAGIC!r})"
+            )
+        (body_len,) = struct.unpack_from("<I", chunk, 4)
+        if body_len > MAX_BODY_BYTES:
+            raise DataError(
+                f"wire frame declares {body_len} body bytes; "
+                f"limit is {MAX_BODY_BYTES}"
+            )
+        if len(data) - offset - 8 < body_len:
+            break
+        frames.append(decode_body(bytes(view[offset + 8:offset + 8 + body_len])))
+        offset += 8 + body_len
+    return frames, data[offset:]

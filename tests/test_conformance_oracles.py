@@ -15,9 +15,11 @@ class TestRegistry:
             "engine-datapath",
             "native_vs_fast",
             "serialize-roundtrip",
+            "wire_roundtrip",
             "certifier-replay",
             "solver-parallel-serial",
             "sweep-naive",
+            "cluster_vs_single",
         }
 
     def test_registry_is_ordered_cheap_first(self):
@@ -62,6 +64,12 @@ class TestOraclesHoldOnCleanTree:
 
     def test_sweep_naive(self):
         assert fuzz_oracle(get_oracle("sweep-naive"), seed=0, max_examples=1) is None
+
+    def test_wire_roundtrip(self):
+        assert (
+            fuzz_oracle(get_oracle("wire_roundtrip"), seed=0, max_examples=25)
+            is None
+        )
 
 
 class TestOracleDetectsMutation:

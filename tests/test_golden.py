@@ -43,6 +43,7 @@ class TestRegistry:
             "certifier",
             "pareto",
             "serve_metrics",
+            "serve_wire",
             "ecg_wl8",
             "native_engine",
         }
@@ -116,13 +117,19 @@ class TestPinnedBehaviours:
             data = json.load(handle)["data"]
         assert set(data) == {
             "schema",
+            "worker",
             "requests_total",
             "samples_total",
             "batches_total",
             "errors_total",
+            "requests_shed_total",
+            "shed_by_reason",
             "request_latency",
             "models",
         }
+        assert data["schema"] == "repro.serve-metrics/v2"
+        assert data["requests_shed_total"] == 3
+        assert data["shed_by_reason"] == {"deadline": 1, "overloaded": 2}
         assert set(data["request_latency"]) == {
             "count",
             "sum_seconds",
@@ -141,6 +148,28 @@ class TestPinnedBehaviours:
             "accumulator_overflow_events",
             "batch_latency",
         }
+
+    def test_serve_wire_frames_decode_and_match(self):
+        from repro.serve import wire
+
+        with open(
+            golden_path(GOLDEN_DIR, "serve_wire"), encoding="utf-8"
+        ) as handle:
+            data = json.load(handle)["data"]
+        assert data["wire_schema"] == wire.WIRE_SCHEMA
+        assert data["frames"], "golden wire vector is empty"
+        for entry in data["frames"]:
+            request, consumed = wire.decode_frame(bytes.fromhex(entry["request_hex"]))
+            assert isinstance(request, wire.WireRequest)
+            assert consumed == len(bytes.fromhex(entry["request_hex"]))
+            assert request.raw is entry["raw"]
+            response, _ = wire.decode_frame(bytes.fromhex(entry["response_hex"]))
+            assert isinstance(response, wire.WireResponse)
+            assert list(response.projection_raws) == entry["projection_raws"]
+            assert list(response.labels) == entry["labels"]
+        shed, _ = wire.decode_frame(bytes.fromhex(data["shed_error_hex"]))
+        assert isinstance(shed, wire.WireError)
+        assert shed.status == 503 and shed.shed is True
 
 
 class TestCli:

@@ -9,7 +9,7 @@ import numpy as np
 from repro.core.classifier import FixedPointLinearClassifier
 from repro.fixedpoint.qformat import QFormat
 from repro.serve.engine import BatchInferenceEngine
-from repro.serve.metrics import LatencyStats, ServeMetrics
+from repro.serve.metrics import LatencyStats, ServeMetrics, merge_snapshots
 
 
 def _wrap_heavy_result():
@@ -45,7 +45,7 @@ class TestServeMetrics:
         metrics.observe_batch("m", result, 0.0005, content_hash="abc123")
         metrics.observe_error()
         snap = metrics.to_dict()
-        assert snap["schema"] == "repro.serve-metrics/v1"
+        assert snap["schema"] == "repro.serve-metrics/v2"
         assert snap["requests_total"] == 1
         assert snap["samples_total"] == 3
         assert snap["batches_total"] == 1
@@ -60,7 +60,7 @@ class TestServeMetrics:
         metrics = ServeMetrics()
         metrics.observe_request("m", 1, 0.001)
         payload = json.loads(metrics.to_json())
-        assert payload["schema"] == "repro.serve-metrics/v1"
+        assert payload["schema"] == "repro.serve-metrics/v2"
         assert payload["models"]["m"]["requests"] == 1
 
     def test_prometheus_rendering(self):
@@ -88,3 +88,70 @@ class TestServeMetrics:
         metrics.observe_request("zeta", 1, 0.0)
         metrics.observe_request("alpha", 2, 0.0)
         assert list(metrics.to_dict()["models"]) == ["alpha", "zeta"]
+
+    def test_shed_counters(self):
+        metrics = ServeMetrics()
+        metrics.observe_shed("overloaded")
+        metrics.observe_shed("overloaded")
+        metrics.observe_shed("deadline")
+        snap = metrics.to_dict()
+        assert snap["requests_shed_total"] == 3
+        assert snap["shed_by_reason"] == {"deadline": 1, "overloaded": 2}
+        text = metrics.render_prometheus()
+        assert "repro_serve_requests_shed_total 3" in text
+        assert 'repro_serve_requests_shed_reason_total{reason="overloaded"} 2' in text
+
+    def test_worker_label_only_when_set(self):
+        plain = ServeMetrics()
+        plain.observe_request("m", 1, 0.0)
+        assert 'worker=' not in plain.render_prometheus()
+        assert plain.to_dict()["worker"] == ""
+
+        labeled = ServeMetrics(worker="s0.w1")
+        labeled.observe_request("m", 1, 0.0)
+        labeled.observe_shed("overloaded")
+        text = labeled.render_prometheus()
+        assert 'repro_serve_requests_total{worker="s0.w1"} 1' in text
+        assert (
+            'repro_serve_requests_shed_reason_total'
+            '{worker="s0.w1",reason="overloaded"} 1' in text
+        )
+        assert labeled.to_dict()["worker"] == "s0.w1"
+
+
+class TestMergeSnapshots:
+    def _snap(self, worker, requests, shed_reasons=()):
+        metrics = ServeMetrics(worker=worker)
+        result = _wrap_heavy_result()
+        for i in range(requests):
+            metrics.observe_request("m", 2, 0.001 * (i + 1), content_hash="h")
+        metrics.observe_batch("m", result, 0.0005, content_hash="h", backend="fast")
+        for reason in shed_reasons:
+            metrics.observe_shed(reason)
+        return metrics.to_dict()
+
+    def test_counters_and_latency_sum_exactly(self):
+        merged = merge_snapshots(
+            [self._snap("w0", 2, ["overloaded"]), self._snap("w1", 3, ["deadline"])]
+        )
+        assert merged["schema"] == "repro.serve-metrics/v2"
+        assert merged["worker"] == ""
+        assert merged["requests_total"] == 5
+        assert merged["samples_total"] == 10
+        assert merged["requests_shed_total"] == 2
+        assert merged["shed_by_reason"] == {"deadline": 1, "overloaded": 1}
+        lat = merged["request_latency"]
+        assert lat["count"] == 5
+        # 0.001 + 0.002 from w0, 0.001 + 0.002 + 0.003 from w1.
+        assert abs(lat["sum_seconds"] - 0.009) < 1e-12
+        assert lat["min_seconds"] == 0.001
+        assert lat["max_seconds"] == 0.003
+        model = merged["models"]["m"]
+        assert model["requests"] == 5
+        assert model["batches"] == 2
+        assert model["accumulator_overflow_events"] == 4
+
+    def test_empty_input_gives_fresh_snapshot(self):
+        merged = merge_snapshots([])
+        assert merged["requests_total"] == 0
+        assert merged["models"] == {}
