@@ -1,0 +1,107 @@
+"""CI sanitizer smoke: the native kernel under UBSan + ASan.
+
+The static UB certificate (repro.check.certify_native_kernel) claims the
+generated C cannot execute undefined behaviour; this job validates the
+claim dynamically.  The kernel is rebuilt with ``sanitize=True``
+(-fsanitize=undefined,address -fno-sanitize-recover=all, separate cache
+key) and the regular conformance tooling — the native_vs_fast fuzz oracle
+and the pinned golden vector — runs against the instrumented ``.so``.
+A single sanitizer report aborts the child process and fails the job.
+
+dlopen-ing an ASan-instrumented library from an uninstrumented python
+requires the ASan runtime to be loaded first, so every check runs in a
+child process with ``LD_PRELOAD`` set from
+:func:`repro.hardware.compile.sanitizer_runtime_preload`.
+``detect_leaks=0``: the interpreter's own arenas are not the subject
+under test.
+
+Exits 0 with a skip notice when the host has no compiler or the ASan
+runtime cannot be resolved — sanitized execution is a best-effort extra
+layer, the plain-build oracles still gate every push.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.hardware.compile import find_compiler, sanitizer_runtime_preload  # noqa: E402
+
+ENGINE_CHECK = """
+import numpy as np
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import quantize
+from repro.serve import BatchInferenceEngine
+
+fmt = QFormat(3, 5)
+rng = np.random.default_rng(0)
+weights = np.asarray(quantize(rng.uniform(-2, 2, size=8), fmt))
+clf = FixedPointLinearClassifier(weights=weights, threshold=0.25, fmt=fmt)
+engine = BatchInferenceEngine(clf, backend="native")
+assert engine.backend == "native", engine.native_fallback_reason
+features = rng.uniform(-6, 6, size=(4096, 8))
+labels = engine.predict(features)
+assert labels.shape == (4096,)
+print("sanitized kernel served", labels.shape[0], "predictions")
+"""
+
+
+def main() -> int:
+    compiler = find_compiler()
+    if compiler is None:
+        print("sanitizer smoke: no C compiler on this host — skipping")
+        return 0
+    preload = sanitizer_runtime_preload(compiler=compiler)
+    if preload is None:
+        print("sanitizer smoke: ASan runtime not resolvable — skipping")
+        return 0
+    print(f"sanitizer smoke: compiler={compiler} LD_PRELOAD={preload}")
+
+    env = dict(os.environ)
+    env["LD_PRELOAD"] = preload
+    env["ASAN_OPTIONS"] = "detect_leaks=0"
+    env["REPRO_NATIVE_SANITIZE"] = "1"
+    env.setdefault("PYTHONPATH", "src")
+
+    steps = [
+        (
+            "build + serve through the sanitized kernel",
+            [sys.executable, "-c", ENGINE_CHECK],
+        ),
+        (
+            "native_vs_fast oracle against the sanitized kernel",
+            [
+                sys.executable, "-m", "repro", "fuzz",
+                "--oracle", "native_vs_fast",
+                "--budget", "45s",
+                "--witness", "sanitizer_witness.json",
+            ],
+        ),
+        (
+            "golden vectors against the sanitized kernel",
+            [
+                sys.executable, "-m", "repro",
+                "golden", "verify", "--only", "native_engine",
+            ],
+        ),
+    ]
+    for title, command in steps:
+        print(f"--- {title}")
+        proc = subprocess.run(command, env=env)
+        if proc.returncode != 0:
+            print(
+                f"sanitizer smoke FAILED at {title!r} "
+                f"(exit {proc.returncode})",
+                file=sys.stderr,
+            )
+            return 1
+    print("sanitizer smoke: all checks passed with zero sanitizer reports")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,7 +85,10 @@ def test_bench_full_train_4bit(benchmark, scaled_synthetic):
     assert np.isfinite(report.cost)
 
 
-def test_bench_bnb_parallel_vs_serial(scaled_synthetic, save_result):
+BENCH_SOLVER_SCHEMA = "repro.bench-solver/v1"
+
+
+def test_bench_bnb_parallel_vs_serial(scaled_synthetic, merge_bench):
     """Serial vs parallel branch-and-bound wall time on a paper-scale run.
 
     The speedup is *reported*, not gated: the LDA adapter runs in thread
@@ -126,4 +129,24 @@ def test_bench_bnb_parallel_vs_serial(scaled_synthetic, save_result):
         f"proven={r1.proven_optimal} stop={r1.stop_reason}\n"
     )
     print(text)
-    save_result("solver_parallel_microbench", text)
+    # Machine-readable emission for the CI perf trajectory
+    # (validated by .github/scripts/check_bench.py).
+    merge_bench(
+        "BENCH_solver.json",
+        {
+            "schema": BENCH_SOLVER_SCHEMA,
+            "bnb_parallel_vs_serial": {
+                "format": "Q2.3",
+                "max_nodes": 150,
+                "serial_seconds": timings[1],
+                "parallel_seconds": timings[4],
+                "serial_nodes": r1.nodes_expanded,
+                "parallel_nodes": r4.nodes_expanded,
+                "speedup": speedup,
+                "cost": r1.cost,
+                "lower_bound": r1.lower_bound,
+                "proven_optimal": r1.proven_optimal,
+                "stop_reason": r1.stop_reason,
+            },
+        },
+    )

@@ -1,17 +1,28 @@
 """Static analysis for the fixed-point classifier stack.
 
-Two complementary layers (see ``docs/static_checks.md``):
+Complementary layers (see ``docs/static_checks.md``):
 
 - the **width certifier** (:mod:`repro.check.certifier`) — abstract
   interpretation over raw words that proves or refutes the paper's
   datapath invariants (Eq. 16-20) before any sample is run, emitting
   ``repro.check-report/v1`` certificates (:mod:`repro.check.report`);
+- the **signal-chain certifier** (:mod:`repro.check.signal_certifier`) —
+  the same exact interval machinery extended to the fixed-point FIR/biquad
+  front end and feature extraction (guard-bit never-wraps proofs with
+  replayable wrap witnesses);
+- the **native UB checker** (:mod:`repro.check.native_ub`) — static
+  proofs that the generated C batch kernel has no signed-overflow, shift,
+  or division UB for admitted inputs;
+- the **pipeline composer** (:mod:`repro.check.pipeline`) — composes the
+  per-stage v1 certificates into one end-to-end ``repro.check-report/v2``
+  certificate (``repro check --all``);
 - the **RPC lint rules** (:mod:`repro.check.lint`) — AST checks that keep
-  raw-word handling honest across the codebase.
+  raw-word handling (RPC001-004) and serving-plane concurrency
+  (RPC005-007) honest across the codebase.
 
 :mod:`repro.check.selftest` differentially validates the certifier against
 the RTL-equivalent simulator.  The ``repro check`` CLI subcommand fronts
-all three.
+all of them.
 """
 
 from .certifier import (
@@ -30,19 +41,45 @@ from .lint import (
     lint_source,
     render_findings,
 )
+from .native_ub import certify_native_kernel
+from .pipeline import (
+    KNOWN_STAGES,
+    PIPELINE_REPORT_SCHEMA,
+    PipelineReport,
+    StageReport,
+    certify_pipeline,
+    make_pipeline_certifier,
+)
 from .report import CHECK_REPORT_SCHEMA, CheckReport, Invariant, Verdict
 from .selftest import selftest, verify_report_by_simulation
+from .signal_certifier import (
+    certify_biquad,
+    certify_feature_extraction,
+    certify_fir,
+    fir_output_interval,
+)
 
 __all__ = [
     "CHECK_REPORT_SCHEMA",
+    "PIPELINE_REPORT_SCHEMA",
+    "KNOWN_STAGES",
     "CheckReport",
     "Invariant",
     "Verdict",
+    "StageReport",
+    "PipelineReport",
     "FeatureBounds",
     "certify_classifier",
     "certify_format",
+    "certify_fir",
+    "certify_biquad",
+    "certify_feature_extraction",
+    "certify_native_kernel",
+    "certify_pipeline",
+    "fir_output_interval",
     "dataset_evidence",
     "make_certifier",
+    "make_pipeline_certifier",
     "ALL_RULES",
     "LintFinding",
     "LintRule",

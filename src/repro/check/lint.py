@@ -25,6 +25,26 @@ Rules
 - **RPC004** — public functions raise :mod:`repro.errors` types, never a
   bare ``ValueError`` (scope: all of ``src/repro``).
 
+The serving plane adds a second bug class: shared mutable state touched
+from threads, the async batcher loop, and spawn-context cluster workers.
+Three concurrency rules encode the repo's serving conventions
+(scope: ``serve/``):
+
+- **RPC005** — no mutable module-level state (dict/list/set literals,
+  comprehensions, or constructor calls bound at module scope).  Module
+  state is silently *duplicated* into spawn-context workers (mutations
+  diverge per process) and shared *unlocked* between server threads;
+  read-only tables must be annotated with a documented
+  ``# repro: noqa-RPC005`` (or made tuples/frozensets).
+- **RPC006** — no blocking calls (``time.sleep``, ``open``,
+  ``subprocess.*``, ``urllib`` fetches, ...) directly inside ``async
+  def`` bodies: one blocking call stalls the entire event loop and every
+  in-flight request behind the micro-batcher.  Blocking work belongs in
+  ``run_in_executor`` / a thread.
+- **RPC007** — no unguarded mutation of ``global`` names from function
+  bodies: rebinding shared module globals from request paths is a data
+  race unless the write happens under a lock (``with <..lock..>:``).
+
 Suppression: append ``# repro: noqa-RPC001`` (comma-separate several ids:
 ``# repro: noqa-RPC001,RPC003``) to the offending line; a bare
 ``# repro: noqa`` suppresses every rule on that line.
@@ -201,6 +221,11 @@ class LintRule:
     def _raw_word_scope(path: str) -> bool:
         normalized = path.replace(os.sep, "/")
         return "fixedpoint/" in normalized or normalized.endswith("serve/engine.py")
+
+    @staticmethod
+    def _serve_scope(path: str) -> bool:
+        normalized = path.replace(os.sep, "/")
+        return "serve/" in normalized
 
 
 class RPC001FloatOnRawWords(LintRule):
@@ -398,11 +423,243 @@ class RPC004BareBuiltinRaise(LintRule):
         return None
 
 
+class RPC005ModuleMutableState(LintRule):
+    """Serve modules must not bind mutable containers at module scope.
+
+    Spawn-context cluster workers re-import the module, so each process
+    gets its *own copy* of the state (mutations silently diverge), while
+    the threaded server shares one copy *unlocked*.  Immutable tables
+    (tuples, frozensets) and dunder metadata (``__all__``) are exempt;
+    genuinely read-only dicts carry a documented ``# repro: noqa-RPC005``.
+    """
+
+    id = "RPC005"
+    description = "mutable module-level state in a serving module"
+
+    def applies_to(self, path: str) -> bool:
+        return self._serve_scope(path)
+
+    @staticmethod
+    def _is_mutable_value(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+            return True
+        if isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in {"dict", "list", "set", "bytearray", "defaultdict"}
+        return False
+
+    @staticmethod
+    def _is_dunder(name: str) -> bool:
+        return name.startswith("__") and name.endswith("__")
+
+    def check(self, tree: ast.Module, ctx: _FileContext) -> Iterator[LintFinding]:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value: Optional[ast.AST] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if value is None or not self._is_mutable_value(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names or all(self._is_dunder(name) for name in names):
+                continue
+            yield LintFinding(
+                rule=self.id,
+                message=(
+                    f"module-level mutable state {', '.join(names)!s}; "
+                    "spawn-context workers duplicate it and server threads "
+                    "share it unlocked — use a tuple/frozenset or move it "
+                    "into an instance"
+                ),
+                path=ctx.path,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+            )
+
+
+class RPC006BlockingCallInAsync(LintRule):
+    """No blocking calls directly inside ``async def`` bodies.
+
+    One synchronous sleep, file open, subprocess, or URL fetch inside the
+    micro-batcher's event loop stalls *every* in-flight request — the
+    batcher's whole point is that requests only ever await.  Nested
+    synchronous ``def``s are exempt: they are the standard shape for
+    ``run_in_executor`` targets.
+    """
+
+    id = "RPC006"
+    description = "blocking call inside an async function"
+
+    # (module, attribute) pairs that block the calling thread.
+    _BLOCKING_ATTRS = {
+        ("time", "sleep"),
+        ("os", "system"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+        ("socket", "create_connection"),
+        ("requests", "get"),
+        ("requests", "post"),
+        ("requests", "put"),
+        ("requests", "delete"),
+        ("requests", "request"),
+    }
+    # Attribute names that block regardless of the object they hang off
+    # (urllib.request.urlopen has a two-level module path).
+    _BLOCKING_ATTR_NAMES = {"urlopen"}
+    _BLOCKING_BUILTINS = {"open", "input"}
+
+    def applies_to(self, path: str) -> bool:
+        return self._serve_scope(path)
+
+    def _is_blocking(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in self._BLOCKING_BUILTINS:
+            return func.id
+        if isinstance(func, ast.Attribute):
+            if func.attr in self._BLOCKING_ATTR_NAMES:
+                return func.attr
+            if isinstance(func.value, ast.Name):
+                if (func.value.id, func.attr) in self._BLOCKING_ATTRS:
+                    return f"{func.value.id}.{func.attr}"
+        return None
+
+    def check(self, tree: ast.Module, ctx: _FileContext) -> Iterator[LintFinding]:
+        # Map every node to its *innermost* enclosing function node, so a
+        # sync helper nested inside an async def is attributed to itself.
+        owner: Dict[ast.AST, Optional[ast.AST]] = {}
+
+        def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+            owner[node] = current
+            child_owner = current
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_owner = node
+            for child in ast.iter_child_nodes(node):
+                visit(child, child_owner)
+
+        visit(tree, None)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(owner.get(node), ast.AsyncFunctionDef):
+                continue
+            blocked = self._is_blocking(node)
+            if blocked is not None:
+                yield LintFinding(
+                    rule=self.id,
+                    message=(
+                        f"blocking call {blocked!r} inside an async function "
+                        "stalls the event loop; use run_in_executor or an "
+                        "async equivalent"
+                    ),
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                )
+
+
+class RPC007UnguardedGlobalMutation(LintRule):
+    """No unguarded writes to ``global`` names from function bodies.
+
+    A function that declares ``global state`` and rebinds it from a
+    request path races every other server thread reading it.  A write
+    inside a ``with`` block whose context expression mentions a lock
+    (identifier containing ``lock``) counts as guarded.
+    """
+
+    id = "RPC007"
+    description = "unguarded assignment to a global from a function body"
+
+    def applies_to(self, path: str) -> bool:
+        return self._serve_scope(path)
+
+    @staticmethod
+    def _target_names(node: ast.AST) -> Iterator[str]:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                yield from RPC007UnguardedGlobalMutation._target_names(element)
+
+    @staticmethod
+    def _is_lock_guard(with_node: ast.With) -> bool:
+        for item in with_node.items:
+            if any(
+                "lock" in name.lower()
+                for name in _identifier_names(item.context_expr)
+            ):
+                return True
+        return False
+
+    def check(self, tree: ast.Module, ctx: _FileContext) -> Iterator[LintFinding]:
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared: Set[str] = set()
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.Global):
+                    declared.update(stmt.names)
+            if not declared:
+                continue
+            yield from self._check_body(fn, declared, ctx, guarded=False)
+
+    def _check_body(
+        self,
+        node: ast.AST,
+        declared: Set[str],
+        ctx: _FileContext,
+        guarded: bool,
+    ) -> Iterator[LintFinding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested functions have their own global decls
+            child_guarded = guarded
+            if isinstance(child, ast.With) and self._is_lock_guard(child):
+                child_guarded = True
+            if not guarded and isinstance(child, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                hit = sorted(
+                    {
+                        name
+                        for target in targets
+                        for name in self._target_names(target)
+                        if name in declared
+                    }
+                )
+                if hit:
+                    yield LintFinding(
+                        rule=self.id,
+                        message=(
+                            f"unguarded write to global {', '.join(hit)!s}; "
+                            "hold a lock around shared-state mutation or "
+                            "make the state instance-owned"
+                        ),
+                        path=ctx.path,
+                        line=child.lineno,
+                        col=child.col_offset,
+                    )
+            yield from self._check_body(child, declared, ctx, child_guarded)
+
+
 ALL_RULES: Tuple[LintRule, ...] = (
     RPC001FloatOnRawWords(),
     RPC002BareWidthConstant(),
     RPC003SilentFloatPromotion(),
     RPC004BareBuiltinRaise(),
+    RPC005ModuleMutableState(),
+    RPC006BlockingCallInAsync(),
+    RPC007UnguardedGlobalMutation(),
 )
 
 

@@ -1,0 +1,381 @@
+"""Static UB proofs for the generated native C batch kernel.
+
+:func:`repro.hardware.cgen.generate_batch_kernel_c` emits an int64-only C
+translation unit.  The admission check (``int64_path_available``) argues
+informally that every intermediate fits; this module turns that argument
+into a machine-checked certificate by **walking the emitted C itself**:
+
+1. the numeric constants baked into the source (``WORD_MASK``,
+   ``MIN_RAW``, weights, threshold, ...) are parsed back out and
+   cross-checked against the classifier — a codegen regression that drifts
+   a constant is caught before anything is compiled;
+2. every shift in the source is checked for shift UB (non-negative left
+   operand, count < 63, no right-shift of signed values at all — the
+   generator narrows by division on purpose);
+3. every division/modulo site is checked for division UB (a positive
+   power-of-two divisor rules out both divide-by-zero and
+   ``INT64_MIN / -1``);
+4. given certified input ranges (:class:`~repro.check.certifier.FeatureBounds`,
+   default: the format range that input saturation enforces), exact
+   interval propagation in unbounded Python integers proves that **every
+   intermediate of the kernel's arithmetic fits ``int64_t``** — the full
+   products, the ``narrow_product`` internals, the wrap/saturate reduction,
+   the accumulator step, and the decision subtraction — so no signed
+   overflow UB is reachable for admitted inputs.
+
+The result is a standard ``repro.check-report/v1`` certificate (subject
+``"native-kernel"``); ``repro check --all`` embeds it as the
+``native-kernel`` stage of the end-to-end v2 certificate, and the
+``sanitize=`` build mode of :mod:`repro.hardware.compile` provides the
+dynamic cross-check (UBSan/ASan must agree with these proofs).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.classifier import FixedPointLinearClassifier
+from ..errors import InputValidationError
+from ..fixedpoint.overflow import OverflowMode
+from ..fixedpoint.rounding import RoundingMode, shift_right_rounded
+from ..hardware import cgen
+from .certifier import FeatureBounds
+from .report import CheckReport, Invariant, Verdict
+
+__all__ = ["certify_native_kernel", "parse_kernel_constants"]
+
+_INT64_MAX = 2**63 - 1
+_INT64_MIN = -(2**63)
+
+_DEFINE_INT_RE = re.compile(
+    r"#define\s+(?P<name>[A-Z_]+)\s+\(\(int64_t\)\(?(?P<value>-?\d+)LL\)?\)"
+)
+_DEFINE_HEX_RE = re.compile(
+    r"#define\s+(?P<name>[A-Z_]+)\s+\(\(int64_t\)0x(?P<value>[0-9A-Fa-f]+)LL\)"
+)
+_DEFINE_SHIFT_RE = re.compile(
+    r"#define\s+(?P<name>[A-Z_]+)\s+\(\(int64_t\)1LL\s*<<\s*(?P<count>\d+)\)"
+)
+_DEFINE_PLAIN_RE = re.compile(r"#define\s+(?P<name>[A-Z_]+)\s+\(?(?P<value>-?\d+)\)?\s*$")
+_WEIGHTS_RE = re.compile(
+    r"WEIGHTS\[NUM_FEATURES\]\s*=\s*\{(?P<body>[-0-9,\s]*)\};"
+)
+_THRESHOLD_RE = re.compile(r"THRESHOLD\s*=\s*(?P<value>-?\d+);")
+# Every shift the batch-kernel generator can emit has this exact shape:
+# a constant 1LL left operand and a literal count.
+_SHIFT_RE = re.compile(r"1LL\s*<<\s*(?P<count>\d+)")
+
+
+def _strip_comments(source: str) -> str:
+    """Remove ``/* ... */`` comments so scans see only live code."""
+    return re.sub(r"/\*.*?\*/", "", source, flags=re.DOTALL)
+
+
+def parse_kernel_constants(source: str) -> Dict[str, Any]:
+    """Extract the numeric constants baked into a generated batch kernel.
+
+    Returns a dict with ``num_features``, ``word_mask``, ``sign_bit``,
+    ``min_raw``, ``max_raw``, ``polarity``, ``weights``, ``threshold``,
+    and (for fractional formats) ``product_div_shift`` /
+    ``product_half_shift``.
+    """
+    out: Dict[str, Any] = {}
+    for match in _DEFINE_HEX_RE.finditer(source):
+        out[match.group("name").lower()] = int(match.group("value"), 16)
+    for match in _DEFINE_INT_RE.finditer(source):
+        out[match.group("name").lower()] = int(match.group("value"))
+    for match in _DEFINE_SHIFT_RE.finditer(source):
+        out[match.group("name").lower() + "_shift"] = int(match.group("count"))
+    for line in source.splitlines():
+        match = _DEFINE_PLAIN_RE.match(line.strip())
+        if match and match.group("name").lower() not in out:
+            out[match.group("name").lower()] = int(match.group("value"))
+    weights = _WEIGHTS_RE.search(source)
+    if weights is not None:
+        body = weights.group("body").strip()
+        out["weights"] = (
+            [int(item) for item in body.split(",")] if body else []
+        )
+    threshold = _THRESHOLD_RE.search(source)
+    if threshold is not None:
+        out["threshold"] = int(threshold.group("value"))
+    return out
+
+
+def _structural(
+    invariant_id: str,
+    description: str,
+    ok: bool,
+    bounds: Dict[str, Any],
+    detail: str = "",
+) -> Invariant:
+    return Invariant(
+        id=invariant_id,
+        description=description,
+        verdict=Verdict.PROVEN if ok else Verdict.VIOLATED,
+        mode="structural",
+        bounds=bounds,
+        detail=detail if not ok else "",
+    )
+
+
+def _fits_invariant(
+    invariant_id: str,
+    description: str,
+    lo: int,
+    hi: int,
+    witness: Optional[Dict[str, Any]] = None,
+) -> Invariant:
+    """An exact-mode invariant asserting ``[lo, hi]`` fits ``int64_t``."""
+    ok = lo >= _INT64_MIN and hi <= _INT64_MAX
+    return Invariant(
+        id=invariant_id,
+        description=description,
+        verdict=Verdict.PROVEN if ok else Verdict.VIOLATED,
+        mode="exact",
+        bounds={
+            "lo": int(lo),
+            "hi": int(hi),
+            "int64_min": _INT64_MIN,
+            "int64_max": _INT64_MAX,
+        },
+        witness=witness if not ok else None,
+        detail="" if ok else "signed overflow UB is reachable",
+    )
+
+
+def certify_native_kernel(
+    classifier: FixedPointLinearClassifier,
+    overflow: "OverflowMode | str" = OverflowMode.WRAP,
+    feature_bounds: Optional[FeatureBounds] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> CheckReport:
+    """Certify the generated C batch kernel free of UB for admitted inputs.
+
+    Parameters
+    ----------
+    classifier:
+        The classifier whose kernel is certified (the C is regenerated
+        here; the generator is deterministic, so this is the same source
+        the build cache compiles).
+    overflow:
+        The kernel's overflow policy (wrap or saturate).
+    feature_bounds:
+        Certified real-valued input bounds; defaults to the format's full
+        range (what the Python wrapper's saturating quantization enforces).
+    metadata:
+        Extra key/values recorded in the certificate.
+    """
+    fmt = classifier.fmt
+    overflow = OverflowMode.coerce(overflow)
+    meta: Dict[str, Any] = {"overflow": overflow.value}
+    if metadata:
+        meta.update(metadata)
+
+    try:
+        source = cgen.generate_batch_kernel_c(classifier, overflow=overflow)
+    except InputValidationError as exc:
+        return CheckReport(
+            format=str(fmt),
+            num_features=classifier.num_features,
+            invariants=(
+                Invariant(
+                    id="native-kernel-generable",
+                    description=(
+                        "the classifier admits a bit-exact int64 C kernel"
+                    ),
+                    verdict=Verdict.VIOLATED,
+                    mode="structural",
+                    detail=str(exc),
+                ),
+            ),
+            subject="native-kernel",
+            bound_source="format-range",
+            metadata=meta,
+        )
+
+    code = _strip_comments(source)
+    rounding = RoundingMode.coerce(classifier.rounding)
+    weight_raws = [
+        int(r) for r in np.atleast_1d(np.asarray(fmt.to_raw(classifier.weights)))
+    ]
+    threshold_raw = int(fmt.to_raw(float(classifier.threshold)))
+    if feature_bounds is None:
+        feature_bounds = FeatureBounds.from_format(fmt, classifier.num_features)
+    x_boxes = feature_bounds.raw_intervals(fmt, rounding)
+    # Input saturation clips to the representable range before the kernel.
+    x_boxes = [
+        (max(lo, fmt.min_raw), min(hi, fmt.max_raw)) for lo, hi in x_boxes
+    ]
+
+    invariants: List[Invariant] = []
+
+    # 1. Emitted constants agree with the classifier ------------------- #
+    parsed = parse_kernel_constants(source)
+    expected: Dict[str, Any] = {
+        "num_features": classifier.num_features,
+        "word_mask": fmt.wrap_mask,
+        "sign_bit": fmt.sign_bit,
+        "min_raw": fmt.min_raw,
+        "max_raw": fmt.max_raw,
+        "polarity": classifier.polarity,
+        "weights": weight_raws,
+        "threshold": threshold_raw,
+    }
+    if fmt.fraction_bits:
+        expected["product_div_shift"] = fmt.fraction_bits
+        expected["product_half_shift"] = fmt.fraction_bits - 1
+    mismatches = [
+        f"{key}: emitted {parsed.get(key)!r} != expected {value!r}"
+        for key, value in expected.items()
+        if parsed.get(key) != value
+    ]
+    invariants.append(
+        _structural(
+            "native-constants-consistent",
+            "the constants baked into the emitted C equal the classifier's "
+            "raw words and format constants",
+            not mismatches,
+            {"checked": sorted(expected)},
+            detail="; ".join(mismatches),
+        )
+    )
+
+    # 2. Shift UB ------------------------------------------------------- #
+    shift_counts = [int(m.group("count")) for m in _SHIFT_RE.finditer(code)]
+    total_left_shifts = len(re.findall(r"<<", code))
+    shifts_ok = (
+        all(0 <= count <= 62 for count in shift_counts)
+        and len(shift_counts) == total_left_shifts
+    )
+    no_right_shift = ">>" not in code
+    invariants.append(
+        _structural(
+            "native-shift-ub",
+            "every shift is a constant `1LL << c` with c < 63; "
+            "no right shifts of signed values at all",
+            shifts_ok and no_right_shift,
+            {
+                "shift_counts": shift_counts,
+                "right_shifts": 0 if no_right_shift else code.count(">>"),
+            },
+            detail="shift expression with UB potential found",
+        )
+    )
+
+    # 3. Division UB ----------------------------------------------------- #
+    div_sites = len(re.findall(r"[/%]\s*PRODUCT_DIV", code))
+    stray_div = len(re.findall(r"[/%](?!\s*PRODUCT_DIV)(?=[\sA-Za-z0-9_(])", code))
+    product_div = 1 << fmt.fraction_bits if fmt.fraction_bits else 1
+    invariants.append(
+        _structural(
+            "native-division-ub",
+            "all divisions/modulos use the positive power-of-two "
+            "PRODUCT_DIV divisor: no divide-by-zero, no INT64_MIN / -1",
+            product_div >= 1 and stray_div == 0,
+            {
+                "product_div": product_div,
+                "division_sites": div_sites,
+                "other_division_sites": stray_div,
+            },
+            detail="division by a non-constant or non-PRODUCT_DIV divisor",
+        )
+    )
+
+    # 4. Exact interval proofs that every intermediate fits int64 ------- #
+    # Full products x[j] * WEIGHTS[j] over the certified input boxes.
+    full_lo = full_hi = 0
+    worst_corner: Tuple[int, int, int] = (0, 0, 0)  # (|value|, j, x)
+    for j, ((x_lo, x_hi), w) in enumerate(zip(x_boxes, weight_raws)):
+        for x in {x_lo, x_hi}:
+            value = w * x
+            full_lo = min(full_lo, value)
+            full_hi = max(full_hi, value)
+            if abs(value) > worst_corner[0]:
+                worst_corner = (abs(value), j, x)
+    invariants.append(
+        _fits_invariant(
+            "native-product-fits-int64",
+            "the full-precision products x[j] * WEIGHTS[j] fit int64_t for "
+            "every admitted input",
+            full_lo,
+            full_hi,
+            witness={
+                "feature_index": worst_corner[1],
+                "feature_raw": worst_corner[2],
+                "product": worst_corner[0],
+            },
+        )
+    )
+
+    # narrow_product internals: floor_q is full/PRODUCT_DIV (toward zero,
+    # then the fixup subtracts at most 1); rem stays within (-DIV, DIV)
+    # before the fixup and [0, DIV) after; the rounding adjustment adds at
+    # most 1.  All bounded by the full product interval, so one invariant
+    # covers the narrowed values.
+    narrow_lo = min(
+        shift_right_rounded(full_lo, fmt.fraction_bits, rounding),
+        shift_right_rounded(full_hi, fmt.fraction_bits, rounding),
+    )
+    narrow_hi = max(
+        shift_right_rounded(full_lo, fmt.fraction_bits, rounding),
+        shift_right_rounded(full_hi, fmt.fraction_bits, rounding),
+    )
+    invariants.append(
+        _fits_invariant(
+            "native-narrow-fits-int64",
+            "narrow_product's floor/remainder/rounding intermediates stay "
+            "within the full-product interval (plus one ulp) and fit int64_t",
+            min(narrow_lo - 1, full_lo),
+            max(narrow_hi + 1, full_hi),
+        )
+    )
+
+    # wrap_q internals: value & WORD_MASK lands in [0, mask]; the sign
+    # toggle and subtraction stay within [-sign_bit, mask].
+    mask = fmt.wrap_mask
+    invariants.append(
+        _fits_invariant(
+            "native-wrap-fits-int64",
+            "wrap_q's mask/xor/subtract intermediates fit int64_t "
+            "(word length is bounded by the fast-path admission)",
+            -fmt.sign_bit,
+            mask,
+        )
+    )
+
+    # Accumulator step: both operands are post-reduction words in
+    # [min_raw, max_raw], so the exact sum spans twice the format range.
+    invariants.append(
+        _fits_invariant(
+            "native-accumulator-fits-int64",
+            "acc + prod with both operands reduced into the format range "
+            "fits int64_t",
+            2 * fmt.min_raw,
+            2 * fmt.max_raw,
+        )
+    )
+
+    # Decision: acc - THRESHOLD, then POLARITY * result with result
+    # reduced back into the format range.
+    invariants.append(
+        _fits_invariant(
+            "native-decision-fits-int64",
+            "acc - THRESHOLD and POLARITY * result fit int64_t",
+            min(fmt.min_raw - threshold_raw, -fmt.max_raw),
+            max(fmt.max_raw - threshold_raw, -fmt.min_raw),
+        )
+    )
+
+    meta["source_lines"] = len(source.splitlines())
+    return CheckReport(
+        format=str(fmt),
+        num_features=classifier.num_features,
+        invariants=tuple(invariants),
+        subject="native-kernel",
+        bound_source=feature_bounds.source,
+        metadata=meta,
+    )

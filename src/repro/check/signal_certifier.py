@@ -1,0 +1,566 @@
+"""Static width certification of the fixed-point signal front end.
+
+Extends the abstract-interpretation width analysis of
+:mod:`repro.check.certifier` from the classifier datapath to the
+:mod:`repro.signal` chain that feeds it:
+
+- **FIR wide accumulators** (:class:`~repro.signal.fxfir.FixedPointFir`):
+  the filter accumulates narrowed products in a guarded format
+  ``Q(K+guard).F`` with *wrapping* arithmetic.  The certifier computes the
+  exact attainable interval of every prefix sum (per-tap products depend on
+  *distinct* delayed input samples, so per-tap extremes are independently
+  attainable and interval prefix sums are tight) and either **proves the
+  accumulator never wraps** or **refutes with a replayable witness
+  signal**.  The textbook sufficient condition — ``guard_bits >=
+  ceil(log2(num_taps))`` whenever per-tap products stay within the data
+  format's range — is certified separately as a structural invariant.
+- **Biquad state/output ranges**
+  (:class:`~repro.signal.fxbiquad.FixedPointBiquad`): pole stability after
+  coefficient quantization, saturating state registers (so state words are
+  range-bounded by construction), and the exact pre-saturation accumulator
+  interval of the five-term difference equation.
+- **Feature extraction** (:func:`~repro.signal.features.fir_band_power`):
+  exact bounds of the mean-square log-power feature given the FIR output
+  range, and the training pipeline's scaler headroom in the classifier
+  format.
+
+Each stage emits a standard ``repro.check-report/v1`` certificate; the
+pipeline composer (``repro check --all``) embeds them into one end-to-end
+``repro.check-report/v2`` certificate (:mod:`repro.check.pipeline`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CheckError, DataError
+from ..fixedpoint.qformat import QFormat
+from ..fixedpoint.quantize import quantize_raw
+from ..fixedpoint.rounding import RoundingMode, shift_right_rounded
+from ..signal.fxbiquad import FixedPointBiquad, quantized_poles
+from ..signal.fxfir import FixedPointFir
+from .report import CheckReport, Invariant, Verdict
+
+__all__ = [
+    "certify_fir",
+    "certify_biquad",
+    "certify_feature_extraction",
+    "fir_output_interval",
+]
+
+#: Power floor used by ``fir_band_power`` before ``log10``.
+_POWER_FLOOR = 1e-30
+
+
+# ---------------------------------------------------------------------- #
+# Exact interval propagation over the FIR datapath
+# ---------------------------------------------------------------------- #
+def _input_raw_interval(
+    fmt: QFormat,
+    rounding: RoundingMode,
+    input_bounds: Optional[Tuple[float, float]],
+) -> Tuple[int, int]:
+    """Attainable raw-word interval of the (saturating) input quantizer."""
+    if input_bounds is None:
+        return fmt.min_raw, fmt.max_raw
+    lo, hi = float(input_bounds[0]), float(input_bounds[1])
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise DataError("input bounds must be finite")
+    if hi < lo:
+        raise DataError(f"input bounds cross: {lo} > {hi}")
+    raws = quantize_raw(np.array([lo, hi]), fmt, rounding=rounding)
+    raw_lo, raw_hi = (int(v) for v in np.atleast_1d(np.asarray(raws)))
+    # The filter's input quantizer saturates, so bounds wider than the
+    # format clip to the representable range.
+    return max(raw_lo, fmt.min_raw), min(raw_hi, fmt.max_raw)
+
+
+def _tap_product_interval(
+    tap_raw: int,
+    x_lo: int,
+    x_hi: int,
+    fraction_bits: int,
+    rounding: RoundingMode,
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """Exact ``(min, max)`` of one narrowed tap product with attaining inputs.
+
+    ``shift_right_rounded(tap * x, F)`` is monotone in ``x`` for fixed
+    ``tap`` (the product is linear in ``x`` and the narrowing shift is
+    monotone), so the interval ends at the input corners.  Returns
+    ``((min_value, x_at_min), (max_value, x_at_max))``.
+    """
+    corners = [
+        (shift_right_rounded(tap_raw * x, fraction_bits, rounding), x)
+        for x in ({x_lo, x_hi})
+    ]
+    return min(corners), max(corners)
+
+
+def _fir_prefix_extremes(
+    fir: FixedPointFir,
+    x_lo: int,
+    x_hi: int,
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """Per-tap exact product extremes ``(value, x)`` for min and max sides."""
+    taps = [int(t) for t in np.asarray(fir.tap_raws)]
+    rounding = fir.rounding
+    fraction_bits = fir.fmt.fraction_bits
+    mins: List[Tuple[int, int]] = []
+    maxs: List[Tuple[int, int]] = []
+    for tap in taps:
+        lo_corner, hi_corner = _tap_product_interval(
+            tap, x_lo, x_hi, fraction_bits, rounding
+        )
+        mins.append(lo_corner)
+        maxs.append(hi_corner)
+    return mins, maxs
+
+
+def fir_output_interval(
+    fir: FixedPointFir,
+    input_bounds: Optional[Tuple[float, float]] = None,
+) -> Tuple[float, float]:
+    """Exact attainable real-valued output interval of ``fir.apply``.
+
+    The full accumulated sum's attainable interval, clipped by the final
+    saturation into ``fir.fmt`` — the bounds downstream feature extraction
+    can rely on.  (When the accumulator can wrap, the post-wrap value still
+    saturates into the format, so the format range remains sound.)
+    """
+    fmt = fir.fmt
+    x_lo, x_hi = _input_raw_interval(fmt, fir.rounding, input_bounds)
+    mins, maxs = _fir_prefix_extremes(fir, x_lo, x_hi)
+    acc_fmt = fir.accumulator_format
+    total_lo = sum(value for value, _ in mins)
+    total_hi = sum(value for value, _ in maxs)
+    prefix_ok = _prefix_sums_within(mins, maxs, acc_fmt)
+    if not prefix_ok:
+        # A wrap can steer the accumulator anywhere in the guarded ring;
+        # only the final saturation bound is sound.
+        return float(fmt.min_value), float(fmt.max_value)
+    lo = max(total_lo, fmt.min_raw)
+    hi = min(total_hi, fmt.max_raw)
+    if lo > hi:  # entire interval outside one side: saturates to a constant
+        edge = fmt.max_raw if total_lo > fmt.max_raw else fmt.min_raw
+        lo = hi = edge
+    return float(fmt.to_real(lo)), float(fmt.to_real(hi))
+
+
+def _prefix_sums_within(
+    mins: Sequence[Tuple[int, int]],
+    maxs: Sequence[Tuple[int, int]],
+    acc_fmt: QFormat,
+) -> bool:
+    """True iff every attainable prefix sum stays in the accumulator range."""
+    run_lo = run_hi = 0
+    for (lo_value, _), (hi_value, _) in zip(mins, maxs):
+        run_lo += lo_value
+        run_hi += hi_value
+        if run_lo < acc_fmt.min_raw or run_hi > acc_fmt.max_raw:
+            return False
+    return True
+
+
+def _fir_wrap_witness(
+    fir: FixedPointFir,
+    mins: Sequence[Tuple[int, int]],
+    maxs: Sequence[Tuple[int, int]],
+    prefix_len: int,
+    side: str,
+) -> Dict[str, Any]:
+    """A replayable witness input signal driving the accumulator out of range.
+
+    The products of output index ``prefix_len - 1`` consume input samples
+    ``x[i - j]`` for tap ``j``; choosing each delayed sample at the tap's
+    extreme corner realizes the extreme prefix sum exactly.  The witness is
+    the real-valued input signal (on the format grid) whose filtering wraps
+    the accumulator while computing its last output sample.
+    """
+    corners = maxs if side == "hi" else mins
+    chosen = [corners[j][1] for j in range(prefix_len)]
+    # signal[t] feeds tap j = (prefix_len - 1) - t at output index
+    # prefix_len - 1, so lay the chosen words out in reverse tap order.
+    signal_raws = list(reversed(chosen))
+    total = sum(corners[j][0] for j in range(prefix_len))
+    return {
+        "signal": [float(fir.fmt.to_real(raw)) for raw in signal_raws],
+        "signal_raws": [int(raw) for raw in signal_raws],
+        "output_index": prefix_len - 1,
+        "prefix_taps": prefix_len,
+        "prefix_sum_raw": int(total),
+    }
+
+
+def certify_fir(
+    fir: FixedPointFir,
+    input_bounds: Optional[Tuple[float, float]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> CheckReport:
+    """Certify the FIR front end's width invariants.
+
+    Parameters
+    ----------
+    fir:
+        The fixed-point FIR under certification.
+    input_bounds:
+        Real-valued admissible input range; defaults to the format's full
+        range (what the saturating input quantizer enforces).
+    metadata:
+        Extra key/values recorded in the certificate.
+
+    Invariants
+    ----------
+    - ``fir-guard-bits`` (structural): the textbook sufficient condition —
+      ``guard_bits >= ceil(log2(num_taps))`` with per-tap products inside
+      the data format's range — holds.  When it fails the verdict is
+      UNKNOWN (the exact invariant below still decides).
+    - ``fir-accumulator-never-wraps`` (exact): every attainable prefix sum
+      of the accumulation stays inside the guarded accumulator format.
+      PROVEN, or VIOLATED with a replayable witness signal.
+    - ``fir-output-range`` (exact): the final saturation bounds the output
+      into the data format; the exact attainable interval is recorded.
+    """
+    if fir.rounding is RoundingMode.STOCHASTIC:
+        raise CheckError("stochastic rounding cannot be certified exactly")
+    fmt = fir.fmt
+    acc_fmt = fir.accumulator_format
+    num_taps = int(np.asarray(fir.tap_raws).size)
+    x_lo, x_hi = _input_raw_interval(fmt, fir.rounding, input_bounds)
+    mins, maxs = _fir_prefix_extremes(fir, x_lo, x_hi)
+
+    invariants: List[Invariant] = []
+
+    # Structural sufficient condition (the docstring contract of fxfir).
+    required_guard = math.ceil(math.log2(max(num_taps, 2)))
+    product_min = min(value for value, _ in mins)
+    product_max = max(value for value, _ in maxs)
+    products_in_format = product_min >= fmt.min_raw and product_max <= fmt.max_raw
+    sufficient = fir.guard_bits >= required_guard and products_in_format
+    invariants.append(
+        Invariant(
+            id="fir-guard-bits",
+            description=(
+                "guard_bits >= ceil(log2(num_taps)) with per-tap products in "
+                "the data format's range (sufficient never-wraps condition)"
+            ),
+            verdict=Verdict.PROVEN if sufficient else Verdict.UNKNOWN,
+            mode="structural",
+            bounds={
+                "guard_bits": int(fir.guard_bits),
+                "required_guard_bits": int(required_guard),
+                "num_taps": num_taps,
+                "product_lo_raw": int(product_min),
+                "product_hi_raw": int(product_max),
+                "min_raw": fmt.min_raw,
+                "max_raw": fmt.max_raw,
+            },
+            detail=(
+                ""
+                if sufficient
+                else "sufficient condition fails; "
+                "fir-accumulator-never-wraps carries the exact verdict"
+            ),
+        )
+    )
+
+    # Exact never-wraps proof over attainable prefix sums.
+    run_lo = run_hi = 0
+    worst: Optional[Tuple[int, str, int]] = None  # (prefix_len, side, value)
+    prefix_lo = prefix_hi = 0
+    for index in range(num_taps):
+        run_lo += mins[index][0]
+        run_hi += maxs[index][0]
+        prefix_lo = min(prefix_lo, run_lo)
+        prefix_hi = max(prefix_hi, run_hi)
+        if worst is None:
+            if run_hi > acc_fmt.max_raw:
+                worst = (index + 1, "hi", run_hi)
+            elif run_lo < acc_fmt.min_raw:
+                worst = (index + 1, "lo", run_lo)
+    bounds = {
+        "prefix_lo_raw": int(prefix_lo),
+        "prefix_hi_raw": int(prefix_hi),
+        "acc_min_raw": acc_fmt.min_raw,
+        "acc_max_raw": acc_fmt.max_raw,
+        "accumulator_format": str(acc_fmt),
+    }
+    if worst is None:
+        invariants.append(
+            Invariant(
+                id="fir-accumulator-never-wraps",
+                description=(
+                    "every attainable accumulation prefix sum stays in the "
+                    "guarded accumulator format (never wraps)"
+                ),
+                verdict=Verdict.PROVEN,
+                mode="exact",
+                bounds=bounds,
+            )
+        )
+    else:
+        prefix_len, side, value = worst
+        invariants.append(
+            Invariant(
+                id="fir-accumulator-never-wraps",
+                description=(
+                    "every attainable accumulation prefix sum stays in the "
+                    "guarded accumulator format (never wraps)"
+                ),
+                verdict=Verdict.VIOLATED,
+                mode="exact",
+                bounds=bounds,
+                witness=_fir_wrap_witness(fir, mins, maxs, prefix_len, side),
+                detail=(
+                    f"prefix of {prefix_len} taps reaches {value}, outside "
+                    f"[{acc_fmt.min_raw}, {acc_fmt.max_raw}]"
+                ),
+            )
+        )
+
+    # Output range: the final value saturates into fmt, so the output is
+    # range-bounded by construction; record the exact attainable interval.
+    out_lo, out_hi = fir_output_interval(fir, input_bounds)
+    invariants.append(
+        Invariant(
+            id="fir-output-range",
+            description=(
+                "the saturated filter output stays in the data format; "
+                "exact attainable interval recorded for downstream stages"
+            ),
+            verdict=Verdict.PROVEN,
+            mode="exact",
+            bounds={
+                "output_lo": out_lo,
+                "output_hi": out_hi,
+                "min_value": fmt.min_value,
+                "max_value": fmt.max_value,
+            },
+            detail="final saturation bounds the output by construction",
+        )
+    )
+
+    meta: Dict[str, Any] = {
+        "num_taps": num_taps,
+        "guard_bits": int(fir.guard_bits),
+        "rounding": fir.rounding.value,
+        "input_lo_raw": int(x_lo),
+        "input_hi_raw": int(x_hi),
+    }
+    if metadata:
+        meta.update(metadata)
+    return CheckReport(
+        format=str(fmt),
+        num_features=num_taps,
+        invariants=tuple(invariants),
+        subject="signal-frontend",
+        bound_source="explicit" if input_bounds is not None else "format-range",
+        metadata=meta,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Biquad state/output certification
+# ---------------------------------------------------------------------- #
+def certify_biquad(
+    biquad: FixedPointBiquad,
+    stability_margin: float = 0.0,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> CheckReport:
+    """Certify a fixed-point biquad section's stability and width invariants.
+
+    Invariants
+    ----------
+    - ``biquad-pole-stability`` (structural): both poles of the *quantized*
+      coefficients stay strictly inside the unit circle (optionally by
+      ``stability_margin``).
+    - ``biquad-state-range`` (structural): output and feedback state words
+      saturate into the data format, so state is range-bounded for every
+      input — the reason wrapping feedback cannot occur by construction.
+    - ``biquad-accumulator-range`` (exact): the attainable interval of the
+      five-term pre-saturation accumulator, with all operands bounded by
+      the saturating input/state registers.
+    """
+    if biquad.rounding is RoundingMode.STOCHASTIC:
+        raise CheckError("stochastic rounding cannot be certified exactly")
+    fmt = biquad.fmt
+    poles = np.abs(quantized_poles(biquad.section, fmt))
+    pole_max = float(np.max(poles)) if poles.size else 0.0
+    stable = bool(pole_max < 1.0 - stability_margin)
+
+    invariants: List[Invariant] = [
+        Invariant(
+            id="biquad-pole-stability",
+            description=(
+                "quantized feedback coefficients keep both poles strictly "
+                "inside the unit circle"
+            ),
+            verdict=Verdict.PROVEN if stable else Verdict.VIOLATED,
+            mode="structural",
+            bounds={
+                "pole_magnitudes": [float(p) for p in poles],
+                "stability_margin": float(stability_margin),
+            },
+            detail="" if stable else f"max pole magnitude {pole_max:.6f}",
+        ),
+        Invariant(
+            id="biquad-state-range",
+            description=(
+                "output and feedback state registers saturate into the data "
+                "format, so state words are range-bounded for every input"
+            ),
+            verdict=Verdict.PROVEN,
+            mode="structural",
+            bounds={"min_raw": fmt.min_raw, "max_raw": fmt.max_raw},
+            detail="direct form I with saturating state by construction",
+        ),
+    ]
+
+    # Exact pre-saturation accumulator interval: inputs and states range
+    # over the full (saturated) format interval independently; the a1/a2
+    # terms enter negated.
+    raw = biquad.raw_coefficients
+    acc_lo = acc_hi = 0
+    for name in ("b0", "b1", "b2", "a1", "a2"):
+        lo_corner, hi_corner = _tap_product_interval(
+            raw[name], fmt.min_raw, fmt.max_raw, fmt.fraction_bits, biquad.rounding
+        )
+        lo_value, hi_value = lo_corner[0], hi_corner[0]
+        if name in ("a1", "a2"):
+            lo_value, hi_value = -hi_value, -lo_value
+        acc_lo += lo_value
+        acc_hi += hi_value
+    invariants.append(
+        Invariant(
+            id="biquad-accumulator-range",
+            description=(
+                "the five-term pre-saturation accumulator's attainable "
+                "interval (operands bounded by the saturating registers)"
+            ),
+            verdict=Verdict.PROVEN,
+            mode="exact",
+            bounds={
+                "acc_lo_raw": int(acc_lo),
+                "acc_hi_raw": int(acc_hi),
+                "min_raw": fmt.min_raw,
+                "max_raw": fmt.max_raw,
+            },
+            detail=(
+                "saturation clips the excess"
+                if acc_lo < fmt.min_raw or acc_hi > fmt.max_raw
+                else "accumulator never exceeds the data format"
+            ),
+        )
+    )
+
+    meta: Dict[str, Any] = {"rounding": biquad.rounding.value}
+    if metadata:
+        meta.update(metadata)
+    return CheckReport(
+        format=str(fmt),
+        num_features=5,
+        invariants=tuple(invariants),
+        subject="signal-frontend",
+        bound_source="format-range",
+        metadata=meta,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Feature-extraction certification
+# ---------------------------------------------------------------------- #
+def certify_feature_extraction(
+    fir: FixedPointFir,
+    classifier_fmt: QFormat,
+    scale_margin: float = 0.45,
+    input_bounds: Optional[Tuple[float, float]] = None,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> CheckReport:
+    """Certify the band-power feature extraction stage.
+
+    The on-chip feature route (:func:`~repro.signal.features.fir_band_power`)
+    is FIR band-pass -> mean square -> ``log10`` (with a power floor).
+    Given the FIR stage's exact output interval, the mean-square power and
+    its log are bounded exactly; the training pipeline then scales features
+    with ``limit = scale_margin * 2**(K-1)`` before quantization, so the
+    scaled features provably fit the classifier format.
+
+    Invariants
+    ----------
+    - ``feature-power-range`` (exact): mean-square power and log-power
+      bounds derived from the FIR output interval are finite.
+    - ``feature-scaled-range`` (structural): the pipeline scaler's output
+      limit stays strictly inside the classifier format's representable
+      range, so feature quantization cannot saturate unexpectedly.
+    """
+    if scale_margin <= 0.0:
+        raise DataError(f"scale_margin must be > 0, got {scale_margin}")
+    out_lo, out_hi = fir_output_interval(fir, input_bounds)
+    peak = max(abs(out_lo), abs(out_hi))
+    power_hi = peak * peak
+    log_lo = math.log10(_POWER_FLOOR)
+    log_hi = math.log10(max(power_hi, _POWER_FLOOR))
+    finite = math.isfinite(log_lo) and math.isfinite(log_hi)
+
+    invariants: List[Invariant] = [
+        Invariant(
+            id="feature-power-range",
+            description=(
+                "mean-square band power and its log10 are bounded by the "
+                "FIR stage's exact output interval (power floor 1e-30)"
+            ),
+            verdict=Verdict.PROVEN if finite else Verdict.UNKNOWN,
+            mode="exact",
+            bounds={
+                "fir_output_lo": out_lo,
+                "fir_output_hi": out_hi,
+                "power_lo": 0.0,
+                "power_hi": power_hi,
+                "log_power_lo": log_lo,
+                "log_power_hi": log_hi,
+            },
+        )
+    ]
+
+    limit = scale_margin * 2.0 ** (classifier_fmt.integer_bits - 1)
+    fits = limit <= classifier_fmt.max_value
+    invariants.append(
+        Invariant(
+            id="feature-scaled-range",
+            description=(
+                "the training pipeline's feature-scaler limit "
+                "(scale_margin * 2**(K-1)) stays inside the classifier "
+                "format's representable range"
+            ),
+            verdict=Verdict.PROVEN if fits else Verdict.VIOLATED,
+            mode="structural",
+            bounds={
+                "scaler_limit": float(limit),
+                "min_value": classifier_fmt.min_value,
+                "max_value": classifier_fmt.max_value,
+                "scale_margin": float(scale_margin),
+            },
+            detail=(
+                ""
+                if fits
+                else "scaled features can exceed the representable range"
+            ),
+        )
+    )
+
+    meta: Dict[str, Any] = {
+        "scale_margin": float(scale_margin),
+        "signal_format": str(fir.fmt),
+    }
+    if metadata:
+        meta.update(metadata)
+    return CheckReport(
+        format=str(classifier_fmt),
+        num_features=1,
+        invariants=tuple(invariants),
+        subject="features",
+        bound_source="explicit" if input_bounds is not None else "format-range",
+        metadata=meta,
+    )

@@ -265,6 +265,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", metavar="PATH", help="certify a trained classifier artifact"
     )
     check.add_argument(
+        "--all",
+        action="store_true",
+        help="certify the whole signal chain of --artifact (FIR front end "
+        "-> features -> classifier -> native kernel) into one end-to-end "
+        "repro.check-report/v2 certificate",
+    )
+    check.add_argument(
+        "--fir-taps",
+        type=int,
+        default=63,
+        help="FIR front-end length for --all (odd, default 63)",
+    )
+    check.add_argument(
+        "--fir-band",
+        nargs=2,
+        type=float,
+        default=(1.0, 40.0),
+        metavar=("LO", "HI"),
+        help="FIR band-pass edges in Hz for --all (default 1-40, the ECG "
+        "beat band at fs=250)",
+    )
+    check.add_argument(
+        "--guard-bits",
+        type=int,
+        default=8,
+        help="FIR accumulator guard bits for --all (default 8)",
+    )
+    check.add_argument(
         "--format",
         dest="qformat",
         metavar="QK.F",
@@ -757,7 +785,77 @@ def _run_check(args) -> int:
             print("error: pass either --artifact or --format, not both", file=sys.stderr)
             return 2
 
-        if args.artifact:
+        if args.all and not args.artifact:
+            print("error: --all requires --artifact", file=sys.stderr)
+            return 2
+
+        if args.artifact and args.all:
+            did_something = True
+            from .check import certify_pipeline
+            from .core.serialize import load_classifier
+            from .signal.filters import design_fir
+            from .signal.fxfir import FixedPointFir
+
+            classifier = load_classifier(args.artifact)
+            # The demo deployment's front end: a fixed-point band-pass FIR
+            # in the classifier's own format at the ECG sample rate.
+            sample_rate = 250.0
+            taps = design_fir(
+                args.fir_taps,
+                tuple(args.fir_band),
+                kind="bandpass",
+                sample_rate=sample_rate,
+            )
+            fir = FixedPointFir(
+                taps=taps,
+                fmt=classifier.fmt,
+                guard_bits=args.guard_bits,
+                rounding=classifier.rounding,
+            )
+            metadata = {
+                "artifact": args.artifact,
+                "sample_rate": sample_rate,
+                "fir_taps": args.fir_taps,
+                "fir_band": list(args.fir_band),
+                "guard_bits": args.guard_bits,
+            }
+            bounds = None
+            stats = scaled = None
+            if args.dataset:
+                dataset = _check_dataset(args)
+                bounds, stats, scaled = dataset_evidence(
+                    dataset,
+                    classifier.fmt,
+                    rounding=classifier.rounding,
+                    scale_margin=args.scale_margin,
+                    margin=args.margin,
+                )
+                metadata.update(
+                    dataset=args.dataset, samples=args.samples, seed=args.seed
+                )
+            elif args.feature_range:
+                lo, hi = args.feature_range
+                m = classifier.num_features
+                bounds = FeatureBounds(lo=np.full(m, lo), hi=np.full(m, hi))
+            pipeline_report = certify_pipeline(
+                classifier,
+                fir=fir,
+                feature_bounds=bounds,
+                stats=stats,
+                rho=args.rho,
+                samples=scaled,
+                worst_case=args.worst_case,
+                scale_margin=args.scale_margin,
+                metadata=metadata,
+            )
+            print(pipeline_report.summary())
+            if args.report:
+                pipeline_report.save(args.report)
+                print(f"certificate written to {args.report}")
+            if not pipeline_report.all_proven:
+                failed = True
+
+        elif args.artifact:
             did_something = True
             from .core.serialize import load_classifier
 

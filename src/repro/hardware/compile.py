@@ -38,12 +38,14 @@ from ..errors import NativeBackendError
 
 __all__ = [
     "CACHE_SCHEMA",
+    "SANITIZE_FLAGS",
     "default_cache_dir",
     "find_compiler",
     "source_digest",
     "cache_paths",
     "compile_shared_library",
     "evict_cache_entry",
+    "sanitizer_runtime_preload",
 ]
 
 # Folded into every source digest; bump when the cache layout or the
@@ -54,6 +56,15 @@ CACHE_SCHEMA = "repro.native-cache/v1"
 _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
 
 _COMPILE_FLAGS = ["-O2", "-shared", "-fPIC", "-fvisibility=default"]
+
+#: Extra flags for ``sanitize=True`` builds: UBSan + ASan, abort on the
+#: first report (a recovered report would silently pass CI), line info so
+#: reports point at the generated source.
+SANITIZE_FLAGS = [
+    "-fsanitize=undefined,address",
+    "-fno-sanitize-recover=all",
+    "-g",
+]
 
 
 def default_cache_dir() -> str:
@@ -82,15 +93,23 @@ def find_compiler() -> Optional[str]:
     return None
 
 
-def source_digest(source: str) -> str:
-    """SHA-256 hex digest keying one generated translation unit."""
-    blob = f"{CACHE_SCHEMA}\n{source}".encode("utf-8")
+def source_digest(source: str, sanitize: bool = False) -> str:
+    """SHA-256 hex digest keying one generated translation unit.
+
+    Sanitized builds fold a tag into the digest so a sanitizer-instrumented
+    ``.so`` can never be served where a plain build is expected (and vice
+    versa); plain-build digests are unchanged from prior releases.
+    """
+    schema = f"{CACHE_SCHEMA}:sanitize" if sanitize else CACHE_SCHEMA
+    blob = f"{schema}\n{source}".encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
 
 
-def cache_paths(source: str, cache_dir: Optional[str] = None) -> "tuple[str, str]":
+def cache_paths(
+    source: str, cache_dir: Optional[str] = None, sanitize: bool = False
+) -> "tuple[str, str]":
     """The ``(c_path, so_path)`` cache locations for ``source``."""
-    digest = source_digest(source)[:16]
+    digest = source_digest(source, sanitize=sanitize)[:16]
     directory = cache_dir or default_cache_dir()
     return (
         os.path.join(directory, f"{digest}.c"),
@@ -117,14 +136,22 @@ def compile_shared_library(
     source: str,
     cache_dir: Optional[str] = None,
     compiler: Optional[str] = None,
+    sanitize: bool = False,
 ) -> str:
     """Compile ``source`` (or reuse the cached build); return the ``.so`` path.
+
+    ``sanitize=True`` adds :data:`SANITIZE_FLAGS` (UBSan + ASan, no
+    recovery) and keys the cache entry separately — the instrumented
+    library is for the conformance fuzzer and golden-vector runs, never
+    for serving.  Loading an ASan-instrumented ``.so`` into a plain
+    python process requires preloading the ASan runtime; see
+    :func:`sanitizer_runtime_preload`.
 
     Raises :class:`~repro.errors.NativeBackendError` when no compiler is
     available or the compile fails — the error message carries the
     compiler's stderr so a codegen bug is diagnosable from the exception.
     """
-    c_path, so_path = cache_paths(source, cache_dir)
+    c_path, so_path = cache_paths(source, cache_dir, sanitize=sanitize)
     if os.path.exists(so_path):
         return so_path
 
@@ -139,9 +166,10 @@ def compile_shared_library(
     os.makedirs(directory, exist_ok=True)
     _atomic_write(c_path, source.encode("utf-8"))
 
+    extra = SANITIZE_FLAGS if sanitize else []
     fd, tmp_so = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".so")
     os.close(fd)
-    command: "List[str]" = [cc, *_COMPILE_FLAGS, "-o", tmp_so, c_path]
+    command: "List[str]" = [cc, *_COMPILE_FLAGS, *extra, "-o", tmp_so, c_path]
     try:
         proc = subprocess.run(
             command, capture_output=True, text=True, timeout=120
@@ -159,10 +187,43 @@ def compile_shared_library(
     return so_path
 
 
-def evict_cache_entry(source: str, cache_dir: Optional[str] = None) -> None:
+def evict_cache_entry(
+    source: str, cache_dir: Optional[str] = None, sanitize: bool = False
+) -> None:
     """Delete the cached build of ``source`` (corrupted-entry recovery)."""
-    for path in cache_paths(source, cache_dir):
+    for path in cache_paths(source, cache_dir, sanitize=sanitize):
         _silent_unlink(path)
+
+
+def sanitizer_runtime_preload(compiler: Optional[str] = None) -> Optional[str]:
+    """Path of the ASan runtime to ``LD_PRELOAD``, or None if unknown.
+
+    ``dlopen``-ing an ASan-instrumented shared library from an
+    uninstrumented executable (the python interpreter) requires the ASan
+    runtime to be loaded *first*; the supported way is
+    ``LD_PRELOAD=$(cc -print-file-name=libasan.so)`` in a fresh process.
+    Returns None when no compiler is available or the runtime cannot be
+    resolved — callers should then skip sanitized execution gracefully.
+    """
+    cc = compiler or find_compiler()
+    if cc is None:
+        return None
+    try:
+        proc = subprocess.run(
+            [cc, "-print-file-name=libasan.so"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    candidate = proc.stdout.strip()
+    if proc.returncode != 0 or not candidate:
+        return None
+    # An unresolvable runtime prints the bare name back; require a real path.
+    if candidate == "libasan.so" or not os.path.exists(candidate):
+        return None
+    return os.path.realpath(candidate)
 
 
 def _silent_unlink(path: str) -> None:

@@ -127,8 +127,16 @@ def load_native_kernel(
     overflow: "OverflowMode | str" = OverflowMode.WRAP,
     cache_dir: Optional[str] = None,
     compiler: Optional[str] = None,
+    sanitize: bool = False,
 ) -> NativeKernel:
     """Generate, compile (or reuse from cache), and load a batch kernel.
+
+    ``sanitize=True`` compiles with UBSan + ASan instrumentation (separate
+    cache key).  The ASan runtime must already be loaded in this process —
+    run under ``LD_PRELOAD`` of
+    :func:`repro.hardware.compile.sanitizer_runtime_preload` — or the
+    ``dlopen`` here fails cleanly with
+    :class:`~repro.errors.NativeBackendError`.
 
     A cache entry that exists but cannot be ``dlopen``-ed (corruption,
     truncated write from a killed process) is evicted and rebuilt exactly
@@ -142,14 +150,14 @@ def load_native_kernel(
         # type the engine's fallback logic handles.
         raise NativeBackendError(str(exc)) from exc
     library_path = compile_shared_library(
-        source, cache_dir=cache_dir, compiler=compiler
+        source, cache_dir=cache_dir, compiler=compiler, sanitize=sanitize
     )
     try:
         return NativeKernel(source, library_path, classifier.num_features)
     except NativeBackendError:
         # Corrupted cache entry: evict, rebuild once, then give up.
-        evict_cache_entry(source, cache_dir)
+        evict_cache_entry(source, cache_dir, sanitize=sanitize)
         library_path = compile_shared_library(
-            source, cache_dir=cache_dir, compiler=compiler
+            source, cache_dir=cache_dir, compiler=compiler, sanitize=sanitize
         )
         return NativeKernel(source, library_path, classifier.num_features)

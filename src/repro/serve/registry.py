@@ -31,7 +31,12 @@ from ..fixedpoint.overflow import OverflowMode
 from .engine import BatchInferenceEngine
 
 if TYPE_CHECKING:  # avoid a runtime serve -> check import cycle
+    from typing import Union
+
+    from ..check.pipeline import PipelineReport
     from ..check.report import CheckReport
+
+    Certificate = Union[CheckReport, PipelineReport]
 
 __all__ = ["RegisteredModel", "ModelRegistry", "content_hash"]
 
@@ -70,8 +75,9 @@ class RegisteredModel:
     path:
         Source file for file-backed entries (enables hot reload), else None.
     certificate:
-        The ``repro.check-report/v1`` certificate produced by the
-        registry's certifier at registration time, or None when the
+        The certificate produced by the registry's certifier at
+        registration time — a per-classifier ``repro.check-report/v1`` or
+        an end-to-end ``repro.check-report/v2`` — or None when the
         registry runs without one.
     """
 
@@ -80,7 +86,7 @@ class RegisteredModel:
     engine: BatchInferenceEngine
     content_hash: str
     path: Optional[str] = None
-    certificate: "Optional[CheckReport]" = None
+    certificate: "Optional[Certificate]" = None
 
     def describe(self) -> str:
         """One-line summary used by ``/healthz`` and the CLI."""
@@ -104,13 +110,20 @@ class ModelRegistry:
         Overflow policy handed to every engine built by this registry
         (``WRAP`` matches the hardware; exposed for ablation servers).
     certifier:
-        Optional callable mapping a classifier to a
-        ``repro.check-report/v1`` certificate (see
-        :func:`repro.check.make_certifier`).  When set, every registration
-        is certified and a certificate with a VIOLATED invariant raises
-        :class:`~repro.errors.CertificationError` — the model never becomes
-        servable.  UNKNOWN invariants are admitted (the certificate is kept
-        on the entry for inspection).
+        Optional callable mapping a classifier to a certificate — a
+        ``repro.check-report/v1`` (see :func:`repro.check.make_certifier`)
+        or an end-to-end ``repro.check-report/v2``
+        (:func:`repro.check.make_pipeline_certifier`).  When set, every
+        registration is certified and a certificate with a VIOLATED
+        invariant raises :class:`~repro.errors.CertificationError` — the
+        model never becomes servable.  UNKNOWN invariants are admitted
+        (the certificate is kept on the entry for inspection).
+    require_signal_certified:
+        When True, registration additionally demands an end-to-end v2
+        certificate carrying a ``signal-frontend`` stage — an artifact
+        whose fixed-point signal front end was never certified is refused
+        even if its classifier certificate is clean.  Requires
+        ``certifier``.
     backend:
         Engine backend for every model built by this registry — one of
         :data:`~repro.serve.engine.ENGINE_BACKENDS`.  ``"native"`` asks each
@@ -124,37 +137,65 @@ class ModelRegistry:
     def __init__(
         self,
         overflow: "OverflowMode | str" = OverflowMode.WRAP,
-        certifier: "Optional[Callable[[FixedPointLinearClassifier], CheckReport]]" = None,
+        certifier: "Optional[Callable[[FixedPointLinearClassifier], Certificate]]" = None,
         backend: str = "auto",
         native_cache: "str | None" = None,
+        require_signal_certified: bool = False,
     ) -> None:
+        if require_signal_certified and certifier is None:
+            raise ServeError(
+                "require_signal_certified needs a certifier producing "
+                "repro.check-report/v2 certificates "
+                "(see repro.check.make_pipeline_certifier)"
+            )
         self.overflow = OverflowMode.coerce(overflow)
         self.certifier = certifier
         self.backend = backend
         self.native_cache = native_cache
+        self.require_signal_certified = require_signal_certified
         self._models: "Dict[str, RegisteredModel]" = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _violated_ids(certificate: "Certificate") -> "List[str]":
+        """Violated invariant ids, stage-qualified for v2 certificates."""
+        stages = getattr(certificate, "stages", None)
+        if stages is not None:
+            return [
+                f"{stage.stage}:{inv.id}"
+                for stage in stages
+                for inv in stage.report.invariants
+                if inv.verdict.value == "VIOLATED"
+            ]
+        return [
+            inv.id
+            for inv in getattr(certificate, "invariants", ())
+            if inv.verdict.value == "VIOLATED"
+        ]
+
     def _build(
         self,
         name: str,
         classifier: FixedPointLinearClassifier,
         path: "str | None",
     ) -> RegisteredModel:
-        certificate: "Optional[CheckReport]" = None
+        certificate: "Optional[Certificate]" = None
         if self.certifier is not None:
             certificate = self.certifier(classifier)
             if certificate.has_violation:
-                violated = [
-                    inv.id
-                    for inv in certificate.invariants
-                    if inv.verdict.value == "VIOLATED"
-                ]
                 raise CertificationError(
                     f"model {name!r} refused: certificate violates "
-                    f"{', '.join(violated)}"
+                    f"{', '.join(self._violated_ids(certificate))}"
                 )
+            if self.require_signal_certified:
+                has_stage = getattr(certificate, "has_stage", None)
+                if has_stage is None or not has_stage("signal-frontend"):
+                    raise CertificationError(
+                        f"model {name!r} refused: no certified signal front "
+                        "end (need a repro.check-report/v2 certificate with "
+                        "a 'signal-frontend' stage)"
+                    )
         return RegisteredModel(
             name=name,
             classifier=classifier,

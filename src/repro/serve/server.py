@@ -455,7 +455,9 @@ class InferenceServer:
         )
 
 
-_REASONS = {
+# Read-only HTTP status-code table: never mutated, safe to share across
+# threads and duplicate into spawn workers.
+_REASONS = {  # repro: noqa-RPC005
     200: "OK",
     400: "Bad Request",
     404: "Not Found",

@@ -76,6 +76,15 @@ class FixedPointBiquad:
         object.__setattr__(self, "_raw", raw)
 
     @property
+    def raw_coefficients(self) -> "dict[str, int]":
+        """The quantized coefficients as raw words (``b0 b1 b2 a1 a2``).
+
+        Exposed for the static signal-chain certifier
+        (:mod:`repro.check.signal_certifier`).
+        """
+        return dict(self._raw)
+
+    @property
     def quantized_section(self) -> Biquad:
         """The coefficients actually implemented."""
         res = self.fmt.resolution

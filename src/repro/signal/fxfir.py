@@ -74,6 +74,16 @@ class FixedPointFir:
         return self._tap_raws.astype(np.float64) * self.fmt.resolution
 
     @property
+    def tap_raws(self) -> np.ndarray:
+        """The quantized coefficients as raw words (int64, read-only view).
+
+        Exposed for the static signal-chain certifier
+        (:mod:`repro.check.signal_certifier`), which propagates exact
+        intervals over these words.
+        """
+        return self._tap_raws
+
+    @property
     def accumulator_format(self) -> QFormat:
         return QFormat(
             self.fmt.integer_bits + self.guard_bits, self.fmt.fraction_bits

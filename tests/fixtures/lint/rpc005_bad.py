@@ -1,0 +1,7 @@
+"""Mutable module-level state: duplicated by spawn workers, shared unlocked."""
+
+CACHE = {}
+
+SESSIONS = list()
+
+ACTIVE: set = {1, 2}

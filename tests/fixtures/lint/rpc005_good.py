@@ -1,0 +1,9 @@
+"""Immutable module tables and dunder metadata are exempt from RPC005."""
+
+__all__ = ["REASONS", "LIMITS"]
+
+REASONS = ("ok", "shed", "error")
+
+LIMITS = frozenset({8, 16, 32})
+
+_TIMEOUT = 5.0

@@ -1,0 +1,4 @@
+"""A documented read-only dict may opt out with a targeted noqa."""
+
+# Never mutated after import: maps wire codes to reason strings.
+REASONS = {0: "ok", 1: "shed"}  # repro: noqa-RPC005

@@ -1,0 +1,15 @@
+"""Blocking calls directly inside async bodies stall the event loop."""
+
+import time
+import subprocess
+
+
+async def drain(queue):
+    time.sleep(0.1)
+    return await queue.get()
+
+
+async def snapshot(path):
+    handle = open(path)
+    subprocess.run(["sync"])
+    return handle

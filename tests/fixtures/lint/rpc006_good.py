@@ -1,0 +1,18 @@
+"""Sync helpers nested inside async defs are run_in_executor targets."""
+
+import asyncio
+import time
+
+
+async def drain(queue):
+    def blocking_read(path):
+        with open(path) as handle:
+            time.sleep(0.01)
+            return handle.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, blocking_read, await queue.get())
+
+
+def sync_entry(path):
+    return open(path).read()

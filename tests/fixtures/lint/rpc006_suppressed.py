@@ -1,0 +1,8 @@
+"""Startup-only async paths may document a deliberate blocking call."""
+
+import time
+
+
+async def warmup():
+    # Runs once before the server accepts connections; nothing to stall.
+    time.sleep(0.5)  # repro: noqa-RPC006

@@ -1,0 +1,11 @@
+"""Unguarded rebinding of globals from request paths races server threads."""
+
+COUNTER = 0
+MODEL = None
+
+
+def handle(request):
+    global COUNTER, MODEL
+    COUNTER += 1
+    MODEL = request.model
+    return COUNTER

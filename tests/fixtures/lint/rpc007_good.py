@@ -1,0 +1,17 @@
+"""Writes to globals under a lock-named context manager are guarded."""
+
+import threading
+
+COUNTER = 0
+_STATE_LOCK = threading.Lock()
+
+
+def handle(request):
+    global COUNTER
+    with _STATE_LOCK:
+        COUNTER += 1
+        return COUNTER
+
+
+def read_only():
+    return COUNTER

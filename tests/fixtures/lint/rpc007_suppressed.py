@@ -1,0 +1,9 @@
+"""Single-threaded bootstrap code may document an unlocked global write."""
+
+CONFIG = None
+
+
+def load_config(path):
+    global CONFIG
+    # Called once from main() before any worker thread starts.
+    CONFIG = path  # repro: noqa-RPC007

@@ -103,6 +103,65 @@ class TestArtifactMode:
         assert capsys.readouterr().err != ""
 
 
+class TestAllMode:
+    def test_all_without_artifact_is_usage_error(self, capsys):
+        assert main(["check", "--all"]) == 2
+        assert capsys.readouterr().err != ""
+
+    def test_all_emits_a_v2_certificate(self, tmp_path, capsys):
+        from repro.check import KNOWN_STAGES, PipelineReport
+
+        path = write_artifact(tmp_path, QFormat(2, 6), [1, -2, 3], threshold_raw=4)
+        report_path = tmp_path / "cert.json"
+        code = main(
+            [
+                "check",
+                "--artifact", path,
+                "--all",
+                "--fir-taps", "31",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro.check-report/v2" in out
+        assert "overall: PROVEN" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "repro.check-report/v2"
+        loaded = PipelineReport.load(str(report_path))
+        assert loaded.stage_names == KNOWN_STAGES
+        assert loaded.all_proven
+        assert loaded.metadata["artifact"] == path
+        assert loaded.metadata["fir_taps"] == 31
+
+    def test_all_with_violating_artifact_exits_one(self, tmp_path, capsys):
+        fmt = QFormat(2, 2)
+        path = write_artifact(
+            tmp_path, fmt, [fmt.max_raw, fmt.max_raw], threshold_raw=fmt.min_raw
+        )
+        code = main(
+            ["check", "--artifact", path, "--all", "--fir-taps", "15"]
+        )
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_all_parser_options(self):
+        args = build_parser().parse_args(
+            [
+                "check",
+                "--artifact", "clf.json",
+                "--all",
+                "--fir-taps", "63",
+                "--fir-band", "1", "40",
+                "--guard-bits", "6",
+            ]
+        )
+        assert args.all
+        assert args.fir_taps == 63
+        assert args.fir_band == [1.0, 40.0]
+        assert args.guard_bits == 6
+
+
 class TestFormatMode:
     def test_format_mode_requires_num_features(self, capsys):
         assert main(["check", "--format", "Q2.4"]) == 2

@@ -13,6 +13,9 @@ from repro.check.lint import (
     RPC002BareWidthConstant,
     RPC003SilentFloatPromotion,
     RPC004BareBuiltinRaise,
+    RPC005ModuleMutableState,
+    RPC006BlockingCallInAsync,
+    RPC007UnguardedGlobalMutation,
 )
 from repro.errors import LintError
 
@@ -86,6 +89,75 @@ class TestRPC004:
         assert "__post_init__" in findings[0].message
 
 
+class TestRPC005:
+    RULES = [RPC005ModuleMutableState()]
+
+    def test_bad_fixture_flags_every_mutable_binding(self):
+        findings = lint_source(fixture_source("rpc005_bad.py"), rules=self.RULES)
+        assert rule_ids(findings) == ["RPC005", "RPC005", "RPC005"]
+        assert "CACHE" in findings[0].message
+        assert "SESSIONS" in findings[1].message
+        assert "ACTIVE" in findings[2].message
+
+    def test_good_fixture_is_clean(self):
+        # Tuples, frozensets, scalars, and dunder metadata are all exempt.
+        assert lint_source(fixture_source("rpc005_good.py"), rules=self.RULES) == []
+
+    def test_suppressed_fixture_is_clean(self):
+        findings = lint_source(
+            fixture_source("rpc005_suppressed.py"), rules=self.RULES
+        )
+        assert findings == []
+
+    def test_scope_is_the_serving_plane(self):
+        rule = RPC005ModuleMutableState()
+        assert rule.applies_to("src/repro/serve/server.py")
+        assert not rule.applies_to("src/repro/fixedpoint/quantize.py")
+
+
+class TestRPC006:
+    RULES = [RPC006BlockingCallInAsync()]
+
+    def test_bad_fixture_flags_sleep_open_and_subprocess(self):
+        findings = lint_source(fixture_source("rpc006_bad.py"), rules=self.RULES)
+        assert rule_ids(findings) == ["RPC006", "RPC006", "RPC006"]
+        blocked = " ".join(finding.message for finding in findings)
+        assert "time.sleep" in blocked
+        assert "open" in blocked
+        assert "subprocess.run" in blocked
+
+    def test_good_fixture_is_clean(self):
+        # Blocking calls live in a nested sync def (a run_in_executor
+        # target) or in plain sync entry points — both exempt.
+        assert lint_source(fixture_source("rpc006_good.py"), rules=self.RULES) == []
+
+    def test_suppressed_fixture_is_clean(self):
+        findings = lint_source(
+            fixture_source("rpc006_suppressed.py"), rules=self.RULES
+        )
+        assert findings == []
+
+
+class TestRPC007:
+    RULES = [RPC007UnguardedGlobalMutation()]
+
+    def test_bad_fixture_flags_both_global_writes(self):
+        findings = lint_source(fixture_source("rpc007_bad.py"), rules=self.RULES)
+        assert rule_ids(findings) == ["RPC007", "RPC007"]
+        assert "COUNTER" in findings[0].message
+        assert "MODEL" in findings[1].message
+
+    def test_good_fixture_is_clean(self):
+        # The write sits inside `with _STATE_LOCK:` — guarded.
+        assert lint_source(fixture_source("rpc007_good.py"), rules=self.RULES) == []
+
+    def test_suppressed_fixture_is_clean(self):
+        findings = lint_source(
+            fixture_source("rpc007_suppressed.py"), rules=self.RULES
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_noqa_markers(self):
         findings = lint_source(fixture_source("suppressed.py"), rules=ALL_RULES)
@@ -96,6 +168,20 @@ class TestSuppression:
     def test_bare_noqa_suppresses_every_rule(self):
         source = "def f(word_raw):\n    return word_raw / 2  # repro: noqa\n"
         assert lint_source(source, rules=ALL_RULES) == []
+
+    def test_comma_list_suppresses_exactly_the_named_rules(self):
+        # astype(float64) on a raw word trips both RPC001 (float math on
+        # raws) and RPC003 (silent float promotion); one marker covers both.
+        line = 'out = word_raw.astype("float64") / 2'
+        both = lint_source(f"{line}\n", rules=ALL_RULES)
+        assert sorted(set(rule_ids(both))) == ["RPC001", "RPC003"]
+        assert (
+            lint_source(f"{line}  # repro: noqa-RPC001,RPC003\n", rules=ALL_RULES)
+            == []
+        )
+        # Naming only one rule must leave the other finding intact.
+        partial = lint_source(f"{line}  # repro: noqa-RPC003\n", rules=ALL_RULES)
+        assert set(rule_ids(partial)) == {"RPC001"}
 
 
 class TestEngine:

@@ -1,0 +1,140 @@
+"""Static UB certification of the generated C batch kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import FeatureBounds, Verdict, certify_native_kernel
+from repro.check.native_ub import parse_kernel_constants
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.fixedpoint.qformat import QFormat
+from repro.hardware import cgen
+
+
+def make_classifier(fmt, weight_raws, threshold_raw=0):
+    weights = np.array([fmt.to_real(int(w)) for w in weight_raws], dtype=np.float64)
+    return FixedPointLinearClassifier(
+        weights=weights,
+        threshold=float(fmt.to_real(int(threshold_raw))),
+        fmt=fmt,
+    )
+
+
+def safe_classifier():
+    return make_classifier(QFormat(2, 6), [1, -2, 3], threshold_raw=4)
+
+
+EXPECTED_IDS = [
+    "native-constants-consistent",
+    "native-shift-ub",
+    "native-division-ub",
+    "native-product-fits-int64",
+    "native-narrow-fits-int64",
+    "native-wrap-fits-int64",
+    "native-accumulator-fits-int64",
+    "native-decision-fits-int64",
+]
+
+
+class TestParseKernelConstants:
+    def test_roundtrips_the_emitted_constants(self):
+        clf = safe_classifier()
+        source = cgen.generate_batch_kernel_c(clf)
+        parsed = parse_kernel_constants(source)
+        fmt = clf.fmt
+        assert parsed["num_features"] == 3
+        assert parsed["word_mask"] == fmt.wrap_mask
+        assert parsed["sign_bit"] == fmt.sign_bit
+        assert parsed["min_raw"] == fmt.min_raw
+        assert parsed["max_raw"] == fmt.max_raw
+        assert parsed["polarity"] == clf.polarity
+        assert parsed["weights"] == [1, -2, 3]
+        assert parsed["threshold"] == 4
+        assert parsed["product_div_shift"] == fmt.fraction_bits
+        assert parsed["product_half_shift"] == fmt.fraction_bits - 1
+
+
+class TestCertifyNativeKernel:
+    def test_safe_classifier_is_fully_proven(self):
+        report = certify_native_kernel(safe_classifier())
+        assert report.subject == "native-kernel"
+        assert report.all_proven
+        assert [inv.id for inv in report.invariants] == EXPECTED_IDS
+
+    def test_saturate_kernel_is_also_proven(self):
+        report = certify_native_kernel(safe_classifier(), overflow="saturate")
+        assert report.all_proven
+        assert report.metadata["overflow"] == "saturate"
+
+    def test_non_generable_overflow_mode_is_refuted(self):
+        report = certify_native_kernel(safe_classifier(), overflow="raise")
+        assert report.has_violation
+        assert [inv.id for inv in report.invariants] == [
+            "native-kernel-generable"
+        ]
+
+    def test_wide_format_is_refuted_as_non_generable(self):
+        fmt = QFormat(16, 16)
+        clf = make_classifier(fmt, [1, 2, 3, 4])
+        report = certify_native_kernel(clf)
+        assert (
+            report.invariant("native-kernel-generable").verdict
+            is Verdict.VIOLATED
+        )
+
+    def test_dataset_bounds_are_recorded(self):
+        bounds = FeatureBounds(
+            lo=np.full(3, -0.25), hi=np.full(3, 0.25), source="dataset"
+        )
+        report = certify_native_kernel(safe_classifier(), feature_bounds=bounds)
+        assert report.bound_source == "dataset"
+        assert report.all_proven
+
+    def test_product_witness_names_the_worst_corner(self):
+        report = certify_native_kernel(safe_classifier())
+        product = report.invariant("native-product-fits-int64")
+        # Worst corner: the largest-magnitude weight times a range corner.
+        assert product.bounds["lo"] <= 0 <= product.bounds["hi"]
+
+
+class TestCodegenTripwires:
+    """A tampered generator must be caught by the source-level checks."""
+
+    def tampered_report(self, monkeypatch, mutate):
+        clf = safe_classifier()
+        pristine = cgen.generate_batch_kernel_c(clf)
+        monkeypatch.setattr(
+            "repro.check.native_ub.cgen.generate_batch_kernel_c",
+            lambda *args, **kwargs: mutate(pristine),
+        )
+        return certify_native_kernel(clf)
+
+    def test_drifted_threshold_constant(self, monkeypatch):
+        report = self.tampered_report(
+            monkeypatch, lambda src: src.replace("THRESHOLD = 4;", "THRESHOLD = 5;")
+        )
+        consistent = report.invariant("native-constants-consistent")
+        assert consistent.verdict is Verdict.VIOLATED
+        assert "threshold" in consistent.detail
+
+    def test_right_shift_is_flagged_as_ub(self, monkeypatch):
+        report = self.tampered_report(
+            monkeypatch,
+            lambda src: src + "\nstatic int64_t bad(int64_t v) { return v >> 3; }\n",
+        )
+        assert report.invariant("native-shift-ub").verdict is Verdict.VIOLATED
+
+    def test_stray_division_is_flagged_as_ub(self, monkeypatch):
+        report = self.tampered_report(
+            monkeypatch,
+            lambda src: src
+            + "\nstatic int64_t bad(int64_t a, int64_t b) { return a / b; }\n",
+        )
+        assert (
+            report.invariant("native-division-ub").verdict is Verdict.VIOLATED
+        )
+
+    def test_pristine_source_passes_all_tripwires(self, monkeypatch):
+        report = self.tampered_report(monkeypatch, lambda src: src)
+        assert report.all_proven

@@ -1,0 +1,158 @@
+"""The v2 end-to-end pipeline certificate and its composition helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    KNOWN_STAGES,
+    PIPELINE_REPORT_SCHEMA,
+    PipelineReport,
+    StageReport,
+    Verdict,
+    certify_classifier,
+    certify_pipeline,
+    make_pipeline_certifier,
+)
+from repro.core.classifier import FixedPointLinearClassifier
+from repro.errors import CheckError
+from repro.fixedpoint.qformat import QFormat
+from repro.signal.fxfir import FixedPointFir
+
+
+def make_classifier(fmt, weight_raws, threshold_raw=0):
+    weights = np.array([fmt.to_real(int(w)) for w in weight_raws], dtype=np.float64)
+    return FixedPointLinearClassifier(
+        weights=weights,
+        threshold=float(fmt.to_real(int(threshold_raw))),
+        fmt=fmt,
+    )
+
+
+def safe_classifier():
+    return make_classifier(QFormat(2, 6), [1, -2, 3], threshold_raw=4)
+
+
+def guarded_fir():
+    return FixedPointFir(
+        np.asarray([0.5, -0.25, 0.125]), fmt=QFormat(2, 6), guard_bits=8
+    )
+
+
+def classifier_stage():
+    return StageReport(stage="classifier", report=certify_classifier(safe_classifier()))
+
+
+class TestPipelineReportMechanics:
+    def test_empty_stage_name_is_rejected(self):
+        with pytest.raises(CheckError):
+            StageReport(stage="", report=certify_classifier(safe_classifier()))
+
+    def test_empty_pipeline_is_rejected(self):
+        with pytest.raises(CheckError):
+            PipelineReport(stages=())
+
+    def test_duplicate_stage_is_rejected(self):
+        stage = classifier_stage()
+        with pytest.raises(CheckError):
+            PipelineReport(stages=(stage, stage))
+
+    def test_verdict_is_worst_of_stages(self):
+        proven = classifier_stage()
+        report = PipelineReport(stages=(proven,))
+        assert report.verdict is Verdict.PROVEN
+        assert report.all_proven
+        assert not report.has_violation
+
+    def test_stage_lookup(self):
+        report = PipelineReport(stages=(classifier_stage(),))
+        assert report.stage_names == ("classifier",)
+        assert report.has_stage("classifier")
+        assert not report.has_stage("signal-frontend")
+        assert report.stage("classifier").stage == "classifier"
+        with pytest.raises(CheckError):
+            report.stage("native-kernel")
+
+    def test_roundtrip_preserves_everything(self):
+        original = certify_pipeline(
+            safe_classifier(), fir=guarded_fir(), metadata={"artifact": "demo"}
+        )
+        rebuilt = PipelineReport.from_dict(original.to_dict())
+        assert rebuilt.to_dict() == original.to_dict()
+        assert rebuilt.metadata["artifact"] == "demo"
+
+    def test_verdict_disagreement_is_rejected(self):
+        payload = PipelineReport(stages=(classifier_stage(),)).to_dict()
+        payload["verdict"] = "VIOLATED"
+        with pytest.raises(CheckError, match="disagrees"):
+            PipelineReport.from_dict(payload)
+
+    def test_wrong_schema_is_rejected(self):
+        payload = PipelineReport(stages=(classifier_stage(),)).to_dict()
+        payload["schema"] = "repro.check-report/v1"
+        with pytest.raises(CheckError, match="schema"):
+            PipelineReport.from_dict(payload)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        report = certify_pipeline(safe_classifier(), fir=guarded_fir())
+        path = tmp_path / "cert.json"
+        report.save(str(path))
+        loaded = PipelineReport.load(str(path))
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_summary_names_every_stage_and_the_overall_verdict(self):
+        report = certify_pipeline(safe_classifier(), fir=guarded_fir())
+        text = report.summary()
+        assert PIPELINE_REPORT_SCHEMA in text
+        for name in report.stage_names:
+            assert f"stage {name}:" in text
+        assert text.splitlines()[-1] == f"overall: {report.verdict.value}"
+
+
+class TestCertifyPipeline:
+    def test_without_fir_certifies_classifier_and_native(self):
+        report = certify_pipeline(safe_classifier())
+        assert report.stage_names == ("classifier", "native-kernel")
+        assert not report.has_stage("signal-frontend")
+        assert report.metadata["fir_present"] is False
+
+    def test_with_fir_certifies_the_full_chain_in_order(self):
+        report = certify_pipeline(safe_classifier(), fir=guarded_fir())
+        assert report.stage_names == KNOWN_STAGES
+        assert report.all_proven
+        assert report.metadata["fir_present"] is True
+
+    def test_include_native_false_skips_the_kernel_stage(self):
+        report = certify_pipeline(safe_classifier(), include_native=False)
+        assert report.stage_names == ("classifier",)
+
+    def test_forced_native_with_bad_overflow_is_violated(self):
+        report = certify_pipeline(
+            safe_classifier(), include_native=True, overflow="raise"
+        )
+        assert report.has_violation
+        assert report.verdict is Verdict.VIOLATED
+        native = report.stage("native-kernel").report
+        assert native.invariant("native-kernel-generable").verdict is Verdict.VIOLATED
+
+    def test_auto_native_skips_non_generable_formats(self):
+        # 2*32 + ceil(log2(4)) > 63: the int64 path is unavailable, so the
+        # auto mode must omit the stage rather than emit a violation.
+        clf = make_classifier(QFormat(16, 16), [1, 2, 3, 4])
+        report = certify_pipeline(clf)
+        assert not report.has_stage("native-kernel")
+
+
+class TestMakePipelineCertifier:
+    def test_closure_produces_a_v2_certificate_with_signal_stage(self):
+        certifier = make_pipeline_certifier(fir=guarded_fir())
+        report = certifier(safe_classifier())
+        assert isinstance(report, PipelineReport)
+        assert report.has_stage("signal-frontend")
+        assert report.all_proven
+
+    def test_closure_without_fir_omits_signal_stage(self):
+        certifier = make_pipeline_certifier()
+        report = certifier(safe_classifier())
+        assert not report.has_stage("signal-frontend")

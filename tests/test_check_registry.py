@@ -5,12 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.check import FeatureBounds, Verdict, make_certifier
+from repro.check import (
+    FeatureBounds,
+    Verdict,
+    make_certifier,
+    make_pipeline_certifier,
+)
 from repro.core.classifier import FixedPointLinearClassifier
 from repro.core.serialize import save_classifier
-from repro.errors import CertificationError
+from repro.errors import CertificationError, ServeError
 from repro.fixedpoint.qformat import QFormat
 from repro.serve import ModelRegistry
+from repro.signal.fxfir import FixedPointFir
 
 
 def make_classifier(fmt, weight_raws, threshold_raw=0):
@@ -29,6 +35,12 @@ def safe_classifier():
 def overflowing_classifier():
     fmt = QFormat(2, 2)
     return make_classifier(fmt, [fmt.max_raw, fmt.max_raw], threshold_raw=fmt.min_raw)
+
+
+def guarded_fir():
+    return FixedPointFir(
+        np.asarray([0.5, -0.25, 0.125]), fmt=QFormat(2, 6), guard_bits=8
+    )
 
 
 class TestCertificationGate:
@@ -88,3 +100,55 @@ class TestCertificationGate:
         with pytest.raises(CertificationError):
             registry.reload("clf")
         assert registry.get("clf").certificate.all_proven
+
+
+class TestSignalCertifiedGate:
+    def test_gate_without_certifier_is_a_config_error(self):
+        with pytest.raises(ServeError, match="certifier"):
+            ModelRegistry(require_signal_certified=True)
+
+    def test_v1_certificate_cannot_satisfy_the_gate(self):
+        # A clean classifier-only certificate has no signal-frontend stage
+        # to show, so the gate refuses it.
+        registry = ModelRegistry(
+            certifier=make_certifier(), require_signal_certified=True
+        )
+        with pytest.raises(CertificationError, match="signal front"):
+            registry.register("clf", safe_classifier())
+        assert len(registry) == 0
+
+    def test_v2_without_fir_is_refused(self):
+        registry = ModelRegistry(
+            certifier=make_pipeline_certifier(),  # no fir: no signal stage
+            require_signal_certified=True,
+        )
+        with pytest.raises(CertificationError, match="signal-frontend"):
+            registry.register("clf", safe_classifier())
+
+    def test_v2_with_fir_is_admitted_with_certificate(self):
+        registry = ModelRegistry(
+            certifier=make_pipeline_certifier(fir=guarded_fir()),
+            require_signal_certified=True,
+        )
+        model = registry.register("clf", safe_classifier())
+        assert model.certificate is not None
+        assert model.certificate.has_stage("signal-frontend")
+        assert model.certificate.all_proven
+
+    def test_v2_refusal_names_the_stage_qualified_invariant(self):
+        registry = ModelRegistry(
+            certifier=make_pipeline_certifier(fir=guarded_fir())
+        )
+        with pytest.raises(CertificationError) as excinfo:
+            registry.register("bad", overflowing_classifier())
+        assert "classifier:" in str(excinfo.value)
+
+    def test_violation_check_runs_before_the_stage_check(self):
+        # A violating model must be reported as violating, not merely as
+        # missing a stage — the violation is the stronger diagnosis.
+        registry = ModelRegistry(
+            certifier=make_pipeline_certifier(),
+            require_signal_certified=True,
+        )
+        with pytest.raises(CertificationError, match="violates"):
+            registry.register("bad", overflowing_classifier())

@@ -29,11 +29,13 @@ from repro.fixedpoint.qformat import QFormat
 from repro.fixedpoint.rounding import RoundingMode
 from repro.hardware.cgen import BATCH_KERNEL_SYMBOL, generate_batch_kernel_c
 from repro.hardware.compile import (
+    SANITIZE_FLAGS,
     cache_paths,
     compile_shared_library,
     default_cache_dir,
     evict_cache_entry,
     find_compiler,
+    sanitizer_runtime_preload,
     source_digest,
 )
 from repro.hardware.native import (
@@ -191,6 +193,107 @@ class TestBuildCache:
         assert not os.path.exists(so_path)
         # Evicting an absent entry is a no-op, not an error.
         evict_cache_entry(source, str(tmp_path))
+
+
+# --------------------------------------------------------------------- #
+# Sanitized builds
+# --------------------------------------------------------------------- #
+def _fake_compiler(tmp_path, body_suffix=""):
+    """An executable that records its argv and creates the -o target."""
+    log = tmp_path / "argv.log"
+    script = tmp_path / "fakecc"
+    script.write_text(
+        "#!/bin/sh\n"
+        f'printf \'%s\\n\' "$@" > "{log}"\n'
+        'out=""; prev=""\n'
+        'for a in "$@"; do\n'
+        '  if [ "$prev" = "-o" ]; then out="$a"; fi\n'
+        '  prev="$a"\n'
+        "done\n"
+        ': > "$out"\n' + body_suffix
+    )
+    script.chmod(0o755)
+    return str(script), log
+
+
+class TestSanitizeBuild:
+    def test_sanitize_folds_into_the_digest(self):
+        source = "int x;"
+        assert source_digest(source) != source_digest(source, sanitize=True)
+
+    def test_sanitize_keys_a_separate_cache_entry(self, tmp_path):
+        source = "int x;"
+        plain = cache_paths(source, str(tmp_path))
+        sanitized = cache_paths(source, str(tmp_path), sanitize=True)
+        assert plain != sanitized
+
+    def test_sanitize_flags_reach_the_compile_command(self, tmp_path):
+        fakecc, log = _fake_compiler(tmp_path)
+        cache = tmp_path / "cache"
+        compile_shared_library(
+            "int x;", cache_dir=str(cache), compiler=fakecc, sanitize=True
+        )
+        argv = log.read_text().splitlines()
+        for flag in SANITIZE_FLAGS:
+            assert flag in argv
+
+    def test_plain_build_carries_no_sanitize_flags(self, tmp_path):
+        fakecc, log = _fake_compiler(tmp_path)
+        cache = tmp_path / "cache"
+        compile_shared_library("int x;", cache_dir=str(cache), compiler=fakecc)
+        argv = log.read_text().splitlines()
+        assert not any(flag in argv for flag in SANITIZE_FLAGS)
+
+    def test_plain_and_sanitized_builds_coexist(self, tmp_path):
+        fakecc, _log = _fake_compiler(tmp_path)
+        cache = tmp_path / "cache"
+        source = "int x;"
+        plain = compile_shared_library(
+            source, cache_dir=str(cache), compiler=fakecc
+        )
+        sanitized = compile_shared_library(
+            source, cache_dir=str(cache), compiler=fakecc, sanitize=True
+        )
+        assert plain != sanitized
+        assert os.path.exists(plain) and os.path.exists(sanitized)
+        # Eviction is per-variant: dropping the sanitized entry must not
+        # touch the plain build.
+        evict_cache_entry(source, str(cache), sanitize=True)
+        assert os.path.exists(plain)
+        assert not os.path.exists(sanitized)
+
+    def test_preload_none_without_a_compiler(self, monkeypatch):
+        monkeypatch.setenv("CC", "definitely-not-a-real-compiler")
+        assert sanitizer_runtime_preload() is None
+
+    def test_preload_none_when_runtime_is_unresolved(self, tmp_path):
+        # gcc prints the bare name back when it cannot find the library;
+        # that must not be handed to LD_PRELOAD.
+        script = tmp_path / "fakecc"
+        script.write_text("#!/bin/sh\necho libasan.so\n")
+        script.chmod(0o755)
+        assert sanitizer_runtime_preload(compiler=str(script)) is None
+
+    def test_preload_none_when_compiler_fails(self, tmp_path):
+        script = tmp_path / "fakecc"
+        script.write_text("#!/bin/sh\nexit 1\n")
+        script.chmod(0o755)
+        assert sanitizer_runtime_preload(compiler=str(script)) is None
+
+    def test_preload_resolves_a_real_runtime_path(self, tmp_path):
+        runtime = tmp_path / "libasan.so"
+        runtime.write_text("")
+        script = tmp_path / "fakecc"
+        script.write_text(f"#!/bin/sh\necho {runtime}\n")
+        script.chmod(0o755)
+        assert sanitizer_runtime_preload(compiler=str(script)) == str(
+            runtime.resolve()
+        )
+
+    @needs_cc
+    def test_real_compiler_preload_is_none_or_existing(self):
+        preload = sanitizer_runtime_preload()
+        assert preload is None or os.path.exists(preload)
 
 
 # --------------------------------------------------------------------- #
