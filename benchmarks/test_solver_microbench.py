@@ -87,66 +87,148 @@ def test_bench_full_train_4bit(benchmark, scaled_synthetic):
 
 BENCH_SOLVER_SCHEMA = "repro.bench-solver/v1"
 
+# The pinned Q2.3 solver benchmark instance: the paper's synthetic dataset
+# (1000 trials/class, seed 0) scaled to 90% of the format range, solved to
+# proven optimality with no time budget.  Both solver benchmarks below and
+# the CI solver-smoke assertions reference exactly this case.
+PINNED_Q23 = dict(
+    samples_per_class=1000, seed=0, scaler_limit=0.9, int_bits=2, frac_bits=3
+)
+PINNED_Q23_CONFIG = dict(
+    max_nodes=20_000, time_limit=None, relative_gap=1e-6, warm_start=True
+)
 
-def test_bench_bnb_parallel_vs_serial(scaled_synthetic, merge_bench):
-    """Serial vs parallel branch-and-bound wall time on a paper-scale run.
 
-    The speedup is *reported*, not gated: the LDA adapter runs in thread
-    mode (its incumbent-gated heuristics share state) and scipy's SLSQP
-    holds the GIL through most of each relaxation, so thread-mode gains are
-    modest by construction.  What IS asserted is the tentpole contract —
-    identical cost / lower bound / proof status across worker counts.
+@pytest.fixture(scope="module")
+def pinned_q23():
+    fmt = QFormat(PINNED_Q23["int_bits"], PINNED_Q23["frac_bits"])
+    ds = make_synthetic_dataset(
+        PINNED_Q23["samples_per_class"], seed=PINNED_Q23["seed"]
+    )
+    scaler = FeatureScaler(limit=PINNED_Q23["scaler_limit"])
+    return ds.map_features(scaler.fit(ds.features).transform), fmt
+
+
+def test_bench_presolve_node_reduction(pinned_q23, merge_bench):
+    """Node-count reduction from the acceleration layer on the pinned case.
+
+    Plain (no presolve, no symmetry cuts) vs accelerated branch-and-bound,
+    both serial and both run to proven optimality, must return the
+    identical ``(cost, lower_bound, proven_optimal)`` triple; the
+    accelerated run must expand at most half the nodes (the spectral cone
+    reduction alone collapses the improving set to a tube around the
+    Fisher ray).  CI re-asserts the emitted ratio.
     """
     import time
 
-    ds, _ = scaled_synthetic
-    fmt = QFormat(2, 3)
-    base = dict(
-        max_nodes=150, time_limit=None, relative_gap=1e-6, warm_start=True
+    ds, fmt = pinned_q23
+    runs = {}
+    for label, kw in (
+        ("plain", dict(presolve=False, symmetry_cuts=False, branching="problem")),
+        ("accelerated", dict(presolve=True, symmetry_cuts=True)),
+    ):
+        start = time.perf_counter()
+        _, report = train_lda_fp(ds, fmt, LdaFpConfig(**PINNED_Q23_CONFIG, **kw))
+        runs[label] = (report, time.perf_counter() - start)
+
+    plain, accelerated = runs["plain"][0], runs["accelerated"][0]
+    assert plain.proven_optimal and accelerated.proven_optimal
+    assert plain.cost == accelerated.cost
+    assert plain.lower_bound == accelerated.lower_bound
+
+    reduction = plain.nodes_expanded / max(accelerated.nodes_expanded, 1)
+    print(
+        f"pinned Q2.3: plain {plain.nodes_expanded} nodes "
+        f"({runs['plain'][1]:.2f} s) vs accelerated "
+        f"{accelerated.nodes_expanded} nodes ({runs['accelerated'][1]:.2f} s) "
+        f"-> {reduction:.2f}x node reduction, "
+        f"{accelerated.symmetry_pruned} symmetry prunes"
     )
+    assert reduction >= 2.0
+
+    merge_bench(
+        "BENCH_solver.json",
+        {
+            "schema": BENCH_SOLVER_SCHEMA,
+            "presolve_node_reduction": {
+                "case": PINNED_Q23,
+                "plain_nodes": plain.nodes_expanded,
+                "accelerated_nodes": accelerated.nodes_expanded,
+                "node_reduction": reduction,
+                "plain_seconds": runs["plain"][1],
+                "accelerated_seconds": runs["accelerated"][1],
+                "symmetry_pruned": accelerated.symmetry_pruned,
+                "cost": plain.cost,
+                "lower_bound": plain.lower_bound,
+                "proven_optimal": plain.proven_optimal,
+            },
+        },
+    )
+
+
+def test_bench_bnb_parallel_vs_serial(pinned_q23, merge_bench):
+    """Serial vs process-pool branch-and-bound wall time on the pinned case.
+
+    Runs the *plain* arm (fixed 377-node workload) so the executor is the
+    only variable; the deterministic merge must reproduce the serial
+    result bit for bit, including the node count.  The >1.0x speedup is
+    asserted only on multi-core hosts — on a single core the process pool
+    is honest overhead, and the emission records exactly that (cpu_count,
+    resolved executor, fallback reason) instead of a fabricated win.
+    """
+    import os
+    import time
+
+    ds, fmt = pinned_q23
+    base = dict(presolve=False, symmetry_cuts=False, **PINNED_Q23_CONFIG)
 
     timings = {}
     reports = {}
-    for workers in (1, 4):
-        config = LdaFpConfig(workers=workers, **base)
+    for label, kw in (
+        ("serial", dict(workers=1)),
+        ("process", dict(workers=4, executor="process")),
+    ):
         start = time.perf_counter()
-        _, report = train_lda_fp(ds, fmt, config)
-        timings[workers] = time.perf_counter() - start
-        reports[workers] = report
+        _, report = train_lda_fp(ds, fmt, LdaFpConfig(**base, **kw))
+        timings[label] = time.perf_counter() - start
+        reports[label] = report
 
-    r1, r4 = reports[1], reports[4]
-    assert r1.cost == r4.cost
-    assert r1.lower_bound == r4.lower_bound
-    assert r1.proven_optimal == r4.proven_optimal
+    serial, parallel = reports["serial"], reports["process"]
+    assert serial.cost == parallel.cost
+    assert serial.lower_bound == parallel.lower_bound
+    assert serial.proven_optimal == parallel.proven_optimal
+    assert serial.nodes_expanded == parallel.nodes_expanded
+    assert parallel.executor == "process", parallel.executor_fallback
 
-    speedup = timings[1] / max(timings[4], 1e-9)
-    text = (
-        "branch-and-bound serial vs parallel (Q2.3, max_nodes=150)\n"
-        f"workers=1: {timings[1]:8.3f} s  nodes={r1.nodes_expanded}\n"
-        f"workers=4: {timings[4]:8.3f} s  nodes={r4.nodes_expanded}\n"
-        f"speedup:   {speedup:8.2f}x  (thread executor; reported, not gated)\n"
-        f"cost={r1.cost:.6f} lower_bound={r1.lower_bound:.6f} "
-        f"proven={r1.proven_optimal} stop={r1.stop_reason}\n"
+    cpus = os.cpu_count() or 1
+    speedup = timings["serial"] / max(timings["process"], 1e-9)
+    print(
+        f"pinned Q2.3 (plain arm): serial {timings['serial']:.2f} s vs "
+        f"process x4 {timings['process']:.2f} s -> {speedup:.2f}x "
+        f"on {cpus} cpu(s)"
     )
-    print(text)
-    # Machine-readable emission for the CI perf trajectory
-    # (validated by .github/scripts/check_bench.py).
+    if cpus >= 2:
+        assert speedup > 1.0
     merge_bench(
         "BENCH_solver.json",
         {
             "schema": BENCH_SOLVER_SCHEMA,
             "bnb_parallel_vs_serial": {
-                "format": "Q2.3",
-                "max_nodes": 150,
-                "serial_seconds": timings[1],
-                "parallel_seconds": timings[4],
-                "serial_nodes": r1.nodes_expanded,
-                "parallel_nodes": r4.nodes_expanded,
+                "case": PINNED_Q23,
+                "arm": "plain",
+                "cpu_count": cpus,
+                "serial_seconds": timings["serial"],
+                "parallel_seconds": timings["process"],
+                "serial_nodes": serial.nodes_expanded,
+                "parallel_nodes": parallel.nodes_expanded,
                 "speedup": speedup,
-                "cost": r1.cost,
-                "lower_bound": r1.lower_bound,
-                "proven_optimal": r1.proven_optimal,
-                "stop_reason": r1.stop_reason,
+                "executor": parallel.executor,
+                "executor_fallback": parallel.executor_fallback,
+                "workers": 4,
+                "cost": serial.cost,
+                "lower_bound": serial.lower_bound,
+                "proven_optimal": serial.proven_optimal,
+                "stop_reason": serial.stop_reason,
             },
         },
     )

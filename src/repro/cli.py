@@ -93,6 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="frontier nodes expanded concurrently per branch-and-bound round",
     )
     report.add_argument(
+        "--executor",
+        choices=("auto", "thread", "process"),
+        default="auto",
+        help="parallel frontier executor (auto resolves to processes when "
+        "the problem pickles); the resolved mode is printed after training",
+    )
+    report.add_argument(
+        "--branching",
+        choices=("problem", "pseudocost"),
+        default="problem",
+        help="branching rule: the problem's fixed order, or pseudocost scores",
+    )
+    report.add_argument(
+        "--no-presolve",
+        action="store_true",
+        help="disable node presolve (bound tightening / spectral cone reduction)",
+    )
+    report.add_argument(
+        "--no-symmetry-cuts",
+        action="store_true",
+        help="disable the reflection symmetry cuts",
+    )
+    report.add_argument(
         "--trace",
         metavar="PATH",
         help="write the solver's event trace to PATH as JSON",
@@ -560,13 +583,24 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
             PipelineConfig(
                 method="lda-fp",
                 ldafp=LdaFpConfig(
-                    time_limit=args.time_limit, workers=args.workers
+                    time_limit=args.time_limit,
+                    workers=args.workers,
+                    executor=args.executor,
+                    branching=args.branching,
+                    presolve=not args.no_presolve,
+                    symmetry_cuts=not args.no_symmetry_cuts,
                 ),
             )
         )
         trace = SolverTrace() if args.trace else None
         result = pipeline.run(train, test, args.word_length, trace=trace)
         print(build_report(result.classifier, test_error=result.test_error).text)
+        report_obj = result.ldafp_report
+        if report_obj is not None and args.workers > 1:
+            line = f"solver executor: {report_obj.executor}"
+            if report_obj.executor_fallback:
+                line += f" (fallback: {report_obj.executor_fallback})"
+            print(line)
         if trace is not None:
             trace.save(args.trace)
             print(

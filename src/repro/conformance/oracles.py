@@ -393,6 +393,78 @@ class SolverParallelOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
+# 5b. Presolve/cuts-accelerated solver vs the plain solver and brute force
+# --------------------------------------------------------------------- #
+class PresolveVsPlainOracle(Oracle):
+    """The acceleration layer (node presolve, spectral cone reduction,
+    symmetry cuts, guided branching) must be result-neutral: on exact-gap
+    proven runs, the accelerated solver returns the identical
+    ``(cost, lower_bound, proven_optimal)`` triple as the plain solver,
+    and both match the brute-force grid optimum."""
+
+    name = "presolve_vs_plain"
+    description = (
+        "optim presolve+cuts vs plain branch-and-bound vs brute force "
+        "on random LDA-FP instances"
+    )
+    default_examples = 2
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.fixed_dictionaries(
+            {"seed": st.integers(min_value=0, max_value=10**6)}
+        )
+
+    def check(self, case: dict) -> None:
+        from ..core.ldafp import LdaFpConfig, train_lda_fp
+        from ..core.problem import LdaFpProblem
+        from ..fixedpoint.quantize import quantize
+        from ..stats.scatter import estimate_two_class_stats
+        from ..optim.bruteforce import brute_force_minimize
+
+        dataset, fmt = _solver_instance(int(case["seed"]))
+        # Exact gaps and no budgets: every run must prove optimality, so
+        # ``lower_bound == cost`` and the triples must agree bit for bit.
+        shared = dict(
+            max_nodes=200_000,
+            time_limit=None,
+            absolute_gap=0.0,
+            relative_gap=0.0,
+            # The PQN floor rejects degenerate zero-variance optima that the
+            # raw Eq. 21 brute-force cost accepts; disable it so all three
+            # implementations optimize the same objective.
+            quantization_noise_floor=False,
+        )
+        results = {}
+        for label, kw in (
+            ("plain", dict(presolve=False, symmetry_cuts=False, branching="problem")),
+            ("accelerated", dict(presolve=True, symmetry_cuts=True)),
+        ):
+            _, report = train_lda_fp(dataset, fmt, LdaFpConfig(**shared, **kw))
+            if not report.proven_optimal:
+                self.fail(f"{label} run failed to prove optimality", case)
+            results[label] = (report.cost, report.lower_bound, report.proven_optimal)
+        if results["plain"] != results["accelerated"]:
+            self.fail(
+                f"accelerated triple {results['accelerated']} != "
+                f"plain {results['plain']}",
+                case,
+            )
+        quantized = dataset.map_features(lambda x: np.asarray(quantize(x, fmt)))
+        stats = estimate_two_class_stats(quantized.class_a, quantized.class_b)
+        problem = LdaFpProblem(stats=stats, fmt=fmt, rho=0.99)
+        brute = brute_force_minimize(
+            [fmt.grid()] * problem.num_features,
+            cost=problem.cost,
+            feasible=lambda w: problem.constraint_violation(w) <= 1e-9,
+        )
+        if abs(results["plain"][0] - brute.cost) > 1e-9 * max(1.0, abs(brute.cost)):
+            self.fail(
+                f"solver cost {results['plain'][0]} != brute force {brute.cost}",
+                case,
+            )
+
+
+# --------------------------------------------------------------------- #
 # 6. Warm-started sweep engine vs the naive per-point sweep
 # --------------------------------------------------------------------- #
 class SweepNaiveOracle(Oracle):
@@ -671,6 +743,7 @@ ALL_ORACLES = (
     WireRoundtripOracle(),
     CertifierReplayOracle(),
     SolverParallelOracle(),
+    PresolveVsPlainOracle(),
     SweepNaiveOracle(),
     ClusterVsSingleOracle(),
 )

@@ -103,6 +103,25 @@ class LdaFpConfig:
         Frontier nodes expanded concurrently per branch-and-bound round
         (``1`` = serial).  The parallel merge replays the serial pruning
         logic, so results match the serial driver.
+    executor:
+        Parallel executor: ``"process"``, ``"thread"``, or ``"auto"``
+        (process pool when the problem pickles).  The resolved mode and any
+        fallback reason land in :class:`LdaFpReport`.
+    presolve:
+        Run the MIP-style node presolve (FBBT over the Eq. 18/20 rows,
+        grid snapping, incumbent ellipsoid reduction) in place of the plain
+        ``t``-link propagation.  Exact: never excludes a point at least as
+        good as the incumbent snapshot it is given.
+    symmetry_cuts:
+        Prune negative-``t`` boxes whose feasible points provably have
+        feasible equal-cost mirrors in the searched region (the Eq. 21 cost
+        is invariant under ``w -> -w``); see :mod:`repro.optim.cuts` for
+        why the two's-complement asymmetry makes this a proof obligation
+        rather than a free halving.
+    branching:
+        ``"problem"`` (the width-relative-to-root rule) or ``"pseudocost"``
+        (per-dimension degradation averages in the driver, falling back to
+        the problem rule until initialized).
     """
 
     rho: float = 0.99
@@ -123,12 +142,20 @@ class LdaFpConfig:
     warm_start: bool = True
     rounding: RoundingMode = RoundingMode.NEAREST_AWAY
     workers: int = 1
+    executor: str = "auto"
+    presolve: bool = True
+    symmetry_cuts: bool = True
+    branching: str = "problem"
 
     def __post_init__(self) -> None:
         if self.backend not in ("barrier", "slsqp", "auto"):
             raise InputValidationError(f"unknown backend {self.backend!r}")
         if self.workers < 1:
             raise InputValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.executor not in ("auto", "thread", "process"):
+            raise InputValidationError(f"unknown executor {self.executor!r}")
+        if self.branching not in ("problem", "pseudocost"):
+            raise InputValidationError(f"unknown branching {self.branching!r}")
 
 
 @dataclass
@@ -149,61 +176,128 @@ class LdaFpReport:
     seeds_injected: int = 0
     seeds_rejected: int = 0
     seeds_adopted: int = 0
+    executor: str = "serial"
+    executor_fallback: str = ""
+    symmetry_pruned: int = 0
 
 
 class LdaFpNodeProblem:
     """Adapter exposing :class:`LdaFpProblem` to the generic B&B driver.
 
-    The adapter keeps shared heuristic state (the best candidate cost that
-    gates the analytic-skip and polishing, the seen-candidate dedup set),
-    so parallel expansion must run in threads of the owning process —
-    declared via ``parallel_executor``.  Warm-start hints flow through
-    ``relax_child`` (the parent's relaxation solution) instead of mutable
-    instance state, so concurrent child relaxations cannot race on them.
+    The adapter is picklable, so ``executor="auto"`` resolves to a
+    *process* pool.  Every incumbent-dependent decision inside a relaxation
+    (the analytic skip, the presolve ellipsoid reduction) is driven by the
+    incumbent snapshot the driver recorded when the node was pushed
+    (``relax_child_with_incumbent``), never by the adapter's own
+    ``_best_cost`` — a process worker's copy of that field is stale, and
+    using it would make worker relaxations diverge from the serial ones.
+    Warm-start hints flow through the parent's relaxation solution instead
+    of mutable instance state, so concurrent child relaxations cannot race
+    on them either.  ``candidates`` (which *does* read and advance the
+    shared heuristic state) runs only on the driver side, at merge sequence
+    points that are identical across executor modes.
     """
-
-    parallel_executor = "thread"
 
     def __init__(self, problem: LdaFpProblem, config: LdaFpConfig) -> None:
         self.problem = problem
         self.config = config
         self.relaxations_solved = 0
         self.backend_fallbacks = 0
+        self.symmetry_pruned = 0
         self._root = problem.root_box()
         self._root_widths = np.maximum(self._root.widths, 1e-300)
         self._barrier = BarrierSolver(gap_tol=1e-10)
         self._seen_candidates: "set[bytes]" = set()
         self._best_cost = np.inf  # best candidate cost seen (gates polishing)
+        self._presolver = problem.presolver() if config.presolve else None
+        self._cut = problem.reflection_cut() if config.symmetry_cuts else None
         # Global continuous bound, deflated by a hair so floating-point error
         # in the ill-conditioned SPD solve cannot make it invalid.
         self._cost_star = problem.continuous_optimum() * (1.0 - 1e-7)
 
     # ------------------------------------------------------------------ #
     def initial_box(self) -> Box:
-        return self._root
+        """The searched root: the Eq. 28-29 box, presolve-tightened.
+
+        Root presolve runs against the warm-start incumbent (set by the
+        trainer before the solve), in the driver process, exactly once —
+        so it is identical across executor modes.  A presolve-infeasible
+        verdict at the root would contradict the validated incumbent, so
+        it is treated as a numerical artifact and the plain root is kept.
+        """
+        root = self._root
+        m = self.problem.num_features
+        if self._presolver is not None:
+            reduced = self._presolver.presolve(
+                root.lo[:m],
+                root.hi[:m],
+                float(root.lo[m]),
+                float(root.hi[m]),
+                incumbent=self._best_cost,
+            )
+            if reduced.feasible:
+                # OBBT over the exact cone relaxation, then one more
+                # presolve pass to grid-snap the tightened bounds and
+                # re-intersect the t link.
+                obbt_lo, obbt_hi = self.problem.obbt_weight_bounds(
+                    reduced.w_lo, reduced.w_hi
+                )
+                snapped = self._presolver.presolve(
+                    obbt_lo,
+                    obbt_hi,
+                    reduced.t_lo,
+                    reduced.t_hi,
+                    incumbent=self._best_cost,
+                )
+                if snapped.feasible:
+                    reduced = snapped
+                root = Box(
+                    lo=np.concatenate([reduced.w_lo, [reduced.t_lo]]),
+                    hi=np.concatenate([reduced.w_hi, [reduced.t_hi]]),
+                    steps=root.steps,
+                )
+        self._root_widths = np.maximum(root.widths, 1e-300)
+        return root
 
     # ------------------------------------------------------------------ #
     def relax(self, box: Box) -> Relaxation:
-        return self._relax(box, hint=None)
+        # Root relaxation: runs on the driver before any parallelism, so the
+        # live incumbent cost is the correct (and deterministic) snapshot.
+        return self._relax(box, hint=None, ctx=self._best_cost)
 
     def relax_child(self, box: Box, parent_relaxation: Relaxation) -> Relaxation:
-        return self._relax(box, hint=parent_relaxation.solution)
+        return self._relax(box, hint=parent_relaxation.solution, ctx=self._best_cost)
 
-    def _relax(self, box: Box, hint: "np.ndarray | None") -> Relaxation:
+    def relax_child_with_incumbent(
+        self, box: Box, parent_relaxation: Relaxation, incumbent: float
+    ) -> Relaxation:
+        return self._relax(box, hint=parent_relaxation.solution, ctx=float(incumbent))
+
+    def _relax(self, box: Box, hint: "np.ndarray | None", ctx: float) -> Relaxation:
         m = self.problem.num_features
         t_lo, t_hi = float(box.lo[m]), float(box.hi[m])
         w_lo, w_hi = box.lo[:m].copy(), box.hi[:m].copy()
-        # Cheap interval pruning: the node's t interval must intersect the
-        # image of its w box under the linear map, and must allow t != 0.
-        image_lo, image_hi = self.problem.linear_image(w_lo, w_hi)
-        t_lo, t_hi = max(t_lo, image_lo), min(t_hi, image_hi)
-        if t_hi < t_lo:
-            return Relaxation(lower_bound=np.inf)
-        if self.config.bound_propagation:
-            tightened = self.problem.propagate_t_interval(w_lo, w_hi, t_lo, t_hi)
-            if tightened is None:
+        if self._presolver is not None:
+            # MIP-style presolve: t-link FBBT over the Eq. 18/20 rows, grid
+            # snapping, and the incumbent ellipsoid reduction — against the
+            # push-time incumbent snapshot, for executor determinism.
+            reduced = self._presolver.presolve(w_lo, w_hi, t_lo, t_hi, incumbent=ctx)
+            if not reduced.feasible:
                 return Relaxation(lower_bound=np.inf)
-            w_lo, w_hi = tightened
+            w_lo, w_hi = reduced.w_lo, reduced.w_hi
+            t_lo, t_hi = reduced.t_lo, reduced.t_hi
+        else:
+            # Cheap interval pruning: the node's t interval must intersect
+            # the image of its w box under the linear map.
+            image_lo, image_hi = self.problem.linear_image(w_lo, w_hi)
+            t_lo, t_hi = max(t_lo, image_lo), min(t_hi, image_hi)
+            if t_hi < t_lo:
+                return Relaxation(lower_bound=np.inf)
+            if self.config.bound_propagation:
+                tightened = self.problem.propagate_t_interval(w_lo, w_hi, t_lo, t_hi)
+                if tightened is None:
+                    return Relaxation(lower_bound=np.inf)
+                w_lo, w_hi = tightened
         eta = eta_sup(t_lo, t_hi)
         if eta <= 0.0:
             return Relaxation(lower_bound=np.inf)  # t pinned to 0: cost undefined
@@ -217,16 +311,24 @@ class LdaFpNodeProblem:
         for dim in range(m):
             if node_box.grid_count(dim) == 0:
                 return Relaxation(lower_bound=np.inf)
+        # Symmetry cut, on the *tightened* box (presolve only removed points
+        # that are infeasible or worse than the incumbent snapshot, which
+        # need no mirror): a proven-covered box is discarded outright — its
+        # surviving points all have feasible equal-cost mirrors on the kept
+        # side.  Pure function of the box, identical in every worker.
+        if self._cut is not None and self._cut.covered(node_box):
+            self.symmetry_pruned += 1
+            return Relaxation(lower_bound=np.inf)
         # Analytic pre-bound: min w'S_W w given d'w = s is s^2 * cost_star,
         # so the node cost is at least (inf s^2) * cost_star / (sup s^2).
-        # When this alone beats the incumbent, skip the cone solve entirely.
-        # Every discrete point anywhere costs at least the continuous
-        # optimum, so cost_star lifts all node bounds (including the
-        # otherwise-zero bound of origin-containing nodes).
+        # When this alone beats the incumbent snapshot, skip the cone solve
+        # entirely.  Every discrete point anywhere costs at least the
+        # continuous optimum, so cost_star lifts all node bounds (including
+        # the otherwise-zero bound of origin-containing nodes).
         analytic = max(
             eta_inf(t_lo, t_hi) * self._cost_star / eta, self._cost_star
         )
-        if analytic >= self._best_cost:
+        if analytic >= ctx:
             return Relaxation(lower_bound=analytic, solution=None)
 
         program = self.problem.node_program(node_box, eta)
@@ -313,9 +415,8 @@ class LdaFpNodeProblem:
         return out
 
     # ------------------------------------------------------------------ #
-    def branch(self, box: Box, relaxation: Relaxation) -> Sequence[Box]:
-        # Children get the parent's relaxation solution as warm start via
-        # relax_child; branching itself is pure.
+    def branch_dimension(self, box: Box, relaxation: Relaxation) -> int:
+        """Fixed branching order: widest dimension relative to the root."""
         widths = box.widths / self._root_widths
         m = self.problem.num_features
         # Do not branch dimensions already at one grid step.
@@ -325,7 +426,59 @@ class LdaFpNodeProblem:
         dim = int(np.argmax(widths))
         if widths[dim] <= 0.0:
             dim = m  # only t left to split
-        return list(box.split(dim))
+        return dim
+
+    def branch_override(self, box: Box, relaxation: Relaxation) -> "Sequence[Box] | None":
+        if self._cut is None:
+            return None
+        m = self.problem.num_features
+        # With symmetry cuts active, the first split of a t-straddling box
+        # goes at exactly t = 0: the cut can only ever cover boxes entirely
+        # on the negative side, so separating the sign regions early is
+        # what lets it fire.
+        if box.lo[m] < 0.0 < box.hi[m]:
+            return box.split_at(m, 0.0)
+        # On the negative side, shave the one-LSB two's-complement strip
+        # (the lone grid value below -value_hi, i.e. value_lo) off any
+        # dimension still touching it: the strip slice is a thin pinned box
+        # and the remaining body becomes mirrorable by the reflection cut.
+        if box.hi[m] <= 0.0:
+            limit = -self.problem.value_hi
+            step = self.problem.fmt.resolution
+            for dim in range(m):
+                if box.lo[dim] < limit - 1e-12 and box.hi[dim] > limit - 1e-12:
+                    return box.split_at(dim, limit - 0.5 * step)
+            # Cut-guided split: separate the largest mirror-safe slice so
+            # the reflection cut kills it at relaxation time (no cone
+            # solve), leaving a strictly thinner surviving child.  This
+            # turns the bound-driven search of the near-symmetric region
+            # into a short chain of guided splits.
+            guided = self._cut.guided_split(box)
+            if guided is not None:
+                return box.split_at(guided[0], guided[1])
+        return None
+
+    def branch(self, box: Box, relaxation: Relaxation) -> Sequence[Box]:
+        # Children get the parent's relaxation solution as warm start via
+        # relax_child; branching itself is pure.
+        forced = self.branch_override(box, relaxation)
+        if forced is not None:
+            return list(forced)
+        return list(box.split(self.branch_dimension(box, relaxation)))
+
+    # ------------------------------------------------------------------ #
+    def counters_snapshot(self) -> dict:
+        """Adapter-side counters a process worker ships back as deltas."""
+        return {
+            "relaxations_solved": self.relaxations_solved,
+            "backend_fallbacks": self.backend_fallbacks,
+            "symmetry_pruned": self.symmetry_pruned,
+        }
+
+    def counters_absorb(self, delta: dict) -> None:
+        self.relaxations_solved += delta.get("relaxations_solved", 0)
+        self.backend_fallbacks += delta.get("backend_fallbacks", 0)
+        self.symmetry_pruned += delta.get("symmetry_pruned", 0)
 
     # ------------------------------------------------------------------ #
     def is_terminal(self, box: Box) -> bool:
@@ -594,6 +747,8 @@ def train_lda_fp(
                 relative_gap=config.relative_gap,
                 strategy=config.search_strategy,
                 workers=config.workers,
+                executor=config.executor,
+                branching=config.branching,
             )
         )
         result = solver.solve(
@@ -639,5 +794,8 @@ def train_lda_fp(
         seeds_injected=len(seed_candidates),
         seeds_rejected=seeds_rejected,
         seeds_adopted=result.stats.seeds_adopted,
+        executor=result.stats.executor,
+        executor_fallback=result.stats.executor_fallback,
+        symmetry_pruned=node_problem.symmetry_pruned,
     )
     return classifier, report

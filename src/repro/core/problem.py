@@ -33,6 +33,8 @@ from ..linalg.cholesky import cholesky
 from ..linalg.psd import nearest_psd
 from ..optim.boxes import Box
 from ..optim.cone import ConeProgram, LinearInequality, SocConstraint
+from ..optim.cuts import ReflectionCut
+from ..optim.presolve import Presolver
 from ..stats.normal import confidence_beta
 from ..stats.scatter import TwoClassStats
 
@@ -253,6 +255,132 @@ class LdaFpProblem:
             if lo[i] > hi[i] + 1e-15:
                 return None
         return lo, hi
+
+    # ------------------------------------------------------------------ #
+    # Presolve and symmetry-cut factories
+    # ------------------------------------------------------------------ #
+    def presolver(self, max_rounds: int = 3) -> Presolver:
+        """Build the node presolver from the static constraint structure.
+
+        The linear rows are the single-variable Eq. 18 expansions (the same
+        rows :meth:`overflow_rows` emits) plus axis outer-approximations of
+        the Eq. 20 cones: ``c'w + beta ||L'w|| <= b`` implies
+        ``(c ± beta L[:, k])' w <= b`` for every column ``k`` (project the
+        norm onto ``±e_k``).  Those couple the features, which is what lets
+        FBBT tighten one weight from the others' intervals.  The incumbent
+        ellipsoid pass gets ``diag(S_W^-1)`` when the scatter is invertible.
+        """
+        m = self.num_features
+        beta = self.beta
+        rows_a: List[np.ndarray] = []
+        rows_b: List[float] = []
+        hi, lo = self.value_hi, self.value_lo
+        for cls in (self.stats.class_a, self.stats.class_b):
+            for coeffs in (cls.mean + beta * cls.std, cls.mean - beta * cls.std):
+                for i in range(m):
+                    unit = np.zeros(m)
+                    unit[i] = coeffs[i]
+                    rows_a.append(unit)
+                    rows_b.append(hi)
+                    rows_a.append(-unit)
+                    rows_b.append(-lo)
+        for cls, chol in (
+            (self.stats.class_a, self._chol_a),
+            (self.stats.class_b, self._chol_b),
+        ):
+            for k in range(m):
+                col = beta * chol[:, k]
+                for sign in (1.0, -1.0):
+                    rows_a.append(cls.mean + sign * col)
+                    rows_b.append(hi)
+                    rows_a.append(-cls.mean + sign * col)
+                    rows_b.append(-lo)
+        obj_inv_diag: "np.ndarray | None" = None
+        try:
+            inverse = np.linalg.inv(self.stats.within_scatter)
+            diag = np.diag(inverse).copy()
+            if np.all(np.isfinite(diag)) and np.all(diag > 0):
+                obj_inv_diag = diag
+        except np.linalg.LinAlgError:
+            obj_inv_diag = None
+        scatter = self.stats.within_scatter
+        obj_matrix = scatter.copy() if np.all(np.isfinite(scatter)) else None
+        return Presolver(
+            rows_a=np.asarray(rows_a, dtype=np.float64),
+            rows_b=np.asarray(rows_b, dtype=np.float64),
+            d=self.stats.mean_difference.copy(),
+            steps=np.full(m, self.fmt.resolution),
+            obj_inv_diag=obj_inv_diag,
+            obj_matrix=obj_matrix,
+            max_rounds=max_rounds,
+        )
+
+    def obbt_weight_bounds(
+        self, w_lo: np.ndarray, w_hi: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Optimization-based bound tightening of the weight box.
+
+        Minimizes and maximizes each ``w_i`` over the *exact* Eq. 18 +
+        Eq. 20 relaxation (all constraints jointly, no grid, no objective)
+        — strictly stronger than row-at-a-time FBBT, which only sees the
+        axis outer-approximations of the cones.  SLSQP returns a
+        feasible-point value rather than a dual certificate, so each bound
+        is relaxed by the same conservative slack the node bounds use
+        before being applied; a failed solve leaves that bound untouched.
+        Intended to run once at the root (2m cone solves).
+        """
+        from ..optim.slsqp_backend import solve_with_slsqp
+
+        m = self.num_features
+        rows = self.overflow_rows()
+        socs = self.projection_socs()
+        lo = np.asarray(w_lo, dtype=np.float64).copy()
+        hi = np.asarray(w_hi, dtype=np.float64).copy()
+        for dim in range(m):
+            for sign in (1.0, -1.0):
+                q = np.zeros(m)
+                q[dim] = sign
+                program = ConeProgram(
+                    P=np.zeros((m, m)),
+                    q=q,
+                    r=0.0,
+                    linear=rows,
+                    socs=socs,
+                    lower=lo.copy(),
+                    upper=hi.copy(),
+                )
+                result = solve_with_slsqp(program)
+                if not (result.success and result.max_violation <= 1e-7):
+                    continue
+                slack = 1e-9 + 1e-6 * abs(result.objective)
+                if sign > 0:
+                    lo[dim] = max(lo[dim], result.objective - slack)
+                else:
+                    hi[dim] = min(hi[dim], -result.objective + slack)
+        return lo, hi
+
+    def reflection_cut(self) -> ReflectionCut:
+        """Build the ``w -> -w`` symmetry cut for this instance.
+
+        ``single_coeffs`` are the four Eq. 18 lower-expression slopes per
+        feature (two classes x two absolute-value branches); the SOC data
+        is one ``(mean, Cholesky)`` pair per class.  See
+        :mod:`repro.optim.cuts` for the soundness conditions.
+        """
+        beta = self.beta
+        coeff_rows = []
+        for cls in (self.stats.class_a, self.stats.class_b):
+            coeff_rows.append(cls.mean + beta * cls.std)
+            coeff_rows.append(cls.mean - beta * cls.std)
+        return ReflectionCut(
+            single_coeffs=np.vstack(coeff_rows),
+            soc_centers=np.vstack(
+                [self.stats.class_a.mean, self.stats.class_b.mean]
+            ),
+            soc_chols=np.stack([self._chol_a, self._chol_b]),
+            beta=beta,
+            value_hi=self.value_hi,
+        )
 
     # ------------------------------------------------------------------ #
     # Root box (Eq. 28-29)

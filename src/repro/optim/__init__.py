@@ -8,12 +8,15 @@ from .bnb import (
     BranchAndBoundSolver,
     BranchAndBoundStats,
     Candidate,
+    PseudocostTable,
     Relaxation,
 )
 from .boxes import Box
 from .bruteforce import BruteForceResult, brute_force_minimize
 from .certificate import KktReport, check_kkt
 from .cone import ConeProgram, LinearInequality, SocConstraint
+from .cuts import ReflectionCut
+from .presolve import Presolver, PresolveResult, PresolveStats
 from .slsqp_backend import SlsqpResult, solve_with_slsqp
 from .trace import SolverTrace, TraceEvent, TraceProgress
 
@@ -27,8 +30,13 @@ __all__ = [
     "BranchAndBoundSolver",
     "BranchAndBoundStats",
     "Candidate",
+    "PseudocostTable",
     "Relaxation",
     "Box",
+    "Presolver",
+    "PresolveResult",
+    "PresolveStats",
+    "ReflectionCut",
     "BruteForceResult",
     "brute_force_minimize",
     "KktReport",

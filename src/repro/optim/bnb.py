@@ -13,18 +13,40 @@ is returned with ``proven_optimal=False`` and
 Parallel frontier expansion (``BranchAndBoundConfig.workers > 1``): each
 round pops up to ``workers`` frontier nodes, solves their child relaxations
 concurrently (``concurrent.futures``; a process pool when the problem is
-picklable, threads otherwise), then *merges* the speculative expansions on
-the main thread in pop order, re-applying the exact serial prune / gap /
-incumbent logic against the shared incumbent.  A node whose bound loses to
-an incumbent improvement made earlier in the same round is discarded along
-with its speculative children — precisely as the serial driver would have
-pruned it — so the merged search makes the same decisions as the serial one
-and returns the same ``(cost, lower_bound, proven_optimal)``.
+picklable, threads otherwise — the resolved choice and any fallback reason
+are recorded in :class:`BranchAndBoundStats` and the trace), then *merges*
+the speculative expansions on the main thread in pop order, re-applying the
+exact serial prune / gap / incumbent logic against the shared incumbent.  A
+node whose bound loses to an incumbent improvement made earlier in the same
+round is discarded along with its speculative children — precisely as the
+serial driver would have pruned it — so the merged search makes the same
+decisions as the serial one and returns the same
+``(cost, lower_bound, proven_optimal)``.
+
+Determinism across executor modes rests on two invariants.  First, heap
+ties on equal bounds break on a monotone sequence counter assigned at push
+time, and pushes happen in merge (= pop) order, so serial, thread, and
+process runs expand byte-identical node sequences.  Second, every
+incumbent-dependent decision made *inside* a relaxation is driven by the
+incumbent snapshot recorded when the node was pushed (threaded through
+``relax_child_with_incumbent``), never by live shared state — a process
+worker holding a stale problem copy therefore returns exactly what the
+serial driver would have computed.
+
+Branching: the default (``branching="problem"``) delegates to
+``problem.branch``.  ``branching="pseudocost"`` keeps per-dimension
+degradation averages (how much each child's bound rose per quantum of
+width, separately for the down/up child) and branches on the dimension
+with the best product score, falling back to the problem's fixed order
+(``branch_dimension`` hook, else widest-in-quanta) until both sides of
+every candidate dimension have been observed.  The branching dimension is
+chosen at *push* time from the table state at that sequence point, so
+pseudocost runs are also executor-deterministic.
 
 Telemetry: pass a :class:`~repro.optim.trace.SolverTrace` to
 :meth:`BranchAndBoundSolver.solve` to record typed events (expand, prune,
-infeasible, incumbent, gap progress) with a periodic progress callback and
-JSON export.
+infeasible, incumbent, gap progress, executor resolution) with a periodic
+progress callback and JSON export.
 """
 
 from __future__ import annotations
@@ -32,6 +54,7 @@ from __future__ import annotations
 import concurrent.futures
 import heapq
 import itertools
+import multiprocessing
 import pickle
 import time
 from dataclasses import dataclass
@@ -51,6 +74,7 @@ __all__ = [
     "BranchAndBoundStats",
     "BranchAndBoundResult",
     "BranchAndBoundSolver",
+    "PseudocostTable",
     "STOP_REASONS",
 ]
 
@@ -90,12 +114,27 @@ class Relaxation:
 class BranchAndBoundProblem(Protocol):
     """The problem-specific callbacks the driver needs.
 
-    Beyond the required methods, the driver honours two optional hooks:
+    Beyond the required methods, the driver honours several optional hooks:
 
     - ``relax_child(box, parent_relaxation)`` — relax a child with its
-      parent's relaxation available as a warm start.  Problems that keep a
-      warm-start hint as mutable state should implement this instead so the
-      parallel driver can thread the correct hint per parent.
+      parent's relaxation available as a warm start.
+    - ``relax_child_with_incumbent(box, parent_relaxation, incumbent)`` —
+      like ``relax_child`` but additionally receives the incumbent cost
+      snapshot recorded when the parent was pushed.  Problems whose
+      relaxation takes incumbent-dependent shortcuts (analytic skips,
+      objective-based presolve) must use this snapshot instead of shared
+      mutable state so process workers reproduce the serial decisions.
+    - ``branch_dimension(box, relaxation)`` — the problem's fixed-order
+      branching dimension; consulted by pseudocost branching before its
+      table is initialized.
+    - ``branch_override(box, relaxation)`` — return child boxes to force a
+      structural split (e.g. separating a symmetric half-space), or
+      ``None`` to let the active branching rule decide.  Consulted only
+      under ``branching="pseudocost"`` (``problem.branch`` subsumes it in
+      the default mode).
+    - ``counters_snapshot()`` / ``counters_absorb(delta)`` — export and
+      re-import problem-side counters (e.g. relaxations solved) so process
+      workers' tallies survive the round trip.
     - ``parallel_executor`` — ``"thread"`` or ``"process"``; problems whose
       relaxation reads shared mutable state (e.g. an incumbent-gated
       shortcut) should declare ``"thread"`` so workers observe it.
@@ -137,9 +176,11 @@ class BranchAndBoundConfig:
         returning the incumbent.
     time_limit:
         Wall-clock budget in seconds (``None`` = unlimited).  Checked per
-        pop, between child relaxations, and per parallel batch, so one
-        expensive expansion cannot overshoot the budget by more than a
-        single relaxation solve.
+        pop, between child relaxations (including inside parallel workers,
+        which receive the deadline), and the parallel round wait itself is
+        deadline-capped — so ``stop_reason="time"`` fires within about one
+        child relaxation of the budget even with in-flight speculative
+        expansions.
     absolute_gap:
         Stop when ``incumbent - best_lower_bound <= absolute_gap``.
     relative_gap:
@@ -158,7 +199,14 @@ class BranchAndBoundConfig:
         ``"process"`` (picklable problems; true CPU parallelism),
         ``"thread"`` (shared-state problems), or ``"auto"`` — honour the
         problem's ``parallel_executor`` preference, else pick ``process``
-        when the problem pickles and ``thread`` otherwise.
+        when the problem pickles and ``thread`` otherwise.  The resolved
+        mode and any fallback reason land in ``BranchAndBoundStats`` and
+        the trace's ``executor`` event.
+    branching:
+        ``"problem"`` delegates every split to ``problem.branch``;
+        ``"pseudocost"`` branches on per-dimension degradation averages
+        (see the module docstring), falling back to the problem's fixed
+        order until the table is initialized.
     """
 
     max_nodes: int = 200_000
@@ -168,6 +216,7 @@ class BranchAndBoundConfig:
     strategy: str = "best-first"
     workers: int = 1
     executor: str = "auto"
+    branching: str = "problem"
 
     def __post_init__(self) -> None:
         if self.strategy not in ("best-first", "depth-first"):
@@ -176,6 +225,8 @@ class BranchAndBoundConfig:
             raise InputValidationError(f"workers must be >= 1, got {self.workers}")
         if self.executor not in ("auto", "thread", "process"):
             raise InputValidationError(f"unknown executor {self.executor!r}")
+        if self.branching not in ("problem", "pseudocost"):
+            raise InputValidationError(f"unknown branching {self.branching!r}")
 
 
 @dataclass
@@ -186,6 +237,11 @@ class BranchAndBoundStats:
     ``nodes_expanded == nodes_pruned_after_pop + nodes_branched +
     terminal_nodes`` holds for serial and parallel runs alike;
     ``nodes_pruned == nodes_pruned_after_pop + children_pruned``.
+
+    ``executor`` records how the frontier actually ran: ``"serial"`` for
+    ``workers=1``, else the resolved ``"thread"`` / ``"process"`` mode;
+    ``executor_fallback`` carries the reason when the resolution was a
+    fallback (e.g. the problem failed to pickle) instead of hiding it.
     """
 
     nodes_expanded: int = 0
@@ -200,6 +256,8 @@ class BranchAndBoundStats:
     rounds: int = 0
     wall_time: float = 0.0
     stop_reason: str = "exhausted"
+    executor: str = "serial"
+    executor_fallback: str = ""
 
 
 @dataclass(frozen=True)
@@ -222,30 +280,106 @@ class BranchAndBoundResult:
         return self.cost - self.lower_bound
 
 
+class PseudocostTable:
+    """Per-dimension degradation averages for pseudocost branching.
+
+    For every branched dimension the table records, separately for the
+    down (first) and up (second) child, the average *unit gain*: how much
+    the child's lower bound rose above the parent's per quantum of child
+    width.  The score of a candidate dimension is the product of both
+    sides' predicted degradations (the classic product rule), and a
+    dimension only participates once both sides have at least one
+    observation.  Infeasible children record a large capped gain — cutting
+    off a whole half-box is the best outcome branching can have.
+    """
+
+    #: cap on a single observed unit gain (an infeasible child is mapped
+    #: here); keeps the averages finite and the ordering deterministic.
+    GAIN_CAP = 1e6
+
+    def __init__(self, ndim: int) -> None:
+        self.sums = np.zeros((2, ndim))
+        self.counts = np.zeros((2, ndim), dtype=np.int64)
+
+    def observe(self, dim: int, side: int, unit_gain: float) -> None:
+        self.sums[side, dim] += min(max(unit_gain, 0.0), self.GAIN_CAP)
+        self.counts[side, dim] += 1
+
+    def initialized(self, dim: int) -> bool:
+        return bool(self.counts[0, dim] > 0 and self.counts[1, dim] > 0)
+
+    def score(self, dim: int, half_width: float) -> float:
+        """Predicted product degradation of splitting ``dim``."""
+        down = self.sums[0, dim] / max(self.counts[0, dim], 1)
+        up = self.sums[1, dim] / max(self.counts[1, dim], 1)
+        return max(down * half_width, 1e-12) * max(up * half_width, 1e-12)
+
+
 # --------------------------------------------------------------------- #
 # Parallel expansion plumbing.  ``_expand_pairs`` is the unit of work: it
 # branches one parent and relaxes every child, threading the parent's
-# relaxation through as the warm-start hint.  For process pools the problem
-# is pickled once per worker (initializer), not once per task.
+# relaxation and the push-time incumbent snapshot through, and checking the
+# wall-clock deadline between children (a child skipped on deadline is
+# returned with ``None`` in place of its relaxation and inherits the parent
+# bound at merge).  For process pools the problem is pickled once per
+# worker (initializer), not once per task.
 # --------------------------------------------------------------------- #
 
 _WORKER_PROBLEM = None
 
 
-def _relax_child(problem, child: Box, parent_relaxation: Relaxation) -> Relaxation:
+def _relax_child(
+    problem, child: Box, parent_relaxation: Relaxation, ctx: float = np.inf
+) -> Relaxation:
+    hook = getattr(problem, "relax_child_with_incumbent", None)
+    if hook is not None:
+        return hook(child, parent_relaxation, ctx)
     hook = getattr(problem, "relax_child", None)
     if hook is not None:
         return hook(child, parent_relaxation)
     return problem.relax(child)
 
 
+def _branch_children(
+    problem, box: Box, relaxation: Relaxation, dim: "int | None"
+) -> "Tuple[List[Box], int | None]":
+    """The node's children plus the dimension actually split (None when the
+    problem's own rule or an override produced them)."""
+    if dim is None:
+        return list(problem.branch(box, relaxation)), None
+    override = getattr(problem, "branch_override", None)
+    if override is not None:
+        forced = override(box, relaxation)
+        if forced is not None:
+            return list(forced), None
+    return list(box.split(dim)), dim
+
+
 def _expand_pairs(
-    problem, box: Box, relaxation: Relaxation
-) -> "List[Tuple[Box, Relaxation]]":
-    return [
-        (child, _relax_child(problem, child, relaxation))
-        for child in problem.branch(box, relaxation)
-    ]
+    problem,
+    box: Box,
+    relaxation: Relaxation,
+    ctx: float = np.inf,
+    dim: "int | None" = None,
+    deadline: "float | None" = None,
+) -> "Tuple[List[Tuple[Box, Relaxation | None]], int | None]":
+    children, used_dim = _branch_children(problem, box, relaxation, dim)
+    pairs: "List[Tuple[Box, Relaxation | None]]" = []
+    for child in children:
+        # perf_counter is CLOCK_MONOTONIC-based and system-wide on the
+        # platforms we support, so a deadline stamped by the driver is
+        # comparable inside a worker process.  A skew would only delay the
+        # stop, never affect correctness.
+        if deadline is not None and time.perf_counter() > deadline:
+            pairs.append((child, None))
+            continue
+        pairs.append((child, _relax_child(problem, child, relaxation, ctx)))
+    return pairs, used_dim
+
+
+def _expand_local(problem, box, relaxation, ctx, dim, deadline):
+    pairs, used_dim = _expand_pairs(problem, box, relaxation, ctx, dim, deadline)
+    return pairs, used_dim, None  # counters already live on the shared object
 
 
 def _init_worker(payload: bytes) -> None:
@@ -253,8 +387,16 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_PROBLEM = pickle.loads(payload)
 
 
-def _expand_in_worker(box: Box, relaxation: Relaxation):
-    return _expand_pairs(_WORKER_PROBLEM, box, relaxation)
+def _expand_in_worker(box: Box, relaxation: Relaxation, ctx, dim, deadline):
+    problem = _WORKER_PROBLEM
+    snapshot = getattr(problem, "counters_snapshot", None)
+    before = snapshot() if snapshot is not None else None
+    pairs, used_dim = _expand_pairs(problem, box, relaxation, ctx, dim, deadline)
+    delta = None
+    if before is not None:
+        after = snapshot()
+        delta = {key: after[key] - before.get(key, 0) for key in after}
+    return pairs, used_dim, delta
 
 
 # Sentinel outcomes of processing one popped node.
@@ -271,27 +413,75 @@ class _SearchState:
         self.trace = trace
         self.start_time = start_time
         self.best: "Candidate | None" = incumbent
-        self.heap: "list[tuple[float, int, float, Box, Relaxation]]" = []
+        # Heap entries: (key, tick, bound, box, relaxation, ctx, dim).
+        self.heap: "list[tuple]" = []
         self.ticks = itertools.count()
         self.depth_first = config.strategy == "depth-first"
+        self.pseudocosts: "PseudocostTable | None" = None
         self._last_gap_bound = -np.inf
 
     # ------------------------------------------------------------------ #
     def elapsed(self) -> float:
         return time.perf_counter() - self.start_time
 
+    def deadline(self) -> "float | None":
+        limit = self.config.time_limit
+        return None if limit is None else self.start_time + limit
+
     def out_of_time(self) -> bool:
         limit = self.config.time_limit
         return limit is not None and self.elapsed() > limit
 
     def push(self, bound: float, box: Box, relaxation: Relaxation) -> None:
-        # The heap entry is (key, tiebreak, bound, box, relaxation).  Best-
-        # first keys on the bound; depth-first keys on negative creation
-        # order, turning the heap into a stack while the true bound rides
-        # along for pruning and gap accounting.
+        # The heap entry is (key, tiebreak, bound, box, relaxation, ctx,
+        # dim).  Best-first keys on the bound; depth-first keys on negative
+        # creation order, turning the heap into a stack while the true
+        # bound rides along for pruning and gap accounting.  The tiebreak
+        # tick is assigned here, in push (= merge = pop) order, which is
+        # identical across serial/thread/process runs — this is what pins
+        # equal-bound ties deterministically.  ``ctx`` snapshots the
+        # incumbent cost and ``dim`` the pseudocost branching choice at the
+        # same sequence point, so expansion decisions never depend on when
+        # (or where) the node is later expanded.
         tick = next(self.ticks)
         key = float(-tick) if self.depth_first else bound
-        heapq.heappush(self.heap, (key, tick, bound, box, relaxation))
+        ctx = np.inf if self.best is None else self.best.cost
+        dim = None if self.pseudocosts is None else self.choose_dimension(box, relaxation)
+        heapq.heappush(self.heap, (key, tick, bound, box, relaxation, ctx, dim))
+
+    def choose_dimension(self, box: Box, relaxation: Relaxation) -> "int | None":
+        """Pseudocost branching choice (falls back to the fixed order)."""
+        table = self.pseudocosts
+        candidates = [
+            d
+            for d in range(box.ndim)
+            if (
+                box.steps[d] > 0
+                and box.grid_count(d) >= 2
+            )
+            or (box.steps[d] <= 0 and box.hi[d] - box.lo[d] > 0)
+        ]
+        if not candidates:
+            return None  # nothing to split: defer to problem.branch
+        if table is not None and all(table.initialized(d) for d in candidates):
+            widths = box.widths_in_quanta()
+            best_dim, best_score = candidates[0], -np.inf
+            for d in candidates:
+                score = table.score(d, 0.5 * widths[d])
+                if score > best_score:
+                    best_dim, best_score = d, score
+            return best_dim
+        hook = getattr(self.problem, "branch_dimension", None)
+        if hook is not None:
+            fixed = int(hook(box, relaxation))
+            if fixed in candidates:
+                return fixed
+        widths = box.widths_in_quanta()
+        best_dim, best_width = candidates[0], -np.inf
+        for d in candidates:
+            if widths[d] > best_width:
+                best_dim, best_width = d, widths[d]
+        return best_dim
 
     def improve(self, candidates: Iterable[Candidate]) -> None:
         for cand in candidates:
@@ -395,6 +585,8 @@ class BranchAndBoundSolver:
 
         state = _SearchState(problem, config, stats, trace, start_time, incumbent)
         root = problem.initial_box()
+        if config.branching == "pseudocost":
+            state.pseudocosts = PseudocostTable(root.ndim)
         root_relax = problem.relax(root)
         if root_relax.feasible:
             state.improve(problem.candidates(root, root_relax))
@@ -446,8 +638,11 @@ class BranchAndBoundSolver:
             if st.out_of_time():
                 stats.stop_reason = "time"
                 return
-            _, _, bound, box, relaxation = heapq.heappop(st.heap)
-            if self._process_node(st, bound, box, relaxation, precomputed=None) is _STOP:
+            _, _, bound, box, relaxation, ctx, dim = heapq.heappop(st.heap)
+            outcome = self._process_node(
+                st, bound, box, relaxation, ctx, dim, precomputed=None
+            )
+            if outcome is _STOP:
                 return
             st.progress_tick()
         # Heap drained: proven optimality by exhaustion.
@@ -455,7 +650,14 @@ class BranchAndBoundSolver:
 
     def _run_parallel(self, st: _SearchState) -> None:
         config, stats = self.config, st.stats
-        executor, submit = self._make_executor(st.problem)
+        executor, submit, mode, fallback = self._make_executor(st.problem)
+        stats.executor = mode
+        stats.executor_fallback = fallback
+        st.event(
+            "executor",
+            detail=mode if not fallback else f"{mode}: {fallback}",
+        )
+        deadline = st.deadline()
         try:
             while st.heap:
                 if stats.nodes_expanded >= config.max_nodes:
@@ -466,12 +668,12 @@ class BranchAndBoundSolver:
                     return
 
                 # ---- pop a batch of up to `workers` survivors ---------- #
-                batch: "list[tuple[float, Box, Relaxation]]" = []
+                batch: "list[tuple]" = []
                 pops = 0
                 gap_seen = False
                 node_budget = config.max_nodes - stats.nodes_expanded
                 while st.heap and len(batch) < config.workers and pops < node_budget:
-                    _, _, bound, box, relaxation = heapq.heappop(st.heap)
+                    _, _, bound, box, relaxation, ctx, dim = heapq.heappop(st.heap)
                     best = st.best
                     if best is not None and bound > best.cost - config.absolute_gap:
                         pops += 1
@@ -492,7 +694,7 @@ class BranchAndBoundSolver:
                         gap_seen = True
                         break
                     pops += 1
-                    batch.append((bound, box, relaxation))
+                    batch.append((bound, box, relaxation, ctx, dim))
 
                 if not batch:
                     if gap_seen:
@@ -508,34 +710,57 @@ class BranchAndBoundSolver:
 
                 # ---- speculative expansion ----------------------------- #
                 stats.rounds += 1
-                jobs: "list[tuple[float, Box, Relaxation, object]]" = []
-                for bound, box, relaxation in batch:
+                jobs: "list[tuple]" = []
+                for bound, box, relaxation, ctx, dim in batch:
                     future = (
                         None
                         if st.problem.is_terminal(box)
-                        else submit(box, relaxation)
+                        else submit(box, relaxation, ctx, dim, deadline)
                     )
-                    jobs.append((bound, box, relaxation, future))
-                # Wait for the whole round before merging: merging mutates
-                # the shared incumbent, which thread-pool workers may read.
-                concurrent.futures.wait(
-                    [f for _, _, _, f in jobs if f is not None]
-                )
+                    jobs.append((bound, box, relaxation, ctx, dim, future))
+                # Wait for the round before merging (merging mutates the
+                # shared incumbent, which thread-pool workers may read) —
+                # but never past the time budget: workers self-terminate at
+                # the deadline, and whatever is still pending after it gets
+                # pushed back unexpanded.
+                futures = [job[5] for job in jobs if job[5] is not None]
+                if futures:
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(deadline - time.perf_counter(), 0.0)
+                    )
+                    done, not_done = concurrent.futures.wait(futures, timeout=timeout)
+                    for future in not_done:
+                        future.cancel()
 
                 # ---- deterministic merge in pop order ------------------ #
-                for index, (bound, box, relaxation, future) in enumerate(jobs):
-                    if st.out_of_time():
-                        for rest_bound, rest_box, rest_relax, _ in jobs[index:]:
-                            st.push(rest_bound, rest_box, rest_relax)
+                for index, (bound, box, relaxation, ctx, dim, future) in enumerate(
+                    jobs
+                ):
+                    unfinished = future is not None and (
+                        future.cancelled() or not future.done()
+                    )
+                    if st.out_of_time() or unfinished:
+                        for rest in jobs[index:]:
+                            st.push(rest[0], rest[1], rest[2])
                         stats.stop_reason = "time"
                         return
-                    pairs = None if future is None else future.result()
+                    if future is None:
+                        precomputed = None
+                    else:
+                        pairs, used_dim, delta = future.result()
+                        if delta:
+                            absorb = getattr(st.problem, "counters_absorb", None)
+                            if absorb is not None:
+                                absorb(delta)
+                        precomputed = (pairs, used_dim)
                     outcome = self._process_node(
-                        st, bound, box, relaxation, precomputed=pairs
+                        st, bound, box, relaxation, ctx, dim, precomputed=precomputed
                     )
                     if outcome is _STOP:
-                        for rest_bound, rest_box, rest_relax, _ in jobs[index + 1 :]:
-                            st.push(rest_bound, rest_box, rest_relax)
+                        for rest in jobs[index + 1 :]:
+                            st.push(rest[0], rest[1], rest[2])
                         return
                 st.progress_tick()
             stats.stop_reason = "exhausted"
@@ -549,7 +774,9 @@ class BranchAndBoundSolver:
         bound: float,
         box: Box,
         relaxation: Relaxation,
-        precomputed: "List[Tuple[Box, Relaxation]] | None",
+        ctx: float,
+        dim: "int | None",
+        precomputed: "Tuple[List[Tuple[Box, Relaxation | None]], int | None] | None",
     ) -> str:
         """Apply the serial pop logic to one node (children may be precomputed).
 
@@ -593,46 +820,81 @@ class BranchAndBoundSolver:
 
         stats.nodes_branched += 1
         if precomputed is not None:
+            pairs, used_dim = precomputed
             st.event(
                 "expand",
                 bound=bound,
                 incumbent=None if best is None else best.cost,
-                detail=f"branch:{len(precomputed)}",
+                detail=f"branch:{len(pairs)}",
             )
-            for index, (child, child_relax) in enumerate(precomputed):
+            for index, (child, child_relax) in enumerate(pairs):
                 if st.out_of_time():
-                    # Remaining children are already relaxed: push them with
-                    # their own (valid) bounds, skipping candidate work.
-                    for rest_child, rest_relax in precomputed[index:]:
-                        if rest_relax.feasible:
+                    # Remaining children: already-relaxed ones keep their
+                    # own (valid) bounds, deadline-skipped ones inherit the
+                    # parent's.
+                    for rest_child, rest_relax in pairs[index:]:
+                        if rest_relax is None:
+                            st.push(bound, rest_child, relaxation)
+                        elif rest_relax.feasible:
                             st.push(rest_relax.lower_bound, rest_child, rest_relax)
                         else:
                             stats.nodes_infeasible += 1
                             st.event("infeasible", bound=np.inf)
                     stats.stop_reason = "time"
                     return _STOP
+                if child_relax is None:
+                    # The worker hit the deadline before relaxing this
+                    # child: the parent's bound is still valid for it.
+                    st.push(bound, child, relaxation)
+                    continue
+                self._observe_branching(st, used_dim, index, bound, child, child_relax)
                 self._consume_child(st, child, child_relax)
             return _CONTINUE
 
-        child_boxes = list(st.problem.branch(box, relaxation))
+        children, used_dim = _branch_children(st.problem, box, relaxation, dim)
         st.event(
             "expand",
             bound=bound,
             incumbent=None if best is None else best.cost,
-            detail=f"branch:{len(child_boxes)}",
+            detail=f"branch:{len(children)}",
         )
-        for index, child in enumerate(child_boxes):
+        for index, child in enumerate(children):
             if st.out_of_time():
                 # Unrelaxed children inherit the parent's bound, which is a
                 # valid lower bound for any subset of the parent box, so the
                 # returned lower_bound stays sound under a mid-node stop.
-                for rest in child_boxes[index:]:
+                for rest in children[index:]:
                     st.push(bound, rest, relaxation)
                 stats.stop_reason = "time"
                 return _STOP
-            child_relax = _relax_child(st.problem, child, relaxation)
+            child_relax = _relax_child(st.problem, child, relaxation, ctx)
+            self._observe_branching(st, used_dim, index, bound, child, child_relax)
             self._consume_child(st, child, child_relax)
         return _CONTINUE
+
+    def _observe_branching(
+        self,
+        st: _SearchState,
+        used_dim: "int | None",
+        side: int,
+        parent_bound: float,
+        child: Box,
+        child_relax: Relaxation,
+    ) -> None:
+        """Feed one child's bound degradation into the pseudocost table.
+
+        Runs at the merge sequence point (before the child is consumed), so
+        serial and parallel runs build byte-identical tables.
+        """
+        table = st.pseudocosts
+        if table is None or used_dim is None or side > 1:
+            return
+        half_width = max(float(child.widths_in_quanta()[used_dim]), 1e-12)
+        gain = child_relax.lower_bound - parent_bound
+        if not np.isfinite(gain):
+            table.observe(used_dim, side, PseudocostTable.GAIN_CAP)
+        else:
+            table.observe(used_dim, side, gain / half_width)
 
     def _consume_child(self, st: _SearchState, child: Box, child_relax: Relaxation) -> None:
         stats = st.stats
@@ -657,18 +919,41 @@ class BranchAndBoundSolver:
 
     # ------------------------------------------------------------------ #
     def _make_executor(self, problem):
-        """Build the round executor: (executor, submit(box, relaxation))."""
+        """Build the round executor.
+
+        Returns ``(executor, submit, resolved_mode, fallback_reason)``;
+        ``submit(box, relaxation, ctx, dim, deadline)`` schedules one
+        expansion.  ``fallback_reason`` is non-empty whenever the resolved
+        mode is not the one a process-capable problem would have gotten —
+        the silent thread fallback was exactly how a 0.95x "parallel"
+        speedup hid for a whole release.
+        """
         workers = self.config.workers
         mode = self.config.executor
+        reason = ""
         payload: "bytes | None" = None
         if mode == "auto":
-            mode = getattr(problem, "parallel_executor", None)
-            if mode not in ("thread", "process"):
+            declared = getattr(problem, "parallel_executor", None)
+            if declared in ("thread", "process"):
+                mode = declared
+                if declared == "thread":
+                    reason = "problem declares parallel_executor='thread'"
+            else:
                 try:
                     payload = pickle.dumps(problem)
                     mode = "process"
-                except Exception:
+                except Exception as exc:
                     mode = "thread"
+                    reason = (
+                        f"problem does not pickle: {type(exc).__name__}: {exc}"
+                    )[:200]
+        if mode == "process" and multiprocessing.current_process().daemon:
+            # A daemonic worker (e.g. a wordlength-sweep process chunk)
+            # cannot spawn children; ProcessPoolExecutor would only fail at
+            # first submit, so degrade to threads up front — with the
+            # reason recorded, never silently.
+            mode = "thread"
+            reason = "nested in a daemonic worker process: cannot spawn children"
         if mode == "process":
             try:
                 if payload is None:
@@ -678,14 +963,26 @@ class BranchAndBoundSolver:
                     initializer=_init_worker,
                     initargs=(payload,),
                 )
-                return executor, lambda box, relax: executor.submit(
-                    _expand_in_worker, box, relax
+                return (
+                    executor,
+                    lambda box, relax, ctx, dim, deadline: executor.submit(
+                        _expand_in_worker, box, relax, ctx, dim, deadline
+                    ),
+                    "process",
+                    reason,
                 )
-            except Exception:
-                pass  # non-picklable or no process support: thread fallback
+            except Exception as exc:
+                reason = (
+                    f"process pool unavailable: {type(exc).__name__}: {exc}"
+                )[:200]
         executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
-        return executor, lambda box, relax: executor.submit(
-            _expand_pairs, problem, box, relax
+        return (
+            executor,
+            lambda box, relax, ctx, dim, deadline: executor.submit(
+                _expand_local, problem, box, relax, ctx, dim, deadline
+            ),
+            "thread",
+            reason,
         )
 
     # ------------------------------------------------------------------ #

@@ -140,6 +140,36 @@ class Box:
             Box(right_lo, self.hi.copy(), self.steps.copy()),
         )
 
+    def split_at(self, dim: int, value: float) -> "tuple[Box, Box]":
+        """Split along ``dim`` at a chosen interior point.
+
+        For discrete dimensions the cut lands between the grid points
+        surrounding ``value`` (no representable point lost or duplicated);
+        for continuous dimensions both children share the cut point, like
+        :meth:`split`.  Used by the symmetry cut to separate the
+        negative-``t`` half-space at exactly ``t = 0``.
+        """
+        lo, hi, step = self.lo[dim], self.hi[dim], self.steps[dim]
+        if not (lo < value < hi):
+            raise InputValidationError(
+                f"split point {value} outside the open interval ({lo}, {hi})"
+            )
+        if step > 0:
+            cut_hi = np.floor(value / step + 1e-9) * step
+            cut_lo = cut_hi + step
+            if cut_hi < lo or cut_lo > hi:
+                return self.split(dim)  # value inside one grid cell: bisect
+        else:
+            cut_hi = cut_lo = value
+        left_hi = self.hi.copy()
+        left_hi[dim] = cut_hi
+        right_lo = self.lo.copy()
+        right_lo[dim] = cut_lo
+        return (
+            Box(self.lo.copy(), left_hi, self.steps.copy()),
+            Box(right_lo, self.hi.copy(), self.steps.copy()),
+        )
+
     def widest_dimension(self) -> int:
         """Index of the dimension with the largest width in quanta."""
         return int(np.argmax(self.widths_in_quanta()))

@@ -16,6 +16,9 @@ kind                    meaning
 ``incumbent``           the incumbent improved (``incumbent`` = new cost)
 ``gap``                 global lower-bound progress (best-first only); the
                         final one carries ``detail="closed"``
+``executor``            parallel frontier resolved its executor; ``detail``
+                        is ``thread`` / ``process``, with the fallback
+                        reason appended when the mode was a fallback
 ``stop``                search ended; ``detail`` is the stop reason
                         (``nodes`` / ``time`` / ``gap`` / ``exhausted``)
 ======================  ======================================================
@@ -49,6 +52,7 @@ EVENT_KINDS = (
     "infeasible",
     "incumbent",
     "gap",
+    "executor",
     "stop",
 )
 

@@ -28,7 +28,11 @@ length's solution.  This engine removes all three redundancies:
    list is split into ``workers`` contiguous chunks; chunks run in separate
    processes (or threads), seeds flow only *within* a chunk (so the
    schedule is a deterministic function of the inputs, never of timing),
-   and results are merged back in input order.
+   and results are merged back in input order.  A point's own solver may
+   also be parallel (``LdaFpConfig.workers > 1``): nested under a process
+   chunk the inner frontier degrades to threads (daemonic workers cannot
+   spawn children) with the reason recorded in the point record's
+   ``solver_executor_fallback`` — never a silent serial slowdown.
 
 Telemetry: pass a :class:`~repro.wordlength.sweeptrace.SweepTrace` to
 record one ``repro.sweep-trace/v1`` point record per word length, each
@@ -148,6 +152,8 @@ class _PointOutcome:
     seeds_injected: int
     seeds_rejected: int
     seeds_adopted: int
+    solver_executor: Optional[str]
+    solver_executor_fallback: Optional[str]
     solver_trace: Optional[SolverTrace]
 
 
@@ -231,6 +237,10 @@ def _solve_chunk(
                 seeds_injected=0 if report is None else report.seeds_injected,
                 seeds_rejected=0 if report is None else report.seeds_rejected,
                 seeds_adopted=0 if report is None else report.seeds_adopted,
+                solver_executor=None if report is None else report.executor,
+                solver_executor_fallback=(
+                    None if report is None else report.executor_fallback
+                ),
                 solver_trace=trace if isinstance(trace, SolverTrace) else None,
             )
         )
@@ -344,6 +354,8 @@ def run_sweep(
                         train_seconds=outcome.train_seconds,
                         proven_optimal=outcome.proven_optimal,
                         stop_reason=outcome.stop_reason,
+                        solver_executor=outcome.solver_executor,
+                        solver_executor_fallback=outcome.solver_executor_fallback,
                     ),
                     solver_trace=outcome.solver_trace,
                 )

@@ -68,6 +68,10 @@ class SweepPointRecord:
     train_seconds: float
     proven_optimal: Optional[bool]
     stop_reason: Optional[str]
+    #: resolved branch-and-bound executor for this point (None = no solver)
+    solver_executor: Optional[str] = None
+    #: why the executor degraded from the requested mode, if it did
+    solver_executor_fallback: Optional[str] = None
 
 
 class SweepTrace:

@@ -18,6 +18,7 @@ class TestRegistry:
             "wire_roundtrip",
             "certifier-replay",
             "solver-parallel-serial",
+            "presolve_vs_plain",
             "sweep-naive",
             "cluster_vs_single",
         }

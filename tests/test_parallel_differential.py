@@ -90,3 +90,66 @@ class TestLdaFpDifferential:
         # prunes are recorded before the merge replays the survivors).
         assert t1.counters() == t4.counters()
         assert t1.stop_reason() == t4.stop_reason()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_process_executor_bit_identical_to_serial(self, seed):
+        """The LDA-FP adapter pickles, so ``executor='process'`` is the
+        real production path — it must match the serial run on every
+        observable, including node counts."""
+        dataset, fmt = random_instance(seed)
+        c1, r1 = _train(dataset, fmt, workers=1)
+        config = LdaFpConfig(workers=4, executor="process", **_LDA_KW)
+        cp, rp = train_lda_fp(dataset, fmt, config)
+        assert rp.executor == "process", rp.executor_fallback
+        assert np.array_equal(c1.weights, cp.weights)
+        assert c1.threshold == cp.threshold
+        assert r1.cost == rp.cost
+        assert r1.lower_bound == rp.lower_bound
+        assert r1.proven_optimal == rp.proven_optimal
+        assert r1.nodes_expanded == rp.nodes_expanded
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_accelerated_arm_matches_plain(self, seed):
+        """Presolve + symmetry cuts (any branching, any executor) must
+        return the identical result triple as the plain tree — the
+        reductions only remove points that are infeasible, dominated, or
+        mirrored, never the optimum."""
+        dataset, fmt = random_instance(seed)
+        arms = {}
+        for label, kw in (
+            ("plain", dict(presolve=False, symmetry_cuts=False)),
+            ("accelerated", dict(presolve=True, symmetry_cuts=True)),
+            (
+                "accelerated-pseudocost",
+                dict(presolve=True, symmetry_cuts=True, branching="pseudocost"),
+            ),
+            (
+                "accelerated-process",
+                dict(
+                    presolve=True,
+                    symmetry_cuts=True,
+                    workers=4,
+                    executor="process",
+                ),
+            ),
+        ):
+            config = LdaFpConfig(
+                max_nodes=200_000,
+                time_limit=None,
+                absolute_gap=0.0,
+                relative_gap=0.0,
+                **kw,
+            )
+            _, report = train_lda_fp(dataset, fmt, config)
+            arms[label] = report
+        plain = arms["plain"]
+        assert plain.proven_optimal
+        for label, report in arms.items():
+            assert report.proven_optimal, label
+            assert report.cost == plain.cost, label
+            assert report.lower_bound == plain.lower_bound, label
+        # The accelerated serial and process runs are the same tree.
+        assert (
+            arms["accelerated"].nodes_expanded
+            == arms["accelerated-process"].nodes_expanded
+        )
