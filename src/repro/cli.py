@@ -251,8 +251,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--wire",
         choices=("on", "off"),
         default="on",
-        help="serve the repro.serve-wire/v1 binary protocol alongside HTTP "
+        help="serve the repro.serve-wire/v2 binary protocol alongside HTTP "
         "on the same port(s)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=64,
+        help="streaming-session bound per process: opens beyond it shed "
+        "with a structured 503 (default 64)",
+    )
+    serve.add_argument(
+        "--session-idle-timeout",
+        type=float,
+        default=60.0,
+        help="seconds without a chunk before a streaming session is "
+        "evicted (0 disables eviction, default 60)",
+    )
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream a waveform into a running server's session endpoint "
+        "chunk by chunk (repro.serve-wire/v2)",
+    )
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, required=True)
+    stream.add_argument(
+        "--model",
+        default=None,
+        help="registry model name or sha256: prefix (omit when the server "
+        "has exactly one model)",
+    )
+    stream.add_argument(
+        "--session",
+        default="cli",
+        help="session key (chunks of one session must stay on one "
+        "connection; default 'cli')",
+    )
+    stream.add_argument(
+        "--waveform",
+        metavar="FILE",
+        default=None,
+        help="waveform samples, one float per line ('-' reads stdin); "
+        "omitted = synthesize an ECG recording",
+    )
+    stream.add_argument(
+        "--beats",
+        type=int,
+        default=16,
+        help="beats to synthesize when no --waveform is given (default 16)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="synthesis RNG seed (default 0)"
+    )
+    stream.add_argument(
+        "--chunk",
+        type=int,
+        default=50,
+        help="samples per pushed chunk (default 50)",
+    )
+    stream.add_argument(
+        "--sample-rate", type=float, default=250.0,
+        help="front-end sample rate in Hz (default 250)",
+    )
+    stream.add_argument(
+        "--window", type=int, default=200,
+        help="window size in samples (default 200 = one beat at 250 Hz)",
+    )
+    stream.add_argument(
+        "--hop", type=int, default=200,
+        help="hop between windows in samples (default 200)",
+    )
+    stream.add_argument(
+        "--fir-taps", type=int, default=31,
+        help="front-end FIR length (odd, default 31)",
+    )
+    stream.add_argument(
+        "--fir-band", nargs=2, type=float, default=(1.0, 40.0),
+        metavar=("LOW", "HIGH"),
+        help="front-end band-pass edges in Hz (default 1 40)",
+    )
+    stream.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON object per completed window instead of a "
+        "summary table",
     )
 
     predict = sub.add_parser(
@@ -622,6 +705,9 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
 
     elif args.command == "serve":
         return _run_serve(args)
+
+    elif args.command == "stream":
+        return _run_stream(args)
 
     elif args.command == "check":
         return _run_check(args)
@@ -1101,6 +1187,8 @@ def _run_serve(args) -> int:
                 backend=args.backend,
                 native_cache=args.native_cache,
                 wire=wire_enabled,
+                stream_max_sessions=args.max_sessions,
+                stream_idle_timeout=args.session_idle_timeout,
             )
         )
         supervisor.start()
@@ -1144,7 +1232,12 @@ def _run_serve(args) -> int:
                 f"{model.engine.native_fallback_reason}"
             )
     config = ServeConfig(
-        host=args.host, port=args.port, batcher=batcher, wire=wire_enabled
+        host=args.host,
+        port=args.port,
+        batcher=batcher,
+        wire=wire_enabled,
+        stream_max_sessions=args.max_sessions,
+        stream_idle_timeout=args.session_idle_timeout,
     )
     server = InferenceServer(registry, config=config)
 
@@ -1166,6 +1259,140 @@ def _run_serve(args) -> int:
         await server.close()
 
     asyncio.run(_serve())
+    return 0
+
+
+def _run_stream(args) -> int:
+    """``repro stream``: push a waveform into a live session endpoint.
+
+    Opens one ``repro.serve-wire/v2`` streaming session, pushes the
+    waveform in ``--chunk``-sample pieces, prints each completed window's
+    classification as it arrives, and closes with the lifetime totals.
+    The whole exchange rides a single persistent connection, which is
+    what pins the session to one worker in cluster mode.
+    """
+    import json as _json
+
+    import numpy as np
+
+    from .errors import ReproError
+    from .serve.wire import WireClient, WireError
+
+    try:
+        if args.waveform is not None:
+            stream = sys.stdin if args.waveform == "-" else open(args.waveform)
+            try:
+                samples = np.asarray(
+                    [
+                        float(tok)
+                        for line in stream
+                        for tok in line.replace(",", " ").split()
+                        if not line.lstrip().startswith("#")
+                    ],
+                    dtype=np.float64,
+                )
+            except ValueError:
+                print("error: waveform samples are not numeric", file=sys.stderr)
+                return 2
+            finally:
+                if stream is not sys.stdin:
+                    stream.close()
+        else:
+            from .data.ecg import EcgBeatConfig, synthesize_beat
+
+            rng = np.random.default_rng(args.seed)
+            beat_config = EcgBeatConfig(sample_rate=args.sample_rate)
+            samples = np.concatenate(
+                [
+                    synthesize_beat(beat_config, rng, abnormal=i % 2 == 1)
+                    for i in range(args.beats)
+                ]
+            )
+        if samples.size == 0:
+            print("error: waveform is empty", file=sys.stderr)
+            return 2
+        if args.chunk < 1:
+            print("error: --chunk must be >= 1", file=sys.stderr)
+            return 2
+
+        config = {
+            "sample_rate": args.sample_rate,
+            "num_taps": args.fir_taps,
+            "band": list(args.fir_band),
+            "window_size": args.window,
+            "hop": args.hop,
+        }
+        client = WireClient(args.host, args.port)
+        try:
+            opened = client.open_stream(
+                args.session, config=config, model=args.model
+            )
+            if isinstance(opened, WireError):
+                print(
+                    f"error: open rejected ({opened.status}): {opened.message}",
+                    file=sys.stderr,
+                )
+                return 2
+            if not args.json:
+                print(
+                    f"session {opened.key!r} pinned to "
+                    f"sha256:{opened.content_hash[:12]}"
+                )
+            for seq, start in enumerate(range(0, samples.size, args.chunk)):
+                result = client.send_chunk(
+                    args.session, seq, samples[start : start + args.chunk]
+                )
+                if isinstance(result, WireError):
+                    print(
+                        f"error: chunk {seq} rejected ({result.status}): "
+                        f"{result.message}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                for i in range(len(result.labels)):
+                    row = {
+                        "window": int(result.window_indices[i]),
+                        "label": int(result.labels[i]),
+                        "projection_raw": int(result.projection_raws[i]),
+                    }
+                    if args.json:
+                        print(_json.dumps(row))
+                    else:
+                        print(
+                            f"window {row['window']:4d}  label {row['label']}  "
+                            f"raw {row['projection_raw']}"
+                        )
+            closed = client.close_stream(args.session)
+            if isinstance(closed, WireError):
+                print(
+                    f"error: close rejected ({closed.status}): {closed.message}",
+                    file=sys.stderr,
+                )
+                return 2
+            summary = {
+                "session": closed.key,
+                "chunks": closed.chunks,
+                "samples": closed.samples,
+                "windows": closed.windows,
+            }
+            if args.json:
+                print(_json.dumps(summary))
+            else:
+                print(
+                    f"closed: {closed.chunks} chunk(s), {closed.samples} "
+                    f"sample(s), {closed.windows} window(s)"
+                )
+        finally:
+            client.close()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 

@@ -260,6 +260,14 @@ def _record_serve_metrics() -> dict:
     metrics.observe_shed("overloaded")
     metrics.observe_shed("overloaded")
     metrics.observe_shed("deadline")
+    # v3: streaming-session counters (opened/closed/evicted + chunk flow).
+    metrics.observe_session_opened()
+    metrics.observe_session_opened()
+    metrics.observe_session_closed()
+    metrics.observe_session_evicted()
+    metrics.observe_stream_chunk(200, 1)
+    metrics.observe_stream_chunk(50, 0)
+    metrics.observe_shed("sessions")
     return metrics.to_dict()
 
 
@@ -431,6 +439,134 @@ def _record_native_engine() -> dict:
     }
 
 
+def _stream_session_fixture():
+    """The pinned ECG streaming session shared by both stream recorders.
+
+    A seeded 8-feature classifier, the default front-end config, a
+    6-beat synthesized ECG recording, and a pinned pseudo-random chunk
+    partition — everything downstream of these is exact integer
+    arithmetic, so the recorded bits are machine-independent.
+    """
+    from ..data.ecg import EcgBeatConfig, synthesize_beat
+    from ..serve.registry import ModelRegistry
+    from ..serve.stream import FrontEndConfig
+    from .strategies import random_classifier
+
+    rng = np.random.default_rng(_SEED + 3)
+    registry = ModelRegistry()
+    registry.register("ecg", random_classifier(rng, 3, 5, 8))
+    model = registry.get("ecg")
+    config = FrontEndConfig()
+    beat_config = EcgBeatConfig(sample_rate=config.sample_rate)
+    samples = np.concatenate(
+        [
+            synthesize_beat(beat_config, rng, abnormal=i % 2 == 1)
+            for i in range(6)
+        ]
+    )
+    chunk_sizes = []
+    remaining = samples.size
+    while remaining > 0:
+        size = min(int(rng.integers(1, 97)), remaining)
+        chunk_sizes.append(size)
+        remaining -= size
+    return model, config, samples, chunk_sizes
+
+
+def _record_stream_session() -> dict:
+    """End-to-end streaming pin: chunked ECG in, windows/labels out.
+
+    Replays the pinned session through :class:`~repro.serve.stream
+    .StreamSession` + the engine — exactly what the serving plane does per
+    chunk — and records every per-window feature vector, projection raw,
+    label, and the overflow totals.  Any drift in the fixed-point FIR, the
+    windower, feature extraction, or the classifier datapath moves these
+    bits.
+    """
+    from ..serve.stream import run_offline
+
+    model, config, samples, chunk_sizes = _stream_session_fixture()
+    offline = run_offline(model, config, samples)
+
+    from ..serve.stream import StreamSession
+
+    session = StreamSession("golden", model, config)
+    windows = []
+    product_events = accumulator_events = 0
+    start = 0
+    for seq, size in enumerate(chunk_sizes):
+        features, indices = session.process_chunk(
+            seq, samples[start : start + size]
+        )
+        start += size
+        if len(indices):
+            result = model.engine.run(features)
+            product_events += int(result.product_overflow_events)
+            accumulator_events += int(result.accumulator_overflow_events)
+            for row, index in enumerate(indices):
+                windows.append(
+                    {
+                        "index": int(index),
+                        "features": [float(v) for v in features[row]],
+                        "projection_raw": int(result.projection_raws[row]),
+                        "label": int(result.labels[row]),
+                    }
+                )
+    # The recorded session must match the offline pipeline bit for bit —
+    # recording a diverged payload would pin a bug as truth.
+    assert len(windows) == offline["num_windows"]
+    assert [w["label"] for w in windows] == [int(v) for v in offline["labels"]]
+    assert [w["projection_raw"] for w in windows] == [
+        int(r) for r in offline["projection_raws"]
+    ]
+    return {
+        "model_hash": model.content_hash,
+        "front_end": config.to_dict(),
+        "num_samples": int(samples.size),
+        "chunk_sizes": [int(s) for s in chunk_sizes],
+        "samples_head": [float(v) for v in samples[:16]],
+        "windows": windows,
+        "product_overflow_events": product_events,
+        "accumulator_overflow_events": accumulator_events,
+        "summary": session.summary(),
+    }
+
+
+def _record_stream_wire() -> dict:
+    """Byte-level pin of every ``repro.serve-wire/v2`` stream frame kind.
+
+    Encodes one frame of each streaming kind (open/opened/chunk/result/
+    close/closed) with pinned contents derived from the golden session,
+    round-trips each through the decoder, and records the hex — header
+    layout, payload endianness, and trailer order are all frozen.
+    """
+    from ..serve import wire
+
+    model, config, samples, chunk_sizes = _stream_session_fixture()
+    chunk = samples[: chunk_sizes[0]]
+    frames = {
+        "open": wire.encode_stream_open("golden", config.to_dict()),
+        "opened": wire.encode_stream_opened("golden", model.content_hash),
+        "chunk": wire.encode_stream_chunk("golden", 0, chunk),
+        "result": wire.encode_stream_result(
+            0, [0, 1], [-37, 41], [0, 1], 2, 1
+        ),
+        "close": wire.encode_stream_close("golden"),
+        "closed": wire.encode_stream_closed(
+            "golden", len(chunk_sizes), int(samples.size), 6
+        ),
+    }
+    for name, frame in frames.items():
+        decoded, consumed = wire.decode_frame(frame)
+        assert consumed == len(frame), f"{name}: partial decode"
+    return {
+        "wire_schema": wire.WIRE_SCHEMA,
+        "session_key": "golden",
+        "model_hash": model.content_hash,
+        "frames_hex": {name: frame.hex() for name, frame in frames.items()},
+    }
+
+
 RECORDERS: Dict[str, Callable[[], dict]] = {
     "quantize": _record_quantize,
     "datapath": _record_datapath,
@@ -439,6 +575,8 @@ RECORDERS: Dict[str, Callable[[], dict]] = {
     "pareto": _record_pareto,
     "serve_metrics": _record_serve_metrics,
     "serve_wire": _record_serve_wire,
+    "stream_session": _record_stream_session,
+    "stream_wire": _record_stream_wire,
     "ecg_wl8": _record_ecg_wl8,
     "native_engine": _record_native_engine,
 }

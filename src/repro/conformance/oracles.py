@@ -619,6 +619,243 @@ class WireRoundtripOracle(Oracle):
 
 
 # --------------------------------------------------------------------- #
+# 7b. Chunked streaming vs one-shot batch processing
+# --------------------------------------------------------------------- #
+class StreamVsBatchOracle(Oracle):
+    """Arbitrary chunk partitions of a waveform through the stateful
+    steppers (:mod:`repro.signal.stream`) must be **bit-identical** to the
+    one-shot calls on the concatenated signal: fixed-point FIR, fixed-point
+    biquad, the float biquad cascade (power-line notch), the exactly-
+    rounded float FIR, the decimator, and the hop-strided windower.  The
+    second case family replays interleaved serving-plane sessions through
+    one :class:`~repro.serve.stream.StreamManager` and requires every
+    session's windows/features/raws/labels to match
+    :func:`~repro.serve.stream.run_offline` on its waveform alone — chunk
+    boundaries and neighbouring sessions must be unobservable."""
+
+    name = "stream_vs_batch"
+    description = (
+        "signal.stream chunked steppers + serve.stream sessions vs the "
+        "one-shot fxfir/fxbiquad/preprocess/windowing pipeline, bit for bit"
+    )
+    default_examples = 25
+
+    def strategy(self) -> st.SearchStrategy:
+        return st.one_of(cst.waveform_cases(), cst.stream_sessions())
+
+    def check(self, case: dict) -> None:
+        if case["kind"] == "waveform":
+            self._check_waveform(case)
+        else:
+            self._check_sessions(case)
+
+    # ----------------------------------------------------------------- #
+    def _chunks(self, samples: list, sizes: list) -> "list[np.ndarray]":
+        x = np.asarray(samples, dtype=np.float64)
+        out, start = [], 0
+        for size in sizes:
+            out.append(x[start : start + size])
+            start += size
+        return out
+
+    def _check_waveform(self, case: dict) -> None:
+        from ..errors import DataError
+        from ..fixedpoint.qformat import QFormat
+        from ..fixedpoint.rounding import RoundingMode
+        from ..signal.filters import fir_direct
+        from ..signal.fxbiquad import FixedPointBiquad
+        from ..signal.fxfir import FixedPointFir
+        from ..signal.preprocess import (
+            decimate,
+            design_notch,
+            remove_powerline,
+        )
+        from ..signal.stream import (
+            DecimatorStream,
+            FirStream,
+            PowerlineStream,
+            WindowStream,
+            slice_windows,
+        )
+
+        signal = np.asarray(case["samples"], dtype=np.float64)
+        chunks = self._chunks(case["samples"], case["chunk_sizes"])
+        fmt = QFormat(int(case["integer_bits"]), int(case["fraction_bits"]))
+        rounding = RoundingMode(case["rounding"])
+        taps = np.asarray(case["fir_taps"], dtype=np.float64)
+
+        def run_chunked(stream) -> np.ndarray:
+            return np.concatenate([stream.process(c) for c in chunks])
+
+        # 1. Fixed-point FIR: raw delay line vs the one-shot skip loop.
+        fxfir = FixedPointFir(
+            taps=taps, fmt=fmt, guard_bits=int(case["guard_bits"]),
+            rounding=rounding,
+        )
+        if not np.array_equal(run_chunked(fxfir.stream()), fxfir.apply(signal)):
+            self.fail("fxfir chunked stream != one-shot apply", case)
+
+        # 2. Fixed-point biquad (notch section).  Quantization may
+        #    destabilize the section at narrow formats; the constructor
+        #    rejects that identically on both paths, so it is skipped.
+        section = design_notch(
+            float(case["mains_hz"]), float(case["sample_rate"]),
+            quality=float(case["quality"]),
+        )
+        try:
+            fxbq = FixedPointBiquad(section=section, fmt=fmt, rounding=rounding)
+        except DataError:
+            fxbq = None
+        if fxbq is not None and not np.array_equal(
+            run_chunked(fxbq.stream()), fxbq.apply(signal)
+        ):
+            self.fail("fxbiquad chunked stream != one-shot apply", case)
+
+        # 3. Float notch cascade: carried DF2T registers vs apply_biquads.
+        kwargs = dict(
+            mains_hz=float(case["mains_hz"]),
+            harmonics=int(case["harmonics"]),
+            quality=float(case["quality"]),
+        )
+        chunked = run_chunked(PowerlineStream(float(case["sample_rate"]), **kwargs))
+        one_shot = remove_powerline(signal, float(case["sample_rate"]), **kwargs)
+        if not np.array_equal(chunked, one_shot):
+            self.fail("powerline chunked stream != remove_powerline", case)
+
+        # 4. Float FIR: exactly-rounded window sums are partition-blind.
+        if not np.array_equal(
+            run_chunked(FirStream(taps)), fir_direct(taps, signal)
+        ):
+            self.fail("float FIR chunked stream != fir_direct", case)
+
+        # 5. Decimator (needs the flush tail for the one-shot alignment).
+        factor = int(case["decim_factor"])
+        num_taps = int(case["decim_taps"])
+        decimator = DecimatorStream(factor, num_taps=num_taps)
+        pieces = [decimator.process(c) for c in chunks]
+        pieces.append(decimator.flush())
+        if not np.array_equal(
+            np.concatenate(pieces), decimate(signal, factor, num_taps=num_taps)
+        ):
+            self.fail("chunked decimation != one-shot decimate", case)
+
+        # 6. Windower: emitted windows == the one-shot slices, in order.
+        window_size, hop = int(case["window_size"]), int(case["hop"])
+        stream = WindowStream(window_size, hop)
+        got = [w for c in chunks for w in stream.process(c)]
+        want = slice_windows(signal, window_size, hop)
+        if len(got) != len(want) or any(
+            not np.array_equal(g, w) for g, w in zip(got, want)
+        ):
+            self.fail(
+                f"windower emitted {len(got)} windows != {len(want)} slices "
+                f"(or contents diverge)",
+                case,
+            )
+
+    # ----------------------------------------------------------------- #
+    def _check_sessions(self, case: dict) -> None:
+        from ..serve.registry import ModelRegistry
+        from ..serve.stream import (
+            STREAM_NUM_FEATURES,
+            FrontEndConfig,
+            StreamManager,
+            run_offline,
+        )
+
+        classifier = cst.case_classifier(
+            {
+                "integer_bits": case["integer_bits"],
+                "fraction_bits": case["fraction_bits"],
+                "rounding": case["rounding"],
+                "polarity": case["polarity"],
+                "weight_raws": case["weight_raws"],
+                "threshold_raw": case["threshold_raw"],
+            }
+        )
+        registry = ModelRegistry()
+        registry.register("m", classifier)
+        model = registry.get("m")
+        band_lo = float(case["band_lo"])
+        config = FrontEndConfig(
+            sample_rate=float(case["sample_rate"]),
+            num_taps=int(case["num_taps"]),
+            band=(band_lo, band_lo + float(case["band_width"])),
+            guard_bits=int(case["guard_bits"]),
+            window_size=int(case["window_size"]),
+            hop=int(case["hop"]),
+        )
+
+        manager = StreamManager(max_sessions=len(case["sessions"]) + 1)
+        states = []
+        for spec in case["sessions"]:
+            session = manager.open(spec["key"], model, config)
+            states.append(
+                {
+                    "session": session,
+                    "chunks": self._chunks(spec["samples"], spec["chunk_sizes"]),
+                    "next": 0,
+                    "features": [],
+                    "indices": [],
+                }
+            )
+        for index in case["schedule"]:
+            state = states[index]
+            features, indices = state["session"].process_chunk(
+                state["next"], state["chunks"][state["next"]]
+            )
+            state["next"] += 1
+            if len(indices):
+                state["features"].append(features)
+                state["indices"].extend(indices)
+        for spec, state in zip(case["sessions"], states):
+            offline = run_offline(
+                model, config, np.asarray(spec["samples"], dtype=np.float64)
+            )
+            if state["indices"] != list(range(offline["num_windows"])):
+                self.fail(
+                    f"session {spec['key']}: window indices "
+                    f"{state['indices']} != offline "
+                    f"{list(range(offline['num_windows']))}",
+                    case,
+                )
+            got_features = (
+                np.concatenate(state["features"])
+                if state["features"]
+                else np.empty((0, STREAM_NUM_FEATURES))
+            )
+            if not np.array_equal(got_features, offline["features"]):
+                self.fail(
+                    f"session {spec['key']}: streamed features diverge from "
+                    "run_offline",
+                    case,
+                )
+            if offline["num_windows"]:
+                result = model.engine.run(got_features)
+                if not np.array_equal(
+                    np.asarray(result.projection_raws, dtype=np.int64),
+                    np.asarray(offline["projection_raws"], dtype=np.int64),
+                ) or not np.array_equal(
+                    np.asarray(result.labels), np.asarray(offline["labels"])
+                ):
+                    self.fail(
+                        f"session {spec['key']}: classified raws/labels "
+                        "diverge from run_offline",
+                        case,
+                    )
+            totals = state["session"].summary()
+            if totals["samples"] != len(spec["samples"]) or totals[
+                "windows"
+            ] != offline["num_windows"]:
+                self.fail(
+                    f"session {spec['key']}: lifetime totals {totals} "
+                    f"disagree with the waveform",
+                    case,
+                )
+        manager.close_all()
+
+
+# --------------------------------------------------------------------- #
 # 8. Cluster serving plane vs the single-process server
 # --------------------------------------------------------------------- #
 class ClusterVsSingleOracle(Oracle):
@@ -741,6 +978,7 @@ ALL_ORACLES = (
     NativeVsFastOracle(),
     SerializeRoundtripOracle(),
     WireRoundtripOracle(),
+    StreamVsBatchOracle(),
     CertifierReplayOracle(),
     SolverParallelOracle(),
     PresolveVsPlainOracle(),

@@ -52,6 +52,8 @@ __all__ = [
     "wire_cases",
     "wire_frame_mutations",
     "case_wire_frame",
+    "waveform_cases",
+    "stream_sessions",
 ]
 
 # The rounding modes with a deterministic narrowing rule (everything except
@@ -306,6 +308,120 @@ def wire_frame_mutations(draw) -> dict:
     elif op == "random":
         frame = bytearray(draw(st.binary(min_size=0, max_size=200)))
     return {"frame_hex": bytes(frame).hex(), "op": op}
+
+
+@st.composite
+def _chunk_partitions(draw, total: int) -> list:
+    """A list of chunk sizes (each >= 1) summing exactly to ``total``."""
+    sizes = []
+    remaining = total
+    while remaining > 0:
+        size = draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+@st.composite
+def waveform_cases(
+    draw,
+    min_samples: int = 8,
+    max_samples: int = 120,
+) -> dict:
+    """Waveform + chunk-partition cases for the ``stream_vs_batch`` oracle.
+
+    One case drives *every* stateful stepper in :mod:`repro.signal.stream`
+    against its one-shot reference on the same samples: the fixed-point
+    FIR and biquad, the float FIR / biquad cascade (power-line notch), the
+    decimator, and the hop-strided windower.  Everything is plain JSON so
+    a shrunk failing partition replays from a witness file.
+    """
+    n = draw(st.integers(min_value=min_samples, max_value=max_samples))
+    k = draw(st.integers(min_value=2, max_value=5))
+    f = draw(st.integers(min_value=3, max_value=7))
+    fmt = QFormat(k, f)
+    num_taps = draw(st.integers(min_value=1, max_value=7)) * 2 + 1  # odd 3..15
+    sample_rate = draw(st.sampled_from([200.0, 250.0, 360.0, 500.0]))
+    return {
+        "kind": "waveform",
+        "samples": draw(
+            st.lists(finite_floats(8.0), min_size=n, max_size=n)
+        ),
+        "chunk_sizes": draw(_chunk_partitions(n)),
+        "integer_bits": k,
+        "fraction_bits": f,
+        "rounding": draw(rounding_modes()).value,
+        "guard_bits": draw(st.integers(min_value=0, max_value=8)),
+        "fir_taps": draw(weight_grids(fmt, num_taps)),
+        "sample_rate": sample_rate,
+        "mains_hz": draw(st.sampled_from([50.0, 60.0])),
+        "harmonics": draw(st.integers(min_value=1, max_value=3)),
+        "quality": draw(st.floats(min_value=5.0, max_value=50.0)),
+        "decim_factor": draw(st.integers(min_value=1, max_value=4)),
+        "decim_taps": draw(st.sampled_from([15, 31])),
+        "window_size": draw(st.integers(min_value=1, max_value=24)),
+        "hop": draw(st.integers(min_value=1, max_value=32)),
+    }
+
+
+@st.composite
+def stream_sessions(
+    draw,
+    max_sessions: int = 3,
+    min_samples: int = 20,
+    max_samples: int = 120,
+) -> dict:
+    """Interleaved serving-plane sessions for ``stream_vs_batch``.
+
+    Each case is 1-3 sessions over one pinned model + front-end config,
+    each session with its own waveform and chunk partition, plus an
+    explicit interleaving ``schedule`` of session indices — the oracle
+    replays the schedule through one :class:`~repro.serve.stream
+    .StreamManager` and requires every session's windows, features, raws,
+    and labels to be bit-identical to :func:`~repro.serve.stream
+    .run_offline` on that session's waveform alone (state isolation).
+    """
+    k = draw(st.integers(min_value=3, max_value=5))
+    f = draw(st.integers(min_value=4, max_value=7))
+    fmt = QFormat(k, f)
+    num_sessions = draw(st.integers(min_value=1, max_value=max_sessions))
+    sessions = []
+    for i in range(num_sessions):
+        n = draw(st.integers(min_value=min_samples, max_value=max_samples))
+        sessions.append(
+            {
+                "key": f"s{i}",
+                "samples": draw(
+                    st.lists(finite_floats(4.0), min_size=n, max_size=n)
+                ),
+                "chunk_sizes": draw(_chunk_partitions(n)),
+            }
+        )
+    # Fair interleaving: every (session, chunk) pair appears exactly once,
+    # in a drawn global order (chunks stay in order within a session).
+    multiset = [
+        i for i, s in enumerate(sessions) for _ in s["chunk_sizes"]
+    ]
+    schedule = draw(st.permutations(multiset))
+    sample_rate = draw(st.sampled_from([200.0, 250.0, 360.0]))
+    return {
+        "kind": "sessions",
+        "sessions": sessions,
+        "schedule": list(schedule),
+        "sample_rate": sample_rate,
+        "num_taps": draw(st.integers(min_value=1, max_value=15)) * 2 + 1,
+        "band_lo": draw(st.floats(min_value=0.5, max_value=8.0)),
+        "band_width": draw(st.floats(min_value=5.0, max_value=60.0)),
+        "guard_bits": draw(st.integers(min_value=2, max_value=8)),
+        "window_size": draw(st.integers(min_value=40, max_value=64)),
+        "hop": draw(st.integers(min_value=1, max_value=80)),
+        "integer_bits": k,
+        "fraction_bits": f,
+        "rounding": draw(rounding_modes()).value,
+        "polarity": draw(st.sampled_from([1, -1])),
+        "weight_raws": draw(raw_word_lists(fmt, 8)),
+        "threshold_raw": draw(raw_words(fmt)),
+    }
 
 
 # --------------------------------------------------------------------- #

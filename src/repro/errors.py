@@ -118,6 +118,18 @@ class DeadlineExceededError(ServeError):
     """
 
 
+class StreamSessionError(ServeError):
+    """A streaming-session protocol violation.
+
+    Raised by :class:`~repro.serve.stream.StreamManager` and
+    :class:`~repro.serve.stream.StreamSession` for unknown or closed
+    sessions, duplicate session keys, and out-of-order chunk sequence
+    numbers.  Maps to a structured 409 on both the HTTP and binary wire
+    paths: the request was well-formed but violates the session's state
+    machine, so replaying it verbatim can never succeed.
+    """
+
+
 class CertificationError(ServeError):
     """An artifact's static certificate has a VIOLATED invariant.
 

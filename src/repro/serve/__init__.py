@@ -23,9 +23,14 @@ that *serves* them:
   ``SO_REUSEPORT`` multi-worker serving plane with content-hash shard
   routing, crash restarts, graceful SIGTERM drain, and an aggregate
   metrics control plane (see docs/serving.md, "Cluster mode").
+- :class:`~repro.serve.stream.StreamManager` /
+  :class:`~repro.serve.stream.StreamSession` — sessionful waveform
+  streaming: the fixed-point signal front end stepped chunk-by-chunk,
+  bit-identical with the offline pipeline (``repro.serve-wire/v2`` stream
+  frames and ``POST /stream/*``; see docs/streaming.md).
 - :class:`~repro.serve.metrics.ServeMetrics` — request/batch/latency,
-  overflow-event, and load-shedding counters, exported as Prometheus text
-  and as the ``repro.serve-metrics/v2`` JSON schema.
+  overflow-event, load-shedding, and streaming-session counters, exported
+  as Prometheus text and as the ``repro.serve-metrics/v3`` JSON schema.
 
 See ``docs/serving.md`` for the HTTP API, wire format, and metric
 schemas, and ``examples/ecg_monitor.py`` for an end-to-end train → save →
@@ -33,7 +38,13 @@ serve → stream demo.
 """
 
 from .batcher import BatcherConfig, MicroBatcher
-from .cluster import ClusterConfig, ClusterSupervisor, WorkerState, shard_of
+from .cluster import (
+    ClusterConfig,
+    ClusterSupervisor,
+    WorkerState,
+    shard_for_session,
+    shard_of,
+)
 from .engine import (
     ENGINE_BACKENDS,
     BatchInferenceEngine,
@@ -48,8 +59,23 @@ from .metrics import (
 )
 from .registry import ModelRegistry, RegisteredModel, content_hash
 from .server import InferenceServer, ServeConfig, ServerHandle, start_server_thread
+from .stream import (
+    STREAM_NUM_FEATURES,
+    FrontEndConfig,
+    StreamManager,
+    StreamSession,
+    build_frontend,
+    require_frontend_certified,
+    run_offline,
+)
 from .wire import (
     WIRE_SCHEMA,
+    StreamChunk,
+    StreamClose,
+    StreamClosed,
+    StreamOpen,
+    StreamOpened,
+    StreamResult,
     WireClient,
     WireError,
     WireRequest,
@@ -81,11 +107,25 @@ __all__ = [
     "ClusterSupervisor",
     "WorkerState",
     "shard_of",
+    "shard_for_session",
+    "STREAM_NUM_FEATURES",
+    "FrontEndConfig",
+    "StreamManager",
+    "StreamSession",
+    "build_frontend",
+    "require_frontend_certified",
+    "run_offline",
     "WIRE_SCHEMA",
     "WireClient",
     "WireRequest",
     "WireResponse",
     "WireError",
+    "StreamOpen",
+    "StreamOpened",
+    "StreamChunk",
+    "StreamResult",
+    "StreamClose",
+    "StreamClosed",
     "encode_request",
     "encode_response",
     "decode_frame",

@@ -184,6 +184,27 @@ class MicroBatcher:
         :class:`~repro.errors.DeadlineExceededError` instead of a result.
         """
         model = self.registry.get(model_key)
+        result = await self.submit_model(
+            model, features, raw=raw, deadline_ms=deadline_ms
+        )
+        return result, model
+
+    async def submit_model(
+        self,
+        model: RegisteredModel,
+        features: np.ndarray,
+        raw: bool = False,
+        deadline_ms: int = 0,
+    ) -> BatchResult:
+        """Enqueue one request against an already-resolved model.
+
+        The pinned-model entry point: streaming sessions capture their
+        :class:`RegisteredModel` at open time and submit every window batch
+        through here, so a hot reload mid-session can never swap the
+        engine under an open stream.  Same admission control, deadlines,
+        and co-batching as :meth:`submit` — a pinned submit batches
+        together with by-key submits that resolved to the same bits.
+        """
         features = np.asarray(features, dtype=np.int64 if raw else np.float64)
         if features.ndim != 2:
             raise ServeError(
@@ -215,8 +236,7 @@ class MicroBatcher:
             self._flush(key)
         elif pending.timer is None:
             pending.timer = loop.call_later(self.config.max_delay, self._flush, key)
-        result = await future
-        return result, model
+        return await future
 
     def _flush(self, key: "Tuple[str, str, bool]") -> None:
         pending = self._pending.pop(key, None)

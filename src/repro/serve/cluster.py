@@ -24,7 +24,7 @@ sockets:
 - **The supervisor** watches worker processes (restart-on-crash up to
   ``max_restarts`` per slot), runs a small control-plane HTTP server with
   ``/healthz`` (topology + liveness) and aggregate ``/metrics`` +
-  ``/metrics.json`` (per-worker ``repro.serve-metrics/v2`` snapshots
+  ``/metrics.json`` (per-worker ``repro.serve-metrics/v3`` snapshots
   scraped over private admin ports and folded with
   :func:`~repro.serve.metrics.merge_snapshots`), and on ``stop()`` sends
   SIGTERM so every worker drains its batcher before exiting.
@@ -43,6 +43,7 @@ answering with different bits.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import signal
@@ -62,7 +63,13 @@ from .metrics import ServeMetrics, merge_snapshots, render_prometheus_snapshot
 from .registry import ModelRegistry
 from .server import InferenceServer, ServeConfig
 
-__all__ = ["ClusterConfig", "ClusterSupervisor", "WorkerState", "shard_of"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "WorkerState",
+    "shard_of",
+    "shard_for_session",
+]
 
 _READY_TIMEOUT = 30.0
 
@@ -82,6 +89,27 @@ def shard_of(model_hash: str, num_shards: int) -> int:
     except ValueError as exc:
         raise ServeError(f"not a hex content hash: {model_hash!r}") from exc
     return value % num_shards
+
+
+def shard_for_session(session_key: str, num_shards: int) -> int:
+    """Deterministic shard index for a streaming-session key.
+
+    Sessions are stateful (filter registers + window buffer live in one
+    worker process), so every chunk of a session must land on the shard
+    that opened it.  Clients hash their session key through here and
+    connect to that shard's data port; like :func:`shard_of` this is a
+    pure function, so client and smoke tooling agree without
+    coordination.  Note the *worker* within the shard is then pinned by
+    the connection itself — streaming clients keep one persistent wire
+    connection, and the kernel's ``SO_REUSEPORT`` balancing is
+    per-connection, not per-frame.
+    """
+    if num_shards < 1:
+        raise ServeError(f"num_shards must be >= 1, got {num_shards}")
+    if not session_key:
+        raise ServeError("session key must be non-empty")
+    digest = hashlib.sha256(session_key.encode("utf-8")).hexdigest()
+    return int(digest, 16) % num_shards
 
 
 @dataclass(frozen=True)
@@ -116,6 +144,11 @@ class ClusterConfig:
         Seconds between supervisor liveness sweeps.
     drain_timeout:
         Seconds a SIGTERM'd worker gets to drain before SIGKILL.
+    stream_max_sessions / stream_idle_timeout:
+        Per-worker streaming-session policy, forwarded to every worker's
+        :class:`~repro.serve.server.ServeConfig` (sessions are worker-local
+        state; route a session's chunks over one persistent connection —
+        see :func:`shard_for_session`).
     """
 
     artifacts: Tuple[Tuple[str, str], ...] = ()
@@ -131,6 +164,8 @@ class ClusterConfig:
     max_restarts: int = 3
     health_interval: float = 0.5
     drain_timeout: float = 10.0
+    stream_max_sessions: int = 64
+    stream_idle_timeout: float = 60.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -171,6 +206,8 @@ def _worker_main(spec: dict, ready: "multiprocessing.Queue") -> None:
                 batcher=batcher_config,
                 reuse_port=True,
                 wire=spec["wire"],
+                stream_max_sessions=spec["stream_max_sessions"],
+                stream_idle_timeout=spec["stream_idle_timeout"],
             ),
             metrics=metrics,
         )
@@ -297,6 +334,8 @@ class ClusterSupervisor:
             "backend": self.config.backend,
             "native_cache": self.config.native_cache,
             "wire": self.config.wire,
+            "stream_max_sessions": self.config.stream_max_sessions,
+            "stream_idle_timeout": self.config.stream_idle_timeout,
         }
         process = self._ctx.Process(
             target=_worker_main, args=(spec, self._ready), name=worker, daemon=True

@@ -7,7 +7,7 @@ observes; it exports two views:
   /metrics`` — plain counters/gauges with ``model`` labels, scrapeable by a
   stock Prometheus.
 - **JSON** (:meth:`to_dict` / :meth:`to_json`) under the schema
-  ``repro.serve-metrics/v2``, in the style of PR 1's
+  ``repro.serve-metrics/v3``, in the style of PR 1's
   ``repro.solver-trace/v1``: a versioned, auditable snapshot that tests and
   offline tooling can load without a Prometheus parser.
 
@@ -20,6 +20,15 @@ from genuine errors.  :func:`merge_snapshots` folds per-worker snapshots
 into one aggregate — that is what the supervisor's scrape endpoint
 serves, so cluster totals are computed once, centrally, instead of by
 every dashboard.
+
+v3 adds the streaming plane's counters (:mod:`repro.serve.stream`):
+session lifecycle totals (``sessions_opened_total`` /
+``sessions_closed_total`` / ``sessions_evicted_total``), the
+``sessions_active`` gauge derived from them, and stream traffic totals
+(``stream_chunks_total`` / ``stream_samples_total`` /
+``stream_windows_total``).  Session-cap rejections ride the existing shed
+counters under reason ``"sessions"``.  All v2 keys and Prometheus lines
+are unchanged.
 
 Overflow accounting reuses the semantics of
 :class:`~repro.fixedpoint.datapath.DatapathTrace`: a *product* event is one
@@ -108,7 +117,7 @@ class ServeMetrics:
     every global Prometheus line unlabeled, exactly as in v1.
     """
 
-    SCHEMA = "repro.serve-metrics/v2"
+    SCHEMA = "repro.serve-metrics/v3"
 
     def __init__(self, worker: str = "") -> None:
         self._lock = threading.Lock()
@@ -119,6 +128,12 @@ class ServeMetrics:
         self.errors_total = 0
         self.requests_shed_total = 0
         self.shed_by_reason: "Dict[str, int]" = {}
+        self.sessions_opened_total = 0
+        self.sessions_closed_total = 0
+        self.sessions_evicted_total = 0
+        self.stream_chunks_total = 0
+        self.stream_samples_total = 0
+        self.stream_windows_total = 0
         self.request_latency = LatencyStats()
         self.per_model: "Dict[str, ModelMetrics]" = {}
 
@@ -196,8 +211,44 @@ class ServeMetrics:
             self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
 
     # ------------------------------------------------------------------ #
+    # Streaming sessions (v3)
+    # ------------------------------------------------------------------ #
+    def observe_session_opened(self) -> None:
+        """Record one streaming session open."""
+        with self._lock:
+            self.sessions_opened_total += 1
+
+    def observe_session_closed(self) -> None:
+        """Record one client-initiated (or shutdown) session close."""
+        with self._lock:
+            self.sessions_closed_total += 1
+
+    def observe_session_evicted(self) -> None:
+        """Record one idle-timeout session eviction."""
+        with self._lock:
+            self.sessions_evicted_total += 1
+
+    def observe_stream_chunk(self, num_samples: int, num_windows: int) -> None:
+        """Record one accepted waveform chunk and the windows it completed."""
+        with self._lock:
+            self.stream_chunks_total += 1
+            self.stream_samples_total += int(num_samples)
+            self.stream_windows_total += int(num_windows)
+
+    @property
+    def sessions_active(self) -> int:
+        """Open sessions implied by the lifecycle counters (never negative)."""
+        with self._lock:
+            return max(
+                0,
+                self.sessions_opened_total
+                - self.sessions_closed_total
+                - self.sessions_evicted_total,
+            )
+
+    # ------------------------------------------------------------------ #
     def to_dict(self) -> dict:
-        """Versioned JSON snapshot (schema ``repro.serve-metrics/v2``)."""
+        """Versioned JSON snapshot (schema ``repro.serve-metrics/v3``)."""
         with self._lock:
             return {
                 "schema": self.SCHEMA,
@@ -208,6 +259,18 @@ class ServeMetrics:
                 "errors_total": self.errors_total,
                 "requests_shed_total": self.requests_shed_total,
                 "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+                "sessions_opened_total": self.sessions_opened_total,
+                "sessions_closed_total": self.sessions_closed_total,
+                "sessions_evicted_total": self.sessions_evicted_total,
+                "sessions_active": max(
+                    0,
+                    self.sessions_opened_total
+                    - self.sessions_closed_total
+                    - self.sessions_evicted_total,
+                ),
+                "stream_chunks_total": self.stream_chunks_total,
+                "stream_samples_total": self.stream_samples_total,
+                "stream_windows_total": self.stream_windows_total,
                 "request_latency": self.request_latency.to_dict(),
                 "models": {
                     name: metrics.to_dict()
@@ -263,6 +326,13 @@ def merge_snapshots(snapshots: "list[dict]", worker: str = "") -> dict:
         "errors_total": 0,
         "requests_shed_total": 0,
         "shed_by_reason": {},
+        "sessions_opened_total": 0,
+        "sessions_closed_total": 0,
+        "sessions_evicted_total": 0,
+        "sessions_active": 0,
+        "stream_chunks_total": 0,
+        "stream_samples_total": 0,
+        "stream_windows_total": 0,
         "request_latency": {
             "count": 0,
             "sum_seconds": 0.0,
@@ -279,6 +349,13 @@ def merge_snapshots(snapshots: "list[dict]", worker: str = "") -> dict:
             "batches_total",
             "errors_total",
             "requests_shed_total",
+            "sessions_opened_total",
+            "sessions_closed_total",
+            "sessions_evicted_total",
+            "sessions_active",
+            "stream_chunks_total",
+            "stream_samples_total",
+            "stream_windows_total",
         ):
             out[key] += snap.get(key, 0)
         for reason, count in snap.get("shed_by_reason", {}).items():
@@ -369,6 +446,54 @@ def render_prometheus_snapshot(snap: dict) -> str:
                 f"repro_serve_requests_shed_reason_total{wlabels(reason_label)} "
                 f"{count}"
             )
+    stream_rows = [
+        (
+            "repro_serve_sessions_opened_total",
+            "counter",
+            "Streaming sessions opened",
+            "sessions_opened_total",
+        ),
+        (
+            "repro_serve_sessions_closed_total",
+            "counter",
+            "Streaming sessions closed by clients or shutdown",
+            "sessions_closed_total",
+        ),
+        (
+            "repro_serve_sessions_evicted_total",
+            "counter",
+            "Streaming sessions evicted after idling",
+            "sessions_evicted_total",
+        ),
+        (
+            "repro_serve_sessions_active",
+            "gauge",
+            "Streaming sessions open right now",
+            "sessions_active",
+        ),
+        (
+            "repro_serve_stream_chunks_total",
+            "counter",
+            "Waveform chunks accepted by streaming sessions",
+            "stream_chunks_total",
+        ),
+        (
+            "repro_serve_stream_samples_total",
+            "counter",
+            "Waveform samples accepted by streaming sessions",
+            "stream_samples_total",
+        ),
+        (
+            "repro_serve_stream_windows_total",
+            "counter",
+            "Windows classified by streaming sessions",
+            "stream_windows_total",
+        ),
+    ]
+    for metric, kind, help_text, key in stream_rows:
+        lines.append(f"# HELP {metric} {help_text}.")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric}{glabel} {snap.get(key, 0)}")
     lines += [
         "# HELP repro_serve_request_latency_seconds Request latency summary.",
         "# TYPE repro_serve_request_latency_seconds summary",

@@ -12,13 +12,18 @@ no new dependencies — exposing:
 - ``GET /healthz`` — liveness plus the registry inventory.
 - ``GET /metrics`` — Prometheus text exposition.
 - ``GET /metrics.json`` — the same counters as a versioned
-  ``repro.serve-metrics/v2`` JSON snapshot.
+  ``repro.serve-metrics/v3`` JSON snapshot.
+- ``POST /stream/open`` / ``/stream/chunk`` / ``/stream/close`` — the
+  JSON surface of streaming sessions (:mod:`repro.serve.stream`): open a
+  keyed session pinned to a model, push raw waveform chunks in sequence,
+  receive the completed windows' classifications per chunk.
 - **binary wire connections** — any connection whose first four bytes are
-  the ``repro.serve-wire/v1`` magic (:mod:`repro.serve.wire`) speaks the
+  the ``repro.serve-wire/v2`` magic (:mod:`repro.serve.wire`) speaks the
   length-prefixed frame protocol instead of HTTP; no HTTP method starts
   with those bytes, so one listening port serves both.  Wire connections
   are persistent (many frames per connection) and their payloads decode
   vectorized straight into the batcher with zero per-sample JSON work.
+  The same streaming sessions are reachable as stream frames (kinds 4-9).
 
 HTTP connections stay single-request (``Connection: close``): that
 protocol surface stays a few dozen lines and trivially auditable, and the
@@ -53,17 +58,20 @@ import numpy as np
 
 from .._version import __version__
 from ..errors import (
+    CertificationError,
     DataError,
     DeadlineExceededError,
     ModelNotFoundError,
     OverloadedError,
     ReproError,
     ServeError,
+    StreamSessionError,
 )
 from . import wire
 from .batcher import BatcherConfig, MicroBatcher
 from .metrics import ServeMetrics
 from .registry import ModelRegistry
+from .stream import FrontEndConfig, StreamManager
 
 __all__ = ["ServeConfig", "InferenceServer", "ServerHandle", "start_server_thread"]
 
@@ -82,6 +90,12 @@ class ServeConfig:
     binary protocol off, leaving a pure HTTP endpoint.  ``drain_timeout``
     bounds how long :meth:`InferenceServer.close` waits for open
     connections to finish before dropping idle ones.
+
+    The ``stream_*`` options govern streaming sessions
+    (:mod:`repro.serve.stream`): the concurrent-session bound (opens
+    beyond it shed with a structured 503, reason ``"sessions"``), the
+    idle-eviction timeout in seconds (0 disables eviction), and whether
+    entirely uncertified models are refused sessions.
     """
 
     host: str = "127.0.0.1"
@@ -90,6 +104,9 @@ class ServeConfig:
     reuse_port: bool = False
     wire: bool = True
     drain_timeout: float = 5.0
+    stream_max_sessions: int = 64
+    stream_idle_timeout: float = 60.0
+    stream_require_certified: bool = False
 
 
 def _parse_features(payload: object) -> np.ndarray:
@@ -142,6 +159,12 @@ class InferenceServer:
         self.batcher = MicroBatcher(
             registry, config=self.config.batcher, metrics=self.metrics
         )
+        self.streams = StreamManager(
+            max_sessions=self.config.stream_max_sessions,
+            idle_timeout=self.config.stream_idle_timeout,
+            require_certified=self.config.stream_require_certified,
+            metrics=self.metrics,
+        )
         self._server: "Optional[asyncio.AbstractServer]" = None
         self._connections: "set[asyncio.Task]" = set()
         self._closing = False
@@ -190,6 +213,7 @@ class InferenceServer:
             if live:
                 await asyncio.gather(*live, return_exceptions=True)
         await self.batcher.drain()
+        self.streams.close_all()
 
     # ------------------------------------------------------------------ #
     async def _handle_connection(
@@ -287,6 +311,12 @@ class InferenceServer:
                     {"error": "use POST /predict"}
                 )
             return await self._predict(body)
+        if path in ("/stream/open", "/stream/chunk", "/stream/close"):
+            if method != "POST":
+                return 405, "application/json", json.dumps(
+                    {"error": f"use POST {path}"}
+                )
+            return await self._stream_http(path, body)
         return 404, "application/json", json.dumps({"error": f"no route {path}"})
 
     async def _predict(self, body: bytes) -> "Tuple[int, str, str]":
@@ -344,6 +374,111 @@ class InferenceServer:
         return 200, "application/json", json.dumps(response)
 
     # ------------------------------------------------------------------ #
+    # Streaming sessions over HTTP
+    # ------------------------------------------------------------------ #
+    async def _stream_http(self, path: str, body: bytes) -> "Tuple[int, str, str]":
+        """``POST /stream/{open,chunk,close}`` — the JSON streaming surface.
+
+        Same session registry and signal chain as the wire frames, so the
+        two surfaces are interchangeable mid-session (a session opened over
+        HTTP can be fed over the wire and vice versa).
+        """
+        shed_reason = "overloaded" if path == "/stream/chunk" else "sessions"
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(payload, dict):
+                raise ServeError("request body must be a JSON object")
+            key = payload.get("session")
+            if not isinstance(key, str) or not key:
+                raise ServeError("'session' must be a non-empty string")
+            if len(key.encode("utf-8")) > wire.MAX_SESSION_KEY_BYTES:
+                raise ServeError(
+                    f"'session' exceeds {wire.MAX_SESSION_KEY_BYTES} bytes"
+                )
+            if path == "/stream/open":
+                response = self._stream_open_http(key, payload)
+            elif path == "/stream/chunk":
+                response = await self._stream_chunk_http(key, payload)
+            else:
+                response = self._stream_close_http(key)
+        except (ReproError, json.JSONDecodeError) as exc:
+            if isinstance(exc, json.JSONDecodeError):
+                self.metrics.observe_error()
+                return 400, "application/json", json.dumps({"error": str(exc)})
+            status, shed = self._stream_status(exc, shed_reason)
+            doc: dict = {"error": str(exc)}
+            if shed:
+                doc["shed"] = True
+                doc["reason"] = shed_reason
+            return status, "application/json", json.dumps(doc)
+        return 200, "application/json", json.dumps(response)
+
+    def _stream_open_http(self, key: str, payload: dict) -> dict:
+        config_payload = payload.get("config", {})
+        if not isinstance(config_payload, dict):
+            raise ServeError("'config' must be a JSON object")
+        config_payload = dict(config_payload)
+        if "model" in payload:
+            config_payload["model"] = payload["model"]
+        session = self._open_session(key, config_payload)
+        return {
+            "session": key,
+            "model": session.model.name,
+            "content_hash": session.model.content_hash,
+            "config": session.config.to_dict(),
+        }
+
+    async def _stream_chunk_http(self, key: str, payload: dict) -> dict:
+        seq = payload.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise ServeError(f"'seq' must be a non-negative integer, got {seq!r}")
+        samples = payload.get("samples")
+        if not isinstance(samples, list) or not samples:
+            raise ServeError("'samples' must be a non-empty list")
+        try:
+            chunk = np.asarray(samples, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"samples are not numeric: {exc}") from exc
+        if chunk.ndim != 1:
+            raise ServeError(
+                f"'samples' must be a flat list, got shape {chunk.shape}"
+            )
+        if not np.all(np.isfinite(chunk)):
+            raise ServeError("samples contain NaN or infinity")
+        session = self.streams.get(key)
+        features, indices = session.process_chunk(seq, chunk)
+        self.metrics.observe_stream_chunk(chunk.size, len(indices))
+        response = {
+            "session": key,
+            "seq": seq,
+            "windows": [],
+            "overflow": {"product_events": 0, "accumulator_events": 0},
+        }
+        if not indices:
+            return response
+        result = await self.batcher.submit_model(session.model, features)
+        resolution = session.model.classifier.fmt.resolution
+        response["windows"] = [
+            {
+                "index": index,
+                "label": int(label),
+                "projection": float(int(raw) * resolution),
+                "projection_raw": int(raw),
+            }
+            for index, label, raw in zip(
+                indices, result.labels, result.projection_raws
+            )
+        ]
+        response["overflow"] = {
+            "product_events": result.product_overflow_events,
+            "accumulator_events": result.accumulator_overflow_events,
+        }
+        return response
+
+    def _stream_close_http(self, key: str) -> dict:
+        return self.streams.close(key).summary()
+
+    # ------------------------------------------------------------------ #
     # Binary wire protocol
     # ------------------------------------------------------------------ #
     async def _handle_wire_connection(
@@ -393,15 +528,24 @@ class InferenceServer:
                 except DataError as exc:
                     await self._send_frame(writer, wire.encode_error(400, str(exc)))
                     return
-                if not isinstance(request, wire.WireRequest):
+                if isinstance(request, wire.WireRequest):
+                    frame = await self._predict_wire(request)
+                elif isinstance(request, wire.StreamOpen):
+                    frame = self._stream_open_wire(request)
+                elif isinstance(request, wire.StreamChunk):
+                    frame = await self._stream_chunk_wire(request)
+                elif isinstance(request, wire.StreamClose):
+                    frame = self._stream_close_wire(request)
+                else:
                     await self._send_frame(
                         writer,
                         wire.encode_error(
-                            400, "only request frames (kind=1) are accepted"
+                            400,
+                            "only request (kind=1) and stream (kinds 4/6/8) "
+                            "frames are accepted",
                         ),
                     )
                     return
-                frame = await self._predict_wire(request)
                 if not await self._send_frame(writer, frame):
                     return
         except asyncio.CancelledError:
@@ -454,14 +598,99 @@ class InferenceServer:
             result.accumulator_overflow_events,
         )
 
+    # ------------------------------------------------------------------ #
+    # Streaming sessions (shared by the wire and HTTP surfaces)
+    # ------------------------------------------------------------------ #
+    def _stream_status(self, exc: ReproError, shed_reason: str) -> "Tuple[int, bool]":
+        """Map a streaming failure to (HTTP/wire status, shed?).
+
+        ``shed_reason`` distinguishes the two overload sources: the session
+        cap on open (``"sessions"``) and batcher admission on a chunk
+        (``"overloaded"``).
+        """
+        if isinstance(exc, OverloadedError):
+            self.metrics.observe_shed(shed_reason)
+            return 503, True
+        if isinstance(exc, DeadlineExceededError):
+            self.metrics.observe_shed("deadline")
+            return 503, True
+        self.metrics.observe_error()
+        if isinstance(exc, ModelNotFoundError):
+            return 404, False
+        if isinstance(exc, StreamSessionError):
+            return 409, False
+        if isinstance(exc, CertificationError):
+            return 403, False
+        return 400, False
+
+    def _open_session(self, key: str, config_payload: dict):
+        """Resolve model + config and open the session (both protocols)."""
+        payload = dict(config_payload)
+        model_key = payload.pop("model", None)
+        if model_key is not None and not isinstance(model_key, str):
+            raise ServeError(
+                f"stream config 'model' must be a string, got {model_key!r}"
+            )
+        model = self.registry.get(model_key)
+        config = FrontEndConfig.from_dict(payload)
+        return self.streams.open(key, model, config)
+
+    def _stream_open_wire(self, request: "wire.StreamOpen") -> bytes:
+        try:
+            session = self._open_session(request.key, request.config)
+        except ReproError as exc:
+            status, shed = self._stream_status(exc, "sessions")
+            return wire.encode_error(status, str(exc), shed=shed)
+        return wire.encode_stream_opened(
+            request.key, session.model.content_hash
+        )
+
+    async def _stream_chunk_wire(self, request: "wire.StreamChunk") -> bytes:
+        try:
+            session = self.streams.get(request.key)
+            features, indices = session.process_chunk(
+                request.seq, request.samples
+            )
+        except ReproError as exc:
+            status, shed = self._stream_status(exc, "overloaded")
+            return wire.encode_error(status, str(exc), shed=shed)
+        self.metrics.observe_stream_chunk(request.samples.size, len(indices))
+        if not indices:
+            return wire.encode_stream_result(request.seq, [], [], [], 0, 0)
+        try:
+            result = await self.batcher.submit_model(session.model, features)
+        except ReproError as exc:
+            status, shed = self._stream_status(exc, "overloaded")
+            return wire.encode_error(status, str(exc), shed=shed)
+        return wire.encode_stream_result(
+            request.seq,
+            indices,
+            result.projection_raws,
+            result.labels,
+            result.product_overflow_events,
+            result.accumulator_overflow_events,
+        )
+
+    def _stream_close_wire(self, request: "wire.StreamClose") -> bytes:
+        try:
+            session = self.streams.close(request.key)
+        except ReproError as exc:
+            status, shed = self._stream_status(exc, "sessions")
+            return wire.encode_error(status, str(exc), shed=shed)
+        return wire.encode_stream_closed(
+            request.key, session.chunks, session.samples, session.windows
+        )
+
 
 # Read-only HTTP status-code table: never mutated, safe to share across
 # threads and duplicate into spawn workers.
 _REASONS = {  # repro: noqa-RPC005
     200: "OK",
     400: "Bad Request",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",

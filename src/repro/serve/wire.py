@@ -65,10 +65,85 @@ payload length, NaN/inf features, oversized frames — raises
 :class:`~repro.errors.DataError` from the decoder; the server maps that to
 a clean 400 error frame.  The decoder never blocks and never reads past
 ``body_len``, so a hostile peer cannot hang a worker with a crafted frame.
+
+Streaming frames (v2)
+---------------------
+
+``repro.serve-wire/v2`` adds six frame kinds for sessionful waveform
+streaming (:mod:`repro.serve.stream`); kinds 1-3 are byte-identical to v1,
+so every v1 client keeps working unchanged.  Sessions are addressed by a
+client-chosen UTF-8 key carried on every streaming frame.
+
+Stream-open body (``kind=4``)::
+
+    kind        uint8    4
+    reserved    uint8    0
+    key_len     uint16   session-key byte length (1..256)
+    config_len  uint32   JSON config byte length
+    session_key key_len bytes, UTF-8
+    config      config_len bytes, UTF-8 JSON object (front-end config;
+                an optional "model" key selects the registry entry)
+
+Stream-opened body (``kind=5``)::
+
+    kind        uint8    5
+    reserved    uint8    0
+    status      uint16   200
+    key_len     uint16
+    hash_len    uint16   pinned model content-hash byte length
+    session_key key_len bytes, UTF-8
+    content_hash hash_len bytes, ASCII hex
+
+Stream-chunk body (``kind=6``)::
+
+    kind        uint8    6
+    reserved    uint8    0
+    key_len     uint16
+    seq         uint32   chunk sequence number (0, 1, 2, ... in order)
+    n_samples   uint32
+    session_key key_len bytes, UTF-8
+    samples     8 * n_samples bytes, float64 waveform samples
+
+Stream-result body (``kind=7``)::
+
+    kind        uint8    7
+    reserved    uint8    0
+    status      uint16   200
+    seq         uint32   the chunk this result answers
+    n_windows   uint32   windows completed by that chunk (may be 0)
+    window_indices   4 * n_windows bytes, uint32 (session-global)
+    projection_raws  8 * n_windows bytes, int64
+    labels      n_windows bytes, uint8
+    product_overflow_events      uint32
+    accumulator_overflow_events  uint32
+
+Stream-close body (``kind=8``)::
+
+    kind        uint8    8
+    reserved    uint8    0
+    key_len     uint16
+    session_key key_len bytes, UTF-8
+
+Stream-closed body (``kind=9``)::
+
+    kind        uint8    9
+    reserved    uint8    0
+    status      uint16   200
+    key_len     uint16
+    chunks      uint32   chunks accepted over the session's lifetime
+    samples     uint64   waveform samples accepted
+    windows     uint64   windows classified
+    session_key key_len bytes, UTF-8
+
+Session-state violations (unknown key, out-of-order ``seq``) answer with
+an ordinary error frame (``kind=3``, status 409) and keep the connection
+open — the frame boundary was sound, only the session state machine was
+violated.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import struct
 from dataclasses import dataclass
@@ -85,28 +160,53 @@ __all__ = [
     "KIND_REQUEST",
     "KIND_RESPONSE",
     "KIND_ERROR",
+    "KIND_STREAM_OPEN",
+    "KIND_STREAM_OPENED",
+    "KIND_STREAM_CHUNK",
+    "KIND_STREAM_RESULT",
+    "KIND_STREAM_CLOSE",
+    "KIND_STREAM_CLOSED",
     "DTYPE_FLOAT64",
     "DTYPE_RAW_INT64",
     "MAX_BODY_BYTES",
     "MAX_SAMPLES_PER_FRAME",
     "MAX_MODEL_KEY_BYTES",
+    "MAX_SESSION_KEY_BYTES",
     "WireRequest",
     "WireResponse",
     "WireError",
+    "StreamOpen",
+    "StreamOpened",
+    "StreamChunk",
+    "StreamResult",
+    "StreamClose",
+    "StreamClosed",
     "encode_request",
     "encode_response",
     "encode_error",
+    "encode_stream_open",
+    "encode_stream_opened",
+    "encode_stream_chunk",
+    "encode_stream_result",
+    "encode_stream_close",
+    "encode_stream_closed",
     "decode_body",
     "decode_frame",
     "split_frames",
 ]
 
-WIRE_SCHEMA = "repro.serve-wire/v1"
+WIRE_SCHEMA = "repro.serve-wire/v2"
 WIRE_MAGIC = b"RPW1"
 
 KIND_REQUEST = 1
 KIND_RESPONSE = 2
 KIND_ERROR = 3
+KIND_STREAM_OPEN = 4
+KIND_STREAM_OPENED = 5
+KIND_STREAM_CHUNK = 6
+KIND_STREAM_RESULT = 7
+KIND_STREAM_CLOSE = 8
+KIND_STREAM_CLOSED = 9
 
 DTYPE_FLOAT64 = 0
 DTYPE_RAW_INT64 = 1
@@ -116,11 +216,20 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Matches the HTTP path's per-request sample cap.
 MAX_SAMPLES_PER_FRAME = 65536
 MAX_MODEL_KEY_BYTES = 256
+MAX_SESSION_KEY_BYTES = 256
+#: Cap on one stream-open config JSON (far beyond any real front end).
+MAX_CONFIG_BYTES = 65536
 
 _REQUEST_HEAD = struct.Struct("<BBHIHII")  # kind dtype reserved deadline key n m
 _RESPONSE_HEAD = struct.Struct("<BBHHI")  # kind reserved status hash_len n
 _ERROR_HEAD = struct.Struct("<BBHH")  # kind shed status msg_len
 _TRAILER = struct.Struct("<II")  # product / accumulator overflow events
+_STREAM_OPEN_HEAD = struct.Struct("<BBHI")  # kind reserved key_len config_len
+_STREAM_OPENED_HEAD = struct.Struct("<BBHHH")  # kind res status key_len hash_len
+_STREAM_CHUNK_HEAD = struct.Struct("<BBHII")  # kind res key_len seq n_samples
+_STREAM_RESULT_HEAD = struct.Struct("<BBHII")  # kind res status seq n_windows
+_STREAM_CLOSE_HEAD = struct.Struct("<BBH")  # kind reserved key_len
+_STREAM_CLOSED_HEAD = struct.Struct("<BBHHIQQ")  # ... chunks samples windows
 
 
 @dataclass(frozen=True)
@@ -159,8 +268,81 @@ class WireError:
     shed: bool = False
 
 
+@dataclass(frozen=True)
+class StreamOpen:
+    """One decoded stream-open frame: session key + front-end config.
+
+    ``config`` is the decoded JSON object; an optional ``"model"`` key
+    selects the registry entry, everything else parameterizes the signal
+    front end (:class:`~repro.serve.stream.FrontEndConfig`).
+    """
+
+    key: str
+    config: dict
+
+
+@dataclass(frozen=True)
+class StreamOpened:
+    """Open acknowledgement: the session key and its pinned model hash."""
+
+    status: int
+    key: str
+    content_hash: str
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One decoded waveform chunk addressed to an open session."""
+
+    key: str
+    seq: int
+    samples: np.ndarray
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Per-chunk answer: classifications of the windows the chunk completed."""
+
+    status: int
+    seq: int
+    window_indices: np.ndarray
+    projection_raws: np.ndarray
+    labels: np.ndarray
+    product_overflow_events: int
+    accumulator_overflow_events: int
+
+
+@dataclass(frozen=True)
+class StreamClose:
+    """A client's request to close one session."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class StreamClosed:
+    """Close acknowledgement with the session's lifetime totals."""
+
+    status: int
+    key: str
+    chunks: int
+    samples: int
+    windows: int
+
+
 def _frame(body: bytes) -> bytes:
     return WIRE_MAGIC + struct.pack("<I", len(body)) + body
+
+
+def _session_key_bytes(key: str) -> bytes:
+    encoded = key.encode("utf-8")
+    if not encoded:
+        raise DataError("session key must be non-empty")
+    if len(encoded) > MAX_SESSION_KEY_BYTES:
+        raise DataError(
+            f"session key is {len(encoded)} bytes; limit is {MAX_SESSION_KEY_BYTES}"
+        )
+    return encoded
 
 
 # --------------------------------------------------------------------- #
@@ -253,6 +435,113 @@ def encode_error(status: int, message: str, shed: bool = False) -> bytes:
     return _frame(body)
 
 
+def encode_stream_open(key: str, config: dict) -> bytes:
+    """Encode a stream-open frame for session ``key`` with a config object."""
+    if not isinstance(config, dict):
+        raise DataError(f"stream config must be a JSON object, got {type(config)}")
+    encoded_key = _session_key_bytes(key)
+    payload = json.dumps(config, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_CONFIG_BYTES:
+        raise DataError(
+            f"stream config is {len(payload)} bytes; limit is {MAX_CONFIG_BYTES}"
+        )
+    head = _STREAM_OPEN_HEAD.pack(
+        KIND_STREAM_OPEN, 0, len(encoded_key), len(payload)
+    )
+    return _frame(head + encoded_key + payload)
+
+
+def encode_stream_opened(key: str, content_hash: str, status: int = 200) -> bytes:
+    """Encode the server's open acknowledgement with the pinned model hash."""
+    encoded_key = _session_key_bytes(key)
+    digest = content_hash.encode("ascii")
+    head = _STREAM_OPENED_HEAD.pack(
+        KIND_STREAM_OPENED, 0, int(status), len(encoded_key), len(digest)
+    )
+    return _frame(head + encoded_key + digest)
+
+
+def encode_stream_chunk(key: str, seq: int, samples: np.ndarray) -> bytes:
+    """Encode one waveform chunk (1-D float64) for session ``key``."""
+    encoded_key = _session_key_bytes(key)
+    arr = np.ascontiguousarray(np.asarray(samples, dtype=np.float64))
+    if arr.ndim != 1 or arr.size == 0:
+        raise DataError(
+            f"stream chunk needs a non-empty 1-D sample vector, got shape {arr.shape}"
+        )
+    if arr.size > MAX_SAMPLES_PER_FRAME:
+        raise DataError(
+            f"stream chunk carries {arr.size} samples; "
+            f"limit is {MAX_SAMPLES_PER_FRAME}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise DataError("stream chunk samples contain NaN or infinity")
+    if seq < 0 or seq > 0xFFFFFFFF:
+        raise DataError(f"chunk seq {seq} outside [0, 2**32)")
+    head = _STREAM_CHUNK_HEAD.pack(
+        KIND_STREAM_CHUNK, 0, len(encoded_key), int(seq), arr.size
+    )
+    return _frame(head + encoded_key + arr.astype("<f8", copy=False).tobytes())
+
+
+def encode_stream_result(
+    seq: int,
+    window_indices: np.ndarray,
+    projection_raws: np.ndarray,
+    labels: np.ndarray,
+    product_overflow_events: int,
+    accumulator_overflow_events: int,
+    status: int = 200,
+) -> bytes:
+    """Encode the classifications of the windows one chunk completed."""
+    indices = np.ascontiguousarray(np.asarray(window_indices, dtype=np.uint32))
+    raws = np.ascontiguousarray(np.asarray(projection_raws, dtype=np.int64))
+    labs = np.ascontiguousarray(np.asarray(labels, dtype=np.uint8))
+    if indices.ndim != 1 or raws.shape != indices.shape or labs.shape != indices.shape:
+        raise DataError(
+            f"stream result arrays must be matching 1-d, got "
+            f"{indices.shape}/{raws.shape}/{labs.shape}"
+        )
+    head = _STREAM_RESULT_HEAD.pack(
+        KIND_STREAM_RESULT, 0, int(status), int(seq), indices.size
+    )
+    body = (
+        head
+        + indices.astype("<u4", copy=False).tobytes()
+        + raws.astype("<i8", copy=False).tobytes()
+        + labs.tobytes()
+        + _TRAILER.pack(
+            int(product_overflow_events), int(accumulator_overflow_events)
+        )
+    )
+    return _frame(body)
+
+
+def encode_stream_close(key: str) -> bytes:
+    """Encode a close request for session ``key``."""
+    encoded_key = _session_key_bytes(key)
+    return _frame(
+        _STREAM_CLOSE_HEAD.pack(KIND_STREAM_CLOSE, 0, len(encoded_key)) + encoded_key
+    )
+
+
+def encode_stream_closed(
+    key: str, chunks: int, samples: int, windows: int, status: int = 200
+) -> bytes:
+    """Encode the close acknowledgement with the session's lifetime totals."""
+    encoded_key = _session_key_bytes(key)
+    head = _STREAM_CLOSED_HEAD.pack(
+        KIND_STREAM_CLOSED,
+        0,
+        int(status),
+        len(encoded_key),
+        int(chunks),
+        int(samples),
+        int(windows),
+    )
+    return _frame(head + encoded_key)
+
+
 # --------------------------------------------------------------------- #
 # Decoding
 # --------------------------------------------------------------------- #
@@ -281,6 +570,18 @@ def decode_body(body: bytes) -> "WireRequest | WireResponse | WireError":
         return _decode_response(body)
     if kind == KIND_ERROR:
         return _decode_error(body)
+    if kind == KIND_STREAM_OPEN:
+        return _decode_stream_open(body)
+    if kind == KIND_STREAM_OPENED:
+        return _decode_stream_opened(body)
+    if kind == KIND_STREAM_CHUNK:
+        return _decode_stream_chunk(body)
+    if kind == KIND_STREAM_RESULT:
+        return _decode_stream_result(body)
+    if kind == KIND_STREAM_CLOSE:
+        return _decode_stream_close(body)
+    if kind == KIND_STREAM_CLOSED:
+        return _decode_stream_closed(body)
     raise DataError(f"unknown wire frame kind {kind}")
 
 
@@ -370,6 +671,158 @@ def _decode_error(body: bytes) -> WireError:
     return WireError(status=int(status), message=message, shed=bool(shed))
 
 
+def _decode_key(body: bytes, offset: int, key_len: int, what: str) -> str:
+    if key_len < 1:
+        raise DataError(f"{what} carries an empty session key")
+    if key_len > MAX_SESSION_KEY_BYTES:
+        raise DataError(
+            f"session key is {key_len} bytes; limit is {MAX_SESSION_KEY_BYTES}"
+        )
+    try:
+        return body[offset:offset + key_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"session key is not valid UTF-8: {exc}") from exc
+
+
+def _decode_stream_open(body: bytes) -> StreamOpen:
+    _need(body, _STREAM_OPEN_HEAD.size, "stream-open header")
+    _kind, reserved, key_len, config_len = _STREAM_OPEN_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-open reserved field must be 0, got {reserved}")
+    if config_len > MAX_CONFIG_BYTES:
+        raise DataError(
+            f"stream config is {config_len} bytes; limit is {MAX_CONFIG_BYTES}"
+        )
+    expected = _STREAM_OPEN_HEAD.size + key_len + config_len
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-open frame: needs a {expected}-byte body, "
+            f"got {len(body)}"
+        )
+    key = _decode_key(body, _STREAM_OPEN_HEAD.size, key_len, "stream-open")
+    config_start = _STREAM_OPEN_HEAD.size + key_len
+    try:
+        config = json.loads(body[config_start:expected].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise DataError(f"stream config is not valid JSON: {exc}") from exc
+    if not isinstance(config, dict):
+        raise DataError(
+            f"stream config must be a JSON object, got {type(config).__name__}"
+        )
+    return StreamOpen(key=key, config=config)
+
+
+def _decode_stream_opened(body: bytes) -> StreamOpened:
+    _need(body, _STREAM_OPENED_HEAD.size, "stream-opened header")
+    _kind, reserved, status, key_len, hash_len = _STREAM_OPENED_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-opened reserved field must be 0, got {reserved}")
+    expected = _STREAM_OPENED_HEAD.size + key_len + hash_len
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-opened frame: needs a {expected}-byte body, "
+            f"got {len(body)}"
+        )
+    key = _decode_key(body, _STREAM_OPENED_HEAD.size, key_len, "stream-opened")
+    hash_start = _STREAM_OPENED_HEAD.size + key_len
+    try:
+        digest = body[hash_start:expected].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise DataError(f"content hash is not ASCII: {exc}") from exc
+    return StreamOpened(status=int(status), key=key, content_hash=digest)
+
+
+def _decode_stream_chunk(body: bytes) -> StreamChunk:
+    _need(body, _STREAM_CHUNK_HEAD.size, "stream-chunk header")
+    _kind, reserved, key_len, seq, n = _STREAM_CHUNK_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-chunk reserved field must be 0, got {reserved}")
+    if n < 1:
+        raise DataError("stream chunk declares zero samples")
+    if n > MAX_SAMPLES_PER_FRAME:
+        raise DataError(
+            f"stream chunk carries {n} samples; limit is {MAX_SAMPLES_PER_FRAME}"
+        )
+    expected = _STREAM_CHUNK_HEAD.size + key_len + 8 * n
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-chunk frame: {n} samples with a {key_len}-byte key "
+            f"needs a {expected}-byte body, got {len(body)}"
+        )
+    key = _decode_key(body, _STREAM_CHUNK_HEAD.size, key_len, "stream-chunk")
+    samples = np.frombuffer(
+        body, dtype="<f8", count=n, offset=_STREAM_CHUNK_HEAD.size + key_len
+    )
+    if not np.all(np.isfinite(samples)):
+        raise DataError("stream chunk samples contain NaN or infinity")
+    return StreamChunk(key=key, seq=int(seq), samples=samples)
+
+
+def _decode_stream_result(body: bytes) -> StreamResult:
+    _need(body, _STREAM_RESULT_HEAD.size, "stream-result header")
+    _kind, reserved, status, seq, n = _STREAM_RESULT_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-result reserved field must be 0, got {reserved}")
+    expected = _STREAM_RESULT_HEAD.size + 13 * n + _TRAILER.size
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-result frame: {n} windows needs a "
+            f"{expected}-byte body, got {len(body)}"
+        )
+    offset = _STREAM_RESULT_HEAD.size
+    indices = np.frombuffer(body, dtype="<u4", count=n, offset=offset)
+    raws = np.frombuffer(body, dtype="<i8", count=n, offset=offset + 4 * n)
+    labels = np.frombuffer(body, dtype=np.uint8, count=n, offset=offset + 12 * n)
+    product, accumulator = _TRAILER.unpack_from(body, offset + 13 * n)
+    return StreamResult(
+        status=int(status),
+        seq=int(seq),
+        window_indices=indices,
+        projection_raws=raws,
+        labels=labels,
+        product_overflow_events=int(product),
+        accumulator_overflow_events=int(accumulator),
+    )
+
+
+def _decode_stream_close(body: bytes) -> StreamClose:
+    _need(body, _STREAM_CLOSE_HEAD.size, "stream-close header")
+    _kind, reserved, key_len = _STREAM_CLOSE_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-close reserved field must be 0, got {reserved}")
+    expected = _STREAM_CLOSE_HEAD.size + key_len
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-close frame: needs a {expected}-byte body, "
+            f"got {len(body)}"
+        )
+    return StreamClose(key=_decode_key(body, _STREAM_CLOSE_HEAD.size, key_len,
+                                       "stream-close"))
+
+
+def _decode_stream_closed(body: bytes) -> StreamClosed:
+    _need(body, _STREAM_CLOSED_HEAD.size, "stream-closed header")
+    (
+        _kind, reserved, status, key_len, chunks, samples, windows,
+    ) = _STREAM_CLOSED_HEAD.unpack_from(body)
+    if reserved != 0:
+        raise DataError(f"stream-closed reserved field must be 0, got {reserved}")
+    expected = _STREAM_CLOSED_HEAD.size + key_len
+    if len(body) != expected:
+        raise DataError(
+            f"ragged stream-closed frame: needs a {expected}-byte body, "
+            f"got {len(body)}"
+        )
+    key = _decode_key(body, _STREAM_CLOSED_HEAD.size, key_len, "stream-closed")
+    return StreamClosed(
+        status=int(status),
+        key=key,
+        chunks=int(chunks),
+        samples=int(samples),
+        windows=int(windows),
+    )
+
+
 def decode_frame(data: bytes) -> Tuple["WireRequest | WireResponse | WireError", int]:
     """Decode the first complete frame in ``data``.
 
@@ -419,13 +872,16 @@ class WireClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _read_frame(self) -> "WireResponse | WireError":
+    def _read_frame(self):
         while True:
             frames, self._buffer = split_frames(self._buffer)
             if frames:
                 decoded = frames[0]
-                if isinstance(decoded, WireRequest):
-                    raise DataError("server sent a request frame to a client")
+                if isinstance(decoded, (WireRequest, StreamOpen, StreamChunk,
+                                        StreamClose)):
+                    raise DataError(
+                        "server sent a client-to-server frame to a client"
+                    )
                 return decoded
             chunk = self._sock.recv(65536)
             if not chunk:
@@ -453,6 +909,34 @@ class WireClient:
     def send_bytes(self, payload: bytes) -> "WireResponse | WireError":
         """Send arbitrary bytes and read one frame back (fuzzing hook)."""
         self._sock.sendall(payload)
+        return self._read_frame()
+
+    # ------------------------------------------------------------------ #
+    # Streaming sessions (v2)
+    # ------------------------------------------------------------------ #
+    def open_stream(self, key: str, config: "dict | None" = None,
+                    model: Optional[str] = None) -> "StreamOpened | WireError":
+        """Open a streaming session; returns the ack with the pinned hash.
+
+        ``config`` parameterizes the front end (see
+        :class:`~repro.serve.stream.FrontEndConfig`); ``model``, when
+        given, is folded into it as the registry key to serve.
+        """
+        payload = dict(config or {})
+        if model is not None:
+            payload["model"] = model
+        self._sock.sendall(encode_stream_open(key, payload))
+        return self._read_frame()
+
+    def send_chunk(self, key: str, seq: int,
+                   samples: np.ndarray) -> "StreamResult | WireError":
+        """Push one waveform chunk; blocks for its per-chunk result frame."""
+        self._sock.sendall(encode_stream_chunk(key, seq, samples))
+        return self._read_frame()
+
+    def close_stream(self, key: str) -> "StreamClosed | WireError":
+        """Close the session; returns its lifetime totals."""
+        self._sock.sendall(encode_stream_close(key))
         return self._read_frame()
 
 

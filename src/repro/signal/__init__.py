@@ -2,8 +2,10 @@
 
 Raw-signal simulation (:mod:`timeseries`), filter design and application
 (:mod:`filters`), spectral estimation (:mod:`spectrum`), band-power feature
-extraction (:mod:`features`), and the fixed-point FIR datapath
-(:mod:`fxfir`).
+extraction (:mod:`features`), the fixed-point FIR datapath (:mod:`fxfir`),
+and the stateful streaming steppers (:mod:`stream`) that are bit-exact
+with the one-shot calls — the substrate of the serving plane's streaming
+sessions.
 """
 
 from .features import (
@@ -19,11 +21,29 @@ from .filters import (
     butterworth_bandpass,
     design_fir,
     filtfilt_fir,
+    fir_direct,
 )
 from .fxbiquad import FixedPointBiquad, is_stable_after_quantization, quantized_poles
 from .fxfir import FixedPointFir
-from .preprocess import decimate, design_notch, remove_powerline
+from .preprocess import (
+    decimate,
+    decimation_taps,
+    design_notch,
+    powerline_sections,
+    remove_powerline,
+)
 from .spectrum import PsdEstimate, band_power, log_band_power, periodogram, welch_psd
+from .stream import (
+    BiquadCascadeStream,
+    BiquadStream,
+    DecimatorStream,
+    FirStream,
+    FixedPointBiquadStream,
+    FixedPointFirStream,
+    PowerlineStream,
+    WindowStream,
+    slice_windows,
+)
 from .timeseries import EcogSimulator, EcogSimulatorConfig, EcogTrial
 
 __all__ = [
@@ -34,6 +54,7 @@ __all__ = [
     "Biquad",
     "apply_biquads",
     "apply_fir",
+    "fir_direct",
     "butterworth_bandpass",
     "design_fir",
     "filtfilt_fir",
@@ -42,13 +63,24 @@ __all__ = [
     "is_stable_after_quantization",
     "quantized_poles",
     "decimate",
+    "decimation_taps",
     "design_notch",
+    "powerline_sections",
     "remove_powerline",
     "PsdEstimate",
     "band_power",
     "log_band_power",
     "periodogram",
     "welch_psd",
+    "BiquadCascadeStream",
+    "BiquadStream",
+    "DecimatorStream",
+    "FirStream",
+    "FixedPointBiquadStream",
+    "FixedPointFirStream",
+    "PowerlineStream",
+    "WindowStream",
+    "slice_windows",
     "EcogSimulator",
     "EcogSimulatorConfig",
     "EcogTrial",

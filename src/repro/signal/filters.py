@@ -27,6 +27,7 @@ from ..errors import DataError
 __all__ = [
     "design_fir",
     "apply_fir",
+    "fir_direct",
     "filtfilt_fir",
     "Biquad",
     "butterworth_bandpass",
@@ -127,6 +128,35 @@ def apply_fir(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:
     if x.ndim != 1:
         raise DataError(f"signal must be 1-D, got shape {x.shape}")
     return np.convolve(x, h)[: x.size]
+
+
+def fir_direct(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:
+    """Causal FIR filtering with exactly-rounded per-output sums.
+
+    Same mathematical result as :func:`apply_fir`, but each output is the
+    correctly-rounded sum (``math.fsum``) of its window products over the
+    zero-prefixed signal.  Because the exact sum depends only on the window
+    *contents* — not on summation order, buffer alignment, or BLAS kernel
+    selection — this core is **chunk-stable**: filtering a signal in
+    arbitrary chunk partitions (with the window history carried across
+    chunks) is bit-identical to filtering it in one shot.  The streaming
+    front end (:mod:`repro.signal.stream`) and the one-shot
+    :func:`repro.signal.preprocess.decimate` share this core so the
+    ``stream_vs_batch`` conformance oracle can demand bit-identity.
+    """
+    h = np.asarray(taps, dtype=np.float64)
+    x = np.asarray(signal, dtype=np.float64)
+    if h.ndim != 1 or h.size == 0:
+        raise DataError(f"taps must be a non-empty vector, got {h.shape}")
+    if x.ndim != 1:
+        raise DataError(f"signal must be 1-D, got shape {x.shape}")
+    m = h.size
+    padded = np.concatenate([np.zeros(m - 1), x])
+    reversed_taps = h[::-1]
+    out = np.empty(x.size)
+    for i in range(x.size):
+        out[i] = math.fsum(padded[i : i + m] * reversed_taps)
+    return out
 
 
 def filtfilt_fir(taps: np.ndarray, signal: np.ndarray) -> np.ndarray:

@@ -150,3 +150,12 @@ class FixedPointBiquad:
         """Float filtering with the quantized coefficients (no datapath
         effects)."""
         return self.quantized_section.apply(np.asarray(signal, dtype=np.float64))
+
+    def stream(self):
+        """A stateful stepper over this section, bit-exact with :meth:`apply`.
+
+        See :class:`repro.signal.stream.FixedPointBiquadStream`.
+        """
+        from .stream import FixedPointBiquadStream
+
+        return FixedPointBiquadStream(self)

@@ -130,3 +130,12 @@ class FixedPointFir:
         effects) — the baseline the fixed-point error is measured against."""
         x = np.asarray(signal, dtype=np.float64)
         return np.convolve(x, self.quantized_taps)[: x.size]
+
+    def stream(self):
+        """A stateful stepper over this filter, bit-exact with :meth:`apply`.
+
+        See :class:`repro.signal.stream.FixedPointFirStream`.
+        """
+        from .stream import FixedPointFirStream
+
+        return FixedPointFirStream(self)

@@ -6,19 +6,30 @@ and decimate the over-sampled ADC stream down to the analysis rate behind
 an anti-alias lowpass.  Both are implemented here on top of
 :mod:`repro.signal.filters` and validated against ``scipy.signal`` designs
 in the tests.
+
+The section/tap builders (:func:`powerline_sections`,
+:func:`decimation_taps`) are factored out so the stateful streaming path
+(:mod:`repro.signal.stream`) runs the *same* designed filters — the
+``stream_vs_batch`` conformance oracle holds chunked streaming to
+bit-identity with the one-shot functions here.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DataError
-from .filters import Biquad, apply_biquads, apply_fir, design_fir
+from ..errors import InputValidationError
+from .filters import Biquad, apply_biquads, design_fir, fir_direct
 
-__all__ = ["design_notch", "remove_powerline", "decimate"]
+__all__ = [
+    "design_notch",
+    "powerline_sections",
+    "remove_powerline",
+    "decimation_taps",
+    "decimate",
+]
 
 
 def design_notch(notch_hz: float, sample_rate: float, quality: float = 30.0) -> Biquad:
@@ -27,17 +38,43 @@ def design_notch(notch_hz: float, sample_rate: float, quality: float = 30.0) -> 
     ``quality`` sets the notch width: bandwidth = notch_hz / quality.
     """
     if not 0 < notch_hz < sample_rate / 2:
-        raise DataError(
+        raise InputValidationError(
             f"notch frequency {notch_hz} outside (0, {sample_rate / 2})"
         )
     if quality <= 0:
-        raise DataError(f"quality must be > 0, got {quality}")
+        raise InputValidationError(f"quality must be > 0, got {quality}")
     omega = 2.0 * math.pi * notch_hz / sample_rate
     alpha = math.sin(omega) / (2.0 * quality)
     cos_w = math.cos(omega)
     b0, b1, b2 = 1.0, -2.0 * cos_w, 1.0
     a0, a1, a2 = 1.0 + alpha, -2.0 * cos_w, 1.0 - alpha
     return Biquad(b0=b0 / a0, b1=b1 / a0, b2=b2 / a0, a1=a1 / a0, a2=a2 / a0)
+
+
+def powerline_sections(
+    sample_rate: float,
+    mains_hz: float = 50.0,
+    harmonics: int = 2,
+    quality: float = 30.0,
+) -> "list[Biquad]":
+    """The notch cascade :func:`remove_powerline` applies, as sections.
+
+    Harmonics at or above Nyquist are skipped silently (they do not exist
+    in the sampled signal); an empty cascade is rejected.
+    """
+    if harmonics < 1:
+        raise InputValidationError(f"harmonics must be >= 1, got {harmonics}")
+    sections = []
+    for k in range(1, harmonics + 1):
+        freq = k * mains_hz
+        if freq >= sample_rate / 2:
+            break
+        sections.append(design_notch(freq, sample_rate, quality=quality))
+    if not sections:
+        raise InputValidationError(
+            f"no notch below Nyquist for mains {mains_hz} Hz at fs {sample_rate}"
+        )
+    return sections
 
 
 def remove_powerline(
@@ -52,19 +89,18 @@ def remove_powerline(
     Harmonics above Nyquist are skipped silently (they do not exist in the
     sampled signal).
     """
-    if harmonics < 1:
-        raise DataError(f"harmonics must be >= 1, got {harmonics}")
-    sections = []
-    for k in range(1, harmonics + 1):
-        freq = k * mains_hz
-        if freq >= sample_rate / 2:
-            break
-        sections.append(design_notch(freq, sample_rate, quality=quality))
-    if not sections:
-        raise DataError(
-            f"no notch below Nyquist for mains {mains_hz} Hz at fs {sample_rate}"
-        )
+    sections = powerline_sections(
+        sample_rate, mains_hz=mains_hz, harmonics=harmonics, quality=quality
+    )
     return apply_biquads(sections, np.asarray(signal, dtype=np.float64))
+
+
+def decimation_taps(factor: int, num_taps: int = 63) -> np.ndarray:
+    """The anti-alias lowpass :func:`decimate` uses: 0.8x the new Nyquist."""
+    if factor < 2:
+        raise InputValidationError(f"factor must be >= 2, got {factor}")
+    cutoff = 0.8 * (0.5 / factor)  # normalized to the input rate
+    return design_fir(num_taps, cutoff, kind="lowpass", sample_rate=1.0)
 
 
 def decimate(
@@ -73,17 +109,21 @@ def decimate(
     num_taps: int = 63,
 ) -> np.ndarray:
     """Anti-aliased integer decimation: FIR lowpass at 0.8x the new Nyquist,
-    then keep every ``factor``-th sample."""
+    then keep every ``factor``-th sample.
+
+    The lowpass runs through :func:`~repro.signal.filters.fir_direct`
+    (exactly-rounded window sums), so decimating a stream chunk by chunk
+    (:class:`repro.signal.stream.DecimatorStream`) reproduces these bits.
+    """
     if factor < 1:
-        raise DataError(f"factor must be >= 1, got {factor}")
+        raise InputValidationError(f"factor must be >= 1, got {factor}")
     x = np.asarray(signal, dtype=np.float64)
     if x.ndim != 1:
-        raise DataError(f"signal must be 1-D, got shape {x.shape}")
+        raise InputValidationError(f"signal must be 1-D, got shape {x.shape}")
     if factor == 1:
         return x.copy()
-    cutoff = 0.8 * (0.5 / factor)  # normalized to the input rate
-    taps = design_fir(num_taps, cutoff, kind="lowpass", sample_rate=1.0)
-    filtered = apply_fir(taps, x)
+    taps = decimation_taps(factor, num_taps)
+    filtered = fir_direct(taps, x)
     # Compensate the FIR group delay so decimated samples align.
     delay = (num_taps - 1) // 2
     aligned = np.concatenate([filtered[delay:], np.zeros(delay)])

@@ -16,6 +16,7 @@ class TestRegistry:
             "native_vs_fast",
             "serialize-roundtrip",
             "wire_roundtrip",
+            "stream_vs_batch",
             "certifier-replay",
             "solver-parallel-serial",
             "presolve_vs_plain",

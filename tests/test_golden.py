@@ -44,6 +44,8 @@ class TestRegistry:
             "pareto",
             "serve_metrics",
             "serve_wire",
+            "stream_session",
+            "stream_wire",
             "ecg_wl8",
             "native_engine",
         }
@@ -124,12 +126,27 @@ class TestPinnedBehaviours:
             "errors_total",
             "requests_shed_total",
             "shed_by_reason",
+            "sessions_opened_total",
+            "sessions_closed_total",
+            "sessions_evicted_total",
+            "sessions_active",
+            "stream_chunks_total",
+            "stream_samples_total",
+            "stream_windows_total",
             "request_latency",
             "models",
         }
-        assert data["schema"] == "repro.serve-metrics/v2"
-        assert data["requests_shed_total"] == 3
-        assert data["shed_by_reason"] == {"deadline": 1, "overloaded": 2}
+        assert data["schema"] == "repro.serve-metrics/v3"
+        assert data["requests_shed_total"] == 4
+        assert data["shed_by_reason"] == {
+            "deadline": 1, "overloaded": 2, "sessions": 1
+        }
+        # v3 session lifecycle: 2 opened - 1 closed - 1 evicted = 0 active.
+        assert data["sessions_opened_total"] == 2
+        assert data["sessions_active"] == 0
+        assert data["stream_chunks_total"] == 2
+        assert data["stream_samples_total"] == 250
+        assert data["stream_windows_total"] == 1
         assert set(data["request_latency"]) == {
             "count",
             "sum_seconds",

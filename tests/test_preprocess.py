@@ -6,8 +6,14 @@ import numpy as np
 import pytest
 import scipy.signal as ss
 
-from repro.errors import DataError
-from repro.signal.preprocess import decimate, design_notch, remove_powerline
+from repro.errors import InputValidationError
+from repro.signal.preprocess import (
+    decimate,
+    decimation_taps,
+    design_notch,
+    powerline_sections,
+    remove_powerline,
+)
 from repro.signal.spectrum import band_power, welch_psd
 
 
@@ -56,10 +62,17 @@ class TestNotch:
         assert band_power(psd, 18.0, 22.0) == pytest.approx(0.5, rel=0.1)
 
     def test_validation(self):
-        with pytest.raises(DataError):
+        # Regression: validation failures are InputValidationError (a
+        # structured 400 at the serving boundary), not a bare ValueError
+        # or the transport-level DataError.
+        with pytest.raises(InputValidationError):
             design_notch(300.0, 500.0)
-        with pytest.raises(DataError):
+        with pytest.raises(InputValidationError):
             design_notch(50.0, 500.0, quality=0.0)
+        with pytest.raises(InputValidationError):
+            design_notch(0.0, 500.0)
+        with pytest.raises(InputValidationError):
+            design_notch(-10.0, 500.0)
 
 
 class TestRemovePowerline:
@@ -85,12 +98,29 @@ class TestRemovePowerline:
         assert out.shape == signal.shape
 
     def test_no_valid_notch_rejected(self):
-        with pytest.raises(DataError):
+        with pytest.raises(InputValidationError):
             remove_powerline(np.zeros(100), 80.0, mains_hz=50.0)
 
     def test_bad_harmonics(self):
-        with pytest.raises(DataError):
+        with pytest.raises(InputValidationError):
             remove_powerline(np.zeros(100), 500.0, harmonics=0)
+
+    def test_sections_match_applied_filter(self):
+        # powerline_sections is the factored-out design the streaming path
+        # runs; it must be exactly the cascade remove_powerline applies.
+        sections = powerline_sections(500.0, mains_hz=50.0, harmonics=2)
+        assert len(sections) == 2
+        signal = np.random.default_rng(1).standard_normal(256)
+        out = signal
+        for section in sections:
+            out = section.apply(out)
+        assert np.array_equal(out, remove_powerline(signal, 500.0, harmonics=2))
+
+    def test_sections_validation(self):
+        with pytest.raises(InputValidationError):
+            powerline_sections(500.0, harmonics=0)
+        with pytest.raises(InputValidationError):
+            powerline_sections(80.0, mains_hz=50.0)
 
 
 class TestDecimate:
@@ -126,7 +156,13 @@ class TestDecimate:
         assert band_power(psd, 18.0, 22.0) == pytest.approx(0.5, rel=0.15)
 
     def test_validation(self):
-        with pytest.raises(DataError):
+        with pytest.raises(InputValidationError):
             decimate(np.zeros(10), 0)
-        with pytest.raises(DataError):
+        with pytest.raises(InputValidationError):
             decimate(np.zeros((2, 5)), 2)
+
+    def test_taps_validation(self):
+        with pytest.raises(InputValidationError):
+            decimation_taps(1)
+        taps = decimation_taps(4, num_taps=63)
+        assert taps.size == 63

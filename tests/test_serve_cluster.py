@@ -158,7 +158,7 @@ class TestClusterEndToEnd:
         with urllib.request.urlopen(url, timeout=10) as response:
             payload = json.loads(response.read())
         assert payload["schema"] == "repro.serve-cluster-metrics/v1"
-        assert payload["aggregate"]["schema"] == "repro.serve-metrics/v2"
+        assert payload["aggregate"]["schema"] == "repro.serve-metrics/v3"
         # Both workers must be scrapable regardless of which one the kernel
         # handed the data-port connections to.
         assert set(payload["workers"]) == {"s0.w0", "s0.w1"}

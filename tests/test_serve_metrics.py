@@ -45,7 +45,7 @@ class TestServeMetrics:
         metrics.observe_batch("m", result, 0.0005, content_hash="abc123")
         metrics.observe_error()
         snap = metrics.to_dict()
-        assert snap["schema"] == "repro.serve-metrics/v2"
+        assert snap["schema"] == "repro.serve-metrics/v3"
         assert snap["requests_total"] == 1
         assert snap["samples_total"] == 3
         assert snap["batches_total"] == 1
@@ -60,7 +60,7 @@ class TestServeMetrics:
         metrics = ServeMetrics()
         metrics.observe_request("m", 1, 0.001)
         payload = json.loads(metrics.to_json())
-        assert payload["schema"] == "repro.serve-metrics/v2"
+        assert payload["schema"] == "repro.serve-metrics/v3"
         assert payload["models"]["m"]["requests"] == 1
 
     def test_prometheus_rendering(self):
@@ -134,7 +134,7 @@ class TestMergeSnapshots:
         merged = merge_snapshots(
             [self._snap("w0", 2, ["overloaded"]), self._snap("w1", 3, ["deadline"])]
         )
-        assert merged["schema"] == "repro.serve-metrics/v2"
+        assert merged["schema"] == "repro.serve-metrics/v3"
         assert merged["worker"] == ""
         assert merged["requests_total"] == 5
         assert merged["samples_total"] == 10

@@ -191,7 +191,7 @@ class TestObservability:
         status, body = _get(server.url + "/metrics.json")
         assert status == 200
         payload = json.loads(body)
-        assert payload["schema"] == "repro.serve-metrics/v2"
+        assert payload["schema"] == "repro.serve-metrics/v3"
         assert payload["requests_total"] >= 1
 
     def test_unknown_route_is_404(self, server):

@@ -1,0 +1,290 @@
+"""Bit-exactness and error-path tests for the stateful signal steppers.
+
+Every stepper in :mod:`repro.signal.stream` must reproduce its one-shot
+reference **bit for bit** under any chunk partition — that equality is
+what lets the streaming serving plane claim byte-identity with the
+certified offline pipeline.  The ``stream_vs_batch`` oracle fuzzes random
+partitions; these tests pin the named edge cases (single-sample chunks,
+chunks larger than the state, signals shorter than the decimator's group
+delay, hop larger than window) and the validation surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, InputValidationError
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+from repro.signal.filters import design_fir, fir_direct
+from repro.signal.fxbiquad import FixedPointBiquad
+from repro.signal.fxfir import FixedPointFir
+from repro.signal.preprocess import (
+    decimate,
+    design_notch,
+    remove_powerline,
+)
+from repro.signal.stream import (
+    BiquadCascadeStream,
+    BiquadStream,
+    DecimatorStream,
+    FirStream,
+    FixedPointBiquadStream,
+    FixedPointFirStream,
+    PowerlineStream,
+    WindowStream,
+    slice_windows,
+)
+
+
+def partitions(n: int):
+    """A fixed set of adversarial chunk partitions of length ``n``."""
+    out = [[n]]  # one chunk == the one-shot call itself
+    if n > 1:
+        out.append([1] * n)  # sample at a time
+        out.append([n - 1, 1])
+        out.append([1, n - 1])
+    if n > 7:
+        sizes, remaining, step = [], n, 1
+        while remaining > 0:
+            take = min(step, remaining)
+            sizes.append(take)
+            remaining -= take
+            step = step * 2 + 1
+        out.append(sizes)
+    return out
+
+
+def chunked(stream, signal, sizes):
+    pieces, start = [], 0
+    for size in sizes:
+        pieces.append(stream.process(signal[start : start + size]))
+        start += size
+    return np.concatenate(pieces)
+
+
+@pytest.fixture()
+def signal():
+    return np.random.default_rng(42).uniform(-3.0, 3.0, size=97)
+
+
+# --------------------------------------------------------------------- #
+# Fixed-point FIR
+# --------------------------------------------------------------------- #
+class TestFixedPointFirStream:
+    @pytest.mark.parametrize("rounding", [RoundingMode.NEAREST_AWAY, RoundingMode.FLOOR])
+    def test_bit_exact_all_partitions(self, signal, rounding):
+        fir = FixedPointFir(
+            taps=design_fir(15, (1.0, 40.0), kind="bandpass", sample_rate=250.0),
+            fmt=QFormat(3, 6),
+            guard_bits=4,
+            rounding=rounding,
+        )
+        want = fir.apply(signal)
+        for sizes in partitions(signal.size):
+            assert np.array_equal(chunked(fir.stream(), signal, sizes), want)
+
+    def test_zero_guard_bits_wrap_path(self, signal):
+        # guard_bits=0 forces accumulator wraps; the stream must reproduce
+        # the wrapped bits too, not just the easy in-range ones.
+        fir = FixedPointFir(
+            taps=np.full(9, 0.9), fmt=QFormat(2, 5), guard_bits=0
+        )
+        want = fir.apply(signal * 2.0)
+        got = chunked(fir.stream(), signal * 2.0, [13] * 7 + [6])
+        assert np.array_equal(got, want)
+
+    def test_stream_counts_samples(self, signal):
+        stream = FixedPointFirStream(
+            FixedPointFir(taps=np.array([0.5, 0.25]), fmt=QFormat(3, 4))
+        )
+        stream.process(signal[:10])
+        stream.process(signal[10:25])
+        assert stream.samples_in == 25
+
+    def test_rejects_2d_chunk(self):
+        stream = FixedPointFir(taps=np.array([1.0]), fmt=QFormat(3, 4)).stream()
+        with pytest.raises(InputValidationError):
+            stream.process(np.zeros((2, 3)))
+
+    def test_fxfir_validation(self):
+        with pytest.raises(DataError):
+            FixedPointFir(taps=np.zeros((2, 2)), fmt=QFormat(3, 4))
+        with pytest.raises(DataError):
+            FixedPointFir(taps=np.zeros(0), fmt=QFormat(3, 4))
+        with pytest.raises(DataError):
+            FixedPointFir(taps=np.array([1.0]), fmt=QFormat(3, 4), guard_bits=-1)
+        with pytest.raises(DataError):
+            FixedPointFir(taps=np.array([1.0]), fmt=QFormat(3, 4)).apply(
+                np.zeros((2, 3))
+            )
+
+
+# --------------------------------------------------------------------- #
+# Fixed-point biquad
+# --------------------------------------------------------------------- #
+class TestFixedPointBiquadStream:
+    def test_bit_exact_all_partitions(self, signal):
+        biquad = FixedPointBiquad(
+            section=design_notch(50.0, 250.0, quality=10.0), fmt=QFormat(3, 10)
+        )
+        want = biquad.apply(signal)
+        for sizes in partitions(signal.size):
+            assert np.array_equal(chunked(biquad.stream(), signal, sizes), want)
+
+    def test_saturating_inputs(self):
+        biquad = FixedPointBiquad(
+            section=design_notch(60.0, 500.0, quality=5.0), fmt=QFormat(2, 9)
+        )
+        loud = np.random.default_rng(7).uniform(-40.0, 40.0, size=50)
+        assert np.array_equal(
+            chunked(biquad.stream(), loud, [7] * 7 + [1]), biquad.apply(loud)
+        )
+
+    def test_stream_state_is_fresh_per_instance(self, signal):
+        biquad = FixedPointBiquad(
+            section=design_notch(50.0, 250.0, quality=10.0), fmt=QFormat(3, 10)
+        )
+        first = FixedPointBiquadStream(biquad)
+        first.process(signal)
+        # A second stream starts from zero registers, not the first's.
+        assert np.array_equal(
+            FixedPointBiquadStream(biquad).process(signal[:20]),
+            biquad.apply(signal[:20]),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Float biquads, cascade, powerline
+# --------------------------------------------------------------------- #
+class TestFloatBiquadStreams:
+    def test_single_section_bit_exact(self, signal):
+        section = design_notch(50.0, 250.0)
+        want = section.apply(signal)
+        for sizes in partitions(signal.size):
+            assert np.array_equal(chunked(BiquadStream(section), signal, sizes), want)
+
+    def test_cascade_bit_exact(self, signal):
+        want = remove_powerline(signal, 500.0, harmonics=3)
+        got = chunked(PowerlineStream(500.0, harmonics=3), signal, [11] * 8 + [9])
+        assert np.array_equal(got, want)
+
+    def test_empty_cascade_rejected(self):
+        with pytest.raises(InputValidationError):
+            BiquadCascadeStream([])
+
+    def test_powerline_stream_validates_design(self):
+        with pytest.raises(InputValidationError):
+            PowerlineStream(80.0, mains_hz=50.0)
+
+
+# --------------------------------------------------------------------- #
+# Float FIR + decimator
+# --------------------------------------------------------------------- #
+class TestFirStream:
+    def test_bit_exact_all_partitions(self, signal):
+        taps = design_fir(21, 0.2, kind="lowpass", sample_rate=1.0)
+        want = fir_direct(taps, signal)
+        for sizes in partitions(signal.size):
+            assert np.array_equal(chunked(FirStream(taps), signal, sizes), want)
+
+    def test_single_tap(self, signal):
+        got = chunked(FirStream(np.array([2.0])), signal, [10] * 9 + [7])
+        assert np.array_equal(got, 2.0 * signal)
+
+    def test_validation(self):
+        with pytest.raises(InputValidationError):
+            FirStream(np.zeros(0))
+        with pytest.raises(InputValidationError):
+            FirStream(np.zeros((3, 3)))
+
+
+class TestDecimatorStream:
+    @pytest.mark.parametrize("factor", [1, 2, 3, 4])
+    def test_bit_exact_with_flush(self, signal, factor):
+        want = decimate(signal, factor, num_taps=31)
+        for sizes in partitions(signal.size):
+            stream = DecimatorStream(factor, num_taps=31)
+            pieces = []
+            start = 0
+            for size in sizes:
+                pieces.append(stream.process(signal[start : start + size]))
+                start += size
+            pieces.append(stream.flush())
+            assert np.array_equal(np.concatenate(pieces), want)
+
+    def test_signal_shorter_than_group_delay(self):
+        # Regression (found by the stream_vs_batch oracle): the one-shot
+        # aligned length has a floor of the FIR group delay, so an
+        # 8-sample input at 31 taps still yields ceil(15/2) outputs.
+        x = np.arange(8.0)
+        want = decimate(x, 2, num_taps=31)
+        stream = DecimatorStream(2, num_taps=31)
+        got = np.concatenate([stream.process(x), stream.flush()])
+        assert np.array_equal(got, want)
+        assert got.size == want.size == 8
+
+    def test_factor_one_is_identity(self, signal):
+        stream = DecimatorStream(1)
+        got = np.concatenate([stream.process(signal), stream.flush()])
+        assert np.array_equal(got, signal)
+
+    def test_flush_is_terminal(self, signal):
+        stream = DecimatorStream(2)
+        stream.process(signal)
+        stream.flush()
+        with pytest.raises(InputValidationError):
+            stream.process(signal)
+        with pytest.raises(InputValidationError):
+            stream.flush()
+
+    def test_validation(self):
+        with pytest.raises(InputValidationError):
+            DecimatorStream(0)
+
+
+# --------------------------------------------------------------------- #
+# Windowing
+# --------------------------------------------------------------------- #
+class TestWindowStream:
+    @pytest.mark.parametrize(
+        "window,hop",
+        [(10, 10), (10, 3), (10, 17), (1, 1), (97, 1), (5, 100)],
+    )
+    def test_matches_slice_windows(self, signal, window, hop):
+        want = slice_windows(signal, window, hop)
+        for sizes in partitions(signal.size):
+            stream = WindowStream(window, hop)
+            got = []
+            start = 0
+            for size in sizes:
+                got.extend(stream.process(signal[start : start + size]))
+                start += size
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w)
+            assert stream.windows_out == len(want)
+
+    def test_windows_are_copies(self):
+        stream = WindowStream(3, 3)
+        [window] = stream.process(np.arange(3.0))
+        window[0] = 99.0
+        assert stream.pending_samples == 0
+
+    def test_pending_samples(self):
+        stream = WindowStream(10, 10)
+        stream.process(np.zeros(7))
+        assert stream.pending_samples == 7
+
+    def test_validation(self):
+        with pytest.raises(InputValidationError):
+            WindowStream(0, 1)
+        with pytest.raises(InputValidationError):
+            WindowStream(1, 0)
+        with pytest.raises(InputValidationError):
+            slice_windows(np.zeros(10), 0, 1)
+        with pytest.raises(InputValidationError):
+            slice_windows(np.zeros(10), 1, 0)
+        with pytest.raises(InputValidationError):
+            slice_windows(np.zeros((2, 5)), 1, 1)
